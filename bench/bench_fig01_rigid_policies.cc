@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 1: normalized performance of the stream prefetcher under the
+ * two rigid DRAM scheduling policies (demand-first vs
+ * demand-prefetch-equal) for ten benchmarks on a single core.
+ *
+ * Paper shape: for the prefetch-unfriendly left five (galgel, ammp,
+ * xalancbmk, art, milc) demand-first wins; for the prefetch-friendly
+ * right five (lbm, leslie3d, swim, bwaves, libquantum) the order flips.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace padc;
+    bench::banner("Figure 1", "stream prefetcher under rigid policies",
+                  "demand-first wins left five; demand-pref-equal wins "
+                  "right five");
+
+    const std::vector<std::string> benchmarks = {
+        "galgel_00", "ammp_00",  "xalancbmk_06", "art_00",
+        "milc_06",   "lbm_06",   "leslie3d_06",  "swim_00",
+        "bwaves_06", "libquantum_06"};
+
+    const sim::SystemConfig base = sim::SystemConfig::baseline(1);
+    const sim::RunOptions options = bench::defaultOptions(1);
+
+    const std::vector<sim::PolicySetup> policies = {
+        sim::PolicySetup::DemandFirst, sim::PolicySetup::DemandPrefEqual};
+    bench::singleCoreNormalizedIpc(base, benchmarks, policies, options);
+    return 0;
+}

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Figures 10-11, case study I: four prefetch-friendly applications
+ * (swim, bwaves, leslie3d, soplex) on the 4-core system.
+ *
+ * Paper shape: demand-pref-equal clearly beats demand-first (all four
+ * prefetchers are accurate); PADC is best overall (paper: +31.3% WS
+ * over demand-first); traffic savings are small.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace padc;
+    bench::banner("Figures 10-11 (case study I)",
+                  "four prefetch-friendly applications, 4 cores",
+                  "equal >> demand-first; PADC best WS");
+    bench::caseStudyBench(workload::caseStudyFriendly(),
+                          bench::fivePolicies());
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Figures 14-15, case study III: two prefetch-friendly (libquantum,
+ * GemsFDTD) plus two prefetch-unfriendly (omnetpp, galgel) applications
+ * on the 4-core system.
+ *
+ * Paper shape: PADC prevents the unfriendly apps' useless prefetches
+ * from denying service to the friendly apps: best WS/HS, large traffic
+ * reduction (paper: -14.5%).
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace padc;
+    bench::banner("Figures 14-15 (case study III)",
+                  "mixed friendly/unfriendly applications, 4 cores",
+                  "PADC best WS/HS and lowest unfairness; traffic cut");
+    bench::caseStudyBench(workload::caseStudyMixed(),
+                          bench::fivePolicies());
+    return 0;
+}

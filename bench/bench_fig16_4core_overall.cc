@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 16: overall performance and traffic on the 4-core system over
+ * random mixes (paper: 32 workloads).
+ *
+ * Paper shape: PADC improves WS by ~8.2% and HS by ~4.1% over
+ * demand-first and cuts traffic ~10.1%.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace padc;
+    bench::banner("Figure 16", "4-core overall performance and traffic",
+                  "PADC best WS/HS, lowest traffic");
+    bench::overallBench(4, 12, bench::fivePolicies());
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Figure 17: overall performance and traffic on the 8-core system over
+ * random mixes (paper: 21 workloads).
+ *
+ * Paper shape: with one controller the rigid policies barely help (or
+ * hurt) at 8 cores; PADC improves WS ~9.9% over demand-first and cuts
+ * traffic ~9.4% -- the benefit grows with core count.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace padc;
+    bench::banner("Figure 17", "8-core overall performance and traffic",
+                  "PADC's edge grows with core count");
+    bench::overallBench(8, 8, bench::fivePolicies());
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figures 19-20: PADC augmented with the shortest-job-first ranking
+ * rule (Section 6.5) on the 4-core and 8-core systems.
+ *
+ * Paper shape: ranking keeps WS roughly level, improves HS slightly,
+ * and reduces unfairness (more so at 8 cores: -10.4% UF, +2% WS).
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace padc;
+    bench::banner("Figures 19-20", "PADC with request ranking",
+                  "PADC-rank lowers UF; WS/HS level or better");
+    const std::vector<sim::PolicySetup> policies = {
+        sim::PolicySetup::DemandFirst, sim::PolicySetup::Padc,
+        sim::PolicySetup::PadcRank};
+    bench::overallBench(4, 10, policies);
+    std::printf("\n");
+    bench::overallBench(8, 6, policies);
+    return 0;
+}

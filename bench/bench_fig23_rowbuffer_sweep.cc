@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 23: WS of each policy across DRAM row-buffer sizes (2KB to
+ * 128KB) on the 4-core system.
+ *
+ * Paper shape: PADC wins at every size; the rigid policies lose their
+ * prefetching benefit at very large rows (demand-first can even drop
+ * below no-prefetching) while PADC keeps improving.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace padc;
+    bench::banner("Figure 23", "row-buffer size sweep, 4 cores",
+                  "PADC best at every row size");
+    const sim::RunOptions options = bench::defaultOptions(4);
+    const auto mixes = workload::randomMixes(4, 4, 77);
+
+    std::printf("%-10s", "row size");
+    for (const auto setup : bench::fivePolicies())
+        std::printf(" %17s", sim::policyLabel(setup).c_str());
+    std::printf("\n");
+
+    for (const std::uint32_t row_kb : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        sim::SystemConfig base = sim::SystemConfig::baseline(4);
+        base.dram.geometry.row_bytes = row_kb * 1024;
+        sim::AloneIpcCache alone(base, options);
+        std::printf("%6uKB  ", row_kb);
+        for (const auto setup : bench::fivePolicies()) {
+            const auto agg = bench::aggregateOverMixes(
+                sim::applyPolicy(base, setup), mixes, options, alone);
+            std::printf(" %17.3f", agg.ws);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 24: every policy under the closed-row buffer-management policy
+ * on the 4-core system, with open-row PADC as the reference.
+ *
+ * Paper shape: PADC still beats the rigid policies under closed-row
+ * (+7.6% WS over closed-row demand-first); open-row PADC is slightly
+ * better than closed-row PADC overall.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace padc;
+    bench::banner("Figure 24", "closed-row policy, 4 cores",
+                  "PADC best under closed-row; open-row PADC slightly "
+                  "ahead");
+    const sim::RunOptions options = bench::defaultOptions(4);
+    const auto mixes = workload::randomMixes(8, 4, 55);
+
+    sim::SystemConfig open_base = sim::SystemConfig::baseline(4);
+    sim::SystemConfig closed_base = open_base;
+    closed_base.sched.row_policy = RowPolicy::Closed;
+
+    sim::AloneIpcCache alone_open(open_base, options);
+    sim::AloneIpcCache alone_closed(closed_base, options);
+
+    for (const auto setup : bench::fivePolicies()) {
+        const auto agg = bench::aggregateOverMixes(
+            sim::applyPolicy(closed_base, setup), mixes, options,
+            alone_closed);
+        bench::printAggregate(sim::policyLabel(setup) + "-closed", agg);
+    }
+    const auto open_padc = bench::aggregateOverMixes(
+        sim::applyPolicy(open_base, sim::PolicySetup::Padc), mixes,
+        options, alone_open);
+    bench::printAggregate("aps-apd (PADC)-open", open_padc);
+    return 0;
+}

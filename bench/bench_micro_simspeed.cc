@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Simulator micro-benchmarks (google-benchmark): throughput of the hot
+ * components -- the DRAM channel command loop, the cache lookup path,
+ * the stream prefetcher, the synthetic generator, and a full
+ * single-core simulation step.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cache/cache.hh"
+#include "dram/channel.hh"
+#include "prefetch/stream_prefetcher.hh"
+#include "sim/experiment.hh"
+#include "workload/generator.hh"
+
+namespace
+{
+
+using namespace padc;
+
+void
+BM_ChannelRowHitReads(benchmark::State &state)
+{
+    dram::TimingParams timing;
+    dram::Channel channel(timing, 8);
+    channel.activate(0, 1, 0);
+    Cycle t = timing.toCpu(timing.tRCD);
+    for (auto _ : state) {
+        while (!channel.canColumn(0, false, t))
+            t += timing.cpu_per_dram_cycle;
+        benchmark::DoNotOptimize(channel.column(0, false, false, t));
+    }
+}
+BENCHMARK(BM_ChannelRowHitReads);
+
+void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    cache::CacheConfig cfg;
+    cfg.size_bytes = 512 * 1024;
+    cfg.ways = 8;
+    cache::SetAssocCache cache(cfg, "bench");
+    for (Addr a = 0; a < 256 * kLineBytes; a += kLineBytes)
+        cache.fill(a, 0, 0, false, false, 0);
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr));
+        addr = (addr + kLineBytes) % (256 * kLineBytes);
+    }
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void
+BM_StreamPrefetcherObserve(benchmark::State &state)
+{
+    prefetch::PrefetcherConfig cfg;
+    prefetch::StreamPrefetcher pf(cfg);
+    std::vector<Addr> out;
+    Addr line = 0;
+    for (auto _ : state) {
+        out.clear();
+        pf.observe(lineToAddr(line++), 0x400, true, false, out);
+        benchmark::DoNotOptimize(out.size());
+    }
+}
+BENCHMARK(BM_StreamPrefetcherObserve);
+
+void
+BM_SyntheticTraceNext(benchmark::State &state)
+{
+    workload::TraceParams params;
+    params.seed = 7;
+    workload::SyntheticTrace trace(params);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trace.next().addr);
+}
+BENCHMARK(BM_SyntheticTraceNext);
+
+void
+BM_SingleCoreSimulation(benchmark::State &state)
+{
+    // Cost of simulating 10K instructions of libquantum under PADC.
+    const sim::SystemConfig cfg = sim::applyPolicy(
+        sim::SystemConfig::baseline(1), sim::PolicySetup::Padc);
+    for (auto _ : state) {
+        sim::RunOptions opt;
+        opt.instructions = 10000;
+        opt.warmup = 0;
+        benchmark::DoNotOptimize(
+            sim::runMix(cfg, {"libquantum_06"}, opt).cores[0].ipc);
+    }
+}
+BENCHMARK(BM_SingleCoreSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

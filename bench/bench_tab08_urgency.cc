@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Table 8: effect of prioritizing urgent requests (demands from
+ * low-accuracy cores) on the case-study-III mix.
+ *
+ * Paper shape: without urgency, the prefetch-unfriendly applications
+ * starve (high UF); urgency restores their speedups and improves HS at
+ * a small WS cost.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace padc;
+    bench::banner("Table 8", "urgent-request prioritization ablation",
+                  "no-urgent variants have much higher unfairness");
+    const std::vector<sim::PolicySetup> policies = {
+        sim::PolicySetup::DemandFirst, sim::PolicySetup::ApsNoUrgent,
+        sim::PolicySetup::ApsOnly,     sim::PolicySetup::PadcNoUrgent,
+        sim::PolicySetup::Padc,
+    };
+    bench::caseStudyBench(workload::caseStudyMixed(), policies);
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Tables 9-10: four identical applications per workload -- all
+ * libquantum (prefetch-friendly) and all milc (prefetch-unfriendly) on
+ * the 4-core system.
+ *
+ * Paper shape: for 4x libquantum, demand-pref-equal/APS/PADC all beat
+ * demand-first (paper +18.2% WS) with near-equal per-core speedups; for
+ * 4x milc, PADC beats every rigid policy via dropping.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace padc;
+    bench::banner("Table 9", "four identical libquantum instances",
+                  "equal/APS/PADC > demand-first; speedups uniform");
+    bench::caseStudyBench({"libquantum_06", "libquantum_06",
+                           "libquantum_06", "libquantum_06"},
+                          bench::fivePolicies());
+    std::printf("\n");
+    bench::banner("Table 10", "four identical milc instances",
+                  "demand-first/APS > equal; PADC best of all");
+    bench::caseStudyBench({"milc_06", "milc_06", "milc_06", "milc_06"},
+                          bench::fivePolicies());
+    return 0;
+}

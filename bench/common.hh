@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries.
+ *
+ * Every bench regenerates one table or figure of "Prefetch-Aware DRAM
+ * Controllers" (MICRO-41): it prints the same rows/series the paper
+ * reports, computed from our simulation stack. Absolute values differ
+ * from the paper (different substrate; see DESIGN.md), the *shape* is
+ * what each bench asserts in its header comment.
+ */
+
+#ifndef PADC_BENCH_COMMON_HH
+#define PADC_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/experiment.hh"
+#include "workload/mixes.hh"
+#include "workload/profile.hh"
+
+namespace padc::bench
+{
+
+/** The five policy columns used by most figures. */
+inline const std::vector<sim::PolicySetup> &
+fivePolicies()
+{
+    static const std::vector<sim::PolicySetup> policies = {
+        sim::PolicySetup::NoPref,     sim::PolicySetup::DemandFirst,
+        sim::PolicySetup::DemandPrefEqual, sim::PolicySetup::ApsOnly,
+        sim::PolicySetup::Padc,
+    };
+    return policies;
+}
+
+/** Default run options per system scale (keeps the suite laptop-fast). */
+inline sim::RunOptions
+defaultOptions(std::uint32_t cores)
+{
+    sim::RunOptions opt;
+    opt.instructions = cores == 1 ? 200000 : 100000;
+    opt.warmup = opt.instructions / 4;
+    opt.max_cycles = 80000000;
+    return opt;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *artifact, const char *description,
+       const char *expectation)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s -- %s\n", artifact, description);
+    std::printf("paper shape: %s\n", expectation);
+    std::printf("==============================================================\n");
+}
+
+/** Aggregate multiprogrammed results across a set of mixes. */
+struct Aggregate
+{
+    double ws = 0.0;
+    double hs = 0.0;
+    double uf = 0.0;
+    double traffic = 0.0;         ///< mean total lines per mix
+    double traffic_useless = 0.0; ///< mean useless-prefetch lines
+    double traffic_useful = 0.0;
+    double traffic_demand = 0.0;
+    std::uint32_t mixes = 0;
+};
+
+/**
+ * Run @p config over every mix and average the multiprogrammed metrics.
+ * The alone-IPC cache must be built from the same base options.
+ */
+inline Aggregate
+aggregateOverMixes(const sim::SystemConfig &config,
+                   const std::vector<workload::Mix> &mixes,
+                   const sim::RunOptions &base_options,
+                   sim::AloneIpcCache &alone)
+{
+    Aggregate agg;
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+        sim::RunOptions options = base_options;
+        options.mix_seed = i;
+        const sim::MixEvaluation eval =
+            sim::evaluateMix(config, mixes[i], options, alone);
+        agg.ws += eval.summary.ws;
+        agg.hs += eval.summary.hs;
+        agg.uf += eval.summary.uf;
+        agg.traffic += static_cast<double>(eval.metrics.totalTraffic());
+        agg.traffic_useless +=
+            static_cast<double>(eval.metrics.trafficPrefUseless());
+        agg.traffic_useful +=
+            static_cast<double>(eval.metrics.trafficPrefUseful());
+        agg.traffic_demand +=
+            static_cast<double>(eval.metrics.trafficDemand());
+        ++agg.mixes;
+    }
+    const double n = agg.mixes > 0 ? agg.mixes : 1;
+    agg.ws /= n;
+    agg.hs /= n;
+    agg.uf /= n;
+    agg.traffic /= n;
+    agg.traffic_useless /= n;
+    agg.traffic_useful /= n;
+    agg.traffic_demand /= n;
+    return agg;
+}
+
+/** Print one aggregate row. */
+inline void
+printAggregate(const std::string &label, const Aggregate &agg)
+{
+    std::printf("%-22s WS %7.3f  HS %7.3f  UF %6.2f  traffic %9.0f"
+                "  (dem %7.0f  useful %7.0f  useless %7.0f)\n",
+                label.c_str(), agg.ws, agg.hs, agg.uf, agg.traffic,
+                agg.traffic_demand, agg.traffic_useful,
+                agg.traffic_useless);
+}
+
+/**
+ * Single-core sweep: IPC of every policy for every benchmark,
+ * normalized to no-prefetching (the paper's Fig. 6 format). Returns
+ * the per-policy vector of normalized IPCs (for gmean reporting).
+ */
+inline std::vector<std::vector<double>>
+singleCoreNormalizedIpc(const sim::SystemConfig &base,
+                        const std::vector<std::string> &benchmarks,
+                        const std::vector<sim::PolicySetup> &policies,
+                        const sim::RunOptions &options)
+{
+    std::vector<std::vector<double>> normalized(policies.size());
+
+    std::printf("%-16s", "benchmark");
+    for (const auto setup : policies)
+        std::printf(" %17s", sim::policyLabel(setup).c_str());
+    std::printf("\n");
+
+    for (const auto &name : benchmarks) {
+        const workload::Mix mix = {name};
+        const double ipc_nopref =
+            sim::runMix(sim::applyPolicy(base, sim::PolicySetup::NoPref),
+                        mix, options)
+                .cores[0]
+                .ipc;
+        std::printf("%-16s", name.c_str());
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const double ipc =
+                sim::runMix(sim::applyPolicy(base, policies[p]), mix,
+                            options)
+                    .cores[0]
+                    .ipc;
+            const double norm = ipc_nopref > 0 ? ipc / ipc_nopref : 0.0;
+            normalized[p].push_back(norm);
+            std::printf(" %17.3f", norm);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("%-16s", "gmean");
+    for (const auto &column : normalized)
+        std::printf(" %17.3f", geomean(column));
+    std::printf("\n");
+    return normalized;
+}
+
+/**
+ * The standard multiprogrammed "overall" experiment: random mixes on an
+ * n-core system, one aggregate row per policy. @p mutate (if given)
+ * adjusts the base configuration before policies are applied (e.g. dual
+ * channels, shared L2, row-buffer size).
+ */
+inline void
+overallBench(std::uint32_t cores, std::uint32_t num_mixes,
+             const std::vector<sim::PolicySetup> &policies,
+             const std::function<void(sim::SystemConfig &)> &mutate = {},
+             std::uint64_t mix_seed = 1234)
+{
+    sim::SystemConfig base = sim::SystemConfig::baseline(cores);
+    if (mutate)
+        mutate(base);
+    const sim::RunOptions options = defaultOptions(cores);
+    const auto mixes = workload::randomMixes(num_mixes, cores, mix_seed);
+    sim::AloneIpcCache alone(base, options);
+
+    std::printf("%u-core system, %u random mixes\n", cores, num_mixes);
+    for (const auto setup : policies) {
+        const Aggregate agg = aggregateOverMixes(
+            sim::applyPolicy(base, setup), mixes, options, alone);
+        printAggregate(sim::policyLabel(setup), agg);
+    }
+}
+
+/**
+ * One case-study mix (paper Section 6.3): per-policy individual
+ * speedups plus WS/HS/UF and traffic.
+ */
+inline void
+caseStudyBench(const workload::Mix &mix,
+               const std::vector<sim::PolicySetup> &policies)
+{
+    sim::SystemConfig base =
+        sim::SystemConfig::baseline(static_cast<std::uint32_t>(mix.size()));
+    sim::RunOptions options = defaultOptions(
+        static_cast<std::uint32_t>(mix.size()));
+    options.instructions = 150000;
+    options.warmup = 30000;
+    sim::AloneIpcCache alone(base, options);
+
+    std::printf("mix:");
+    for (const auto &name : mix)
+        std::printf(" %s", name.c_str());
+    std::printf("\n%-22s", "policy");
+    for (const auto &name : mix)
+        std::printf(" IS(%-12s)", name.substr(0, 12).c_str());
+    std::printf(" %7s %7s %6s %9s %9s\n", "WS", "HS", "UF", "traffic",
+                "useless");
+
+    for (const auto setup : policies) {
+        const sim::MixEvaluation eval = sim::evaluateMix(
+            sim::applyPolicy(base, setup), mix, options, alone);
+        std::printf("%-22s", sim::policyLabel(setup).c_str());
+        for (const double is : eval.summary.speedups)
+            std::printf(" %16.3f", is);
+        std::printf(" %7.3f %7.3f %6.2f %9llu %9llu\n", eval.summary.ws,
+                    eval.summary.hs, eval.summary.uf,
+                    static_cast<unsigned long long>(
+                        eval.metrics.totalTraffic()),
+                    static_cast<unsigned long long>(
+                        eval.metrics.trafficPrefUseless()));
+    }
+}
+
+/** The paper's Fig. 1 / Fig. 6 benchmark selection (available subset). */
+inline std::vector<std::string>
+figureSixBenchmarks()
+{
+    return {"swim_00",      "galgel_00",   "art_00",     "ammp_00",
+            "gcc_06",       "mcf_06",      "libquantum_06",
+            "omnetpp_06",   "xalancbmk_06", "bwaves_06",  "milc_06",
+            "cactusADM_06", "leslie3d_06", "soplex_06",  "lbm_06"};
+}
+
+} // namespace padc::bench
+
+#endif // PADC_BENCH_COMMON_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Policy shootout on a user-chosen multiprogrammed mix: runs every
+ * prefetch-handling policy on the same workload combination and prints
+ * per-application speedups, system metrics, and the bus-traffic
+ * breakdown -- the full paper-style evaluation for one mix.
+ *
+ * Usage: policy_shootout [profile ...]
+ *        (default: the paper's mixed case study; core count = number of
+ *        profiles given, up to 8)
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "workload/mixes.hh"
+#include "workload/profile.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace padc;
+
+    workload::Mix mix;
+    for (int i = 1; i < argc && i <= 8; ++i) {
+        if (workload::findProfile(argv[i]) == nullptr) {
+            std::fprintf(stderr, "unknown profile '%s'\n", argv[i]);
+            return 1;
+        }
+        mix.push_back(argv[i]);
+    }
+    if (mix.empty())
+        mix = workload::caseStudyMixed();
+
+    const auto cores = static_cast<std::uint32_t>(mix.size());
+    const sim::SystemConfig base = sim::SystemConfig::baseline(cores);
+    sim::RunOptions options;
+    options.instructions = 150000;
+    options.warmup = 30000;
+    sim::AloneIpcCache alone(base, options);
+
+    std::printf("policy shootout on a %u-core system\nmix:", cores);
+    for (const auto &name : mix)
+        std::printf(" %s(class %d)", name.c_str(),
+                    workload::findProfile(name)->cls);
+    std::printf("\n\n%-22s", "policy");
+    for (std::uint32_t c = 0; c < cores; ++c)
+        std::printf("   IS.c%u", c);
+    std::printf(" %7s %7s %6s %9s %9s\n", "WS", "HS", "UF", "traffic",
+                "useless");
+
+    const sim::PolicySetup setups[] = {
+        sim::PolicySetup::NoPref,          sim::PolicySetup::DemandFirst,
+        sim::PolicySetup::DemandPrefEqual, sim::PolicySetup::PrefetchFirst,
+        sim::PolicySetup::ApsOnly,         sim::PolicySetup::Padc,
+        sim::PolicySetup::PadcRank,
+    };
+    for (const auto setup : setups) {
+        const auto eval = sim::evaluateMix(sim::applyPolicy(base, setup),
+                                           mix, options, alone);
+        std::printf("%-22s", sim::policyLabel(setup).c_str());
+        for (const double is : eval.summary.speedups)
+            std::printf(" %7.3f", is);
+        std::printf(" %7.3f %7.3f %6.2f %9llu %9llu\n", eval.summary.ws,
+                    eval.summary.hs, eval.summary.uf,
+                    static_cast<unsigned long long>(
+                        eval.metrics.totalTraffic()),
+                    static_cast<unsigned long long>(
+                        eval.metrics.trafficPrefUseless()));
+    }
+    return 0;
+}

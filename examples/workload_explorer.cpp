@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Workload explorer: prints a Table-5-style characterization of every
+ * registered benchmark profile on the single-core baseline -- IPC and
+ * MPKI without prefetching, then IPC, MPKI, RBH, ACC, and COV with the
+ * stream prefetcher under the demand-first policy, plus the speedups of
+ * the rigid policies and PADC over no-prefetching.
+ *
+ * Use this to see how the synthetic stand-ins land relative to the
+ * paper's benchmark classes (and to re-tune profiles).
+ *
+ * Usage: workload_explorer [instructions-per-run]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "workload/profile.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace padc;
+
+    sim::RunOptions options;
+    options.instructions =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 300000;
+    options.warmup = options.instructions / 2;
+
+    const sim::SystemConfig base = sim::SystemConfig::baseline(1);
+
+    std::printf("%-16s %3s | %6s %6s | %6s %6s %5s %5s %5s | %7s %7s %7s\n",
+                "profile", "cls", "IPCnp", "MPKInp", "IPCdf", "MPKIdf",
+                "RBH", "ACC", "COV", "df/np", "eq/np", "padc/np");
+
+    for (const auto &profile : workload::allProfiles()) {
+        const workload::Mix mix = {profile.name};
+
+        const auto np = sim::runMix(
+            sim::applyPolicy(base, sim::PolicySetup::NoPref), mix, options);
+        const auto df = sim::runMix(
+            sim::applyPolicy(base, sim::PolicySetup::DemandFirst), mix,
+            options);
+        const auto eq = sim::runMix(
+            sim::applyPolicy(base, sim::PolicySetup::DemandPrefEqual), mix,
+            options);
+        const auto padc = sim::runMix(
+            sim::applyPolicy(base, sim::PolicySetup::Padc), mix, options);
+
+        const auto &n = np.cores[0];
+        const auto &d = df.cores[0];
+        std::printf(
+            "%-16s %3d | %6.2f %6.2f | %6.2f %6.2f %5.2f %5.2f %5.2f |"
+            " %7.3f %7.3f %7.3f\n",
+            profile.name.c_str(), profile.cls, n.ipc, n.mpki, d.ipc,
+            d.mpki, d.rbh, d.acc, d.cov, d.ipc / n.ipc,
+            eq.cores[0].ipc / n.ipc, padc.cores[0].ipc / n.ipc);
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+#include "cache/mshr.hh"
+
+#include <cassert>
+
+namespace padc::cache
+{
+
+MshrFile::MshrFile(std::uint32_t capacity) : capacity_(capacity)
+{
+    entries_.reserve(capacity);
+}
+
+MshrEntry *
+MshrFile::find(Addr line_addr)
+{
+    auto it = entries_.find(line_addr);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+const MshrEntry *
+MshrFile::find(Addr line_addr) const
+{
+    auto it = entries_.find(line_addr);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+MshrEntry &
+MshrFile::alloc(Addr line_addr)
+{
+    assert(!full());
+    assert(find(line_addr) == nullptr);
+    MshrEntry &entry = entries_[line_addr];
+    entry.line_addr = line_addr;
+    peak_ = std::max(peak_, entries_.size());
+    return entry;
+}
+
+void
+MshrFile::release(Addr line_addr)
+{
+    [[maybe_unused]] const auto erased = entries_.erase(line_addr);
+    assert(erased == 1);
+}
+
+} // namespace padc::cache

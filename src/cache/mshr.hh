@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Miss Status Holding Registers for the L2 cache.
+ *
+ * Tracks every outstanding L2 miss (demand or prefetch) and the loads
+ * waiting for it. The paper sizes the MSHR file identically to the
+ * memory request buffer (Table 4), so a full MSHR file is the same
+ * back-pressure point as a full request buffer.
+ *
+ * A demand miss that finds an in-flight *prefetch* entry promotes it
+ * (paper Section 4.1: the prefetch becomes a demand and counts as used);
+ * Adaptive Prefetch Dropping invalidates entries that still have their
+ * prefetch flag set, which is safe exactly because promotion clears it.
+ */
+
+#ifndef PADC_CACHE_MSHR_HH
+#define PADC_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace padc::cache
+{
+
+/** Identifies a core-side load waiting on a miss. */
+struct LoadToken
+{
+    CoreId core = 0;
+    std::uint64_t tag = 0; ///< core-private identifier of the load
+};
+
+/** One outstanding L2 miss. */
+struct MshrEntry
+{
+    Addr line_addr = kInvalidAddr;
+    CoreId core = 0; ///< core that created the entry
+    Addr pc = 0;
+
+    /** True while the miss is still a pure prefetch (unpromoted). */
+    bool prefetch = false;
+
+    /** True if the miss was created by the prefetcher. */
+    bool was_prefetch = false;
+
+    /** A store is among the waiters: the line fills dirty. */
+    bool store_waiting = false;
+
+    Cycle issue_cycle = 0;
+
+    /** Loads blocked on this line. */
+    std::vector<LoadToken> waiters;
+};
+
+/**
+ * Fixed-capacity MSHR file, indexed by line address.
+ */
+class MshrFile
+{
+  public:
+    explicit MshrFile(std::uint32_t capacity);
+
+    bool full() const { return entries_.size() >= capacity_; }
+
+    std::size_t size() const { return entries_.size(); }
+
+    std::uint32_t capacity() const { return capacity_; }
+
+    /** Find the entry for @p line_addr, or nullptr. */
+    MshrEntry *find(Addr line_addr);
+    const MshrEntry *find(Addr line_addr) const;
+
+    /**
+     * Allocate an entry. @pre !full() && find(line_addr) == nullptr.
+     * @return reference to the new entry for the caller to fill in.
+     */
+    MshrEntry &alloc(Addr line_addr);
+
+    /** Release the entry for @p line_addr. @pre it exists. */
+    void release(Addr line_addr);
+
+    /** Peak occupancy seen (for reporting). */
+    std::size_t peak() const { return peak_; }
+
+  private:
+    std::uint32_t capacity_;
+    std::unordered_map<Addr, MshrEntry> entries_;
+    std::size_t peak_ = 0;
+};
+
+} // namespace padc::cache
+
+#endif // PADC_CACHE_MSHR_HH

@@ -1,0 +1,30 @@
+#include "cache/replacement.hh"
+
+namespace padc::cache
+{
+
+ReplacementPolicy::ReplacementPolicy(ReplPolicyKind kind, std::uint64_t seed)
+    : kind_(kind), rand_state_(seed | 1)
+{
+}
+
+std::uint32_t
+ReplacementPolicy::victim(const std::vector<std::uint64_t> &stamps)
+{
+    if (kind_ == ReplPolicyKind::Random) {
+        // xorshift64: deterministic, cheap, good enough for victim choice.
+        rand_state_ ^= rand_state_ << 13;
+        rand_state_ ^= rand_state_ >> 7;
+        rand_state_ ^= rand_state_ << 17;
+        return static_cast<std::uint32_t>(rand_state_ % stamps.size());
+    }
+
+    std::uint32_t victim_way = 0;
+    for (std::uint32_t way = 1; way < stamps.size(); ++way) {
+        if (stamps[way] < stamps[victim_way])
+            victim_way = way;
+    }
+    return victim_way;
+}
+
+} // namespace padc::cache

@@ -1,0 +1,74 @@
+#include "common/config.hh"
+
+namespace padc
+{
+
+std::string
+toString(SchedPolicyKind kind)
+{
+    switch (kind) {
+      case SchedPolicyKind::FrFcfs: return "demand-pref-equal";
+      case SchedPolicyKind::DemandFirst: return "demand-first";
+      case SchedPolicyKind::PrefetchFirst: return "prefetch-first";
+      case SchedPolicyKind::Aps: return "aps";
+    }
+    return "unknown";
+}
+
+std::string
+toString(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::None: return "none";
+      case PrefetcherKind::Stream: return "stream";
+      case PrefetcherKind::Stride: return "stride";
+      case PrefetcherKind::Cdc: return "cdc";
+      case PrefetcherKind::Markov: return "markov";
+    }
+    return "unknown";
+}
+
+std::string
+toString(RowPolicy policy)
+{
+    return policy == RowPolicy::Open ? "open-row" : "closed-row";
+}
+
+bool
+parseSchedPolicy(const std::string &name, SchedPolicyKind *out)
+{
+    if (name == "demand-pref-equal" || name == "frfcfs" ||
+        name == "demand-prefetch-equal") {
+        *out = SchedPolicyKind::FrFcfs;
+    } else if (name == "demand-first") {
+        *out = SchedPolicyKind::DemandFirst;
+    } else if (name == "prefetch-first") {
+        *out = SchedPolicyKind::PrefetchFirst;
+    } else if (name == "aps" || name == "padc") {
+        *out = SchedPolicyKind::Aps;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+bool
+parsePrefetcher(const std::string &name, PrefetcherKind *out)
+{
+    if (name == "none") {
+        *out = PrefetcherKind::None;
+    } else if (name == "stream") {
+        *out = PrefetcherKind::Stream;
+    } else if (name == "stride") {
+        *out = PrefetcherKind::Stride;
+    } else if (name == "cdc") {
+        *out = PrefetcherKind::Cdc;
+    } else if (name == "markov") {
+        *out = PrefetcherKind::Markov;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+} // namespace padc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared configuration enums and name conversions.
+ *
+ * Module-specific configuration structs live with their modules
+ * (dram::DramConfig, memctrl::SchedulerConfig, ...); this header only
+ * defines the cross-cutting enums those structs reference, together with
+ * string conversions used by the examples and benchmark harnesses.
+ */
+
+#ifndef PADC_COMMON_CONFIG_HH
+#define PADC_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace padc
+{
+
+/**
+ * DRAM request scheduling policy family.
+ *
+ * The paper's policy names map as follows:
+ *  - demand-prefetch-equal == FrFcfs (plain FR-FCFS, prefetch-blind)
+ *  - demand-first          == DemandFirst
+ *  - prefetch-first        == PrefetchFirst (footnote 2 of the paper)
+ *  - aps / PADC            == Aps (PADC = Aps + Adaptive Prefetch Dropping)
+ */
+enum class SchedPolicyKind : std::uint8_t
+{
+    FrFcfs,
+    DemandFirst,
+    PrefetchFirst,
+    Aps,
+};
+
+/** Hardware prefetcher algorithm (Sections 2.2, 6.11 of the paper). */
+enum class PrefetcherKind : std::uint8_t
+{
+    None,
+    Stream,
+    Stride,
+    Cdc,
+    Markov,
+};
+
+/** Row-buffer management policy (Section 6.8). */
+enum class RowPolicy : std::uint8_t
+{
+    Open,
+    Closed,
+};
+
+/** Human-readable policy name matching the paper's figures. */
+std::string toString(SchedPolicyKind kind);
+
+/** Human-readable prefetcher name. */
+std::string toString(PrefetcherKind kind);
+
+/** Human-readable row policy name. */
+std::string toString(RowPolicy policy);
+
+/**
+ * Parse a policy name ("demand-first", "demand-pref-equal", "frfcfs",
+ * "prefetch-first", "aps", "padc").
+ * @return true on success; *out unchanged on failure.
+ */
+bool parseSchedPolicy(const std::string &name, SchedPolicyKind *out);
+
+/** Parse a prefetcher name ("none", "stream", "stride", "cdc", "markov"). */
+bool parsePrefetcher(const std::string &name, PrefetcherKind *out);
+
+} // namespace padc
+
+#endif // PADC_COMMON_CONFIG_HH

@@ -1,0 +1,116 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace padc
+{
+
+void
+StatSet::add(const std::string &name, double value)
+{
+    entries_.emplace_back(name, value);
+}
+
+void
+StatSet::merge(const std::string &prefix, const StatSet &other)
+{
+    for (const auto &[name, value] : other.entries_)
+        entries_.emplace_back(prefix + name, value);
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    for (const auto &[n, v] : entries_) {
+        if (n == name)
+            return v;
+    }
+    return 0.0;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    for (const auto &[n, v] : entries_) {
+        if (n == name)
+            return true;
+    }
+    return false;
+}
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[n, v] : entries_)
+        os << n << ' ' << v << '\n';
+    return os.str();
+}
+
+Histogram::Histogram(std::uint64_t bucket_width, std::uint32_t buckets)
+    : width_(bucket_width), counts_(buckets + 1, 0)
+{
+}
+
+void
+Histogram::sample(std::uint64_t value)
+{
+    std::uint64_t idx = value / width_;
+    if (idx >= buckets())
+        idx = buckets(); // overflow bucket
+    ++counts_[idx];
+    ++total_;
+    sum_ += static_cast<double>(value);
+}
+
+std::uint64_t
+Histogram::count(std::uint32_t i) const
+{
+    return i < counts_.size() ? counts_[i] : 0;
+}
+
+double
+Histogram::mean() const
+{
+    return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts_)
+        c = 0;
+    total_ = 0;
+    sum_ = 0.0;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+amean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+ratio(double a, double b)
+{
+    return b == 0.0 ? 0.0 : a / b;
+}
+
+} // namespace padc

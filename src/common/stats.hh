@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Lightweight statistics containers shared across the library.
+ *
+ * Components keep their hot counters as plain struct members (no
+ * indirection on the simulation fast path) and expose them through
+ * StatSet snapshots for printing and for the experiment harness.
+ */
+
+#ifndef PADC_COMMON_STATS_HH
+#define PADC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace padc
+{
+
+/**
+ * Ordered name -> value list used to export component statistics.
+ *
+ * Insertion order is preserved so dumps are stable and diffable.
+ */
+class StatSet
+{
+  public:
+    /** Append a named scalar statistic. */
+    void add(const std::string &name, double value);
+
+    /** Append every entry of another set, prefixing its names. */
+    void merge(const std::string &prefix, const StatSet &other);
+
+    /**
+     * Look up a statistic by exact name.
+     * @retval value if present, 0.0 otherwise (missing stats read as zero
+     *         so ratio code does not need existence checks).
+     */
+    double get(const std::string &name) const;
+
+    /** True if a statistic with this exact name exists. */
+    bool has(const std::string &name) const;
+
+    /** All entries, in insertion order. */
+    const std::vector<std::pair<std::string, double>> &entries() const
+    {
+        return entries_;
+    }
+
+    /** Render as "name value" lines. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::pair<std::string, double>> entries_;
+};
+
+/**
+ * Fixed-bucket histogram (used e.g. for the Fig. 4(a) prefetch
+ * service-time distribution).
+ *
+ * Buckets are [0,width), [width,2*width), ...; samples beyond the last
+ * bucket are accumulated in an overflow bucket.
+ */
+class Histogram
+{
+  public:
+    /** @param bucket_width width of each bucket, @param buckets count. */
+    Histogram(std::uint64_t bucket_width, std::uint32_t buckets);
+
+    /** Record one sample. */
+    void sample(std::uint64_t value);
+
+    /** Number of samples recorded in bucket i (i == buckets() => overflow). */
+    std::uint64_t count(std::uint32_t i) const;
+
+    /** Number of regular (non-overflow) buckets. */
+    std::uint32_t buckets() const
+    {
+        return static_cast<std::uint32_t>(counts_.size() - 1);
+    }
+
+    std::uint64_t bucketWidth() const { return width_; }
+
+    /** Total samples across all buckets including overflow. */
+    std::uint64_t total() const { return total_; }
+
+    /** Arithmetic mean of all samples. */
+    double mean() const;
+
+    void reset();
+
+  private:
+    std::uint64_t width_;
+    std::vector<std::uint64_t> counts_; // last entry = overflow
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+/** Geometric mean of a vector of strictly-positive values. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean; returns 0 for an empty vector. */
+double amean(const std::vector<double> &values);
+
+/** Safe ratio: a/b, or 0 when b == 0. */
+double ratio(double a, double b);
+
+} // namespace padc
+
+#endif // PADC_COMMON_STATS_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fundamental type aliases and constants used throughout the PADC
+ * simulation library.
+ *
+ * The simulator advances a single global clock measured in *processor*
+ * cycles. DRAM-side components internally divide this clock down to the
+ * DRAM command-clock domain (see dram::TimingParams::cpuPerDramCycle).
+ */
+
+#ifndef PADC_COMMON_TYPES_HH
+#define PADC_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace padc
+{
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Global simulation time, in processor cycles. */
+using Cycle = std::uint64_t;
+
+/** Identifier of a processing core within the simulated CMP. */
+using CoreId = std::uint32_t;
+
+/** Sentinel for "no valid address". */
+inline constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/** Sentinel for "never" / "not scheduled". */
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/** Cache line size in bytes. All caches and DRAM bursts use this size. */
+inline constexpr std::uint32_t kLineBytes = 64;
+
+/** log2(kLineBytes), used for address <-> line-address conversion. */
+inline constexpr std::uint32_t kLineShift = 6;
+
+/** Convert a byte address to its cache-line address (low bits cleared). */
+constexpr Addr
+lineAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Convert a byte address to a cache-line index (address >> kLineShift). */
+constexpr Addr
+lineIndex(Addr addr)
+{
+    return addr >> kLineShift;
+}
+
+/** Convert a cache-line index back to the line's base byte address. */
+constexpr Addr
+lineToAddr(Addr line)
+{
+    return line << kLineShift;
+}
+
+} // namespace padc
+
+#endif // PADC_COMMON_TYPES_HH

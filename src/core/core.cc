@@ -1,0 +1,262 @@
+#include "core/core.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace padc::core
+{
+
+Core::Core(CoreId id, const CoreConfig &config, TraceSource &trace,
+           MemoryPort &port)
+    : id_(id), config_(config), trace_(trace), port_(port)
+{
+}
+
+TraceOp
+Core::nextOp()
+{
+    if (!replay_q_.empty()) {
+        TraceOp op = replay_q_.front();
+        replay_q_.pop_front();
+        if (ra_pos_ > 0)
+            --ra_pos_; // keep the runahead scan position aligned
+        return op;
+    }
+    return trace_.next();
+}
+
+void
+Core::retire(Cycle now)
+{
+    std::uint32_t budget = config_.retire_width;
+    while (budget > 0 && !rob_.empty()) {
+        RobEntry &head = rob_.front();
+
+        if (!head.is_mem) {
+            const std::uint32_t take = std::min(head.compute_left, budget);
+            head.compute_left -= take;
+            budget -= take;
+            stats_.instructions += take;
+            instrs_in_window_ -= take;
+            if (head.compute_left == 0) {
+                rob_.pop_front();
+                continue;
+            }
+            break; // budget exhausted mid-block
+        }
+
+        if (head.is_load) {
+            const bool done =
+                head.issued && (head.complete || head.ready <= now);
+            if (!done) {
+                ++stats_.load_stall_cycles;
+                if (config_.runahead && !runahead_active_ &&
+                    head.pending_miss && head.issued) {
+                    runahead_active_ = true;
+                    runahead_blocking_tag_ = head.tag;
+                    runahead_ops_this_episode_ = 0;
+                    ra_pos_ = 0;
+                    ra_have_op_ = false;
+                    ++stats_.runahead_episodes;
+                }
+                break;
+            }
+            ++stats_.loads;
+        } else {
+            if (!head.issued)
+                break; // store buffer entry not yet accepted by memory
+            // Stores retire once issued; completion is not awaited. If
+            // the miss is still outstanding, orphan its pending entry so
+            // the completion callback does not touch a popped ROB slot.
+            if (head.pending_miss && !head.complete) {
+                auto it = pending_.find(head.tag);
+                if (it != pending_.end())
+                    it->second = nullptr;
+            }
+            ++stats_.stores;
+        }
+        ++stats_.instructions;
+        --instrs_in_window_;
+        --budget;
+        rob_.pop_front();
+    }
+}
+
+void
+Core::fetch(Cycle now)
+{
+    (void)now;
+    if (runahead_active_)
+        return; // the front end is busy pseudo-executing
+
+    std::uint32_t budget = config_.fetch_width;
+    while (budget > 0 && instrs_in_window_ < config_.window_size) {
+        if (!have_current_op_) {
+            current_op_ = nextOp();
+            compute_left_ = current_op_.compute_gap;
+            have_current_op_ = true;
+        }
+
+        if (compute_left_ > 0) {
+            const std::uint32_t take =
+                std::min({budget, compute_left_,
+                          config_.window_size - instrs_in_window_});
+            if (take == 0)
+                break;
+            if (!rob_.empty() && !rob_.back().is_mem) {
+                rob_.back().compute_left += take;
+            } else {
+                RobEntry entry;
+                entry.is_mem = false;
+                entry.compute_left = take;
+                rob_.push_back(entry);
+            }
+            instrs_in_window_ += take;
+            budget -= take;
+            compute_left_ -= take;
+            continue;
+        }
+
+        // The memory operation itself (one instruction).
+        RobEntry entry;
+        entry.is_mem = true;
+        entry.is_load = current_op_.is_load;
+        entry.dependent = current_op_.dependent;
+        entry.addr = current_op_.addr;
+        entry.pc = current_op_.pc;
+        entry.tag = next_tag_++;
+        rob_.push_back(entry);
+        issue_q_.push_back(&rob_.back());
+        ++instrs_in_window_;
+        --budget;
+        have_current_op_ = false;
+    }
+}
+
+void
+Core::issue(Cycle now)
+{
+    std::uint32_t issued = 0;
+    while (!issue_q_.empty() && issued < config_.mem_issue_width &&
+           mem_ops_in_flight_ < config_.lsq_size) {
+        RobEntry *entry = issue_q_.front();
+        // Address dependence: the op's address is produced by an older
+        // memory op, so it cannot issue until outstanding misses drain.
+        if (entry->dependent && mem_ops_in_flight_ > 0)
+            break;
+        const AccessReply reply = port_.access(
+            id_, entry->addr, entry->pc, entry->is_load, entry->tag,
+            /*runahead=*/false, now);
+        if (reply.status == AccessStatus::Retry) {
+            ++stats_.issue_retries;
+            break; // resources full; keep in-order issue attempts
+        }
+        entry->issued = true;
+        if (reply.status == AccessStatus::Complete) {
+            entry->ready = reply.ready;
+        } else {
+            entry->pending_miss = true;
+            pending_[entry->tag] = entry;
+            ++mem_ops_in_flight_;
+        }
+        issue_q_.pop_front();
+        ++stats_.mem_ops_issued;
+        ++issued;
+    }
+}
+
+void
+Core::runaheadStep(Cycle now)
+{
+    std::uint32_t budget = config_.fetch_width;
+    std::uint32_t issued = 0;
+
+    while (budget > 0 &&
+           runahead_ops_this_episode_ < config_.runahead_max_ops) {
+        if (!ra_have_op_) {
+            if (ra_pos_ < replay_q_.size()) {
+                ra_op_ = replay_q_[ra_pos_];
+            } else {
+                ra_op_ = trace_.next();
+                replay_q_.push_back(ra_op_);
+            }
+            ra_compute_left_ = ra_op_.compute_gap;
+            ra_have_op_ = true;
+        }
+
+        if (ra_compute_left_ > 0) {
+            const std::uint32_t take = std::min(budget, ra_compute_left_);
+            budget -= take;
+            ra_compute_left_ -= take;
+            continue;
+        }
+
+        if (ra_op_.is_load && !ra_op_.dependent) {
+            // Dependent loads cannot be executed in runahead mode (their
+            // addresses hang off the very miss being waited on) -- the
+            // classic runahead limitation.
+            if (issued >= config_.mem_issue_width ||
+                runahead_in_flight_ >= config_.lsq_size) {
+                break;
+            }
+            const std::uint64_t tag = next_tag_++;
+            const AccessReply reply =
+                port_.access(id_, ra_op_.addr, ra_op_.pc, true, tag,
+                             /*runahead=*/true, now);
+            if (reply.status == AccessStatus::Retry) {
+                ++stats_.issue_retries;
+                break;
+            }
+            if (reply.status == AccessStatus::Pending) {
+                pending_[tag] = nullptr;
+                runahead_tags_.insert(tag);
+                ++runahead_in_flight_;
+            }
+            ++issued;
+            ++stats_.runahead_ops_issued;
+        }
+        // Stores are consumed but not issued during runahead (no data to
+        // write speculatively); their lines are usually fetched by the
+        // surrounding loads anyway.
+        ++ra_pos_;
+        ++runahead_ops_this_episode_;
+        --budget;
+        ra_have_op_ = false;
+    }
+}
+
+void
+Core::completeLoad(std::uint64_t tag, Cycle now)
+{
+    auto it = pending_.find(tag);
+    assert(it != pending_.end());
+    RobEntry *entry = it->second;
+    pending_.erase(it);
+
+    if (runahead_tags_.erase(tag) > 0) {
+        assert(runahead_in_flight_ > 0);
+        --runahead_in_flight_;
+    } else {
+        if (entry != nullptr) {
+            entry->complete = true;
+            entry->ready = now;
+        }
+        assert(mem_ops_in_flight_ > 0);
+        --mem_ops_in_flight_;
+    }
+
+    if (runahead_active_ && tag == runahead_blocking_tag_)
+        runahead_active_ = false;
+}
+
+void
+Core::tick(Cycle now)
+{
+    retire(now);
+    if (runahead_active_)
+        runaheadStep(now);
+    fetch(now);
+    issue(now);
+}
+
+} // namespace padc::core

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * OoO-lite processing core model.
+ *
+ * The core is trace-driven and models the properties that matter for
+ * memory-system studies (and that the paper's own Figure 2 abstraction
+ * relies on): a fixed-size instruction window, wide retire, overlapping
+ * cache misses bounded by the load/store queue and the L2 MSHRs, and
+ * retirement stalls when an incomplete load reaches the window head.
+ * Fetch/decode/branch effects are not modelled.
+ *
+ * Optional runahead execution (paper Section 6.14): when a load that
+ * missed the L2 blocks the window head, the core keeps consuming its
+ * trace, issuing future loads as runahead requests (treated as demands
+ * by the memory system, "only-train" for the prefetcher) and replays the
+ * consumed operations after the blocking miss returns.
+ */
+
+#ifndef PADC_CORE_CORE_HH
+#define PADC_CORE_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.hh"
+#include "core/trace.hh"
+
+namespace padc::core
+{
+
+/** Core configuration (paper Table 3 values by default). */
+struct CoreConfig
+{
+    std::uint32_t window_size = 256; ///< instruction window (ROB) entries
+    std::uint32_t retire_width = 4;  ///< instructions retired per cycle
+    std::uint32_t fetch_width = 4;   ///< instructions fetched per cycle
+    std::uint32_t lsq_size = 32;     ///< in-flight memory ops
+    std::uint32_t mem_issue_width = 2; ///< memory ops issued per cycle
+
+    bool runahead = false; ///< runahead execution (Section 6.14)
+    std::uint32_t runahead_max_ops = 256; ///< trace ops consumed per episode
+};
+
+/** Outcome classes returned by the memory port. */
+enum class AccessStatus : std::uint8_t
+{
+    Complete, ///< hit somewhere; data ready at AccessReply::ready
+    Pending,  ///< L2 miss in flight; completeLoad() will be called
+    Retry,    ///< resources exhausted (MSHR / request buffer); retry
+};
+
+/** Reply to a core memory access. */
+struct AccessReply
+{
+    AccessStatus status = AccessStatus::Complete;
+    Cycle ready = 0; ///< valid when status == Complete
+};
+
+/**
+ * Interface through which cores reach the memory hierarchy
+ * (implemented by sim::System).
+ */
+class MemoryPort
+{
+  public:
+    virtual ~MemoryPort() = default;
+
+    /**
+     * Perform a memory access for @p core.
+     *
+     * @param token_tag core-private identifier passed back through
+     *        completeLoad() when status is Pending
+     * @param runahead the access is speculative runahead work: it must
+     *        be treated as a demand by the DRAM scheduler but must not
+     *        allocate new prefetcher pattern entries
+     */
+    virtual AccessReply access(CoreId core, Addr addr, Addr pc,
+                               bool is_load, std::uint64_t token_tag,
+                               bool runahead, Cycle now) = 0;
+};
+
+/** Retirement/stall statistics for one core. */
+struct CoreStats
+{
+    std::uint64_t instructions = 0; ///< retired instructions
+    std::uint64_t loads = 0;        ///< retired loads
+    std::uint64_t stores = 0;       ///< retired stores
+    std::uint64_t load_stall_cycles = 0; ///< cycles head-blocked by a load
+                                         ///< (SPL numerator)
+    std::uint64_t mem_ops_issued = 0;
+    std::uint64_t issue_retries = 0; ///< accesses bounced by full resources
+    std::uint64_t runahead_episodes = 0;
+    std::uint64_t runahead_ops_issued = 0;
+};
+
+/**
+ * The core model; see file comment.
+ */
+class Core
+{
+  public:
+    Core(CoreId id, const CoreConfig &config, TraceSource &trace,
+         MemoryPort &port);
+
+    /** Advance one processor cycle: retire, fetch, issue. */
+    void tick(Cycle now);
+
+    /** Completion callback for Pending accesses. */
+    void completeLoad(std::uint64_t tag, Cycle now);
+
+    CoreId id() const { return id_; }
+
+    const CoreStats &stats() const { return stats_; }
+
+    /** True while a runahead episode is active. */
+    bool inRunahead() const { return runahead_active_; }
+
+  private:
+    /** One window entry: a compute block or a single memory op. */
+    struct RobEntry
+    {
+        bool is_mem = false;
+        std::uint32_t compute_left = 0; ///< for compute blocks
+
+        // Memory-op fields:
+        bool is_load = true;
+        bool dependent = false; ///< must wait for older memory ops
+        Addr addr = 0;
+        Addr pc = 0;
+        std::uint64_t tag = 0;
+        bool issued = false;
+        bool complete = false;
+        bool pending_miss = false; ///< access went to DRAM (L2 miss)
+        Cycle ready = kNeverCycle; ///< completion time when known
+    };
+
+    /** Ops consumed from the trace during runahead, for replay. */
+    void retire(Cycle now);
+    void fetch(Cycle now);
+    void issue(Cycle now);
+    void runaheadStep(Cycle now);
+
+    TraceOp nextOp();
+
+    CoreId id_;
+    CoreConfig config_;
+    TraceSource &trace_;
+    MemoryPort &port_;
+
+    std::deque<RobEntry> rob_;
+    std::uint32_t instrs_in_window_ = 0;
+    std::uint32_t mem_ops_in_flight_ = 0; ///< issued, not complete (LSQ)
+
+    /** Mem entries fetched but not yet successfully issued. */
+    std::deque<RobEntry *> issue_q_;
+
+    /** Pending-load lookup for completeLoad(). */
+    std::unordered_map<std::uint64_t, RobEntry *> pending_;
+
+    std::uint64_t next_tag_ = 1;
+
+    // Fetch state: the trace op currently being brought into the window.
+    bool have_current_op_ = false;
+    TraceOp current_op_;
+    std::uint32_t compute_left_ = 0; ///< compute instrs left to fetch
+
+    // Runahead state.
+    bool runahead_active_ = false;
+    std::uint64_t runahead_blocking_tag_ = 0;
+    std::uint32_t runahead_ops_this_episode_ = 0;
+    std::uint32_t runahead_in_flight_ = 0;
+    std::deque<TraceOp> replay_q_; ///< ops to replay after runahead exit
+    std::size_t ra_pos_ = 0;       ///< runahead scan position in replay_q_
+    bool ra_have_op_ = false;
+    TraceOp ra_op_;
+    std::uint32_t ra_compute_left_ = 0;
+    std::unordered_set<std::uint64_t> runahead_tags_;
+
+    CoreStats stats_;
+};
+
+} // namespace padc::core
+
+#endif // PADC_CORE_CORE_HH

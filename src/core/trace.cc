@@ -1,0 +1,27 @@
+#include "core/trace.hh"
+
+#include <cassert>
+
+namespace padc::core
+{
+
+VectorTrace::VectorTrace(std::vector<TraceOp> ops) : ops_(std::move(ops))
+{
+    assert(!ops_.empty());
+}
+
+TraceOp
+VectorTrace::next()
+{
+    TraceOp op = ops_[pos_];
+    pos_ = (pos_ + 1) % ops_.size();
+    return op;
+}
+
+void
+VectorTrace::reset()
+{
+    pos_ = 0;
+}
+
+} // namespace padc::core

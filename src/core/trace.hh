@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Instruction-trace abstraction consumed by the core model.
+ *
+ * A trace is an infinite stream of memory operations, each preceded by a
+ * number of non-memory (compute) instructions. Synthetic workload
+ * generators (src/workload) and fixed test traces both implement
+ * TraceSource.
+ */
+
+#ifndef PADC_CORE_TRACE_HH
+#define PADC_CORE_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace padc::core
+{
+
+/** One traced memory operation plus its preceding compute block. */
+struct TraceOp
+{
+    std::uint32_t compute_gap = 0; ///< non-memory instructions before op
+    Addr addr = 0;                 ///< byte address accessed
+    Addr pc = 0;                   ///< PC of the memory instruction
+    bool is_load = true;           ///< load (true) or store (false)
+
+    /**
+     * Address-dependent on earlier memory results (e.g. pointer chase or
+     * induction chain): the op cannot issue while older memory ops are
+     * outstanding. Controls the core's memory-level parallelism.
+     */
+    bool dependent = false;
+};
+
+/**
+ * Infinite instruction stream. Implementations must be deterministic:
+ * after reset(), the same sequence is produced again.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next operation. Never fails; traces are infinite. */
+    virtual TraceOp next() = 0;
+
+    /** Restart the stream from the beginning. */
+    virtual void reset() = 0;
+};
+
+/**
+ * Replays a fixed vector of operations, looping forever. Used by unit
+ * tests and microbenchmarks.
+ */
+class VectorTrace : public TraceSource
+{
+  public:
+    explicit VectorTrace(std::vector<TraceOp> ops);
+
+    TraceOp next() override;
+    void reset() override;
+
+  private:
+    std::vector<TraceOp> ops_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace padc::core
+
+#endif // PADC_CORE_TRACE_HH

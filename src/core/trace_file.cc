@@ -1,0 +1,166 @@
+#include "core/trace_file.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace padc::core
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'P', 'A', 'D', 'C', 'T', 'R', 'C', '1'};
+constexpr std::uint32_t kFlagLoad = 1u << 0;
+constexpr std::uint32_t kFlagDependent = 1u << 1;
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f != nullptr)
+            std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void
+putU32(unsigned char *out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+void
+putU64(unsigned char *out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint32_t
+getU32(const unsigned char *in)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | in[i];
+    return v;
+}
+
+std::uint64_t
+getU64(const unsigned char *in)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | in[i];
+    return v;
+}
+
+} // namespace
+
+std::vector<TraceOp>
+captureTrace(TraceSource &source, std::size_t count)
+{
+    std::vector<TraceOp> ops;
+    ops.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        ops.push_back(source.next());
+    return ops;
+}
+
+bool
+writeTraceFile(const std::string &path, const std::vector<TraceOp> &ops)
+{
+    FilePtr file(std::fopen(path.c_str(), "wb"));
+    if (file == nullptr)
+        return false;
+
+    unsigned char header[16];
+    std::memcpy(header, kMagic, 8);
+    putU64(header + 8, ops.size());
+    if (std::fwrite(header, 1, sizeof(header), file.get()) !=
+        sizeof(header)) {
+        return false;
+    }
+
+    for (const TraceOp &op : ops) {
+        unsigned char record[24];
+        putU64(record, op.addr);
+        putU64(record + 8, op.pc);
+        putU32(record + 16, op.compute_gap);
+        std::uint32_t flags = 0;
+        if (op.is_load)
+            flags |= kFlagLoad;
+        if (op.dependent)
+            flags |= kFlagDependent;
+        putU32(record + 20, flags);
+        if (std::fwrite(record, 1, sizeof(record), file.get()) !=
+            sizeof(record)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+readTraceFile(const std::string &path, std::vector<TraceOp> *ops)
+{
+    ops->clear();
+    FilePtr file(std::fopen(path.c_str(), "rb"));
+    if (file == nullptr)
+        return false;
+
+    unsigned char header[16];
+    if (std::fread(header, 1, sizeof(header), file.get()) !=
+        sizeof(header)) {
+        return false;
+    }
+    if (std::memcmp(header, kMagic, 8) != 0)
+        return false;
+    const std::uint64_t count = getU64(header + 8);
+
+    ops->reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        unsigned char record[24];
+        if (std::fread(record, 1, sizeof(record), file.get()) !=
+            sizeof(record)) {
+            ops->clear();
+            return false; // truncated
+        }
+        TraceOp op;
+        op.addr = getU64(record);
+        op.pc = getU64(record + 8);
+        op.compute_gap = getU32(record + 16);
+        const std::uint32_t flags = getU32(record + 20);
+        op.is_load = (flags & kFlagLoad) != 0;
+        op.dependent = (flags & kFlagDependent) != 0;
+        ops->push_back(op);
+    }
+    return true;
+}
+
+FileTrace::FileTrace(const std::string &path)
+{
+    ok_ = readTraceFile(path, &ops_) && !ops_.empty();
+}
+
+TraceOp
+FileTrace::next()
+{
+    if (ops_.empty())
+        return TraceOp{};
+    TraceOp op = ops_[pos_];
+    pos_ = (pos_ + 1) % ops_.size();
+    return op;
+}
+
+void
+FileTrace::reset()
+{
+    pos_ = 0;
+}
+
+} // namespace padc::core

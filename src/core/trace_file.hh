@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Binary trace recording and replay.
+ *
+ * Lets users capture the exact operation stream a TraceSource produced
+ * (synthetic or otherwise) and replay it later — for cross-machine
+ * regression runs, for sharing workloads without sharing generators,
+ * and for importing externally produced traces into the simulator.
+ *
+ * Format: a 16-byte header ("PADCTRC1" + little-endian op count),
+ * followed by one fixed-width 24-byte record per operation:
+ *   addr (8B) | pc (8B) | compute_gap (4B) | flags (4B; bit0 = load,
+ *   bit1 = dependent).
+ */
+
+#ifndef PADC_CORE_TRACE_FILE_HH
+#define PADC_CORE_TRACE_FILE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/trace.hh"
+
+namespace padc::core
+{
+
+/**
+ * Capture the next @p count operations of @p source into a vector.
+ */
+std::vector<TraceOp> captureTrace(TraceSource &source, std::size_t count);
+
+/**
+ * Write @p ops to @p path in the PADCTRC1 format.
+ * @return true on success (false: could not open or write the file).
+ */
+bool writeTraceFile(const std::string &path,
+                    const std::vector<TraceOp> &ops);
+
+/**
+ * Read a PADCTRC1 file.
+ * @param ops receives the operations; cleared first.
+ * @return true on success (false: missing file, bad magic, truncation).
+ */
+bool readTraceFile(const std::string &path, std::vector<TraceOp> *ops);
+
+/**
+ * A TraceSource replaying a recorded file (looping, like VectorTrace).
+ * Construction failure is observable via ok().
+ */
+class FileTrace : public TraceSource
+{
+  public:
+    explicit FileTrace(const std::string &path);
+
+    /** True when the file was loaded successfully. */
+    bool ok() const { return ok_; }
+
+    /** Number of recorded operations. */
+    std::size_t size() const { return ops_.size(); }
+
+    TraceOp next() override;
+    void reset() override;
+
+  private:
+    std::vector<TraceOp> ops_;
+    std::size_t pos_ = 0;
+    bool ok_ = false;
+};
+
+} // namespace padc::core
+
+#endif // PADC_CORE_TRACE_FILE_HH

@@ -1,0 +1,90 @@
+#include "dram/address_map.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace padc::dram
+{
+
+namespace
+{
+
+std::uint32_t
+log2u(std::uint32_t v)
+{
+    return static_cast<std::uint32_t>(std::bit_width(v) - 1);
+}
+
+} // namespace
+
+AddressMap::AddressMap(const Geometry &geometry)
+    : geometry_(geometry),
+      col_bits_(log2u(geometry.linesPerRow())),
+      chan_bits_(log2u(geometry.channels)),
+      bank_bits_(log2u(geometry.banks_per_channel))
+{
+    assert(geometry.valid());
+}
+
+DramCoord
+AddressMap::map(Addr addr) const
+{
+    Addr line = lineIndex(addr);
+
+    DramCoord coord;
+    if (geometry_.interleave == Interleave::Line) {
+        coord.channel =
+            static_cast<std::uint32_t>(line & ((1ULL << chan_bits_) - 1));
+        line >>= chan_bits_;
+        coord.bank =
+            static_cast<std::uint32_t>(line & ((1ULL << bank_bits_) - 1));
+        line >>= bank_bits_;
+        coord.col =
+            static_cast<std::uint32_t>(line & ((1ULL << col_bits_) - 1));
+        line >>= col_bits_;
+        coord.row = line;
+    } else {
+        coord.col =
+            static_cast<std::uint32_t>(line & ((1ULL << col_bits_) - 1));
+        line >>= col_bits_;
+        coord.channel =
+            static_cast<std::uint32_t>(line & ((1ULL << chan_bits_) - 1));
+        line >>= chan_bits_;
+        coord.bank =
+            static_cast<std::uint32_t>(line & ((1ULL << bank_bits_) - 1));
+        line >>= bank_bits_;
+        coord.row = line;
+    }
+
+    if (geometry_.permutation_interleaving && bank_bits_ > 0) {
+        const auto perm = static_cast<std::uint32_t>(
+            coord.row & ((1ULL << bank_bits_) - 1));
+        coord.bank ^= perm;
+    }
+    return coord;
+}
+
+Addr
+AddressMap::unmap(const DramCoord &coord) const
+{
+    std::uint32_t bank = coord.bank;
+    if (geometry_.permutation_interleaving && bank_bits_ > 0) {
+        const auto perm = static_cast<std::uint32_t>(
+            coord.row & ((1ULL << bank_bits_) - 1));
+        bank ^= perm; // XOR is its own inverse
+    }
+
+    Addr line = coord.row;
+    if (geometry_.interleave == Interleave::Line) {
+        line = (line << col_bits_) | coord.col;
+        line = (line << bank_bits_) | bank;
+        line = (line << chan_bits_) | coord.channel;
+    } else {
+        line = (line << bank_bits_) | bank;
+        line = (line << chan_bits_) | coord.channel;
+        line = (line << col_bits_) | coord.col;
+    }
+    return lineToAddr(line);
+}
+
+} // namespace padc::dram

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Physical address to DRAM coordinate mapping.
+ *
+ * The default map is row:bank:channel:column (low-order column bits) so
+ * that consecutive cache lines fall into the same row of the same bank --
+ * the layout that gives streaming workloads their row-buffer locality and
+ * that the paper's row-hit arguments rely on. Channel bits (when more
+ * than one controller is present) sit above the column so each controller
+ * still sees full-row streams. The optional permutation mode XORs the
+ * bank index with low row bits (Zhang et al.) for Section 6.13.
+ */
+
+#ifndef PADC_DRAM_ADDRESS_MAP_HH
+#define PADC_DRAM_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/timing.hh"
+
+namespace padc::dram
+{
+
+/** Decomposed DRAM coordinates of one cache line. */
+struct DramCoord
+{
+    std::uint32_t channel = 0;
+    std::uint32_t bank = 0;
+    std::uint64_t row = 0;
+    std::uint32_t col = 0; ///< line index within the row
+
+    bool operator==(const DramCoord &other) const = default;
+};
+
+/**
+ * Maps cache-line addresses to DRAM coordinates for a given geometry.
+ *
+ * The mapping is a pure function of the address; the object just caches
+ * the derived shift/mask values.
+ */
+class AddressMap
+{
+  public:
+    /** @param geometry must satisfy Geometry::valid(). */
+    explicit AddressMap(const Geometry &geometry);
+
+    /** Map a byte address (any byte within a line) to DRAM coordinates. */
+    DramCoord map(Addr addr) const;
+
+    /**
+     * Inverse mapping, for tests and trace tooling: reconstruct the
+     * line-aligned byte address of a coordinate.
+     */
+    Addr unmap(const DramCoord &coord) const;
+
+    const Geometry &geometry() const { return geometry_; }
+
+  private:
+    Geometry geometry_;
+    std::uint32_t col_bits_;
+    std::uint32_t chan_bits_;
+    std::uint32_t bank_bits_;
+};
+
+} // namespace padc::dram
+
+#endif // PADC_DRAM_ADDRESS_MAP_HH

@@ -1,0 +1,82 @@
+#include "dram/bank.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace padc::dram
+{
+
+Bank::Bank(const TimingParams &timing) : timing_(timing)
+{
+}
+
+void
+Bank::activate(Cycle now, std::uint64_t row)
+{
+    assert(canActivate(now));
+    assert(row != kNoOpenRow);
+    open_row_ = row;
+    ready_column_ = now + timing_.toCpu(timing_.tRCD);
+    ready_precharge_ = now + timing_.toCpu(timing_.tRAS);
+    ready_activate_ = now + timing_.toCpu(timing_.tRC);
+    ++stats_.activates;
+}
+
+void
+Bank::precharge(Cycle now)
+{
+    assert(canPrecharge(now));
+    open_row_ = kNoOpenRow;
+    ready_activate_ = std::max(ready_activate_, now + timing_.toCpu(timing_.tRP));
+    ++stats_.precharges;
+}
+
+Cycle
+Bank::read(Cycle now, bool auto_precharge)
+{
+    assert(canColumn(now));
+    const Cycle data_end =
+        now + timing_.toCpu(timing_.tCL) + timing_.toCpu(timing_.tBURST);
+    ready_precharge_ =
+        std::max(ready_precharge_, now + timing_.toCpu(timing_.tRTP));
+    ++stats_.reads;
+    if (auto_precharge) {
+        // The device internally precharges as soon as tRTP/tRAS allow.
+        const Cycle pre_at = ready_precharge_;
+        open_row_ = kNoOpenRow;
+        ready_activate_ =
+            std::max(ready_activate_, pre_at + timing_.toCpu(timing_.tRP));
+        ++stats_.precharges;
+    }
+    return data_end;
+}
+
+Cycle
+Bank::write(Cycle now, bool auto_precharge)
+{
+    assert(canColumn(now));
+    const Cycle data_end =
+        now + timing_.toCpu(timing_.tCWL) + timing_.toCpu(timing_.tBURST);
+    ready_precharge_ =
+        std::max(ready_precharge_, data_end + timing_.toCpu(timing_.tWR));
+    ++stats_.writes;
+    if (auto_precharge) {
+        const Cycle pre_at = ready_precharge_;
+        open_row_ = kNoOpenRow;
+        ready_activate_ =
+            std::max(ready_activate_, pre_at + timing_.toCpu(timing_.tRP));
+        ++stats_.precharges;
+    }
+    return data_end;
+}
+
+void
+Bank::refresh(Cycle ready)
+{
+    open_row_ = kNoOpenRow;
+    ready_activate_ = std::max(ready_activate_, ready);
+    ready_column_ = std::max(ready_column_, ready);
+    ready_precharge_ = std::max(ready_precharge_, ready);
+}
+
+} // namespace padc::dram

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Single DRAM bank state machine.
+ *
+ * A bank tracks its open row (if any) and the earliest processor cycles
+ * at which each command class may legally be issued to it. Cross-bank
+ * and bus constraints (tRRD, tFAW, tCCD, data-bus occupancy, write/read
+ * turnaround) are enforced one level up, in dram::Channel.
+ */
+
+#ifndef PADC_DRAM_BANK_HH
+#define PADC_DRAM_BANK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/timing.hh"
+
+namespace padc::dram
+{
+
+/** Sentinel row value meaning "no row open / bank precharged". */
+inline constexpr std::uint64_t kNoOpenRow =
+    std::numeric_limits<std::uint64_t>::max();
+
+/**
+ * One DRAM bank: open-row register plus per-command readiness timestamps.
+ *
+ * All timestamps are in processor cycles. The caller is responsible for
+ * issuing commands only when the corresponding can*() predicate holds.
+ */
+class Bank
+{
+  public:
+    explicit Bank(const TimingParams &timing);
+
+    /** Row currently latched in the row buffer, or kNoOpenRow. */
+    std::uint64_t openRow() const { return open_row_; }
+
+    /** True when some row is open in the row buffer. */
+    bool isOpen() const { return open_row_ != kNoOpenRow; }
+
+    /** True when an ACTIVATE may be issued at cycle now. */
+    bool canActivate(Cycle now) const
+    {
+        return !isOpen() && now >= ready_activate_;
+    }
+
+    /** True when a PRECHARGE may be issued at cycle now. */
+    bool canPrecharge(Cycle now) const
+    {
+        return isOpen() && now >= ready_precharge_;
+    }
+
+    /** True when a column (read/write) command may be issued at now. */
+    bool canColumn(Cycle now) const { return isOpen() && now >= ready_column_; }
+
+    /**
+     * Issue ACTIVATE for @p row at cycle @p now.
+     * @pre canActivate(now)
+     */
+    void activate(Cycle now, std::uint64_t row);
+
+    /**
+     * Issue PRECHARGE at cycle @p now.
+     * @pre canPrecharge(now)
+     */
+    void precharge(Cycle now);
+
+    /**
+     * Issue a READ column command at cycle @p now.
+     * @pre canColumn(now)
+     * @param auto_precharge close the row once tRTP/tRAS allow (used by the
+     *        closed-row policy).
+     * @return processor cycle at which the full line has been transferred.
+     */
+    Cycle read(Cycle now, bool auto_precharge);
+
+    /**
+     * Issue a WRITE column command at cycle @p now.
+     * @pre canColumn(now)
+     * @param auto_precharge close the row once write recovery completes.
+     * @return processor cycle at which the write data transfer completes.
+     */
+    Cycle write(Cycle now, bool auto_precharge);
+
+    /**
+     * Force the bank into the precharged state as part of a refresh; the
+     * bank may not be activated again before @p ready.
+     */
+    void refresh(Cycle ready);
+
+    /** Per-bank command counters (monotonic over the simulation). */
+    struct Stats
+    {
+        std::uint64_t activates = 0;
+        std::uint64_t precharges = 0;
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+    };
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    const TimingParams &timing_;
+    std::uint64_t open_row_ = kNoOpenRow;
+    Cycle ready_activate_ = 0;  ///< earliest next ACTIVATE
+    Cycle ready_precharge_ = 0; ///< earliest next PRECHARGE
+    Cycle ready_column_ = 0;    ///< earliest next column command
+    Stats stats_;
+};
+
+} // namespace padc::dram
+
+#endif // PADC_DRAM_BANK_HH

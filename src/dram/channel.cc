@@ -1,0 +1,127 @@
+#include "dram/channel.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace padc::dram
+{
+
+Channel::Channel(const TimingParams &timing, std::uint32_t num_banks)
+    : timing_(timing)
+{
+    assert(timing.valid());
+    banks_.reserve(num_banks);
+    for (std::uint32_t i = 0; i < num_banks; ++i)
+        banks_.emplace_back(timing_);
+    if (timing_.refresh_enabled)
+        next_refresh_due_ = timing_.toCpu(timing_.tREFI);
+}
+
+bool
+Channel::canActivate(std::uint32_t bank, Cycle now) const
+{
+    if (!commandBusFree(now) || !banks_[bank].canActivate(now))
+        return false;
+    if (now < next_act_ok_)
+        return false;
+    // tFAW: the fourth-most-recent activate must be at least tFAW old.
+    // act_history_ is a ring buffer, so the slot we are about to overwrite
+    // holds exactly that activate.
+    if (acts_issued_ >= act_history_.size()) {
+        const Cycle oldest = act_history_[act_history_pos_];
+        if (now < oldest + timing_.toCpu(timing_.tFAW))
+            return false;
+    }
+    return true;
+}
+
+bool
+Channel::canPrecharge(std::uint32_t bank, Cycle now) const
+{
+    return commandBusFree(now) && banks_[bank].canPrecharge(now);
+}
+
+bool
+Channel::canColumn(std::uint32_t bank, bool is_write, Cycle now) const
+{
+    if (!commandBusFree(now) || !banks_[bank].canColumn(now))
+        return false;
+    if (now < next_column_ok_)
+        return false;
+    if (is_write && now < write_col_ok_)
+        return false;
+    if (!is_write && now < read_col_ok_)
+        return false;
+    const std::uint32_t lead = is_write ? timing_.tCWL : timing_.tCL;
+    if (now + timing_.toCpu(lead) < data_bus_free_)
+        return false;
+    return true;
+}
+
+void
+Channel::activate(std::uint32_t bank, std::uint64_t row, Cycle now)
+{
+    assert(canActivate(bank, now));
+    banks_[bank].activate(now, row);
+    cmd_bus_free_ = now + timing_.toCpu(1);
+    next_act_ok_ = now + timing_.toCpu(timing_.tRRD);
+    act_history_[act_history_pos_] = now;
+    act_history_pos_ = (act_history_pos_ + 1) % act_history_.size();
+    ++acts_issued_;
+    ++stats_.activates;
+}
+
+void
+Channel::precharge(std::uint32_t bank, Cycle now)
+{
+    assert(canPrecharge(bank, now));
+    banks_[bank].precharge(now);
+    cmd_bus_free_ = now + timing_.toCpu(1);
+    ++stats_.precharges;
+}
+
+Cycle
+Channel::column(std::uint32_t bank, bool is_write, bool auto_precharge,
+                Cycle now)
+{
+    assert(canColumn(bank, is_write, now));
+    cmd_bus_free_ = now + timing_.toCpu(1);
+    next_column_ok_ = now + timing_.toCpu(timing_.tCCD);
+
+    Cycle data_end;
+    if (is_write) {
+        data_end = banks_[bank].write(now, auto_precharge);
+        read_col_ok_ =
+            std::max(read_col_ok_, data_end + timing_.toCpu(timing_.tWTR));
+        ++stats_.writes;
+    } else {
+        data_end = banks_[bank].read(now, auto_precharge);
+        // A write burst may not start before the read burst has drained;
+        // gating the column command by the read's data end is a safe
+        // (slightly conservative) approximation of tRTW.
+        write_col_ok_ = std::max(write_col_ok_, data_end);
+        ++stats_.reads;
+    }
+    data_bus_free_ = data_end;
+    return data_end;
+}
+
+bool
+Channel::refreshDue(Cycle now) const
+{
+    return timing_.refresh_enabled && now >= next_refresh_due_;
+}
+
+void
+Channel::refresh(Cycle now)
+{
+    assert(refreshDue(now) && commandBusFree(now));
+    const Cycle ready = now + timing_.toCpu(timing_.tRFC);
+    for (auto &bank : banks_)
+        bank.refresh(ready);
+    cmd_bus_free_ = ready;
+    next_refresh_due_ += timing_.toCpu(timing_.tREFI);
+    ++stats_.refreshes;
+}
+
+} // namespace padc::dram

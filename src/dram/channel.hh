@@ -1,0 +1,132 @@
+/**
+ * @file
+ * One DRAM channel: a set of banks behind shared command and data buses.
+ *
+ * The channel enforces every constraint that spans banks:
+ *  - one command per DRAM command-clock cycle (command bus),
+ *  - data-bus occupancy of each burst,
+ *  - tCCD between column commands,
+ *  - write-to-read (tWTR) and read-to-write turnaround,
+ *  - tRRD between activates and the four-activate tFAW window,
+ *  - optional periodic refresh.
+ *
+ * A memory controller drives exactly one channel and must only issue a
+ * command when the corresponding can*() predicate is true at the current
+ * (DRAM-clock-aligned) processor cycle.
+ */
+
+#ifndef PADC_DRAM_CHANNEL_HH
+#define PADC_DRAM_CHANNEL_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/bank.hh"
+#include "dram/timing.hh"
+
+namespace padc::dram
+{
+
+/** Aggregate channel statistics. */
+struct ChannelStats
+{
+    std::uint64_t activates = 0;
+    std::uint64_t precharges = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t refreshes = 0;
+};
+
+/**
+ * DRAM channel model. See file comment for the constraint set.
+ */
+class Channel
+{
+  public:
+    /**
+     * @param timing shared timing parameters (must outlive the channel)
+     * @param num_banks number of banks on this channel
+     */
+    Channel(const TimingParams &timing, std::uint32_t num_banks);
+
+    std::uint32_t numBanks() const
+    {
+        return static_cast<std::uint32_t>(banks_.size());
+    }
+
+    const Bank &bank(std::uint32_t idx) const { return banks_[idx]; }
+
+    /** Open row of bank @p idx, or kNoOpenRow. */
+    std::uint64_t openRow(std::uint32_t idx) const
+    {
+        return banks_[idx].openRow();
+    }
+
+    /** True when a request to (bank,row) would be a row-buffer hit. */
+    bool isRowHit(std::uint32_t bank, std::uint64_t row) const
+    {
+        return banks_[bank].openRow() == row;
+    }
+
+    /** True when the command bus can accept a command at cycle now. */
+    bool commandBusFree(Cycle now) const { return now >= cmd_bus_free_; }
+
+    /** Activate legality including tRRD/tFAW and refresh blackout. */
+    bool canActivate(std::uint32_t bank, Cycle now) const;
+
+    /** Precharge legality. */
+    bool canPrecharge(std::uint32_t bank, Cycle now) const;
+
+    /** Column command legality including tCCD, data bus, and turnaround. */
+    bool canColumn(std::uint32_t bank, bool is_write, Cycle now) const;
+
+    /** Issue ACTIVATE. @pre canActivate(bank, now). */
+    void activate(std::uint32_t bank, std::uint64_t row, Cycle now);
+
+    /** Issue PRECHARGE. @pre canPrecharge(bank, now). */
+    void precharge(std::uint32_t bank, Cycle now);
+
+    /**
+     * Issue a column command. @pre canColumn(bank, is_write, now).
+     * @return cycle at which the data transfer completes.
+     */
+    Cycle column(std::uint32_t bank, bool is_write, bool auto_precharge,
+                 Cycle now);
+
+    /** True when a refresh is due (always false if refresh is disabled). */
+    bool refreshDue(Cycle now) const;
+
+    /**
+     * Perform a refresh at cycle @p now: all banks are precharged and
+     * blocked for tRFC. Models an implicit precharge-all.
+     * @pre refreshDue(now) && commandBusFree(now)
+     */
+    void refresh(Cycle now);
+
+    const ChannelStats &stats() const { return stats_; }
+
+    const TimingParams &timing() const { return timing_; }
+
+  private:
+    const TimingParams &timing_;
+    std::vector<Bank> banks_;
+
+    Cycle cmd_bus_free_ = 0;     ///< earliest next command
+    Cycle data_bus_free_ = 0;    ///< earliest next data-burst start
+    Cycle next_column_ok_ = 0;   ///< tCCD gate
+    Cycle read_col_ok_ = 0;      ///< write->read turnaround gate
+    Cycle write_col_ok_ = 0;     ///< read->write turnaround gate
+    Cycle next_act_ok_ = 0;      ///< tRRD gate
+    Cycle next_refresh_due_ = 0; ///< when refresh is enabled
+    std::array<Cycle, 4> act_history_{}; ///< ring of recent ACT times (tFAW)
+    std::uint32_t act_history_pos_ = 0;
+    std::uint64_t acts_issued_ = 0; ///< lifetime ACT count (ring validity)
+
+    ChannelStats stats_;
+};
+
+} // namespace padc::dram
+
+#endif // PADC_DRAM_CHANNEL_HH

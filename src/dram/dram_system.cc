@@ -1,0 +1,31 @@
+#include "dram/dram_system.hh"
+
+namespace padc::dram
+{
+
+DramSystem::DramSystem(const DramConfig &config)
+    : config_(config), map_(config.geometry)
+{
+    channels_.reserve(config.geometry.channels);
+    for (std::uint32_t i = 0; i < config.geometry.channels; ++i) {
+        channels_.push_back(std::make_unique<Channel>(
+            config_.timing, config_.geometry.banks_per_channel));
+    }
+}
+
+ChannelStats
+DramSystem::totalStats() const
+{
+    ChannelStats total;
+    for (const auto &ch : channels_) {
+        const ChannelStats &s = ch->stats();
+        total.activates += s.activates;
+        total.precharges += s.precharges;
+        total.reads += s.reads;
+        total.writes += s.writes;
+        total.refreshes += s.refreshes;
+    }
+    return total;
+}
+
+} // namespace padc::dram

@@ -1,0 +1,38 @@
+#include "dram/timing.hh"
+
+namespace padc::dram
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+bool
+TimingParams::valid() const
+{
+    if (cpu_per_dram_cycle == 0 || tBURST == 0)
+        return false;
+    if (tRC < tRAS + tRP)
+        return false;
+    if (tRAS < tRCD)
+        return false;
+    if (tFAW < tRRD)
+        return false;
+    return true;
+}
+
+bool
+Geometry::valid() const
+{
+    return isPow2(channels) && isPow2(banks_per_channel) &&
+           isPow2(row_bytes) && row_bytes >= kLineBytes;
+}
+
+} // namespace padc::dram

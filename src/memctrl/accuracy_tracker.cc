@@ -1,0 +1,56 @@
+#include "memctrl/accuracy_tracker.hh"
+
+namespace padc::memctrl
+{
+
+AccuracyTracker::AccuracyTracker(std::uint32_t num_cores,
+                                 const AccuracyConfig &config)
+    : config_(config), cores_(num_cores), next_boundary_(config.interval)
+{
+    for (auto &core : cores_)
+        core.par = config_.initial_accuracy;
+}
+
+void
+AccuracyTracker::onPrefetchSent(CoreId core)
+{
+    auto &c = cores_[core];
+    ++c.psc;
+    ++c.total_sent;
+}
+
+void
+AccuracyTracker::onPrefetchUsed(CoreId core)
+{
+    auto &c = cores_[core];
+    ++c.puc;
+    ++c.total_used;
+}
+
+void
+AccuracyTracker::onPrefetchDropped(CoreId core)
+{
+    auto &c = cores_[core];
+    if (c.psc > 0)
+        --c.psc;
+}
+
+void
+AccuracyTracker::tick(Cycle now)
+{
+    while (now >= next_boundary_) {
+        for (auto &c : cores_) {
+            if (c.psc >= config_.min_samples) {
+                c.par = static_cast<double>(c.puc) /
+                        static_cast<double>(c.psc);
+                if (c.par > 1.0)
+                    c.par = 1.0; // PUC can outrun PSC across a boundary
+            }
+            c.psc = 0;
+            c.puc = 0;
+        }
+        next_boundary_ += config_.interval;
+    }
+}
+
+} // namespace padc::memctrl

@@ -1,0 +1,374 @@
+#include "memctrl/controller.hh"
+
+#include <cassert>
+
+namespace padc::memctrl
+{
+
+MemoryController::MemoryController(const SchedulerConfig &config,
+                                   dram::Channel &channel,
+                                   AccuracyTracker &tracker,
+                                   ResponseHandler &handler,
+                                   std::uint32_t num_cores)
+    : config_(config), channel_(channel), tracker_(tracker),
+      handler_(handler), num_cores_(num_cores),
+      context_(config_, tracker_), apd_(config_, tracker_)
+{
+    assert(num_cores_ <= kMaxCores);
+}
+
+bool
+MemoryController::enqueueRead(const dram::DramCoord &coord, Addr line_addr,
+                              CoreId core, Addr pc, bool is_prefetch,
+                              Cycle now)
+{
+    assert(read_index_.find(line_addr) == read_index_.end());
+
+    // Forward from the write queue: the newest data for this line is
+    // sitting in the controller, so no DRAM access is needed.
+    if (write_index_.find(line_addr) != write_index_.end()) {
+        Request req;
+        req.line_addr = line_addr;
+        req.coord = coord;
+        req.core = core;
+        req.pc = pc;
+        req.is_prefetch = is_prefetch;
+        req.was_prefetch = is_prefetch;
+        req.arrival = now;
+        req.seq = next_seq_++;
+        req.state = RequestState::Done;
+        req.row_outcome = Request::RowOutcome::Hit;
+        const Cycle ready =
+            now + channel_.timing().toCpu(channel_.timing().tCL);
+        forwards_.push_back({req, ready});
+        ++stats_.forwarded_reads;
+        if (is_prefetch)
+            tracker_.onPrefetchSent(core);
+        return true;
+    }
+
+    if (readBufferFull()) {
+        if (is_prefetch)
+            ++stats_.prefetches_rejected_full;
+        else
+            ++stats_.demands_rejected_full;
+        return false;
+    }
+
+    Request req;
+    req.line_addr = line_addr;
+    req.coord = coord;
+    req.core = core;
+    req.pc = pc;
+    req.is_prefetch = is_prefetch;
+    req.was_prefetch = is_prefetch;
+    req.arrival = now;
+    req.seq = next_seq_++;
+    read_q_.push_back(req);
+    read_index_[line_addr] = std::prev(read_q_.end());
+    if (is_prefetch)
+        tracker_.onPrefetchSent(core);
+    return true;
+}
+
+void
+MemoryController::enqueueWrite(const dram::DramCoord &coord, Addr line_addr,
+                               CoreId core, Cycle now)
+{
+    if (write_index_.find(line_addr) != write_index_.end())
+        return; // coalesce with the pending write of the same line
+
+    Request req;
+    req.line_addr = line_addr;
+    req.coord = coord;
+    req.core = core;
+    req.is_write = true;
+    req.arrival = now;
+    req.seq = next_seq_++;
+    write_q_.push_back(req);
+    write_index_[line_addr] = std::prev(write_q_.end());
+}
+
+bool
+MemoryController::promote(Addr line_addr, Cycle now)
+{
+    (void)now;
+    auto it = read_index_.find(line_addr);
+    if (it == read_index_.end() || !it->second->is_prefetch)
+        return false;
+    it->second->is_prefetch = false;
+    ++stats_.promotions;
+    return true;
+}
+
+MemoryController::NextCmd
+MemoryController::nextCommand(const Request &req, bool *row_hit) const
+{
+    const std::uint64_t open = channel_.openRow(req.coord.bank);
+    if (open == req.coord.row) {
+        *row_hit = true;
+        return NextCmd::Column;
+    }
+    *row_hit = false;
+    return open == dram::kNoOpenRow ? NextCmd::Activate : NextCmd::Precharge;
+}
+
+bool
+MemoryController::commandIssuable(const Request &req, NextCmd cmd,
+                                  Cycle now) const
+{
+    switch (cmd) {
+      case NextCmd::Precharge:
+        return channel_.canPrecharge(req.coord.bank, now);
+      case NextCmd::Activate:
+        return channel_.canActivate(req.coord.bank, now);
+      case NextCmd::Column:
+        return channel_.canColumn(req.coord.bank, req.is_write, now);
+      case NextCmd::None:
+        break;
+    }
+    return false;
+}
+
+bool
+MemoryController::pendingSameRow(const Request &req) const
+{
+    for (const auto &other : read_q_) {
+        if (&other != &req && other.state == RequestState::Queued &&
+            other.coord.bank == req.coord.bank &&
+            other.coord.row == req.coord.row) {
+            return true;
+        }
+    }
+    for (const auto &other : write_q_) {
+        if (&other != &req && other.coord.bank == req.coord.bank &&
+            other.coord.row == req.coord.row) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+MemoryController::issueCommand(Request &req, NextCmd cmd, bool row_hit,
+                               Cycle now)
+{
+    switch (cmd) {
+      case NextCmd::Precharge:
+        channel_.precharge(req.coord.bank, now);
+        req.row_outcome = Request::RowOutcome::Conflict;
+        break;
+      case NextCmd::Activate:
+        channel_.activate(req.coord.bank, req.coord.row, now);
+        if (req.row_outcome == Request::RowOutcome::Unknown)
+            req.row_outcome = Request::RowOutcome::Closed;
+        break;
+      case NextCmd::Column: {
+        const bool auto_pre = config_.row_policy == RowPolicy::Closed &&
+                              !pendingSameRow(req);
+        req.data_ready =
+            channel_.column(req.coord.bank, req.is_write, auto_pre, now);
+        if (req.row_outcome == Request::RowOutcome::Unknown) {
+            req.row_outcome = row_hit ? Request::RowOutcome::Hit
+                                      : Request::RowOutcome::Conflict;
+        }
+        req.state = RequestState::Servicing;
+        break;
+      }
+      case NextCmd::None:
+        break;
+    }
+}
+
+void
+MemoryController::finishRead(ReadList::iterator it, Cycle now)
+{
+    Request &req = *it;
+    req.state = RequestState::Done;
+
+    if (req.isDemand()) {
+        ++stats_.demand_reads;
+        if (req.row_outcome == Request::RowOutcome::Hit)
+            ++stats_.demand_row_hits;
+    } else {
+        ++stats_.prefetch_reads;
+    }
+    switch (req.row_outcome) {
+      case Request::RowOutcome::Hit: ++stats_.read_row_hits; break;
+      case Request::RowOutcome::Closed: ++stats_.read_row_closed; break;
+      case Request::RowOutcome::Conflict:
+        ++stats_.read_row_conflicts;
+        break;
+      case Request::RowOutcome::Unknown: break;
+    }
+    stats_.read_service_cycles_sum += now - req.arrival;
+
+    handler_.dramReadComplete(req, now);
+    read_index_.erase(req.line_addr);
+    read_q_.erase(it);
+}
+
+void
+MemoryController::completeFinished(Cycle now)
+{
+    for (auto it = read_q_.begin(); it != read_q_.end();) {
+        auto next = std::next(it);
+        if (it->state == RequestState::Servicing && it->data_ready <= now)
+            finishRead(it, now);
+        it = next;
+    }
+    for (auto it = forwards_.begin(); it != forwards_.end();) {
+        if (it->ready <= now) {
+            handler_.dramReadComplete(it->req, now);
+            it = forwards_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+MemoryController::runApd(Cycle now)
+{
+    for (auto it = read_q_.begin(); it != read_q_.end();) {
+        auto next = std::next(it);
+        if (apd_.shouldDrop(*it, now)) {
+            it->state = RequestState::Dropped;
+            ++stats_.prefetches_dropped;
+            tracker_.onPrefetchDropped(it->core);
+            handler_.dramPrefetchDropped(*it, now);
+            read_index_.erase(it->line_addr);
+            read_q_.erase(it);
+        }
+        it = next;
+    }
+}
+
+bool
+MemoryController::scheduleRead(Cycle now)
+{
+    if (config_.ranking_enabled) {
+        std::array<std::uint32_t, kMaxCores> counts{};
+        for (const auto &req : read_q_) {
+            if (req.core < kMaxCores && context_.isCritical(req))
+                ++counts[req.core];
+        }
+        context_.updateRanks(counts, num_cores_);
+    }
+
+    // Strict per-bank class blocking (paper Section 1): a deprioritized
+    // request (e.g. a prefetch under demand-first, or a non-critical
+    // prefetch under APS) may not be scheduled to a bank while a
+    // preferred-class request to the same bank is outstanding -- even if
+    // the preferred request is not timing-ready this cycle.
+    std::array<std::uint8_t, 64> bank_has_preferred{};
+    for (const auto &req : read_q_) {
+        if (req.state == RequestState::Queued &&
+            context_.requestClass(req) != 0) {
+            bank_has_preferred[req.coord.bank % 64] = 1;
+        }
+    }
+
+    Request *best = nullptr;
+    std::uint64_t best_key = 0;
+    NextCmd best_cmd = NextCmd::None;
+    bool best_hit = false;
+
+    for (auto &req : read_q_) {
+        if (req.state != RequestState::Queued)
+            continue;
+        if (context_.requestClass(req) == 0 &&
+            bank_has_preferred[req.coord.bank % 64]) {
+            continue;
+        }
+        bool row_hit = false;
+        const NextCmd cmd = nextCommand(req, &row_hit);
+        if (!commandIssuable(req, cmd, now))
+            continue;
+        const std::uint64_t key = context_.priorityKey(req, row_hit);
+        if (best == nullptr || key > best_key) {
+            best = &req;
+            best_key = key;
+            best_cmd = cmd;
+            best_hit = row_hit;
+        }
+    }
+    if (best == nullptr)
+        return false;
+    issueCommand(*best, best_cmd, best_hit, now);
+    return true;
+}
+
+bool
+MemoryController::scheduleWrite(Cycle now)
+{
+    // Writes are scheduled FR-FCFS among themselves (row-hit first,
+    // then oldest); prefetch-awareness does not apply to writebacks.
+    std::list<Request>::iterator best = write_q_.end();
+    std::uint64_t best_key = 0;
+    NextCmd best_cmd = NextCmd::None;
+
+    for (auto it = write_q_.begin(); it != write_q_.end(); ++it) {
+        bool row_hit = false;
+        const NextCmd cmd = nextCommand(*it, &row_hit);
+        if (!commandIssuable(*it, cmd, now))
+            continue;
+        const std::uint64_t key =
+            ((row_hit ? 1ULL : 0ULL) << 63) | (~it->seq & 0x7FFFFFFFFFFFFFFF);
+        if (best == write_q_.end() || key > best_key) {
+            best = it;
+            best_key = key;
+            best_cmd = cmd;
+        }
+    }
+    if (best == write_q_.end())
+        return false;
+
+    issueCommand(*best, best_cmd, best_cmd == NextCmd::Column, now);
+    if (best->state == RequestState::Servicing) {
+        // Nothing waits on a writeback; retire it at column issue.
+        ++stats_.writes;
+        write_index_.erase(best->line_addr);
+        write_q_.erase(best);
+    }
+    return true;
+}
+
+void
+MemoryController::tick(Cycle now)
+{
+    const auto &timing = channel_.timing();
+    if (now % timing.cpu_per_dram_cycle != 0)
+        return;
+
+    ++stats_.dram_cycles;
+    stats_.read_queue_occupancy_sum += read_q_.size();
+
+    completeFinished(now);
+
+    if (config_.apd_enabled && now >= next_apd_scan_) {
+        runApd(now);
+        next_apd_scan_ = now + config_.age_quantum;
+    }
+
+    if (channel_.refreshDue(now)) {
+        if (channel_.commandBusFree(now))
+            channel_.refresh(now);
+        return;
+    }
+
+    if (write_q_.size() >= config_.write_drain_high)
+        write_drain_mode_ = true;
+    else if (write_q_.size() <= config_.write_drain_low)
+        write_drain_mode_ = false;
+
+    if (write_drain_mode_) {
+        if (!scheduleWrite(now))
+            scheduleRead(now);
+    } else {
+        if (!scheduleRead(now) && read_q_.empty())
+            scheduleWrite(now);
+    }
+}
+
+} // namespace padc::memctrl

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The Prefetch-Aware DRAM Controller (and its rigid baselines).
+ *
+ * One MemoryController drives one DRAM channel. It owns the memory
+ * request buffer (reads: demands + prefetches) and a writeback queue,
+ * schedules one DRAM command per DRAM command-clock cycle according to
+ * the configured policy (see memctrl::SchedContext), runs the Adaptive
+ * Prefetch Dropping unit, and reports completions/drops to a
+ * ResponseHandler (the cache hierarchy).
+ *
+ * Scheduling model: each DRAM cycle the controller considers every
+ * queued read whose *next* DRAM command (PRE / ACT / RD) is legal right
+ * now, picks the one with the highest policy priority key, and issues
+ * that single command. Requests therefore progress PRE -> ACT -> RD over
+ * several cycles and can be overtaken between commands, exactly like a
+ * real FR-FCFS pipeline. Writebacks are drained when the write queue
+ * exceeds a high watermark or when no reads are pending.
+ */
+
+#ifndef PADC_MEMCTRL_CONTROLLER_HH
+#define PADC_MEMCTRL_CONTROLLER_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/address_map.hh"
+#include "dram/channel.hh"
+#include "memctrl/accuracy_tracker.hh"
+#include "memctrl/dropping.hh"
+#include "memctrl/policy.hh"
+#include "memctrl/request.hh"
+
+namespace padc::memctrl
+{
+
+/**
+ * Callback interface through which the controller reports request
+ * outcomes to the cache hierarchy.
+ */
+class ResponseHandler
+{
+  public:
+    virtual ~ResponseHandler() = default;
+
+    /** A read's data transfer finished at cycle @p now. */
+    virtual void dramReadComplete(const Request &req, Cycle now) = 0;
+
+    /**
+     * A prefetch read was dropped by APD (or the line was forwarded from
+     * the write queue counts as complete, not dropped). The handler must
+     * invalidate the corresponding MSHR entry.
+     */
+    virtual void dramPrefetchDropped(const Request &req, Cycle now) = 0;
+};
+
+/** Controller statistics. */
+struct ControllerStats
+{
+    std::uint64_t demand_reads = 0;    ///< serviced demand reads
+    std::uint64_t prefetch_reads = 0;  ///< serviced (still-)prefetch reads
+    std::uint64_t writes = 0;          ///< serviced writebacks
+
+    std::uint64_t read_row_hits = 0;
+    std::uint64_t read_row_closed = 0;
+    std::uint64_t read_row_conflicts = 0;
+    std::uint64_t demand_row_hits = 0; ///< row-hit among serviced demands
+
+    std::uint64_t prefetches_dropped = 0;       ///< removed by APD
+    std::uint64_t prefetches_rejected_full = 0; ///< no buffer entry free
+    std::uint64_t demands_rejected_full = 0;    ///< demand found buffer full
+    std::uint64_t promotions = 0;               ///< prefetch -> demand
+    std::uint64_t forwarded_reads = 0;          ///< served from write queue
+
+    std::uint64_t read_queue_occupancy_sum = 0; ///< per-DRAM-cycle integral
+    std::uint64_t dram_cycles = 0;
+
+    /** Sum over serviced reads of (completion - arrival), for Fig. 4(a). */
+    std::uint64_t read_service_cycles_sum = 0;
+};
+
+/**
+ * A single-channel DRAM controller with pluggable prefetch handling.
+ */
+class MemoryController
+{
+  public:
+    /**
+     * @param config scheduling/buffer policy
+     * @param channel the DRAM channel this controller owns
+     * @param tracker shared per-core prefetch accuracy estimates
+     * @param handler completion/drop callback sink
+     * @param num_cores cores in the system (for ranking)
+     */
+    MemoryController(const SchedulerConfig &config, dram::Channel &channel,
+                     AccuracyTracker &tracker, ResponseHandler &handler,
+                     std::uint32_t num_cores);
+
+    /** True when the memory request buffer has no free read entry. */
+    bool readBufferFull() const
+    {
+        return read_q_.size() >= config_.request_buffer_size;
+    }
+
+    /**
+     * Enqueue a read for @p line_addr.
+     *
+     * Prefetches are rejected when the buffer is full (the paper's
+     * "prefetch not issued because the memory request buffer is full");
+     * demands are likewise rejected and the cache must retry (stalling
+     * the core). A read that hits the write queue is forwarded and
+     * completes shortly without touching DRAM.
+     *
+     * @pre no read for line_addr is outstanding (the L2 MSHR guarantees
+     *      at most one miss per line).
+     * @return true if accepted (or forwarded).
+     */
+    bool enqueueRead(const dram::DramCoord &coord, Addr line_addr,
+                     CoreId core, Addr pc, bool is_prefetch, Cycle now);
+
+    /** Enqueue (or coalesce) a dirty-line writeback. Always accepted. */
+    void enqueueWrite(const dram::DramCoord &coord, Addr line_addr,
+                      CoreId core, Cycle now);
+
+    /**
+     * A demand matched the in-flight prefetch for @p line_addr: clear its
+     * P bit so it is scheduled as a demand from now on. The caller is
+     * responsible for the prefetch-used (PUC) accounting, since a
+     * promotion can also hit a read being forwarded from the write queue
+     * (which no longer sits in the request buffer).
+     * @return true if a queued/in-flight prefetch was found and promoted.
+     */
+    bool promote(Addr line_addr, Cycle now);
+
+    /** True if a read for @p line_addr is outstanding here. */
+    bool hasRead(Addr line_addr) const
+    {
+        return read_index_.find(line_addr) != read_index_.end();
+    }
+
+    /** Advance the controller; call once per processor cycle. */
+    void tick(Cycle now);
+
+    const ControllerStats &stats() const { return stats_; }
+
+    const SchedulerConfig &config() const { return config_; }
+
+    std::size_t readQueueSize() const { return read_q_.size(); }
+    std::size_t writeQueueSize() const { return write_q_.size(); }
+
+  private:
+    using ReadList = std::list<Request>;
+
+    /** The next DRAM command a request needs, given current bank state. */
+    enum class NextCmd : std::uint8_t { Precharge, Activate, Column, None };
+
+    NextCmd nextCommand(const Request &req, bool *row_hit) const;
+    bool commandIssuable(const Request &req, NextCmd cmd, Cycle now) const;
+    void issueCommand(Request &req, NextCmd cmd, bool row_hit, Cycle now);
+
+    void completeFinished(Cycle now);
+    void runApd(Cycle now);
+    bool scheduleRead(Cycle now);
+    bool scheduleWrite(Cycle now);
+    void finishRead(ReadList::iterator it, Cycle now);
+
+    /** True when another queued request targets the same bank and row. */
+    bool pendingSameRow(const Request &req) const;
+
+    SchedulerConfig config_;
+    dram::Channel &channel_;
+    AccuracyTracker &tracker_;
+    ResponseHandler &handler_;
+    std::uint32_t num_cores_;
+
+    SchedContext context_;
+    ApdUnit apd_;
+
+    ReadList read_q_;
+    std::unordered_map<Addr, ReadList::iterator> read_index_;
+    std::list<Request> write_q_;
+    std::unordered_map<Addr, std::list<Request>::iterator> write_index_;
+
+    /** Forwarded reads waiting to be reported complete. */
+    struct PendingForward
+    {
+        Request req;
+        Cycle ready;
+    };
+    std::vector<PendingForward> forwards_;
+
+    bool write_drain_mode_ = false;
+    std::uint64_t next_seq_ = 0;
+    Cycle next_apd_scan_ = 0;
+
+    ControllerStats stats_;
+};
+
+} // namespace padc::memctrl
+
+#endif // PADC_MEMCTRL_CONTROLLER_HH

@@ -1,0 +1,41 @@
+#include "memctrl/dropping.hh"
+
+namespace padc::memctrl
+{
+
+ApdUnit::ApdUnit(const SchedulerConfig &config,
+                 const AccuracyTracker &tracker)
+    : config_(config), tracker_(tracker)
+{
+}
+
+Cycle
+ApdUnit::dropThreshold(CoreId core) const
+{
+    const double acc = tracker_.accuracy(core);
+    const auto &bounds = config_.drop_accuracy_bounds;
+    std::uint32_t band = 3;
+    if (acc < bounds[0])
+        band = 0;
+    else if (acc < bounds[1])
+        band = 1;
+    else if (acc < bounds[2])
+        band = 2;
+    return config_.drop_thresholds[band];
+}
+
+bool
+ApdUnit::shouldDrop(const Request &req, Cycle now) const
+{
+    if (!req.is_prefetch || req.is_write)
+        return false;
+    if (req.state != RequestState::Queued)
+        return false;
+    // AGE is kept at age_quantum granularity in hardware; quantize the
+    // comparison the same way so behaviour matches the 8/10-bit counter.
+    const Cycle age = req.ageCycles(now) / config_.age_quantum *
+                      config_.age_quantum;
+    return age > dropThreshold(req.core);
+}
+
+} // namespace padc::memctrl

@@ -1,0 +1,94 @@
+#include "memctrl/policy.hh"
+
+#include <algorithm>
+
+namespace padc::memctrl
+{
+
+namespace
+{
+
+/// Width of the inverted-arrival (FCFS) field in the packed key.
+constexpr std::uint32_t kArrivalBits = 52;
+constexpr std::uint64_t kArrivalMask = (1ULL << kArrivalBits) - 1;
+
+constexpr std::uint32_t kRankShift = kArrivalBits;        // 8 bits
+constexpr std::uint32_t kUrgentShift = kRankShift + 8;    // 1 bit
+constexpr std::uint32_t kRowHitShift = kUrgentShift + 1;  // 1 bit
+constexpr std::uint32_t kLevel0Shift = kRowHitShift + 1;  // 1 bit
+
+} // namespace
+
+SchedContext::SchedContext(const SchedulerConfig &config,
+                           const AccuracyTracker &tracker)
+    : config_(config), tracker_(tracker)
+{
+}
+
+void
+SchedContext::updateRanks(
+    const std::array<std::uint32_t, kMaxCores> &critical_counts,
+    std::uint32_t num_cores)
+{
+    if (!config_.ranking_enabled)
+        return;
+    // Shortest job first: fewer outstanding critical requests -> higher
+    // rank. Encoding the (saturated) complement of the count preserves
+    // the ordering without a sort and gives equal-count cores equal rank.
+    for (std::uint32_t i = 0; i < num_cores && i < kMaxCores; ++i) {
+        const std::uint32_t count = std::min(critical_counts[i], 255u);
+        rank_[i] = static_cast<std::uint8_t>(255u - count);
+    }
+}
+
+std::uint32_t
+SchedContext::requestClass(const Request &req) const
+{
+    switch (config_.kind) {
+      case SchedPolicyKind::FrFcfs:
+        return 1;
+      case SchedPolicyKind::DemandFirst:
+        return req.isDemand() ? 1 : 0;
+      case SchedPolicyKind::PrefetchFirst:
+        return req.is_prefetch ? 1 : 0;
+      case SchedPolicyKind::Aps:
+        return isCritical(req) ? 1 : 0;
+    }
+    return 1;
+}
+
+std::uint64_t
+SchedContext::priorityKey(const Request &req, bool row_hit) const
+{
+    std::uint64_t level0 = 0;
+    std::uint64_t urgent = 0;
+    std::uint64_t rank = 0;
+
+    switch (config_.kind) {
+      case SchedPolicyKind::FrFcfs:
+        level0 = 1; // prefetch-blind: every request is in the same class
+        break;
+      case SchedPolicyKind::DemandFirst:
+        level0 = req.isDemand() ? 1 : 0;
+        break;
+      case SchedPolicyKind::PrefetchFirst:
+        level0 = req.is_prefetch ? 1 : 0;
+        break;
+      case SchedPolicyKind::Aps:
+        level0 = isCritical(req) ? 1 : 0;
+        if (config_.urgency_enabled)
+            urgent = isUrgent(req) ? 1 : 0;
+        // Footnote 12: only critical requests are ranked; non-critical
+        // requests keep the lowest rank value (0).
+        if (config_.ranking_enabled && level0 != 0)
+            rank = rank_[req.core < kMaxCores ? req.core : 0];
+        break;
+    }
+
+    const std::uint64_t inv_arrival = (~req.seq) & kArrivalMask;
+    return (level0 << kLevel0Shift) | ((row_hit ? 1ULL : 0ULL)
+           << kRowHitShift) | (urgent << kUrgentShift) |
+           (rank << kRankShift) | inv_arrival;
+}
+
+} // namespace padc::memctrl

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * DRAM request scheduling policies (paper Sections 1, 4.2, 6.5).
+ *
+ * Every policy is expressed as a priority-key function over request
+ * buffer entries; the controller services the schedulable request with
+ * the numerically largest key. Key layout (most significant first):
+ *
+ *   [ level-0 class ][ row-hit ][ urgent ][ rank ][ inverted arrival ]
+ *
+ * where level-0 is the policy-specific top rule:
+ *   - demand-prefetch-equal (FR-FCFS): constant (prefetch-blind)
+ *   - demand-first:   demand over prefetch
+ *   - prefetch-first: prefetch over demand
+ *   - APS:            critical (demand or accurate-core prefetch) over
+ *                     non-critical
+ * and urgent/rank participate only for APS with the corresponding
+ * features enabled (Rule 1 / Rule 2 of the paper).
+ */
+
+#ifndef PADC_MEMCTRL_POLICY_HH
+#define PADC_MEMCTRL_POLICY_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "memctrl/accuracy_tracker.hh"
+#include "memctrl/request.hh"
+
+namespace padc::memctrl
+{
+
+/** Maximum cores supported by the packed rank field. */
+inline constexpr std::uint32_t kMaxCores = 64;
+
+/** Complete scheduler + buffer-management configuration. */
+struct SchedulerConfig
+{
+    SchedPolicyKind kind = SchedPolicyKind::Aps;
+
+    /** Adaptive Prefetch Dropping enabled (APS + APD == PADC). */
+    bool apd_enabled = true;
+
+    /** Rule-1 step 3: urgent-demand prioritization (Section 6.3.4). */
+    bool urgency_enabled = true;
+
+    /** Rule-2 RANK level: shortest-job-first fairness (Section 6.5). */
+    bool ranking_enabled = false;
+
+    /** Prefetch accuracy at/above which prefetches become critical. */
+    double promotion_threshold = 0.85;
+
+    /** Memory request buffer capacity (reads; matches L2 MSHR count). */
+    std::uint32_t request_buffer_size = 128;
+
+    /** Writeback queue capacity. */
+    std::uint32_t write_buffer_size = 64;
+
+    /** Start draining writes above this occupancy. */
+    std::uint32_t write_drain_high = 48;
+
+    /** Stop draining writes below this occupancy. */
+    std::uint32_t write_drain_low = 16;
+
+    /** Row-buffer management (Section 6.8). */
+    RowPolicy row_policy = RowPolicy::Open;
+
+    /** APD age quantum: AGE advances once per this many cycles. */
+    Cycle age_quantum = 100;
+
+    /**
+     * APD drop thresholds (processor cycles) for the four accuracy bands
+     * delimited by drop_accuracy_bounds (paper Table 6).
+     */
+    std::array<Cycle, 4> drop_thresholds = {100, 1500, 50000, 100000};
+    std::array<double, 3> drop_accuracy_bounds = {0.10, 0.30, 0.70};
+
+    AccuracyConfig accuracy;
+};
+
+/**
+ * Per-scheduling-round context shared by all key computations:
+ * the accuracy tracker (for criticality/urgency) and per-core ranks
+ * (for Rule 2).
+ */
+class SchedContext
+{
+  public:
+    SchedContext(const SchedulerConfig &config,
+                 const AccuracyTracker &tracker);
+
+    /** True when @p core's prefetches are currently critical. */
+    bool coreAccurate(CoreId core) const
+    {
+        return tracker_.accuracy(core) >= config_.promotion_threshold;
+    }
+
+    /** Critical = demand, or prefetch from an accurate core (Sec. 4.2). */
+    bool isCritical(const Request &req) const
+    {
+        return req.isDemand() || coreAccurate(req.core);
+    }
+
+    /** Urgent = demand from a core with low prefetch accuracy. */
+    bool isUrgent(const Request &req) const
+    {
+        return req.isDemand() && !coreAccurate(req.core);
+    }
+
+    /**
+     * Recompute per-core ranks from critical-request occupancy counts
+     * (shortest job first: fewer outstanding critical requests -> higher
+     * rank). No-op unless ranking is enabled.
+     *
+     * @param critical_counts outstanding critical requests per core
+     * @param num_cores cores participating
+     */
+    void updateRanks(const std::array<std::uint32_t, kMaxCores>
+                         &critical_counts,
+                     std::uint32_t num_cores);
+
+    /**
+     * Priority key for @p req given current @p row_hit status; larger is
+     * higher priority. Deterministic total order (ties broken by
+     * arrival, which the controller guarantees unique per channel).
+     */
+    std::uint64_t priorityKey(const Request &req, bool row_hit) const;
+
+    /**
+     * Top-level scheduling class of @p req under the configured policy
+     * (1 = preferred class, 0 = deprioritized class). The paper's rigid
+     * policies are *strict* within a bank: a class-0 request to a bank
+     * may not be scheduled while any class-1 request to the same bank is
+     * outstanding ("prefetch requests to a bank are not scheduled until
+     * all the demand requests to the same bank are serviced"). The
+     * controller enforces this with per-bank class masks.
+     */
+    std::uint32_t requestClass(const Request &req) const;
+
+    const SchedulerConfig &config() const { return config_; }
+
+  private:
+    const SchedulerConfig &config_;
+    const AccuracyTracker &tracker_;
+    std::array<std::uint8_t, kMaxCores> rank_{}; ///< higher = better
+};
+
+} // namespace padc::memctrl
+
+#endif // PADC_MEMCTRL_POLICY_HH

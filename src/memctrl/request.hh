@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Memory request representation used by the memory request buffer.
+ *
+ * Each entry carries the per-request fields of the paper's Figure 5 /
+ * Figure 18: criticality (derived from the P bit and the owning core's
+ * prefetch accuracy), row-hit status (derived from the bank state at
+ * scheduling time), urgency, rank, FCFS arrival time, the Prefetch bit,
+ * the core ID, and the AGE counter used by Adaptive Prefetch Dropping.
+ */
+
+#ifndef PADC_MEMCTRL_REQUEST_HH
+#define PADC_MEMCTRL_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/address_map.hh"
+
+namespace padc::memctrl
+{
+
+/** Lifecycle of a memory request inside the controller. */
+enum class RequestState : std::uint8_t
+{
+    Queued,   ///< waiting in the memory request buffer
+    Servicing, ///< column command issued, data in flight
+    Done,     ///< data transferred
+    Dropped,  ///< removed by Adaptive Prefetch Dropping
+};
+
+/**
+ * One entry of the memory request buffer.
+ *
+ * Requests are created by the L2 miss path (demands and prefetches) and
+ * by dirty-line writebacks. Ownership stays with the MemoryController;
+ * other components refer to requests only during callbacks.
+ */
+struct Request
+{
+    Addr line_addr = kInvalidAddr; ///< line-aligned byte address
+    dram::DramCoord coord;         ///< DRAM coordinates of line_addr
+    CoreId core = 0;               ///< ID field (Fig. 5)
+    Addr pc = 0;                   ///< PC of the triggering instruction
+
+    /**
+     * P bit. True while the request is a prefetch; cleared when a demand
+     * from the processor matches the request in the buffer (the request
+     * is thereby promoted to a demand).
+     */
+    bool is_prefetch = false;
+
+    /**
+     * True if the request was *generated* by the prefetcher, regardless
+     * of later promotion. Used for bus-traffic classification: the paper
+     * counts promoted prefetches as useful prefetches.
+     */
+    bool was_prefetch = false;
+
+    bool is_write = false; ///< dirty-line writeback (never a prefetch)
+
+    Cycle arrival = 0; ///< entry cycle into the buffer (drives AGE)
+
+    /**
+     * FCFS field: controller-unique, monotonically increasing sequence
+     * number. Used instead of the raw arrival cycle so that requests
+     * enqueued in the same cycle still have a deterministic total order.
+     */
+    std::uint64_t seq = 0;
+
+    RequestState state = RequestState::Queued;
+
+    /** How the request was ultimately serviced by the DRAM. */
+    enum class RowOutcome : std::uint8_t { Unknown, Hit, Closed, Conflict };
+    RowOutcome row_outcome = RowOutcome::Unknown;
+
+    /** Cycle at which the data transfer completes (valid in Servicing). */
+    Cycle data_ready = kNeverCycle;
+
+    /** True for demand requests and promoted prefetches. */
+    bool isDemand() const { return !is_prefetch; }
+
+    /**
+     * AGE field: quantized residence time in the request buffer.
+     * The paper increments AGE every 100 processor cycles; the quantum is
+     * a config knob of the dropping unit.
+     */
+    Cycle ageCycles(Cycle now) const { return now - arrival; }
+};
+
+} // namespace padc::memctrl
+
+#endif // PADC_MEMCTRL_REQUEST_HH

@@ -1,0 +1,110 @@
+#include "prefetch/cdc_prefetcher.hh"
+
+namespace padc::prefetch
+{
+
+CdcPrefetcher::CdcPrefetcher(const PrefetcherConfig &config)
+    : config_(config), degree_(config.degree), zones_(config.czone_entries)
+{
+    for (auto &zone : zones_)
+        zone.deltas.resize(config.delta_history, 0);
+}
+
+void
+CdcPrefetcher::setAggressiveness(std::uint32_t degree,
+                                 std::uint32_t distance)
+{
+    (void)distance;
+    degree_ = degree;
+}
+
+CdcPrefetcher::Zone *
+CdcPrefetcher::zoneFor(std::uint64_t czone, bool allocate)
+{
+    Zone *victim = &zones_[0];
+    for (auto &zone : zones_) {
+        if (zone.tag == czone)
+            return &zone;
+        if (zone.lru < victim->lru)
+            victim = &zone;
+    }
+    if (!allocate)
+        return nullptr;
+    victim->tag = czone;
+    victim->last_line = -1;
+    victim->head = 0;
+    victim->count = 0;
+    victim->lru = lru_clock_++;
+    return victim;
+}
+
+void
+CdcPrefetcher::observe(Addr addr, Addr pc, bool miss, bool train_only,
+                       std::vector<Addr> &out)
+{
+    (void)pc;
+    if (!miss)
+        return; // C/DC correlates the miss stream only
+
+    const auto line = static_cast<std::int64_t>(lineIndex(addr));
+    const std::uint64_t czone = addr >> config_.czone_shift;
+
+    Zone *zone = zoneFor(czone, !train_only);
+    if (zone == nullptr)
+        return;
+    zone->lru = lru_clock_++;
+
+    if (zone->last_line < 0) {
+        zone->last_line = line;
+        return;
+    }
+
+    const std::int64_t delta = line - zone->last_line;
+    zone->last_line = line;
+    if (delta == 0)
+        return;
+
+    // Record the new delta in the circular history.
+    const auto cap = static_cast<std::uint32_t>(zone->deltas.size());
+    zone->deltas[zone->head] = delta;
+    zone->head = (zone->head + 1) % cap;
+    if (zone->count < cap)
+        ++zone->count;
+
+    if (zone->count < 3)
+        return;
+
+    // Delta correlation: find the most recent earlier occurrence of the
+    // last two deltas (d_prev, d_last) and replay what followed it.
+    auto at = [&](std::uint32_t back) {
+        // back = 1 is the newest delta.
+        return zone->deltas[(zone->head + cap - back) % cap];
+    };
+    const std::int64_t d_last = at(1);
+    const std::int64_t d_prev = at(2);
+
+    std::uint32_t match_back = 0;
+    for (std::uint32_t back = 3; back + 1 <= zone->count; ++back) {
+        if (at(back) == d_last && at(back + 1) == d_prev) {
+            match_back = back;
+            break;
+        }
+    }
+    if (match_back == 0)
+        return;
+
+    // Replay the deltas that followed the matched pair; if the replay
+    // window is shorter than the degree, repeat the pattern cyclically
+    // (the pattern evidently loops, e.g. a constant stride).
+    std::int64_t target = line;
+    std::uint32_t back = match_back - 1;
+    for (std::uint32_t issued = 0; issued < degree_; ++issued) {
+        target += at(back);
+        if (target < 0)
+            break;
+        out.push_back(lineToAddr(static_cast<Addr>(target)));
+        back = back > 1 ? back - 1 : match_back - 1;
+    }
+}
+
+} // namespace padc::prefetch

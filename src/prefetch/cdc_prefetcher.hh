@@ -1,0 +1,63 @@
+/**
+ * @file
+ * CZone / Delta Correlation (C/DC) prefetcher (Nesbit et al., PACT-13;
+ * paper reference [24], evaluated in Section 6.11).
+ *
+ * The address space is divided statically into fixed-size CZones. Per
+ * zone, the prefetcher keeps a short history of the deltas between
+ * consecutive miss addresses. On each access it searches the history
+ * for the most recent earlier occurrence of the last delta pair
+ * (delta correlation) and, on a match, replays the deltas that followed
+ * that occurrence as prefetch predictions.
+ */
+
+#ifndef PADC_PREFETCH_CDC_PREFETCHER_HH
+#define PADC_PREFETCH_CDC_PREFETCHER_HH
+
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace padc::prefetch
+{
+
+/**
+ * C/DC prefetcher; see file comment.
+ */
+class CdcPrefetcher : public Prefetcher
+{
+  public:
+    explicit CdcPrefetcher(const PrefetcherConfig &config);
+
+    void observe(Addr addr, Addr pc, bool miss, bool train_only,
+                 std::vector<Addr> &out) override;
+
+    const char *name() const override { return "cdc"; }
+
+    void setAggressiveness(std::uint32_t degree,
+                           std::uint32_t distance) override;
+
+    std::uint32_t currentDegree() const override { return degree_; }
+
+  private:
+    struct Zone
+    {
+        std::uint64_t tag = ~0ULL;  ///< czone number
+        std::int64_t last_line = -1;
+        std::vector<std::int64_t> deltas; ///< circular, oldest first
+        std::uint32_t head = 0;           ///< next write position
+        std::uint32_t count = 0;          ///< valid deltas
+        std::uint64_t lru = 0;
+    };
+
+    Zone *zoneFor(std::uint64_t czone, bool allocate);
+
+    PrefetcherConfig config_;
+    std::uint32_t degree_;
+    std::vector<Zone> zones_;
+    std::uint64_t lru_clock_ = 1;
+};
+
+} // namespace padc::prefetch
+
+#endif // PADC_PREFETCH_CDC_PREFETCHER_HH

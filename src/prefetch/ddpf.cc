@@ -1,0 +1,43 @@
+#include "prefetch/ddpf.hh"
+
+namespace padc::prefetch
+{
+
+DdpfFilter::DdpfFilter(const DdpfConfig &config)
+    : config_(config), counters_(config.table_entries, config.initial)
+{
+}
+
+std::uint32_t
+DdpfFilter::indexOf(Addr line_addr, Addr pc) const
+{
+    // gshare-style: fold the PC and the line address together so the
+    // same static context maps to the same counter. Deliberately
+    // untagged -- aliasing is part of the mechanism being modelled.
+    const std::uint64_t h =
+        (pc * 0x9E3779B97F4A7C15ULL) ^ (lineIndex(line_addr) *
+                                        0xC2B2AE3D27D4EB4FULL);
+    return static_cast<std::uint32_t>(h >> 40) %
+           static_cast<std::uint32_t>(counters_.size());
+}
+
+bool
+DdpfFilter::allow(Addr line_addr, Addr pc) const
+{
+    return counters_[indexOf(line_addr, pc)] >= config_.threshold;
+}
+
+void
+DdpfFilter::update(Addr line_addr, Addr pc, bool useful)
+{
+    std::uint8_t &counter = counters_[indexOf(line_addr, pc)];
+    if (useful) {
+        if (counter < 3)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+}
+
+} // namespace padc::prefetch

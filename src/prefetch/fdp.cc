@@ -1,0 +1,87 @@
+#include "prefetch/fdp.hh"
+
+namespace padc::prefetch
+{
+
+PollutionFilter::PollutionFilter(std::uint32_t bits) : bits_(bits, false)
+{
+}
+
+std::uint32_t
+PollutionFilter::indexOf(Addr line_addr) const
+{
+    const std::uint64_t h = lineIndex(line_addr) * 0x9E3779B97F4A7C15ULL;
+    return static_cast<std::uint32_t>(h >> 40) %
+           static_cast<std::uint32_t>(bits_.size());
+}
+
+void
+PollutionFilter::insert(Addr line_addr)
+{
+    bits_[indexOf(line_addr)] = true;
+}
+
+bool
+PollutionFilter::checkAndClear(Addr line_addr)
+{
+    const std::uint32_t idx = indexOf(line_addr);
+    const bool hit = bits_[idx];
+    bits_[idx] = false;
+    return hit;
+}
+
+FdpController::FdpController(const FdpConfig &config)
+    : config_(config), level_(config.initial_level)
+{
+    if (level_ < 1)
+        level_ = 1;
+    if (level_ > kLevels.size())
+        level_ = kLevels.size();
+}
+
+void
+FdpController::evaluate(const IntervalCounts &counts)
+{
+    const double accuracy =
+        counts.prefetches_sent == 0
+            ? 1.0
+            : static_cast<double>(counts.prefetches_used) /
+                  static_cast<double>(counts.prefetches_sent);
+    const double lateness =
+        counts.prefetches_used == 0
+            ? 0.0
+            : static_cast<double>(counts.late_prefetches) /
+                  static_cast<double>(counts.prefetches_used);
+    const double pollution =
+        counts.demand_accesses == 0
+            ? 0.0
+            : static_cast<double>(counts.pollution_misses) /
+                  static_cast<double>(counts.demand_accesses);
+
+    int delta = 0;
+    if (accuracy >= config_.accuracy_high) {
+        // Accurate: ramp up, especially if prefetches arrive late.
+        delta = lateness >= config_.lateness_threshold ? 1 : 0;
+        if (level_ < 3)
+            delta = 1; // accurate prefetchers should not idle at the bottom
+    } else if (accuracy < config_.accuracy_low) {
+        delta = -1;
+    } else {
+        // Middling accuracy: pollution decides.
+        if (pollution >= config_.pollution_threshold)
+            delta = -1;
+        else if (lateness >= config_.lateness_threshold)
+            delta = 1;
+    }
+    if (pollution >= config_.pollution_threshold &&
+        accuracy < config_.accuracy_high) {
+        delta = -1;
+    }
+
+    if (delta > 0 && level_ < kLevels.size())
+        ++level_;
+    else if (delta < 0 && level_ > 1)
+        --level_;
+}
+
+} // namespace padc::prefetch

@@ -1,0 +1,56 @@
+#include "prefetch/markov_prefetcher.hh"
+
+#include <algorithm>
+
+namespace padc::prefetch
+{
+
+MarkovPrefetcher::MarkovPrefetcher(const PrefetcherConfig &config)
+    : config_(config), table_(config.markov_entries)
+{
+}
+
+std::uint32_t
+MarkovPrefetcher::indexOf(Addr line_addr) const
+{
+    const std::uint64_t h = line_addr * 0x9E3779B97F4A7C15ULL;
+    return static_cast<std::uint32_t>(h >> 32) %
+           static_cast<std::uint32_t>(table_.size());
+}
+
+void
+MarkovPrefetcher::observe(Addr addr, Addr pc, bool miss, bool train_only,
+                          std::vector<Addr> &out)
+{
+    (void)pc;
+    if (!miss)
+        return; // trained on and triggered by the miss stream
+
+    const Addr line_addr = lineAlign(addr);
+
+    // Train: record this miss as a successor of the previous miss.
+    if (last_miss_line_ != kInvalidAddr && !train_only) {
+        TableEntry &prev = table_[indexOf(last_miss_line_)];
+        if (prev.tag != last_miss_line_) {
+            prev.tag = last_miss_line_;
+            prev.successors.clear();
+        }
+        auto it = std::find(prev.successors.begin(), prev.successors.end(),
+                            line_addr);
+        if (it != prev.successors.end())
+            prev.successors.erase(it);
+        prev.successors.insert(prev.successors.begin(), line_addr);
+        if (prev.successors.size() > config_.markov_successors)
+            prev.successors.pop_back();
+    }
+    last_miss_line_ = line_addr;
+
+    // Predict: prefetch the recorded successors of this miss.
+    const TableEntry &entry = table_[indexOf(line_addr)];
+    if (entry.tag == line_addr) {
+        for (Addr succ : entry.successors)
+            out.push_back(succ);
+    }
+}
+
+} // namespace padc::prefetch

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Markov prefetcher (Joseph & Grunwald, ISCA-24; paper reference [7],
+ * evaluated in Section 6.11).
+ *
+ * A correlation table records, per miss address, the miss addresses that
+ * followed it. On a repeated miss, the recorded successors are issued as
+ * prefetches. Exploits temporal (not spatial) correlation, so it tends
+ * to produce fewer row-hit prefetches than the streaming prefetchers --
+ * the behaviour Section 6.11 discusses.
+ */
+
+#ifndef PADC_PREFETCH_MARKOV_PREFETCHER_HH
+#define PADC_PREFETCH_MARKOV_PREFETCHER_HH
+
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace padc::prefetch
+{
+
+/**
+ * Markov (miss-correlation) prefetcher; see file comment.
+ */
+class MarkovPrefetcher : public Prefetcher
+{
+  public:
+    explicit MarkovPrefetcher(const PrefetcherConfig &config);
+
+    void observe(Addr addr, Addr pc, bool miss, bool train_only,
+                 std::vector<Addr> &out) override;
+
+    const char *name() const override { return "markov"; }
+
+    std::uint32_t currentDegree() const override
+    {
+        return config_.markov_successors;
+    }
+
+  private:
+    struct TableEntry
+    {
+        Addr tag = kInvalidAddr;         ///< miss line address
+        std::vector<Addr> successors;    ///< following miss lines, MRU first
+    };
+
+    std::uint32_t indexOf(Addr line_addr) const;
+
+    PrefetcherConfig config_;
+    std::vector<TableEntry> table_;
+    Addr last_miss_line_ = kInvalidAddr;
+};
+
+} // namespace padc::prefetch
+
+#endif // PADC_PREFETCH_MARKOV_PREFETCHER_HH

@@ -1,0 +1,46 @@
+#include "prefetch/prefetcher.hh"
+
+#include "prefetch/cdc_prefetcher.hh"
+#include "prefetch/markov_prefetcher.hh"
+#include "prefetch/stream_prefetcher.hh"
+#include "prefetch/stride_prefetcher.hh"
+
+namespace padc::prefetch
+{
+
+namespace
+{
+
+/** Prefetcher that never prefetches (PrefetcherKind::None). */
+class NullPrefetcher : public Prefetcher
+{
+  public:
+    void
+    observe(Addr, Addr, bool, bool, std::vector<Addr> &) override
+    {
+    }
+
+    const char *name() const override { return "none"; }
+};
+
+} // namespace
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(const PrefetcherConfig &config)
+{
+    switch (config.kind) {
+      case PrefetcherKind::None:
+        return std::make_unique<NullPrefetcher>();
+      case PrefetcherKind::Stream:
+        return std::make_unique<StreamPrefetcher>(config);
+      case PrefetcherKind::Stride:
+        return std::make_unique<StridePrefetcher>(config);
+      case PrefetcherKind::Cdc:
+        return std::make_unique<CdcPrefetcher>(config);
+      case PrefetcherKind::Markov:
+        return std::make_unique<MarkovPrefetcher>(config);
+    }
+    return std::make_unique<NullPrefetcher>();
+}
+
+} // namespace padc::prefetch

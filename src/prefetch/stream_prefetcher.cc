@@ -1,0 +1,150 @@
+#include "prefetch/stream_prefetcher.hh"
+
+#include <cstdlib>
+
+namespace padc::prefetch
+{
+
+StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig &config)
+    : config_(config), degree_(config.degree), distance_(config.distance),
+      entries_(config.stream_entries)
+{
+}
+
+void
+StreamPrefetcher::setAggressiveness(std::uint32_t degree,
+                                    std::uint32_t distance)
+{
+    degree_ = degree;
+    distance_ = distance;
+}
+
+StreamPrefetcher::StreamEntry *
+StreamPrefetcher::match(std::int64_t line)
+{
+    for (auto &entry : entries_) {
+        switch (entry.state) {
+          case StreamState::Allocated:
+            if (std::llabs(line - entry.start) <=
+                static_cast<std::int64_t>(config_.train_window)) {
+                return &entry;
+            }
+            break;
+          case StreamState::Monitoring: {
+            // Extend the match window beyond the region on both sides:
+            // behind, so late demands catching up with in-flight
+            // prefetches keep matching this stream instead of allocating
+            // a duplicate; ahead, so a consumer that slightly outran the
+            // front re-anchors the stream instead of re-training.
+            const auto slack =
+                static_cast<std::int64_t>(config_.train_window);
+            const std::int64_t lo =
+                std::min(entry.start, entry.end) - slack;
+            const std::int64_t hi =
+                std::max(entry.start, entry.end) + slack;
+            if (line >= lo && line <= hi)
+                return &entry;
+            break;
+          }
+          case StreamState::Invalid:
+            break;
+        }
+    }
+    return nullptr;
+}
+
+StreamPrefetcher::StreamEntry *
+StreamPrefetcher::allocate(std::int64_t line)
+{
+    StreamEntry *victim = &entries_[0];
+    for (auto &entry : entries_) {
+        if (entry.state == StreamState::Invalid) {
+            victim = &entry;
+            break;
+        }
+        if (entry.lru < victim->lru)
+            victim = &entry;
+    }
+    victim->state = StreamState::Allocated;
+    victim->start = line;
+    victim->end = line;
+    victim->dir = 0;
+    victim->lru = lru_clock_++;
+    return victim;
+}
+
+void
+StreamPrefetcher::trigger(StreamEntry &entry, std::vector<Addr> &out)
+{
+    // Paper Section 2.3: an access within the monitoring region
+    // [start, end] sends N prefetches for the lines just beyond the
+    // region's far end and then shifts the region by N. Because accesses
+    // behind the (shifted) region do not trigger, the region advances at
+    // most as fast as the consumer crosses its near edge -- the lookahead
+    // stays ~`distance` lines and never runs away.
+    for (std::uint32_t k = 1; k <= degree_; ++k) {
+        const std::int64_t target =
+            entry.end + static_cast<std::int64_t>(k) * entry.dir;
+        if (target < 0)
+            break;
+        out.push_back(lineToAddr(static_cast<Addr>(target)));
+    }
+    const std::int64_t shift =
+        static_cast<std::int64_t>(degree_) * entry.dir;
+    entry.start += shift;
+    entry.end += shift;
+}
+
+void
+StreamPrefetcher::observe(Addr addr, Addr pc, bool miss, bool train_only,
+                          std::vector<Addr> &out)
+{
+    (void)pc;
+    const auto line = static_cast<std::int64_t>(lineIndex(addr));
+
+    StreamEntry *entry = match(line);
+    if (entry == nullptr) {
+        if (miss && !train_only)
+            allocate(line);
+        return;
+    }
+    entry->lru = lru_clock_++;
+
+    if (entry->state == StreamState::Allocated) {
+        if (line == entry->start)
+            return; // same line; direction still unknown
+        entry->dir = line > entry->start ? 1 : -1;
+        entry->end = entry->start +
+                     static_cast<std::int64_t>(distance_) * entry->dir;
+        entry->state = StreamState::Monitoring;
+        trigger(*entry, out);
+        return;
+    }
+
+    // Monitoring: classify the access position relative to the region.
+    const bool ascending = entry->dir > 0;
+    const bool in_region = ascending
+                               ? line >= entry->start && line <= entry->end
+                               : line <= entry->start && line >= entry->end;
+    if (in_region) {
+        trigger(*entry, out);
+        return;
+    }
+    const bool leading =
+        ascending ? line > entry->end : line < entry->end;
+    if (leading) {
+        // The consumer outran the prefetch front (e.g. after prefetches
+        // were dropped for lack of buffer space): re-anchor the region
+        // at the consumer and resume.
+        entry->start = line;
+        entry->end = line +
+                     static_cast<std::int64_t>(distance_) * entry->dir;
+        trigger(*entry, out);
+        return;
+    }
+    // Trailing access (late demand catching up): keeps the entry warm
+    // (LRU already refreshed) but does not trigger, so the region cannot
+    // outpace the consumer.
+}
+
+} // namespace padc::prefetch

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Aggressive stream prefetcher modelled on the IBM POWER4/5 design the
+ * paper uses for its main results (Section 2.3).
+ *
+ * Each stream entry watches a monitoring region of D consecutive cache
+ * lines. A new cache miss that matches no existing stream allocates an
+ * entry (start pointer S). A subsequent access within the training
+ * window of S fixes the stream direction and arms the monitoring region
+ * [S, S + dir*D]. Any L2 access inside an armed region triggers N
+ * prefetches beyond the region's far end and shifts the region by N
+ * lines in the stream direction.
+ */
+
+#ifndef PADC_PREFETCH_STREAM_PREFETCHER_HH
+#define PADC_PREFETCH_STREAM_PREFETCHER_HH
+
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace padc::prefetch
+{
+
+/**
+ * Stream prefetcher; see file comment.
+ */
+class StreamPrefetcher : public Prefetcher
+{
+  public:
+    explicit StreamPrefetcher(const PrefetcherConfig &config);
+
+    void observe(Addr addr, Addr pc, bool miss, bool train_only,
+                 std::vector<Addr> &out) override;
+
+    const char *name() const override { return "stream"; }
+
+    void setAggressiveness(std::uint32_t degree,
+                           std::uint32_t distance) override;
+
+    std::uint32_t currentDegree() const override { return degree_; }
+
+    /** Current prefetch distance D (exposed for FDP and tests). */
+    std::uint32_t currentDistance() const { return distance_; }
+
+  private:
+    enum class StreamState : std::uint8_t
+    {
+        Invalid,
+        Allocated,  ///< start pointer recorded, direction unknown
+        Monitoring, ///< direction known, region armed
+    };
+
+    struct StreamEntry
+    {
+        StreamState state = StreamState::Invalid;
+        std::int64_t start = 0; ///< trailing edge (last consumer access)
+        std::int64_t end = 0;   ///< prefetch front (last line prefetched)
+        std::int8_t dir = 0;    ///< +1 ascending, -1 descending
+        std::uint64_t lru = 0;
+    };
+
+    /** Entry whose training window or region covers @p line, or null. */
+    StreamEntry *match(std::int64_t line);
+
+    StreamEntry *allocate(std::int64_t line);
+
+    void trigger(StreamEntry &entry, std::vector<Addr> &out);
+
+    PrefetcherConfig config_;
+    std::uint32_t degree_;
+    std::uint32_t distance_;
+    std::vector<StreamEntry> entries_;
+    std::uint64_t lru_clock_ = 1;
+};
+
+} // namespace padc::prefetch
+
+#endif // PADC_PREFETCH_STREAM_PREFETCHER_HH

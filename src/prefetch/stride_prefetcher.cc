@@ -1,0 +1,75 @@
+#include "prefetch/stride_prefetcher.hh"
+
+namespace padc::prefetch
+{
+
+StridePrefetcher::StridePrefetcher(const PrefetcherConfig &config)
+    : config_(config), degree_(config.degree),
+      table_(config.stride_entries)
+{
+}
+
+void
+StridePrefetcher::setAggressiveness(std::uint32_t degree,
+                                    std::uint32_t distance)
+{
+    (void)distance; // the stride prefetcher has no distance notion
+    degree_ = degree;
+}
+
+std::uint32_t
+StridePrefetcher::indexOf(Addr pc) const
+{
+    // Fibonacci hash of the PC into the table.
+    const std::uint64_t h = pc * 0x9E3779B97F4A7C15ULL;
+    return static_cast<std::uint32_t>(h >> 32) %
+           static_cast<std::uint32_t>(table_.size());
+}
+
+void
+StridePrefetcher::observe(Addr addr, Addr pc, bool miss, bool train_only,
+                          std::vector<Addr> &out)
+{
+    (void)miss;
+    const auto line = static_cast<std::int64_t>(lineIndex(addr));
+    TableEntry &entry = table_[indexOf(pc)];
+
+    if (entry.tag != pc) {
+        if (train_only)
+            return; // only-train: do not steal entries during runahead
+        entry.tag = pc;
+        entry.last_line = line;
+        entry.stride = 0;
+        entry.confidence = 0;
+        return;
+    }
+
+    const std::int64_t delta = line - entry.last_line;
+    entry.last_line = line;
+    if (delta == 0)
+        return;
+
+    if (delta == entry.stride) {
+        if (entry.confidence < 3)
+            ++entry.confidence;
+    } else {
+        if (entry.confidence > 0) {
+            --entry.confidence;
+        } else {
+            entry.stride = delta;
+        }
+        return;
+    }
+
+    if (entry.confidence >= 2) {
+        for (std::uint32_t k = 1; k <= degree_; ++k) {
+            const std::int64_t target =
+                line + static_cast<std::int64_t>(k) * entry.stride;
+            if (target < 0)
+                break;
+            out.push_back(lineToAddr(static_cast<Addr>(target)));
+        }
+    }
+}
+
+} // namespace padc::prefetch

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * PC-based stride prefetcher (Baer & Chen style; paper reference [1]).
+ *
+ * A reference prediction table indexed by load PC records the last line
+ * address and the last observed stride per instruction. Two consecutive
+ * identical strides raise the confidence enough to issue prefetches
+ * `degree` strides ahead of the current access.
+ */
+
+#ifndef PADC_PREFETCH_STRIDE_PREFETCHER_HH
+#define PADC_PREFETCH_STRIDE_PREFETCHER_HH
+
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace padc::prefetch
+{
+
+/**
+ * PC-indexed stride prefetcher; see file comment.
+ */
+class StridePrefetcher : public Prefetcher
+{
+  public:
+    explicit StridePrefetcher(const PrefetcherConfig &config);
+
+    void observe(Addr addr, Addr pc, bool miss, bool train_only,
+                 std::vector<Addr> &out) override;
+
+    const char *name() const override { return "stride"; }
+
+    void setAggressiveness(std::uint32_t degree,
+                           std::uint32_t distance) override;
+
+    std::uint32_t currentDegree() const override { return degree_; }
+
+  private:
+    struct TableEntry
+    {
+        Addr tag = kInvalidAddr;    ///< PC owning the entry
+        std::int64_t last_line = 0; ///< last accessed line index
+        std::int64_t stride = 0;    ///< last observed stride, in lines
+        std::uint8_t confidence = 0; ///< saturating 0..3
+    };
+
+    std::uint32_t indexOf(Addr pc) const;
+
+    PrefetcherConfig config_;
+    std::uint32_t degree_;
+    std::vector<TableEntry> table_;
+};
+
+} // namespace padc::prefetch
+
+#endif // PADC_PREFETCH_STRIDE_PREFETCHER_HH

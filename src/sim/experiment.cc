@@ -1,0 +1,199 @@
+#include "sim/experiment.hh"
+
+#include <cassert>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "workload/generator.hh"
+
+namespace padc::sim
+{
+
+std::string
+policyLabel(PolicySetup setup)
+{
+    switch (setup) {
+      case PolicySetup::NoPref: return "no-pref";
+      case PolicySetup::DemandFirst: return "demand-first";
+      case PolicySetup::DemandPrefEqual: return "demand-pref-equal";
+      case PolicySetup::PrefetchFirst: return "prefetch-first";
+      case PolicySetup::ApsOnly: return "aps-only";
+      case PolicySetup::Padc: return "aps-apd (PADC)";
+      case PolicySetup::PadcRank: return "PADC-rank";
+      case PolicySetup::ApsNoUrgent: return "aps-no-urgent";
+      case PolicySetup::PadcNoUrgent: return "aps-apd-no-urgent";
+      case PolicySetup::ApdOnly: return "demand-first-apd";
+    }
+    return "unknown";
+}
+
+SystemConfig
+applyPolicy(SystemConfig base, PolicySetup setup)
+{
+    base.prefetch_enabled = true;
+    base.sched.apd_enabled = false;
+    base.sched.urgency_enabled = true;
+    base.sched.ranking_enabled = false;
+
+    switch (setup) {
+      case PolicySetup::NoPref:
+        base.prefetch_enabled = false;
+        base.sched.kind = SchedPolicyKind::FrFcfs;
+        break;
+      case PolicySetup::DemandFirst:
+        base.sched.kind = SchedPolicyKind::DemandFirst;
+        break;
+      case PolicySetup::DemandPrefEqual:
+        base.sched.kind = SchedPolicyKind::FrFcfs;
+        break;
+      case PolicySetup::PrefetchFirst:
+        base.sched.kind = SchedPolicyKind::PrefetchFirst;
+        break;
+      case PolicySetup::ApsOnly:
+        base.sched.kind = SchedPolicyKind::Aps;
+        break;
+      case PolicySetup::Padc:
+        base.sched.kind = SchedPolicyKind::Aps;
+        base.sched.apd_enabled = true;
+        break;
+      case PolicySetup::PadcRank:
+        base.sched.kind = SchedPolicyKind::Aps;
+        base.sched.apd_enabled = true;
+        base.sched.ranking_enabled = true;
+        break;
+      case PolicySetup::ApsNoUrgent:
+        base.sched.kind = SchedPolicyKind::Aps;
+        base.sched.urgency_enabled = false;
+        break;
+      case PolicySetup::PadcNoUrgent:
+        base.sched.kind = SchedPolicyKind::Aps;
+        base.sched.apd_enabled = true;
+        base.sched.urgency_enabled = false;
+        break;
+      case PolicySetup::ApdOnly:
+        base.sched.kind = SchedPolicyKind::DemandFirst;
+        base.sched.apd_enabled = true;
+        break;
+    }
+    return base;
+}
+
+RunMetrics
+runMix(const SystemConfig &config, const workload::Mix &mix,
+       const RunOptions &options)
+{
+    assert(mix.size() == config.num_cores);
+
+    std::vector<std::unique_ptr<workload::SyntheticTrace>> traces;
+    std::vector<core::TraceSource *> sources;
+    for (std::uint32_t c = 0; c < config.num_cores; ++c) {
+        traces.push_back(std::make_unique<workload::SyntheticTrace>(
+            workload::traceParamsFor(mix, c, options.mix_seed)));
+        sources.push_back(traces.back().get());
+    }
+
+    System system(config, std::move(sources));
+    system.run(options.instructions, options.max_cycles, options.warmup);
+    return collectMetrics(system);
+}
+
+AloneIpcCache::AloneIpcCache(SystemConfig base, RunOptions options)
+    : base_(std::move(base)), options_(options)
+{
+}
+
+double
+AloneIpcCache::ipcAlone(const std::string &profile_name, std::uint32_t core,
+                        std::uint64_t mix_seed)
+{
+    // The alone IPC depends on the profile and its per-(mix, core) trace
+    // seed; key on all three so identical profiles across cores reuse
+    // the entry only when the generated trace is identical.
+    const std::string key = profile_name + "#" + std::to_string(core) +
+                            "#" + std::to_string(mix_seed);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    // Alone methodology (Section 5.2): demand-first policy, application
+    // on one core of the CMP, other cores idle. We emulate idle cores
+    // with a compute-only spin trace confined to a single line.
+    SystemConfig cfg = applyPolicy(base_, PolicySetup::DemandFirst);
+
+    // Build the mix-placed trace for the target core, then run it alone.
+    workload::Mix dummy_mix(base_.num_cores, profile_name);
+    workload::TraceParams params =
+        workload::traceParamsFor(dummy_mix, core, mix_seed);
+    workload::SyntheticTrace app_trace(params);
+
+    std::vector<std::unique_ptr<core::VectorTrace>> idle_traces;
+    std::vector<core::TraceSource *> sources;
+    for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
+        if (c == core % cfg.num_cores) {
+            sources.push_back(&app_trace);
+        } else {
+            core::TraceOp spin;
+            spin.compute_gap = 1000;
+            spin.addr = (static_cast<Addr>(c) << 40) | 0x100;
+            spin.pc = 0x500000 + c * 16;
+            spin.is_load = true;
+            idle_traces.push_back(std::make_unique<core::VectorTrace>(
+                std::vector<core::TraceOp>{spin}));
+            sources.push_back(idle_traces.back().get());
+        }
+    }
+
+    System system(cfg, std::move(sources));
+    system.run(options_.instructions, options_.max_cycles,
+               options_.warmup);
+    const RunMetrics metrics = collectMetrics(system);
+    const double ipc = metrics.cores[core % cfg.num_cores].ipc;
+    cache_[key] = ipc;
+    return ipc;
+}
+
+MixEvaluation
+evaluateMix(const SystemConfig &config, const workload::Mix &mix,
+            const RunOptions &options, AloneIpcCache &alone)
+{
+    MixEvaluation eval;
+    eval.metrics = runMix(config, mix, options);
+    std::vector<double> ipc_alone;
+    for (std::uint32_t c = 0; c < config.num_cores; ++c)
+        ipc_alone.push_back(alone.ipcAlone(mix[c], c, options.mix_seed));
+    eval.summary = multiCoreMetrics(eval.metrics, ipc_alone);
+    return eval;
+}
+
+void
+printLabel(const std::string &text, int width)
+{
+    std::cout << std::left << std::setw(width) << text << std::right;
+}
+
+void
+printCell(double value, int width, int precision)
+{
+    std::cout << std::setw(width) << std::fixed
+              << std::setprecision(precision) << value;
+}
+
+void
+printHeader(const std::string &label,
+            const std::vector<std::string> &columns, int label_width,
+            int col_width)
+{
+    printLabel(label, label_width);
+    for (const auto &column : columns)
+        std::cout << std::setw(col_width) << column;
+    std::cout << '\n';
+}
+
+void
+endRow()
+{
+    std::cout << '\n';
+}
+
+} // namespace padc::sim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Experiment harness shared by the benchmark binaries and examples.
+ *
+ * Provides the paper's canonical policy setups (no-pref, demand-first,
+ * demand-prefetch-equal, prefetch-first, APS-only, PADC, PADC+rank and
+ * the no-urgency ablations), single-mix runners, an alone-IPC cache for
+ * WS/HS/UF computation, and small fixed-width table printing helpers so
+ * every bench prints the same row format the paper reports.
+ */
+
+#ifndef PADC_SIM_EXPERIMENT_HH
+#define PADC_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "sim/system.hh"
+#include "workload/mixes.hh"
+
+namespace padc::sim
+{
+
+/** The policy columns appearing in the paper's figures. */
+enum class PolicySetup
+{
+    NoPref,          ///< prefetcher disabled
+    DemandFirst,     ///< rigid demand-over-prefetch (baseline)
+    DemandPrefEqual, ///< rigid FR-FCFS, prefetch-blind
+    PrefetchFirst,   ///< rigid prefetch-over-demand (footnote 2)
+    ApsOnly,         ///< adaptive scheduling, no dropping
+    Padc,            ///< APS + APD
+    PadcRank,        ///< PADC with the Section 6.5 ranking rule
+    ApsNoUrgent,     ///< APS without the urgency level (Table 8)
+    PadcNoUrgent,    ///< PADC without the urgency level (Table 8)
+    ApdOnly,         ///< demand-first scheduling + APD (Section 6.12)
+};
+
+/** Figure-style label, e.g. "aps-apd (PADC)". */
+std::string policyLabel(PolicySetup setup);
+
+/** Apply a policy setup to a base system configuration. */
+SystemConfig applyPolicy(SystemConfig base, PolicySetup setup);
+
+/** Common run options. */
+struct RunOptions
+{
+    std::uint64_t instructions = 200000; ///< per-core retire target
+    std::uint64_t warmup = 50000;        ///< per-core warm-up instructions
+    std::uint64_t max_cycles = 30000000; ///< safety cap
+    std::uint64_t mix_seed = 0;          ///< per-mix seed salt
+};
+
+/**
+ * Run one multiprogrammed mix under @p config.
+ * Builds one SyntheticTrace per core from the named profiles.
+ */
+RunMetrics runMix(const SystemConfig &config, const workload::Mix &mix,
+                  const RunOptions &options);
+
+/**
+ * Memoizing provider of alone-run IPCs.
+ *
+ * Per the paper's methodology, IPC_alone is measured with the
+ * demand-first policy on the same shared-resource configuration, with
+ * the application on core 0 and the remaining cores idle.
+ */
+class AloneIpcCache
+{
+  public:
+    /**
+     * @param base the CMP configuration the together-runs use
+     * @param options same run options as the together-runs
+     */
+    AloneIpcCache(SystemConfig base, RunOptions options);
+
+    /** Alone IPC of @p profile_name running on core @p core of the CMP. */
+    double ipcAlone(const std::string &profile_name, std::uint32_t core,
+                    std::uint64_t mix_seed);
+
+  private:
+    SystemConfig base_;
+    RunOptions options_;
+    std::map<std::string, double> cache_;
+};
+
+/** Together-run + WS/HS/UF against alone-runs, in one call. */
+struct MixEvaluation
+{
+    RunMetrics metrics;
+    MultiCoreMetrics summary;
+};
+
+MixEvaluation evaluateMix(const SystemConfig &config,
+                          const workload::Mix &mix,
+                          const RunOptions &options, AloneIpcCache &alone);
+
+// --- table printing helpers -------------------------------------------
+
+/** Print a left-aligned label cell of fixed width. */
+void printLabel(const std::string &text, int width = 22);
+
+/** Print one right-aligned numeric cell. */
+void printCell(double value, int width = 12, int precision = 3);
+
+/** Print a header row from column names. */
+void printHeader(const std::string &label,
+                 const std::vector<std::string> &columns, int label_width = 22,
+                 int col_width = 12);
+
+/** End the current row. */
+void endRow();
+
+} // namespace padc::sim
+
+#endif // PADC_SIM_EXPERIMENT_HH

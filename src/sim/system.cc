@@ -1,0 +1,549 @@
+#include "sim/system.hh"
+
+#include <cassert>
+
+namespace padc::sim
+{
+
+SystemConfig
+SystemConfig::baseline(std::uint32_t cores)
+{
+    SystemConfig c;
+    c.num_cores = cores;
+
+    c.l1.size_bytes = 32 * 1024;
+    c.l1.ways = 4;
+    c.l1.hit_latency = 2;
+
+    c.l2.size_bytes = cores == 1 ? 1024 * 1024 : 512 * 1024;
+    c.l2.ways = 8;
+    c.l2.hit_latency = 15;
+
+    std::uint32_t buffer = 32 * cores;
+    if (cores == 1 || cores == 2)
+        buffer = 64;
+    else if (cores == 4)
+        buffer = 128;
+    else if (cores == 8)
+        buffer = 256;
+    c.sched.request_buffer_size = buffer;
+    c.mshr_per_l2 = buffer / cores;
+
+    // The paper measures accuracy over 100K-cycle intervals across 200M
+    // instructions; our runs are ~100x shorter, so the baseline interval
+    // is scaled down to keep a comparable number of adaptation points.
+    c.sched.accuracy.interval = 25000;
+
+    // APD drop thresholds: the paper's Table 6 values. They are safe at
+    // our timescales because dropped prefetches leave the interval PSC
+    // (see AccuracyTracker), which removes the drop/mismeasure feedback
+    // loop; the threshold ablation bench sweeps scaled variants.
+    c.sched.drop_thresholds = {100, 1500, 50000, 100000};
+
+    return c;
+}
+
+System::System(const SystemConfig &config,
+               std::vector<core::TraceSource *> traces)
+    : config_(config), traces_(std::move(traces)),
+      // Fig. 4(a) layout: eight 200-cycle buckets plus overflow.
+      useful_hist_(200, 8), useless_hist_(200, 8)
+{
+    assert(traces_.size() == config_.num_cores);
+    assert(config_.num_cores >= 1 &&
+           config_.num_cores <= memctrl::kMaxCores);
+
+    dram_ = std::make_unique<dram::DramSystem>(config_.dram);
+    tracker_ = std::make_unique<memctrl::AccuracyTracker>(
+        config_.num_cores, config_.sched.accuracy);
+
+    for (std::uint32_t ch = 0; ch < dram_->numChannels(); ++ch) {
+        controllers_.push_back(std::make_unique<memctrl::MemoryController>(
+            config_.sched, dram_->channel(ch), *tracker_, *this,
+            config_.num_cores));
+    }
+
+    const std::uint32_t num_l2 = config_.shared_l2 ? 1 : config_.num_cores;
+    for (std::uint32_t i = 0; i < num_l2; ++i) {
+        l2s_.push_back(std::make_unique<cache::SetAssocCache>(
+            config_.l2, "l2." + std::to_string(i)));
+        mshrs_.push_back(
+            std::make_unique<cache::MshrFile>(config_.mshr_per_l2));
+    }
+
+    for (CoreId i = 0; i < config_.num_cores; ++i) {
+        l1s_.push_back(std::make_unique<cache::SetAssocCache>(
+            config_.l1, "l1." + std::to_string(i)));
+        prefetchers_.push_back(
+            prefetch::makePrefetcher(config_.prefetcher));
+        if (config_.ddpf_enabled) {
+            ddpf_.push_back(
+                std::make_unique<prefetch::DdpfFilter>(config_.ddpf));
+        }
+        if (config_.fdp_enabled) {
+            FdpState state;
+            state.controller =
+                std::make_unique<prefetch::FdpController>(config_.fdp);
+            state.pollution = std::make_unique<prefetch::PollutionFilter>(
+                config_.fdp.pollution_filter_bits);
+            fdp_.push_back(std::move(state));
+            prefetchers_.back()->setAggressiveness(
+                fdp_.back().controller->degree(),
+                fdp_.back().controller->distance());
+        }
+        cores_.push_back(std::make_unique<core::Core>(
+            i, config_.core, *traces_[i], *this));
+    }
+
+    mem_.resize(config_.num_cores);
+    results_.resize(config_.num_cores);
+    next_interval_ = config_.sched.accuracy.interval;
+}
+
+System::~System() = default;
+
+void
+System::fillL1(CoreId core, Addr line_addr, bool dirty, Cycle now)
+{
+    cache::SetAssocCache &l1 = *l1s_[core];
+    if (cache::Line *existing = l1.peek(line_addr)) {
+        existing->dirty = existing->dirty || dirty;
+        return;
+    }
+    const cache::EvictResult ev =
+        l1.fill(line_addr, core, 0, false, false, 0);
+    if (ev.valid && ev.dirty) {
+        // Inclusive hierarchy: the L2 normally still holds the victim.
+        cache::Line *l2_line = l2For(core).peek(ev.line_addr);
+        if (l2_line != nullptr) {
+            l2_line->dirty = true;
+        } else {
+            const dram::DramCoord coord = dram_->map(ev.line_addr);
+            controllerFor(coord).enqueueWrite(coord, ev.line_addr, core,
+                                              now);
+            ++mem_[core].writebacks;
+        }
+    }
+    if (dirty)
+        l1.peek(line_addr)->dirty = true;
+}
+
+void
+System::resolveUseful(cache::Line &line, Cycle now)
+{
+    (void)now;
+    line.prefetched = false;
+    tracker_->onPrefetchUsed(line.owner);
+    CoreMemStats &ms = mem_[line.owner];
+    ++ms.useful_prefetch_fills;
+    ++ms.useful_req_fills;
+    if (line.fill_row_hit)
+        ++ms.useful_req_row_hits;
+    useful_hist_.sample(line.service_time);
+    if (config_.ddpf_enabled)
+        ddpf_[line.owner]->update(line.line_addr, line.pc, true);
+    if (config_.fdp_enabled)
+        ++fdp_[line.owner].counts.prefetches_used;
+}
+
+void
+System::resolveUseless(const cache::EvictResult &victim, Addr pc)
+{
+    useless_hist_.sample(victim.service_time);
+    if (config_.ddpf_enabled)
+        ddpf_[victim.owner]->update(victim.line_addr, pc, false);
+}
+
+void
+System::issuePrefetch(CoreId core, Addr addr, Addr pc, Cycle now)
+{
+    const Addr line_addr = lineAlign(addr);
+    CoreMemStats &ms = mem_[core];
+    ++ms.prefetch_candidates;
+
+    if (l2For(core).probe(line_addr))
+        return;
+    cache::MshrFile &mshr = mshrFor(core);
+    if (mshr.find(line_addr) != nullptr)
+        return;
+    if (config_.ddpf_enabled && !ddpf_[core]->allow(line_addr, pc)) {
+        ddpf_[core]->noteFiltered();
+        ++ms.prefetches_filtered;
+        return;
+    }
+    if (mshr.full()) {
+        ++ms.prefetches_no_room;
+        return;
+    }
+    const dram::DramCoord coord = dram_->map(line_addr);
+    if (!controllerFor(coord).enqueueRead(coord, line_addr, core, pc,
+                                          /*is_prefetch=*/true, now)) {
+        ++ms.prefetches_no_room;
+        return;
+    }
+    cache::MshrEntry &entry = mshr.alloc(line_addr);
+    entry.core = core;
+    entry.pc = pc;
+    entry.prefetch = true;
+    entry.was_prefetch = true;
+    entry.issue_cycle = now;
+    ++ms.prefetches_issued;
+    if (config_.fdp_enabled)
+        ++fdp_[core].counts.prefetches_sent;
+}
+
+core::AccessReply
+System::access(CoreId core, Addr addr, Addr pc, bool is_load,
+               std::uint64_t token_tag, bool runahead, Cycle now)
+{
+    // L1.
+    if (cache::Line *l1_line = l1s_[core]->access(addr)) {
+        if (!is_load)
+            l1_line->dirty = true;
+        return {core::AccessStatus::Complete,
+                now + config_.l1.hit_latency};
+    }
+
+    // L2.
+    cache::SetAssocCache &l2 = l2For(core);
+    CoreMemStats &ms = mem_[core];
+    ++ms.l2_demand_accesses;
+    if (config_.fdp_enabled)
+        ++fdp_[core].counts.demand_accesses;
+
+    cache::Line *l2_line = l2.access(addr);
+    const bool l2_miss = l2_line == nullptr;
+    core::AccessReply reply;
+
+    if (!l2_miss) {
+        if (l2_line->prefetched)
+            resolveUseful(*l2_line, now);
+        fillL1(core, lineAlign(addr), !is_load, now);
+        reply = {core::AccessStatus::Complete,
+                 now + config_.l1.hit_latency + config_.l2.hit_latency};
+    } else {
+        const Addr line_addr = lineAlign(addr);
+        if (config_.fdp_enabled &&
+            fdp_[core].pollution->checkAndClear(line_addr)) {
+            ++ms.pollution_misses;
+            ++fdp_[core].counts.pollution_misses;
+        }
+
+        cache::MshrFile &mshr = mshrFor(core);
+        if (cache::MshrEntry *entry = mshr.find(line_addr)) {
+            if (entry->prefetch) {
+                // Demand matched an in-flight prefetch: promote it.
+                // This is a primary miss for MPKI purposes; coalescing
+                // onto an existing demand miss is not.
+                ++ms.l2_demand_misses;
+                entry->prefetch = false;
+                const dram::DramCoord coord = dram_->map(line_addr);
+                controllerFor(coord).promote(line_addr, now);
+                tracker_->onPrefetchUsed(entry->core);
+                ++ms.promotions;
+                if (config_.ddpf_enabled)
+                    ddpf_[core]->update(line_addr, entry->pc, true);
+                if (config_.fdp_enabled) {
+                    ++fdp_[core].counts.late_prefetches;
+                    ++fdp_[core].counts.prefetches_used;
+                }
+            }
+            entry->waiters.push_back({core, token_tag});
+            if (!is_load)
+                entry->store_waiting = true;
+            reply = {core::AccessStatus::Pending, 0};
+        } else {
+            const dram::DramCoord coord = dram_->map(line_addr);
+            if (mshr.full() ||
+                !controllerFor(coord).enqueueRead(coord, line_addr, core,
+                                                  pc, false, now)) {
+                reply = {core::AccessStatus::Retry, 0};
+            } else {
+                ++ms.l2_demand_misses;
+                cache::MshrEntry &entry = mshr.alloc(line_addr);
+                entry.core = core;
+                entry.pc = pc;
+                entry.prefetch = false;
+                entry.was_prefetch = false;
+                entry.issue_cycle = now;
+                entry.waiters.push_back({core, token_tag});
+                if (!is_load)
+                    entry.store_waiting = true;
+                reply = {core::AccessStatus::Pending, 0};
+            }
+        }
+    }
+
+    // Prefetcher training and issue. Skipped when the demand itself is
+    // being retried, so a stalled access does not re-train the
+    // prefetcher every cycle.
+    if (config_.prefetch_enabled &&
+        reply.status != core::AccessStatus::Retry) {
+        candidate_buf_.clear();
+        prefetchers_[core]->observe(addr, pc, l2_miss, runahead,
+                                    candidate_buf_);
+        for (const Addr candidate : candidate_buf_)
+            issuePrefetch(core, candidate, pc, now);
+    }
+    return reply;
+}
+
+void
+System::dramReadComplete(const memctrl::Request &req, Cycle now)
+{
+    const Addr line_addr = req.line_addr;
+    const CoreId core = req.core;
+    cache::MshrFile &mshr = mshrFor(core);
+    cache::MshrEntry *entry = mshr.find(line_addr);
+    assert(entry != nullptr && "read completion without an MSHR entry");
+
+    // The MSHR is the source of truth for promotion status: a read
+    // forwarded from the write queue can be promoted while its request
+    // copy is already out of the buffer.
+    const bool still_prefetch = entry->prefetch;
+    const bool was_prefetch = entry->was_prefetch;
+    const bool row_hit =
+        req.row_outcome == memctrl::Request::RowOutcome::Hit;
+    const auto service =
+        static_cast<std::uint32_t>(now - req.arrival);
+
+    CoreMemStats &ms = mem_[core];
+    ++ms.fills_total;
+    if (row_hit)
+        ++ms.fills_row_hit;
+    if (!was_prefetch) {
+        ++ms.demand_fills;
+        ++ms.useful_req_fills;
+        if (row_hit)
+            ++ms.useful_req_row_hits;
+    } else {
+        ++ms.prefetch_fills;
+        if (!still_prefetch) {
+            // Promoted prefetch: counted useful at fill (the PUC side
+            // was already counted at promotion time).
+            ++ms.useful_prefetch_fills;
+            ++ms.useful_req_fills;
+            if (row_hit)
+                ++ms.useful_req_row_hits;
+            useful_hist_.sample(service);
+        }
+    }
+
+    cache::SetAssocCache &l2 = l2For(core);
+    const cache::EvictResult ev = l2.fill(
+        line_addr, core, entry->pc, still_prefetch, row_hit, service);
+    if (ev.valid) {
+        const bool l1_dirty = l1s_[ev.owner]->invalidate(ev.line_addr);
+        if (ev.dirty || l1_dirty) {
+            const dram::DramCoord coord = dram_->map(ev.line_addr);
+            controllerFor(coord).enqueueWrite(coord, ev.line_addr,
+                                              ev.owner, now);
+            ++mem_[ev.owner].writebacks;
+        }
+        if (ev.prefetched_unused)
+            resolveUseless(ev, ev.pc);
+        // FDP pollution tracking: a prefetch fill displacing
+        // demand-useful data is potential pollution.
+        if (config_.fdp_enabled && still_prefetch &&
+            !ev.prefetched_unused) {
+            fdp_[core].pollution->insert(ev.line_addr);
+        }
+    }
+
+    if (!still_prefetch)
+        fillL1(core, line_addr, entry->store_waiting, now);
+    for (const cache::LoadToken &waiter : entry->waiters)
+        cores_[waiter.core]->completeLoad(waiter.tag, now);
+    mshr.release(line_addr);
+}
+
+void
+System::dramPrefetchDropped(const memctrl::Request &req, Cycle now)
+{
+    (void)now;
+    cache::MshrFile &mshr = mshrFor(req.core);
+    [[maybe_unused]] cache::MshrEntry *entry = mshr.find(req.line_addr);
+    assert(entry != nullptr && entry->prefetch && entry->waiters.empty() &&
+           "APD must only drop unpromoted prefetches");
+    mshr.release(req.line_addr);
+}
+
+StatSet
+System::exportStats() const
+{
+    StatSet stats;
+    stats.add("cycles", static_cast<double>(now_));
+
+    for (CoreId i = 0; i < config_.num_cores; ++i) {
+        const std::string prefix = "core" + std::to_string(i) + ".";
+        const CoreResult &res = results_[i];
+        const core::CoreStats &cs = res.core_stats;
+        const CoreMemStats &ms = res.mem_stats;
+        stats.add(prefix + "instructions",
+                  static_cast<double>(cs.instructions));
+        stats.add(prefix + "cycles", static_cast<double>(res.done_cycle));
+        stats.add(prefix + "loads", static_cast<double>(cs.loads));
+        stats.add(prefix + "stores", static_cast<double>(cs.stores));
+        stats.add(prefix + "load_stall_cycles",
+                  static_cast<double>(cs.load_stall_cycles));
+        stats.add(prefix + "runahead_episodes",
+                  static_cast<double>(cs.runahead_episodes));
+        stats.add(prefix + "l2_demand_accesses",
+                  static_cast<double>(ms.l2_demand_accesses));
+        stats.add(prefix + "l2_demand_misses",
+                  static_cast<double>(ms.l2_demand_misses));
+        stats.add(prefix + "demand_fills",
+                  static_cast<double>(ms.demand_fills));
+        stats.add(prefix + "prefetch_fills",
+                  static_cast<double>(ms.prefetch_fills));
+        stats.add(prefix + "useful_prefetch_fills",
+                  static_cast<double>(ms.useful_prefetch_fills));
+        stats.add(prefix + "writebacks",
+                  static_cast<double>(ms.writebacks));
+        stats.add(prefix + "prefetches_issued",
+                  static_cast<double>(ms.prefetches_issued));
+        stats.add(prefix + "prefetch_candidates",
+                  static_cast<double>(ms.prefetch_candidates));
+        stats.add(prefix + "prefetches_filtered",
+                  static_cast<double>(ms.prefetches_filtered));
+        stats.add(prefix + "prefetches_no_room",
+                  static_cast<double>(ms.prefetches_no_room));
+        stats.add(prefix + "promotions",
+                  static_cast<double>(ms.promotions));
+        stats.add(prefix + "pref_sent",
+                  static_cast<double>(res.pref_sent));
+        stats.add(prefix + "pref_used",
+                  static_cast<double>(res.pref_used));
+        stats.add(prefix + "accuracy", tracker_->accuracy(i));
+    }
+
+    for (std::uint32_t i = 0; i < controllers_.size(); ++i) {
+        const std::string prefix = "ctrl" + std::to_string(i) + ".";
+        const memctrl::ControllerStats &cs = controllers_[i]->stats();
+        stats.add(prefix + "demand_reads",
+                  static_cast<double>(cs.demand_reads));
+        stats.add(prefix + "prefetch_reads",
+                  static_cast<double>(cs.prefetch_reads));
+        stats.add(prefix + "writes", static_cast<double>(cs.writes));
+        stats.add(prefix + "row_hits",
+                  static_cast<double>(cs.read_row_hits));
+        stats.add(prefix + "row_closed",
+                  static_cast<double>(cs.read_row_closed));
+        stats.add(prefix + "row_conflicts",
+                  static_cast<double>(cs.read_row_conflicts));
+        stats.add(prefix + "prefetches_dropped",
+                  static_cast<double>(cs.prefetches_dropped));
+        stats.add(prefix + "prefetches_rejected_full",
+                  static_cast<double>(cs.prefetches_rejected_full));
+        stats.add(prefix + "demands_rejected_full",
+                  static_cast<double>(cs.demands_rejected_full));
+        stats.add(prefix + "promotions",
+                  static_cast<double>(cs.promotions));
+        stats.add(prefix + "forwarded_reads",
+                  static_cast<double>(cs.forwarded_reads));
+        stats.add(prefix + "avg_read_queue",
+                  cs.dram_cycles > 0
+                      ? static_cast<double>(cs.read_queue_occupancy_sum) /
+                            static_cast<double>(cs.dram_cycles)
+                      : 0.0);
+    }
+
+    const dram::ChannelStats ds = dram_->totalStats();
+    stats.add("dram.activates", static_cast<double>(ds.activates));
+    stats.add("dram.precharges", static_cast<double>(ds.precharges));
+    stats.add("dram.reads", static_cast<double>(ds.reads));
+    stats.add("dram.writes", static_cast<double>(ds.writes));
+    stats.add("dram.refreshes", static_cast<double>(ds.refreshes));
+
+    for (std::uint32_t i = 0; i < l2s_.size(); ++i) {
+        const std::string prefix = "l2." + std::to_string(i) + ".";
+        const cache::CacheStats &cs = l2s_[i]->stats();
+        stats.add(prefix + "hits", static_cast<double>(cs.hits));
+        stats.add(prefix + "misses", static_cast<double>(cs.misses));
+        stats.add(prefix + "fills", static_cast<double>(cs.fills));
+        stats.add(prefix + "evictions",
+                  static_cast<double>(cs.evictions));
+        stats.add(prefix + "dirty_evictions",
+                  static_cast<double>(cs.dirty_evictions));
+        stats.add(prefix + "useless_evictions",
+                  static_cast<double>(cs.useless_evictions));
+    }
+    return stats;
+}
+
+void
+System::intervalTick(Cycle now)
+{
+    accuracy_timeline_.emplace_back(now, tracker_->accuracy(0));
+    if (config_.fdp_enabled) {
+        for (CoreId i = 0; i < config_.num_cores; ++i) {
+            FdpState &state = fdp_[i];
+            state.controller->evaluate(state.counts);
+            state.counts = {};
+            prefetchers_[i]->setAggressiveness(
+                state.controller->degree(), state.controller->distance());
+        }
+    }
+    next_interval_ = now + config_.sched.accuracy.interval;
+}
+
+void
+System::run(std::uint64_t instructions_per_core, std::uint64_t max_cycles,
+            std::uint64_t warmup_instructions)
+{
+    const Cycle end = now_ + max_cycles;
+    while (now_ < end) {
+        tracker_->tick(now_);
+        if (now_ >= next_interval_)
+            intervalTick(now_);
+        for (auto &controller : controllers_)
+            controller->tick(now_);
+
+        bool all_done = true;
+        for (CoreId i = 0; i < config_.num_cores; ++i) {
+            cores_[i]->tick(now_);
+            if (!results_[i].done) {
+                CoreResult &res = results_[i];
+                const std::uint64_t retired =
+                    cores_[i]->stats().instructions;
+                if (!res.warmed && warmup_instructions > 0 &&
+                    retired >= warmup_instructions) {
+                    res.warmed = true;
+                    res.warm_cycle = now_ + 1;
+                    res.warm_core_stats = cores_[i]->stats();
+                    res.warm_mem_stats = mem_[i];
+                    res.warm_pref_sent = tracker_->totalSent(i);
+                    res.warm_pref_used = tracker_->totalUsed(i);
+                }
+                if (retired >= instructions_per_core) {
+                    res.done = true;
+                    res.done_cycle = now_ + 1;
+                    res.core_stats = cores_[i]->stats();
+                    res.mem_stats = mem_[i];
+                    res.pref_sent = tracker_->totalSent(i);
+                    res.pref_used = tracker_->totalUsed(i);
+                } else {
+                    all_done = false;
+                }
+            }
+        }
+        ++now_;
+        if (all_done)
+            break;
+    }
+
+    // Cycle cap reached: freeze whatever progress the remaining cores
+    // made so metrics stay computable (done remains false).
+    for (CoreId i = 0; i < config_.num_cores; ++i) {
+        if (!results_[i].done) {
+            CoreResult &res = results_[i];
+            res.done_cycle = now_;
+            res.core_stats = cores_[i]->stats();
+            res.mem_stats = mem_[i];
+            res.pref_sent = tracker_->totalSent(i);
+            res.pref_used = tracker_->totalUsed(i);
+        }
+    }
+}
+
+} // namespace padc::sim

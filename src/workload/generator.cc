@@ -1,0 +1,170 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+
+namespace padc::workload
+{
+
+namespace
+{
+
+/** Stable PC bases per run type ("loop bodies" of the synthetic app). */
+constexpr Addr kSeqPcBase = 0x400100;
+constexpr Addr kStridePcBase = 0x400200;
+constexpr Addr kRandomPcBase = 0x400300;
+
+/** PCs cycled within one loop body (models a moderately unrolled loop). */
+constexpr std::uint32_t kPcsPerLoop = 4;
+
+} // namespace
+
+SyntheticTrace::SyntheticTrace(const TraceParams &params)
+    : params_(params), rng_(params.seed)
+{
+    resetRuns();
+}
+
+void
+SyntheticTrace::reset()
+{
+    rng_ = Rng(params_.seed);
+    phase_idx_ = 0;
+    ops_in_phase_ = 0;
+    word_ = 0;
+    pc_rotor_ = 0;
+    rotor_ = 0;
+    revisit_pool_.clear();
+    resetRuns();
+}
+
+void
+SyntheticTrace::resetRuns()
+{
+    runs_.assign(std::max<std::uint32_t>(1, phase().concurrent_runs), Run{});
+    for (auto &run : runs_)
+        startRun(run);
+}
+
+void
+SyntheticTrace::startRun(Run &run)
+{
+    const PhaseParams &p = phase();
+    const std::uint64_t ws_lines =
+        std::max<std::uint64_t>(1, params_.working_set_bytes / kLineBytes);
+
+    // Convert traffic (line) shares into run-selection probabilities by
+    // dividing each share by its mean run length: short random bursts
+    // must be chosen far more often than long streams to carry the same
+    // share of lines.
+    const double seq_len = std::max<std::uint32_t>(1, p.seq_run_lines);
+    const double stride_len = std::max<std::uint32_t>(1, p.stride_run_len);
+    const double burst_len = std::max<std::uint32_t>(1, p.burst_lines);
+    const double rand_share =
+        std::max(0.0, 1.0 - p.seq_fraction - p.stride_fraction);
+    const double w_seq = p.seq_fraction / seq_len;
+    const double w_stride = p.stride_fraction / stride_len;
+    const double w_rand = rand_share / burst_len;
+    const double w_total = w_seq + w_stride + w_rand;
+
+    const double pick = w_total > 0.0 ? rng_.nextDouble() * w_total : 0.0;
+    if (pick < w_seq) {
+        run.type = RunType::Sequential;
+        // Geometric-ish length around the mean; at least a handful of
+        // lines so direction training always succeeds.
+        const double cont =
+            1.0 - 1.0 / std::max<std::uint32_t>(2, p.seq_run_lines);
+        run.left = 4 + rng_.burstLength(cont, p.seq_run_lines * 4);
+        run.stride = 1;
+        run.pc_base = kSeqPcBase;
+    } else if (pick < w_seq + w_stride) {
+        run.type = RunType::Strided;
+        const double cont =
+            1.0 - 1.0 / std::max<std::uint32_t>(2, p.stride_run_len);
+        run.left = 4 + rng_.burstLength(cont, p.stride_run_len * 4);
+        run.stride = std::max<std::uint32_t>(2, p.stride_lines);
+        run.pc_base = kStridePcBase;
+    } else {
+        run.type = RunType::Random;
+        run.left = rng_.burstLength(
+            0.5, std::max<std::uint32_t>(2, p.burst_lines * 2));
+        if (run.left < p.burst_lines / 2 + 1)
+            run.left = p.burst_lines / 2 + 1;
+        run.stride = 1;
+        run.pc_base = kRandomPcBase;
+
+        // Pointer-chasing recurrence: some bursts revisit earlier
+        // locations, giving the miss stream the temporal correlation a
+        // Markov prefetcher can learn. Pool insertion is sparse so the
+        // recurrence distance is long: revisited lines have usually
+        // left the cache and show up as repeated *misses*.
+        if (!revisit_pool_.empty() && rng_.chance(p.revisit_fraction)) {
+            run.line =
+                revisit_pool_[rng_.nextBelow(revisit_pool_.size())];
+        } else {
+            run.line = rng_.nextBelow(ws_lines);
+            if (rng_.chance(0.02)) {
+                if (revisit_pool_.size() < 128)
+                    revisit_pool_.push_back(run.line);
+                else
+                    revisit_pool_[rng_.nextBelow(128)] = run.line;
+            }
+        }
+        run.accesses_left = params_.accesses_per_line;
+        return;
+    }
+    run.line = rng_.nextBelow(ws_lines);
+    run.accesses_left = params_.accesses_per_line;
+}
+
+padc::core::TraceOp
+SyntheticTrace::next()
+{
+    padc::core::TraceOp op;
+
+    // Compute gap: uniform in [gap/2, 3*gap/2] around the configured mean.
+    const std::uint32_t g = params_.avg_gap;
+    op.compute_gap =
+        g == 0 ? 0
+               : static_cast<std::uint32_t>(rng_.nextRange(
+                     static_cast<std::int64_t>(g) / 2,
+                     static_cast<std::int64_t>(g) + g / 2));
+
+    Run &run = runs_[rotor_ % runs_.size()];
+    ++rotor_;
+
+    const std::uint64_t ws_lines =
+        std::max<std::uint64_t>(1, params_.working_set_bytes / kLineBytes);
+    const std::uint64_t local_line = run.line % ws_lines;
+    op.addr = params_.base + lineToAddr(local_line) +
+              (static_cast<Addr>(word_) * 8 % kLineBytes);
+    op.pc = run.pc_base + 4 * (pc_rotor_ % kPcsPerLoop);
+    op.is_load = !rng_.chance(params_.store_fraction);
+    op.dependent = rng_.chance(params_.dependent_fraction);
+
+    ++word_;
+    ++pc_rotor_;
+
+    // Advance within the run.
+    if (run.accesses_left > 1) {
+        --run.accesses_left;
+    } else {
+        run.line += run.stride;
+        run.accesses_left = params_.accesses_per_line;
+        if (run.left > 0)
+            --run.left;
+        if (run.left == 0)
+            startRun(run);
+    }
+
+    // Phase switching.
+    ++ops_in_phase_;
+    if (params_.num_phases > 1 && phase().ops != 0 &&
+        ops_in_phase_ >= phase().ops) {
+        ops_in_phase_ = 0;
+        phase_idx_ = (phase_idx_ + 1) % params_.num_phases;
+        resetRuns();
+    }
+    return op;
+}
+
+} // namespace padc::workload

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Synthetic memory-trace generator.
+ *
+ * Stands in for the paper's SPEC CPU 2000/2006 Pinpoint traces (see
+ * DESIGN.md, substitution 1). A trace is a phase-structured stream of
+ * "runs": sequential runs (long ones make stream prefetchers accurate
+ * and produce DRAM row hits), strided runs, and random bursts (short
+ * sequential flurries at random locations, which bait a stream
+ * prefetcher into issuing mostly-useless prefetches -- the behaviour of
+ * the paper's prefetch-unfriendly class). Two parameter phases can
+ * alternate to model accuracy phase behaviour like milc's (Fig. 4(b)).
+ *
+ * Everything is derived deterministically from the seed.
+ */
+
+#ifndef PADC_WORKLOAD_GENERATOR_HH
+#define PADC_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "core/trace.hh"
+
+namespace padc::workload
+{
+
+/** Parameters of one generator phase. */
+struct PhaseParams
+{
+    /**
+     * Fraction of memory traffic (lines touched) coming from long
+     * sequential streams. Internally converted to per-run selection
+     * probabilities by weighting with mean run lengths, so a 0.9 here
+     * really means ~90% of lines are streamed even though random bursts
+     * are far more numerous as runs.
+     */
+    double seq_fraction = 0.9;
+
+    /** Fraction of traffic from strided runs (rest: random bursts). */
+    double stride_fraction = 0.0;
+
+    /** Mean length of sequential runs, in cache lines. */
+    std::uint32_t seq_run_lines = 1024;
+
+    /** Stride magnitude for strided runs, in cache lines. */
+    std::uint32_t stride_lines = 4;
+
+    /** Mean length of strided runs, in elements. */
+    std::uint32_t stride_run_len = 256;
+
+    /** Mean length of random-mode bursts, in cache lines. */
+    std::uint32_t burst_lines = 4;
+
+    /**
+     * Probability that a random burst revisits a previously visited
+     * location instead of a fresh one (pointer-chasing over a recurring
+     * node set). Creates the temporal miss correlation that Markov-style
+     * prefetchers exploit; near-zero for pure streaming codes.
+     */
+    double revisit_fraction = 0.0;
+
+    /**
+     * Concurrently interleaved runs ("arrays" the loop walks at once).
+     * Interleaving several streams spreads accesses across DRAM banks
+     * and rows, creating the demand/prefetch row-buffer interference
+     * the paper's Figure 2 illustrates.
+     */
+    std::uint32_t concurrent_runs = 4;
+
+    /** Phase length in memory operations (0 = phase never ends). */
+    std::uint64_t ops = 0;
+};
+
+/** Full generator parameterization. */
+struct TraceParams
+{
+    std::uint64_t seed = 1;
+
+    /** Address-space offset (keeps per-core working sets disjoint). */
+    Addr base = 0;
+
+    /** Mean compute instructions between memory operations. */
+    std::uint32_t avg_gap = 8;
+
+    /** Fraction of memory operations that are stores. */
+    double store_fraction = 0.25;
+
+    /**
+     * Fraction of memory operations that are address-dependent on older
+     * memory results (cannot issue until outstanding misses drain).
+     * Controls memory-level parallelism: streaming codes sit around
+     * 0.2-0.4 (induction/index chains); pointer-chasing codes 0.6+.
+     */
+    double dependent_fraction = 0.3;
+
+    /** Size of the region runs are drawn from. */
+    std::uint64_t working_set_bytes = 8ULL << 20;
+
+    /** Accesses issued to each line before advancing. */
+    std::uint32_t accesses_per_line = 2;
+
+    PhaseParams phases[2];
+    std::uint32_t num_phases = 1;
+};
+
+/**
+ * The synthetic trace source; see file comment.
+ */
+class SyntheticTrace : public padc::core::TraceSource
+{
+  public:
+    explicit SyntheticTrace(const TraceParams &params);
+
+    padc::core::TraceOp next() override;
+    void reset() override;
+
+  private:
+    enum class RunType : std::uint8_t { Sequential, Strided, Random };
+
+    /** One active run cursor (an "array" the synthetic loop walks). */
+    struct Run
+    {
+        RunType type = RunType::Sequential;
+        std::uint64_t line = 0;   ///< current line index (local)
+        std::uint32_t left = 0;   ///< line steps left in the run
+        std::uint32_t accesses_left = 0;
+        std::uint32_t stride = 1; ///< line step
+        Addr pc_base = 0;
+    };
+
+    void startRun(Run &run);
+    void resetRuns();
+    const PhaseParams &phase() const { return params_.phases[phase_idx_]; }
+
+    TraceParams params_;
+    Rng rng_;
+
+    std::uint32_t phase_idx_ = 0;
+    std::uint64_t ops_in_phase_ = 0;
+
+    std::vector<Run> runs_;     ///< concurrently interleaved cursors
+    std::vector<std::uint64_t> revisit_pool_; ///< recurring burst starts
+    std::uint32_t rotor_ = 0;   ///< round-robin position
+    std::uint32_t word_ = 0;    ///< rotating intra-line offset
+    std::uint32_t pc_rotor_ = 0;
+};
+
+} // namespace padc::workload
+
+#endif // PADC_WORKLOAD_GENERATOR_HH

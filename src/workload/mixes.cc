@@ -1,0 +1,62 @@
+#include "workload/mixes.hh"
+
+#include <cassert>
+
+#include "common/random.hh"
+
+namespace padc::workload
+{
+
+std::vector<Mix>
+randomMixes(std::uint32_t count, std::uint32_t cores, std::uint64_t seed)
+{
+    const auto names = allProfileNames();
+    Rng rng(seed);
+    std::vector<Mix> mixes;
+    mixes.reserve(count);
+    for (std::uint32_t m = 0; m < count; ++m) {
+        Mix mix;
+        for (std::uint32_t c = 0; c < cores; ++c)
+            mix.push_back(names[rng.nextBelow(names.size())]);
+        mixes.push_back(std::move(mix));
+    }
+    return mixes;
+}
+
+Mix
+caseStudyFriendly()
+{
+    return {"swim_00", "bwaves_06", "leslie3d_06", "soplex_06"};
+}
+
+Mix
+caseStudyUnfriendly()
+{
+    return {"art_00", "galgel_00", "ammp_00", "milc_06"};
+}
+
+Mix
+caseStudyMixed()
+{
+    return {"omnetpp_06", "libquantum_06", "galgel_00", "GemsFDTD_06"};
+}
+
+TraceParams
+traceParamsFor(const Mix &mix, std::uint32_t core, std::uint64_t mix_seed)
+{
+    assert(core < mix.size());
+    const BenchmarkProfile *profile = findProfile(mix[core]);
+    assert(profile != nullptr && "unknown profile name in mix");
+
+    TraceParams params = profile->params;
+    // Distinct seed per (mix, core) so identical profiles co-running on
+    // different cores do not produce lock-step address streams.
+    params.seed ^= (mix_seed * 0x9E3779B97F4A7C15ULL) ^
+                   (static_cast<std::uint64_t>(core) << 56);
+    // Disjoint per-core address regions: cores contend for banks and
+    // rows in the shared DRAM but never share lines.
+    params.base = static_cast<Addr>(core) << 40;
+    return params;
+}
+
+} // namespace padc::workload

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Multiprogrammed workload construction (paper Section 5.1: randomly
+ * chosen SPEC combinations for the 2-, 4-, and 8-core experiments, plus
+ * the three 4-core case studies of Section 6.3).
+ */
+
+#ifndef PADC_WORKLOAD_MIXES_HH
+#define PADC_WORKLOAD_MIXES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/profile.hh"
+
+namespace padc::workload
+{
+
+/** A multiprogrammed workload: one profile name per core. */
+using Mix = std::vector<std::string>;
+
+/**
+ * Randomly chosen mixes from the full profile pool, deterministic in
+ * @p seed (mirrors the paper's 54/32/21 random workload combinations).
+ */
+std::vector<Mix> randomMixes(std::uint32_t count, std::uint32_t cores,
+                             std::uint64_t seed);
+
+/** Case study I (Section 6.3.1): four prefetch-friendly applications. */
+Mix caseStudyFriendly();
+
+/** Case study II (Section 6.3.2): four prefetch-unfriendly applications. */
+Mix caseStudyUnfriendly();
+
+/** Case study III (Section 6.3.3): two friendly + two unfriendly. */
+Mix caseStudyMixed();
+
+/**
+ * Concrete trace parameters for one core of a mix: the profile's
+ * parameters with a per-(mix, core) seed and a disjoint address-space
+ * base.
+ * @pre the profile name exists.
+ */
+TraceParams traceParamsFor(const Mix &mix, std::uint32_t core,
+                           std::uint64_t mix_seed);
+
+} // namespace padc::workload
+
+#endif // PADC_WORKLOAD_MIXES_HH

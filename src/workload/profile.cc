@@ -1,0 +1,215 @@
+#include "workload/profile.hh"
+
+namespace padc::workload
+{
+
+namespace
+{
+
+/**
+ * Builder helpers. Parameters chosen per profile to approximate the
+ * paper's Table 5 regimes (class, relative memory intensity, stream
+ * prefetch accuracy); see the file comment in profile.hh.
+ *
+ * With the default lookahead distance D = 16 lines, a sequential run of
+ * L lines yields stream accuracy ~ (L-16)/L, so run length dials ACC:
+ * 2048 -> ~99%, 160 -> ~90%, 48 -> ~67%, 24 -> ~33%.
+ */
+
+struct Knobs
+{
+    std::uint32_t gap;        ///< mean compute instrs between mem ops
+    double seq;               ///< line share from sequential streams
+    std::uint32_t run_lines;  ///< mean sequential run length
+    std::uint32_t burst;      ///< random-burst length
+    std::uint64_t ws_kb;      ///< working set
+    double dep;               ///< dependent-load fraction
+    std::uint32_t conc;       ///< concurrent runs
+    double store;             ///< store fraction
+    std::uint32_t apl;        ///< accesses per line
+};
+
+BenchmarkProfile
+make(std::string name, int cls, const Knobs &k)
+{
+    BenchmarkProfile p;
+    p.name = std::move(name);
+    p.cls = cls;
+    p.params.avg_gap = k.gap;
+    p.params.working_set_bytes = k.ws_kb << 10;
+    p.params.store_fraction = k.store;
+    p.params.dependent_fraction = k.dep;
+    p.params.accesses_per_line = k.apl;
+    p.params.phases[0].seq_fraction = k.seq;
+    p.params.phases[0].seq_run_lines = k.run_lines;
+    p.params.phases[0].burst_lines = k.burst;
+    p.params.phases[0].concurrent_runs = k.conc;
+    return p;
+}
+
+BenchmarkProfile
+makeStrided(std::string name, int cls, const Knobs &k,
+            double stride_frac, std::uint32_t stride_lines)
+{
+    BenchmarkProfile p = make(std::move(name), cls, k);
+    p.params.phases[0].stride_fraction = stride_frac;
+    p.params.phases[0].stride_lines = stride_lines;
+    p.params.phases[0].stride_run_len = 256;
+    return p;
+}
+
+std::vector<BenchmarkProfile>
+buildProfiles()
+{
+    std::vector<BenchmarkProfile> v;
+
+    // ---- prefetch-friendly (class 1) ----
+    //                                 gap  seq   runL  bst ws_kb     dep  cc store apl
+    v.push_back(make("libquantum_06", 1,
+                     {6, 1.00, 4096, 1, 256 << 10, 0.00, 2, 0.15, 2}));
+    v.push_back(make("bwaves_06", 1,
+                     {6, 0.98, 2048, 1, 192 << 10, 0.00, 2, 0.20, 2}));
+    v.push_back(make("swim_00", 1,
+                     {6, 0.97, 1024, 2, 128 << 10, 0.00, 2, 0.35, 2}));
+    v.push_back(make("lbm_06", 1,
+                     {6, 0.97, 768, 2, 128 << 10, 0.00, 2, 0.40, 2}));
+    v.push_back(make("leslie3d_06", 1,
+                     {7, 0.96, 512, 2, 96 << 10, 0.00, 2, 0.25, 2}));
+    v.push_back(make("GemsFDTD_06", 1,
+                     {10, 0.94, 512, 2, 96 << 10, 0.15, 3, 0.30, 2}));
+    v.push_back(make("equake_00", 1,
+                     {9, 0.95, 512, 2, 96 << 10, 0.10, 2, 0.20, 2}));
+    v.push_back(make("soplex_06", 1,
+                     {8, 0.90, 288, 2, 96 << 10, 0.20, 3, 0.25, 2}));
+    v.push_back(make("sphinx3_06", 1,
+                     {14, 0.80, 64, 2, 64 << 10, 0.20, 3, 0.15, 2}));
+    v.push_back(make("wrf_06", 1,
+                     {40, 0.92, 512, 2, 64 << 10, 0.10, 2, 0.30, 2}));
+    v.push_back(make("lucas_00", 1,
+                     {18, 0.90, 160, 2, 64 << 10, 0.20, 2, 0.25, 2}));
+    v.push_back(make("cactusADM_06", 1,
+                     {40, 0.60, 64, 2, 64 << 10, 0.30, 3, 0.30, 2}));
+    v.push_back(make("gcc_06", 1,
+                     {30, 0.50, 48, 2, 48 << 10, 0.30, 3, 0.30, 2}));
+    v.push_back(make("astar_06", 1,
+                     {20, 0.35, 40, 2, 32 << 10, 0.40, 3, 0.25, 2}));
+    v.push_back(make("zeusmp_06", 1,
+                     {40, 0.75, 96, 2, 48 << 10, 0.20, 3, 0.30, 2}));
+    v.push_back(make("mcf_06", 1,
+                     {5, 0.30, 32, 2, 256 << 10, 0.60, 3, 0.10, 1}));
+    v.push_back(makeStrided("mgrid_00", 1,
+                            {12, 0.20, 256, 2, 64 << 10, 0.10, 2, 0.30, 2},
+                            0.70, 2));
+    v.push_back(makeStrided("facerec_00", 1,
+                            {25, 0.20, 128, 2, 48 << 10, 0.20, 2, 0.25, 2},
+                            0.65, 4));
+
+    // ---- prefetch-unfriendly (class 2) ----
+    // The irregular profiles get a pointer-chasing revisit component:
+    // recurring burst locations create the temporal miss correlation
+    // that the Markov prefetcher (Section 6.11) exploits while staying
+    // useless to the streaming prefetchers.
+    auto with_revisit = [](BenchmarkProfile p, double frac) {
+        for (auto &phase : p.params.phases)
+            phase.revisit_fraction = frac;
+        return p;
+    };
+    v.push_back(with_revisit(
+        make("art_00", 2, {6, 0.40, 32, 5, 6 << 10, 0.35, 4, 0.30, 1}),
+        0.35));
+    v.push_back(with_revisit(
+        make("galgel_00", 2, {16, 0.45, 28, 6, 24 << 10, 0.30, 4, 0.25, 2}),
+        0.30));
+    v.push_back(with_revisit(
+        make("ammp_00", 2, {120, 0.08, 32, 3, 24 << 10, 0.50, 4, 0.20, 2}),
+        0.45));
+    v.push_back(with_revisit(
+        make("xalancbmk_06", 2,
+             {60, 0.10, 24, 3, 16 << 10, 0.50, 4, 0.25, 2}),
+        0.45));
+    v.push_back(with_revisit(
+        make("omnetpp_06", 2, {12, 0.12, 24, 3, 64 << 10, 0.60, 4, 0.25, 2}),
+        0.50));
+    {
+        // milc: strong accuracy phase behaviour (paper Fig. 4(b)) --
+        // an accurate streaming phase alternating with a longer phase of
+        // almost-all-useless bursts.
+        BenchmarkProfile p = make(
+            "milc_06", 2, {6, 0.90, 512, 4, 96 << 10, 0.20, 2, 0.25, 2});
+        p.params.num_phases = 2;
+        p.params.phases[0].ops = 6000;
+        p.params.phases[1] = p.params.phases[0];
+        p.params.phases[1].seq_fraction = 0.10;
+        p.params.phases[1].seq_run_lines = 64;
+        p.params.phases[1].burst_lines = 4;
+        p.params.phases[1].concurrent_runs = 4;
+        p.params.phases[1].ops = 18000;
+        v.push_back(p);
+    }
+
+    // ---- prefetch-insensitive (class 0): working set fits the L2 ----
+    auto insensitive = [](std::string name, std::uint32_t gap,
+                          std::uint64_t ws_kb) {
+        return make(std::move(name), 0,
+                    {gap, 0.50, 64, 4, ws_kb, 0.30, 2, 0.30, 4});
+    };
+    v.push_back(insensitive("eon_00", 60, 48));
+    v.push_back(insensitive("gamess_06", 70, 64));
+    v.push_back(insensitive("sjeng_06", 40, 128));
+    v.push_back(insensitive("hmmer_06", 25, 96));
+    v.push_back(insensitive("gobmk_06", 50, 112));
+    v.push_back(insensitive("namd_06", 65, 80));
+    v.push_back(insensitive("povray_06", 80, 48));
+    v.push_back(insensitive("dealII_06", 35, 160));
+    v.push_back(insensitive("calculix_06", 55, 128));
+    v.push_back(insensitive("perlbench_06", 45, 192));
+    v.push_back(insensitive("vpr_00", 30, 224));
+
+    // A deterministic per-profile seed; the mix builder further salts it
+    // per (mix, core).
+    std::uint64_t seed = 0x1234;
+    for (auto &profile : v)
+        profile.params.seed = seed++;
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+allProfiles()
+{
+    static const std::vector<BenchmarkProfile> profiles = buildProfiles();
+    return profiles;
+}
+
+const BenchmarkProfile *
+findProfile(std::string_view name)
+{
+    for (const auto &profile : allProfiles()) {
+        if (profile.name == name)
+            return &profile;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+allProfileNames()
+{
+    std::vector<std::string> names;
+    for (const auto &profile : allProfiles())
+        names.push_back(profile.name);
+    return names;
+}
+
+std::vector<std::string>
+profileNamesInClass(int cls)
+{
+    std::vector<std::string> names;
+    for (const auto &profile : allProfiles()) {
+        if (profile.cls == cls)
+            names.push_back(profile.name);
+    }
+    return names;
+}
+
+} // namespace padc::workload

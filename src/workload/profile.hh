@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Benchmark profiles: synthetic stand-ins for the paper's SPEC CPU
+ * 2000/2006 benchmarks (Table 5).
+ *
+ * Each profile pairs a benchmark name with generator parameters tuned so
+ * the profile lands in the paper's class with a similar memory intensity
+ * (MPKI) and stream-prefetch accuracy (ACC) regime:
+ *   class 0 -- prefetch-insensitive (working set fits the L2, or
+ *              negligible memory traffic),
+ *   class 1 -- prefetch-friendly (long sequential/strided runs; stream
+ *              prefetches are accurate),
+ *   class 2 -- prefetch-unfriendly (short bursts at random locations;
+ *              the stream prefetcher trains but overshoots, so most
+ *              prefetches are useless).
+ *
+ * The key structural lever: with prefetch distance D, a sequential run
+ * of L lines yields stream-prefetch accuracy of roughly (L-D)/L, so run
+ * length directly dials ACC.
+ */
+
+#ifndef PADC_WORKLOAD_PROFILE_HH
+#define PADC_WORKLOAD_PROFILE_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/generator.hh"
+
+namespace padc::workload
+{
+
+/** One benchmark stand-in. */
+struct BenchmarkProfile
+{
+    std::string name;  ///< paper benchmark name (e.g. "libquantum_06")
+    int cls = 0;       ///< paper class: 0, 1, or 2
+    TraceParams params;
+};
+
+/** The full profile pool (the paper's Table 5 set). */
+const std::vector<BenchmarkProfile> &allProfiles();
+
+/**
+ * Look up a profile by name.
+ * @return pointer into the registry, or nullptr if unknown.
+ */
+const BenchmarkProfile *findProfile(std::string_view name);
+
+/** Names of every registered profile. */
+std::vector<std::string> allProfileNames();
+
+/** Names of profiles in a given class. */
+std::vector<std::string> profileNamesInClass(int cls);
+
+} // namespace padc::workload
+
+#endif // PADC_WORKLOAD_PROFILE_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the MSHR file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hh"
+
+namespace padc::cache
+{
+namespace
+{
+
+TEST(MshrTest, AllocFindRelease)
+{
+    MshrFile mshr(4);
+    EXPECT_EQ(mshr.find(0x1000), nullptr);
+    MshrEntry &e = mshr.alloc(0x1000);
+    e.core = 2;
+    e.prefetch = true;
+    ASSERT_NE(mshr.find(0x1000), nullptr);
+    EXPECT_EQ(mshr.find(0x1000)->core, 2u);
+    EXPECT_TRUE(mshr.find(0x1000)->prefetch);
+    mshr.release(0x1000);
+    EXPECT_EQ(mshr.find(0x1000), nullptr);
+}
+
+TEST(MshrTest, FullAtCapacity)
+{
+    MshrFile mshr(2);
+    mshr.alloc(0x40);
+    EXPECT_FALSE(mshr.full());
+    mshr.alloc(0x80);
+    EXPECT_TRUE(mshr.full());
+    mshr.release(0x40);
+    EXPECT_FALSE(mshr.full());
+}
+
+TEST(MshrTest, SizeAndPeakTracking)
+{
+    MshrFile mshr(8);
+    mshr.alloc(0x40);
+    mshr.alloc(0x80);
+    mshr.alloc(0xC0);
+    EXPECT_EQ(mshr.size(), 3u);
+    mshr.release(0x80);
+    mshr.release(0xC0);
+    EXPECT_EQ(mshr.size(), 1u);
+    EXPECT_EQ(mshr.peak(), 3u);
+}
+
+TEST(MshrTest, EntryInitializedWithLineAddress)
+{
+    MshrFile mshr(2);
+    MshrEntry &e = mshr.alloc(0x2040);
+    EXPECT_EQ(e.line_addr, 0x2040u);
+    EXPECT_FALSE(e.prefetch);
+    EXPECT_FALSE(e.store_waiting);
+    EXPECT_TRUE(e.waiters.empty());
+}
+
+TEST(MshrTest, WaitersAccumulate)
+{
+    MshrFile mshr(2);
+    MshrEntry &e = mshr.alloc(0x40);
+    e.waiters.push_back({0, 11});
+    e.waiters.push_back({1, 22});
+    ASSERT_EQ(mshr.find(0x40)->waiters.size(), 2u);
+    EXPECT_EQ(mshr.find(0x40)->waiters[1].core, 1u);
+    EXPECT_EQ(mshr.find(0x40)->waiters[1].tag, 22u);
+}
+
+TEST(MshrTest, ConstFind)
+{
+    MshrFile mshr(2);
+    mshr.alloc(0x40);
+    const MshrFile &cref = mshr;
+    EXPECT_NE(cref.find(0x40), nullptr);
+    EXPECT_EQ(cref.find(0x80), nullptr);
+}
+
+} // namespace
+} // namespace padc::cache

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for policy/prefetcher name conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace padc
+{
+namespace
+{
+
+TEST(ConfigTest, SchedPolicyNames)
+{
+    EXPECT_EQ(toString(SchedPolicyKind::FrFcfs), "demand-pref-equal");
+    EXPECT_EQ(toString(SchedPolicyKind::DemandFirst), "demand-first");
+    EXPECT_EQ(toString(SchedPolicyKind::PrefetchFirst), "prefetch-first");
+    EXPECT_EQ(toString(SchedPolicyKind::Aps), "aps");
+}
+
+TEST(ConfigTest, ParseSchedPolicyRoundTrip)
+{
+    for (SchedPolicyKind kind :
+         {SchedPolicyKind::FrFcfs, SchedPolicyKind::DemandFirst,
+          SchedPolicyKind::PrefetchFirst, SchedPolicyKind::Aps}) {
+        SchedPolicyKind parsed{};
+        ASSERT_TRUE(parseSchedPolicy(toString(kind), &parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+}
+
+TEST(ConfigTest, ParseSchedPolicyAliases)
+{
+    SchedPolicyKind kind{};
+    EXPECT_TRUE(parseSchedPolicy("frfcfs", &kind));
+    EXPECT_EQ(kind, SchedPolicyKind::FrFcfs);
+    EXPECT_TRUE(parseSchedPolicy("demand-prefetch-equal", &kind));
+    EXPECT_EQ(kind, SchedPolicyKind::FrFcfs);
+    EXPECT_TRUE(parseSchedPolicy("padc", &kind));
+    EXPECT_EQ(kind, SchedPolicyKind::Aps);
+}
+
+TEST(ConfigTest, ParseSchedPolicyRejectsUnknownAndPreservesOutput)
+{
+    SchedPolicyKind kind = SchedPolicyKind::DemandFirst;
+    EXPECT_FALSE(parseSchedPolicy("bogus", &kind));
+    EXPECT_EQ(kind, SchedPolicyKind::DemandFirst);
+}
+
+TEST(ConfigTest, PrefetcherNamesRoundTrip)
+{
+    for (PrefetcherKind kind :
+         {PrefetcherKind::None, PrefetcherKind::Stream,
+          PrefetcherKind::Stride, PrefetcherKind::Cdc,
+          PrefetcherKind::Markov}) {
+        PrefetcherKind parsed{};
+        ASSERT_TRUE(parsePrefetcher(toString(kind), &parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    PrefetcherKind parsed{};
+    EXPECT_FALSE(parsePrefetcher("quantum", &parsed));
+}
+
+TEST(ConfigTest, RowPolicyNames)
+{
+    EXPECT_EQ(toString(RowPolicy::Open), "open-row");
+    EXPECT_EQ(toString(RowPolicy::Closed), "closed-row");
+}
+
+TEST(TypesTest, LineHelpers)
+{
+    EXPECT_EQ(lineAlign(0x1234), 0x1200u);
+    EXPECT_EQ(lineAlign(0x1240), 0x1240u);
+    EXPECT_EQ(lineIndex(0x1240), 0x49u);
+    EXPECT_EQ(lineToAddr(0x49), 0x1240u);
+    EXPECT_EQ(lineToAddr(lineIndex(0xABCDE0)), lineAlign(0xABCDE0));
+}
+
+} // namespace
+} // namespace padc

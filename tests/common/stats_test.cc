@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for StatSet, Histogram, and the small math helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace padc
+{
+namespace
+{
+
+TEST(StatSetTest, AddAndGet)
+{
+    StatSet s;
+    s.add("alpha", 1.5);
+    s.add("beta", -2.0);
+    EXPECT_TRUE(s.has("alpha"));
+    EXPECT_DOUBLE_EQ(s.get("alpha"), 1.5);
+    EXPECT_DOUBLE_EQ(s.get("beta"), -2.0);
+}
+
+TEST(StatSetTest, MissingReadsAsZero)
+{
+    StatSet s;
+    EXPECT_FALSE(s.has("nope"));
+    EXPECT_DOUBLE_EQ(s.get("nope"), 0.0);
+}
+
+TEST(StatSetTest, InsertionOrderPreserved)
+{
+    StatSet s;
+    s.add("z", 1);
+    s.add("a", 2);
+    s.add("m", 3);
+    ASSERT_EQ(s.entries().size(), 3u);
+    EXPECT_EQ(s.entries()[0].first, "z");
+    EXPECT_EQ(s.entries()[1].first, "a");
+    EXPECT_EQ(s.entries()[2].first, "m");
+}
+
+TEST(StatSetTest, MergePrefixesNames)
+{
+    StatSet inner;
+    inner.add("x", 7);
+    StatSet outer;
+    outer.add("y", 1);
+    outer.merge("core0.", inner);
+    EXPECT_DOUBLE_EQ(outer.get("core0.x"), 7.0);
+    EXPECT_EQ(outer.entries().size(), 2u);
+}
+
+TEST(StatSetTest, ToStringContainsEntries)
+{
+    StatSet s;
+    s.add("ipc", 2.5);
+    const std::string text = s.toString();
+    EXPECT_NE(text.find("ipc"), std::string::npos);
+    EXPECT_NE(text.find("2.5"), std::string::npos);
+}
+
+TEST(HistogramTest, BucketPlacement)
+{
+    Histogram h(100, 4); // [0,100) [100,200) [200,300) [300,400) + overflow
+    h.sample(0);
+    h.sample(99);
+    h.sample(100);
+    h.sample(399);
+    h.sample(400); // overflow
+    h.sample(100000);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(2), 0u);
+    EXPECT_EQ(h.count(3), 1u);
+    EXPECT_EQ(h.count(4), 2u); // overflow bucket
+    EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(HistogramTest, MeanAndReset)
+{
+    Histogram h(10, 2);
+    h.sample(10);
+    h.sample(30);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.count(0), 0u);
+}
+
+TEST(HistogramTest, OutOfRangeBucketQueryIsZero)
+{
+    Histogram h(10, 2);
+    h.sample(5);
+    EXPECT_EQ(h.count(99), 0u);
+}
+
+TEST(MathTest, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(MathTest, Amean)
+{
+    EXPECT_DOUBLE_EQ(amean({}), 0.0);
+    EXPECT_DOUBLE_EQ(amean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(MathTest, RatioHandlesZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(ratio(5.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(6.0, 3.0), 2.0);
+}
+
+} // namespace
+} // namespace padc

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for binary trace record/replay, including corruption
+ * handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/trace_file.hh"
+#include "workload/generator.hh"
+
+namespace padc::core
+{
+namespace
+{
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "padc_trace_test.trc";
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+    }
+
+    std::string path_;
+};
+
+std::vector<TraceOp>
+sampleOps()
+{
+    return {
+        {3, 0x1000, 0x400, true, false},
+        {0, 0xFFFFFFFFFFC0ULL, 0x404, false, true},
+        {1000000, 0x40, 0x9999, true, true},
+    };
+}
+
+TEST_F(TraceFileTest, RoundTrip)
+{
+    const auto ops = sampleOps();
+    ASSERT_TRUE(writeTraceFile(path_, ops));
+    std::vector<TraceOp> loaded;
+    ASSERT_TRUE(readTraceFile(path_, &loaded));
+    ASSERT_EQ(loaded.size(), ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        EXPECT_EQ(loaded[i].addr, ops[i].addr);
+        EXPECT_EQ(loaded[i].pc, ops[i].pc);
+        EXPECT_EQ(loaded[i].compute_gap, ops[i].compute_gap);
+        EXPECT_EQ(loaded[i].is_load, ops[i].is_load);
+        EXPECT_EQ(loaded[i].dependent, ops[i].dependent);
+    }
+}
+
+TEST_F(TraceFileTest, FileTraceReplaysAndLoops)
+{
+    ASSERT_TRUE(writeTraceFile(path_, sampleOps()));
+    FileTrace trace(path_);
+    ASSERT_TRUE(trace.ok());
+    EXPECT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.next().addr, 0x1000u);
+    EXPECT_EQ(trace.next().addr, 0xFFFFFFFFFFC0ULL);
+    EXPECT_EQ(trace.next().addr, 0x40u);
+    EXPECT_EQ(trace.next().addr, 0x1000u); // wrapped
+    trace.reset();
+    EXPECT_EQ(trace.next().addr, 0x1000u);
+}
+
+TEST_F(TraceFileTest, MissingFileFails)
+{
+    std::vector<TraceOp> ops;
+    EXPECT_FALSE(readTraceFile("/nonexistent/padc.trc", &ops));
+    FileTrace trace("/nonexistent/padc.trc");
+    EXPECT_FALSE(trace.ok());
+}
+
+TEST_F(TraceFileTest, BadMagicRejected)
+{
+    std::ofstream out(path_, std::ios::binary);
+    out << "NOTATRACE-------garbage";
+    out.close();
+    std::vector<TraceOp> ops;
+    EXPECT_FALSE(readTraceFile(path_, &ops));
+}
+
+TEST_F(TraceFileTest, TruncationRejected)
+{
+    ASSERT_TRUE(writeTraceFile(path_, sampleOps()));
+    // Chop the last record in half.
+    std::ifstream in(path_, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size() - 10));
+    out.close();
+    std::vector<TraceOp> ops;
+    EXPECT_FALSE(readTraceFile(path_, &ops));
+    EXPECT_TRUE(ops.empty());
+}
+
+TEST_F(TraceFileTest, CaptureFromSyntheticGeneratorMatchesReplay)
+{
+    workload::TraceParams params;
+    params.seed = 42;
+    workload::SyntheticTrace generator(params);
+    const auto ops = captureTrace(generator, 2000);
+    ASSERT_TRUE(writeTraceFile(path_, ops));
+
+    FileTrace trace(path_);
+    ASSERT_TRUE(trace.ok());
+    generator.reset();
+    for (int i = 0; i < 2000; ++i) {
+        const TraceOp a = generator.next();
+        const TraceOp b = trace.next();
+        ASSERT_EQ(a.addr, b.addr);
+        ASSERT_EQ(a.compute_gap, b.compute_gap);
+        ASSERT_EQ(a.is_load, b.is_load);
+    }
+}
+
+TEST_F(TraceFileTest, EmptyTraceWritesButDoesNotReplay)
+{
+    ASSERT_TRUE(writeTraceFile(path_, {}));
+    std::vector<TraceOp> ops;
+    EXPECT_TRUE(readTraceFile(path_, &ops));
+    EXPECT_TRUE(ops.empty());
+    FileTrace trace(path_);
+    EXPECT_FALSE(trace.ok()); // empty traces cannot drive a core
+}
+
+} // namespace
+} // namespace padc::core

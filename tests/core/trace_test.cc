@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Unit tests for the trace abstraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/trace.hh"
+
+namespace padc::core
+{
+namespace
+{
+
+TEST(VectorTraceTest, LoopsForever)
+{
+    VectorTrace trace({{1, 0x100, 0x400, true, false},
+                       {2, 0x200, 0x404, false, false}});
+    for (int rep = 0; rep < 3; ++rep) {
+        TraceOp a = trace.next();
+        EXPECT_EQ(a.addr, 0x100u);
+        EXPECT_TRUE(a.is_load);
+        TraceOp b = trace.next();
+        EXPECT_EQ(b.addr, 0x200u);
+        EXPECT_FALSE(b.is_load);
+    }
+}
+
+TEST(VectorTraceTest, ResetRestarts)
+{
+    VectorTrace trace({{0, 0x100, 0, true, false},
+                       {0, 0x200, 0, true, false},
+                       {0, 0x300, 0, true, false}});
+    trace.next();
+    trace.next();
+    trace.reset();
+    EXPECT_EQ(trace.next().addr, 0x100u);
+}
+
+TEST(VectorTraceTest, PreservesAllFields)
+{
+    TraceOp op;
+    op.compute_gap = 7;
+    op.addr = 0xABC0;
+    op.pc = 0x1234;
+    op.is_load = false;
+    op.dependent = true;
+    VectorTrace trace({op});
+    const TraceOp got = trace.next();
+    EXPECT_EQ(got.compute_gap, 7u);
+    EXPECT_EQ(got.addr, 0xABC0u);
+    EXPECT_EQ(got.pc, 0x1234u);
+    EXPECT_FALSE(got.is_load);
+    EXPECT_TRUE(got.dependent);
+}
+
+} // namespace
+} // namespace padc::core

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit and property tests for the DRAM address map, covering both
+ * interleaving orders and the permutation-based bank remapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "dram/address_map.hh"
+
+namespace padc::dram
+{
+namespace
+{
+
+Geometry
+makeGeometry(std::uint32_t channels, std::uint32_t banks,
+             std::uint32_t row_bytes, Interleave inter, bool perm)
+{
+    Geometry g;
+    g.channels = channels;
+    g.banks_per_channel = banks;
+    g.row_bytes = row_bytes;
+    g.interleave = inter;
+    g.permutation_interleaving = perm;
+    return g;
+}
+
+TEST(AddressMapTest, CoordinateRanges)
+{
+    AddressMap map(makeGeometry(2, 8, 4096, Interleave::Line, false));
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr = rng.next() & ((1ULL << 45) - 1);
+        const DramCoord c = map.map(addr);
+        EXPECT_LT(c.channel, 2u);
+        EXPECT_LT(c.bank, 8u);
+        EXPECT_LT(c.col, 64u);
+    }
+}
+
+TEST(AddressMapTest, SameLineSameCoord)
+{
+    AddressMap map(makeGeometry(1, 8, 4096, Interleave::Line, false));
+    const DramCoord a = map.map(0x10000);
+    const DramCoord b = map.map(0x10000 + 63); // same cache line
+    EXPECT_EQ(a, b);
+}
+
+TEST(AddressMapTest, LineInterleaveRotatesBanks)
+{
+    AddressMap map(makeGeometry(1, 8, 4096, Interleave::Line, false));
+    // Consecutive lines must land in consecutive banks (mod 8), same row.
+    const DramCoord c0 = map.map(0);
+    for (std::uint32_t i = 1; i < 8; ++i) {
+        const DramCoord ci = map.map(static_cast<Addr>(i) * kLineBytes);
+        EXPECT_EQ(ci.bank, (c0.bank + i) % 8);
+        EXPECT_EQ(ci.row, c0.row);
+    }
+}
+
+TEST(AddressMapTest, RowInterleaveKeepsBankForWholeRow)
+{
+    AddressMap map(makeGeometry(1, 8, 4096, Interleave::Row, false));
+    const DramCoord c0 = map.map(0);
+    for (std::uint32_t i = 1; i < 64; ++i) { // 64 lines per 4KB row
+        const DramCoord ci = map.map(static_cast<Addr>(i) * kLineBytes);
+        EXPECT_EQ(ci.bank, c0.bank);
+        EXPECT_EQ(ci.row, c0.row);
+        EXPECT_EQ(ci.col, i);
+    }
+    // The 65th line moves on.
+    EXPECT_NE(map.map(64 * kLineBytes), c0);
+}
+
+TEST(AddressMapTest, ChannelBitsSelectChannel)
+{
+    AddressMap map(makeGeometry(2, 8, 4096, Interleave::Line, false));
+    // With line interleave, consecutive lines alternate channels.
+    EXPECT_NE(map.map(0).channel, map.map(kLineBytes).channel);
+}
+
+TEST(AddressMapTest, PermutationPreservesRowAndCol)
+{
+    const auto plain = makeGeometry(1, 8, 4096, Interleave::Line, false);
+    const auto perm = makeGeometry(1, 8, 4096, Interleave::Line, true);
+    AddressMap pm(plain);
+    AddressMap qm(perm);
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr addr = rng.next() & ((1ULL << 40) - 1);
+        const DramCoord a = pm.map(addr);
+        const DramCoord b = qm.map(addr);
+        EXPECT_EQ(a.row, b.row);
+        EXPECT_EQ(a.col, b.col);
+        EXPECT_EQ(a.channel, b.channel);
+        EXPECT_EQ(b.bank,
+                  a.bank ^ static_cast<std::uint32_t>(a.row & 7));
+    }
+}
+
+TEST(AddressMapTest, PermutationSpreadsRowConflicts)
+{
+    // Addresses that share a bank but differ in row under the plain map
+    // should (usually) land in different banks under permutation --
+    // the point of Zhang et al.'s scheme.
+    AddressMap qm(makeGeometry(1, 8, 4096, Interleave::Line, true));
+    // Same bank/col, rows 0..7 under the plain map.
+    std::set<std::uint32_t> banks;
+    for (std::uint64_t row = 0; row < 8; ++row) {
+        // line index = row * (banks*cols) with bank=0, col=0
+        const Addr addr = lineToAddr(row * 8 * 64);
+        banks.insert(qm.map(addr).bank);
+    }
+    EXPECT_EQ(banks.size(), 8u);
+}
+
+/** map -> unmap must be the identity on line-aligned addresses. */
+class RoundTripProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
+                     Interleave, bool>>
+{
+};
+
+TEST_P(RoundTripProperty, MapUnmapIdentity)
+{
+    const auto [channels, banks, row_bytes, inter, perm] = GetParam();
+    AddressMap map(makeGeometry(channels, banks, row_bytes, inter, perm));
+    Rng rng(17);
+    for (int i = 0; i < 500; ++i) {
+        const Addr addr = lineAlign(rng.next() & ((1ULL << 44) - 1));
+        EXPECT_EQ(map.unmap(map.map(addr)), addr);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RoundTripProperty,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(4u, 8u),
+                       ::testing::Values(2048u, 4096u, 131072u),
+                       ::testing::Values(Interleave::Line, Interleave::Row),
+                       ::testing::Bool()));
+
+} // namespace
+} // namespace padc::dram

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the DRAM bank state machine: command legality windows,
+ * open-row tracking, auto-precharge, and refresh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/bank.hh"
+
+namespace padc::dram
+{
+namespace
+{
+
+class BankTest : public ::testing::Test
+{
+  protected:
+    TimingParams timing_; // defaults: tRCD=tRP=tCL=10, tRAS=24, tRC=34,
+                          // ratio 6
+    Cycle
+    cpu(std::uint32_t dram_cycles) const
+    {
+        return timing_.toCpu(dram_cycles);
+    }
+};
+
+TEST_F(BankTest, StartsPrechargedAndActivatable)
+{
+    Bank bank(timing_);
+    EXPECT_FALSE(bank.isOpen());
+    EXPECT_EQ(bank.openRow(), kNoOpenRow);
+    EXPECT_TRUE(bank.canActivate(0));
+    EXPECT_FALSE(bank.canColumn(0));
+    EXPECT_FALSE(bank.canPrecharge(0));
+}
+
+TEST_F(BankTest, ActivateOpensRowAfterTrcd)
+{
+    Bank bank(timing_);
+    bank.activate(0, 42);
+    EXPECT_TRUE(bank.isOpen());
+    EXPECT_EQ(bank.openRow(), 42u);
+    EXPECT_FALSE(bank.canActivate(0)); // already open
+    EXPECT_FALSE(bank.canColumn(cpu(timing_.tRCD) - 1));
+    EXPECT_TRUE(bank.canColumn(cpu(timing_.tRCD)));
+}
+
+TEST_F(BankTest, PrechargeNotBeforeTras)
+{
+    Bank bank(timing_);
+    bank.activate(0, 1);
+    EXPECT_FALSE(bank.canPrecharge(cpu(timing_.tRAS) - 1));
+    EXPECT_TRUE(bank.canPrecharge(cpu(timing_.tRAS)));
+    bank.precharge(cpu(timing_.tRAS));
+    EXPECT_FALSE(bank.isOpen());
+}
+
+TEST_F(BankTest, ActivateToActivateRespectsTrc)
+{
+    Bank bank(timing_);
+    bank.activate(0, 1);
+    bank.precharge(cpu(timing_.tRAS));
+    // tRP after precharge AND tRC after the first activate.
+    const Cycle trp_ready = cpu(timing_.tRAS) + cpu(timing_.tRP);
+    const Cycle trc_ready = cpu(timing_.tRC);
+    const Cycle ready = std::max(trp_ready, trc_ready);
+    EXPECT_FALSE(bank.canActivate(ready - 1));
+    EXPECT_TRUE(bank.canActivate(ready));
+}
+
+TEST_F(BankTest, ReadReturnsDataEndAndGatesPrecharge)
+{
+    Bank bank(timing_);
+    bank.activate(0, 7);
+    const Cycle col_at = cpu(timing_.tRCD);
+    const Cycle data_end = bank.read(col_at, false);
+    EXPECT_EQ(data_end, col_at + cpu(timing_.tCL) + cpu(timing_.tBURST));
+    // Row stays open; precharge gated by max(tRAS, read+tRTP).
+    EXPECT_TRUE(bank.isOpen());
+    const Cycle pre_ready =
+        std::max(cpu(timing_.tRAS), col_at + cpu(timing_.tRTP));
+    EXPECT_FALSE(bank.canPrecharge(pre_ready - 1));
+    EXPECT_TRUE(bank.canPrecharge(pre_ready));
+}
+
+TEST_F(BankTest, WriteGatesPrechargeByWriteRecovery)
+{
+    Bank bank(timing_);
+    bank.activate(0, 7);
+    const Cycle col_at = cpu(timing_.tRCD);
+    const Cycle data_end = bank.write(col_at, false);
+    EXPECT_EQ(data_end, col_at + cpu(timing_.tCWL) + cpu(timing_.tBURST));
+    const Cycle pre_ready = data_end + cpu(timing_.tWR);
+    EXPECT_FALSE(bank.canPrecharge(pre_ready - 1));
+    EXPECT_TRUE(bank.canPrecharge(pre_ready));
+}
+
+TEST_F(BankTest, AutoPrechargeClosesRow)
+{
+    Bank bank(timing_);
+    bank.activate(0, 7);
+    bank.read(cpu(timing_.tRCD), /*auto_precharge=*/true);
+    EXPECT_FALSE(bank.isOpen());
+    // Next activate must wait for the implicit precharge + tRP.
+    const Cycle pre_at =
+        std::max(cpu(timing_.tRAS), cpu(timing_.tRCD) + cpu(timing_.tRTP));
+    EXPECT_FALSE(bank.canActivate(pre_at + cpu(timing_.tRP) - 1));
+    EXPECT_TRUE(bank.canActivate(
+        std::max(pre_at + cpu(timing_.tRP), cpu(timing_.tRC))));
+}
+
+TEST_F(BankTest, RefreshClosesAndBlocks)
+{
+    Bank bank(timing_);
+    bank.activate(0, 7);
+    const Cycle ready = 100000;
+    bank.refresh(ready);
+    EXPECT_FALSE(bank.isOpen());
+    EXPECT_FALSE(bank.canActivate(ready - 1));
+    EXPECT_TRUE(bank.canActivate(ready));
+}
+
+TEST_F(BankTest, StatsCountCommands)
+{
+    Bank bank(timing_);
+    bank.activate(0, 1);
+    bank.read(cpu(timing_.tRCD), false);
+    bank.read(cpu(timing_.tRCD) + cpu(timing_.tCCD), false);
+    bank.precharge(cpu(100));
+    bank.activate(cpu(200), 2);
+    bank.write(cpu(200) + cpu(timing_.tRCD), false);
+    EXPECT_EQ(bank.stats().activates, 2u);
+    EXPECT_EQ(bank.stats().reads, 2u);
+    EXPECT_EQ(bank.stats().writes, 1u);
+    EXPECT_EQ(bank.stats().precharges, 1u);
+}
+
+/** Property: a legal command sequence never regresses the open row. */
+TEST_F(BankTest, RowConsistencyOverSequence)
+{
+    Bank bank(timing_);
+    Cycle now = 0;
+    for (std::uint64_t row = 0; row < 20; ++row) {
+        while (!bank.canActivate(now))
+            now += timing_.cpu_per_dram_cycle;
+        bank.activate(now, row);
+        EXPECT_EQ(bank.openRow(), row);
+        while (!bank.canColumn(now))
+            now += timing_.cpu_per_dram_cycle;
+        bank.read(now, false);
+        EXPECT_EQ(bank.openRow(), row);
+        while (!bank.canPrecharge(now))
+            now += timing_.cpu_per_dram_cycle;
+        bank.precharge(now);
+        EXPECT_FALSE(bank.isOpen());
+    }
+    EXPECT_EQ(bank.stats().activates, 20u);
+}
+
+} // namespace
+} // namespace padc::dram

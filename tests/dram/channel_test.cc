@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for channel-level DRAM constraints: command bus, data bus,
+ * tCCD, tRRD, the tFAW window, write/read turnaround, and refresh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/channel.hh"
+
+namespace padc::dram
+{
+namespace
+{
+
+class ChannelTest : public ::testing::Test
+{
+  protected:
+    ChannelTest() : channel_(timing_, 8) {}
+
+    Cycle
+    cpu(std::uint32_t dram_cycles) const
+    {
+        return timing_.toCpu(dram_cycles);
+    }
+
+    /** Advance to the first DRAM-aligned cycle >= from where pred holds. */
+    template <typename Pred>
+    Cycle
+    firstCycle(Cycle from, Pred pred)
+    {
+        Cycle t = from;
+        while (!pred(t))
+            t += timing_.cpu_per_dram_cycle;
+        return t;
+    }
+
+    TimingParams timing_;
+    Channel channel_;
+};
+
+TEST_F(ChannelTest, CommandBusSerializesCommands)
+{
+    ASSERT_TRUE(channel_.canActivate(0, 0));
+    channel_.activate(0, 1, 0);
+    // Any command must wait at least one DRAM command-clock cycle.
+    EXPECT_FALSE(channel_.commandBusFree(0));
+    EXPECT_FALSE(channel_.commandBusFree(cpu(1) - 1));
+    EXPECT_TRUE(channel_.commandBusFree(cpu(1)));
+    // An activate to another bank is additionally gated by tRRD.
+    EXPECT_FALSE(channel_.canActivate(1, cpu(1)));
+    EXPECT_TRUE(channel_.canActivate(1, cpu(timing_.tRRD)));
+}
+
+TEST_F(ChannelTest, RowHitTracking)
+{
+    channel_.activate(3, 77, 0);
+    EXPECT_TRUE(channel_.isRowHit(3, 77));
+    EXPECT_FALSE(channel_.isRowHit(3, 78));
+    EXPECT_FALSE(channel_.isRowHit(4, 77));
+    EXPECT_EQ(channel_.openRow(3), 77u);
+    EXPECT_EQ(channel_.openRow(4), kNoOpenRow);
+}
+
+TEST_F(ChannelTest, TrrdBetweenActivates)
+{
+    channel_.activate(0, 1, 0);
+    EXPECT_FALSE(channel_.canActivate(1, cpu(timing_.tRRD) - 1));
+    EXPECT_TRUE(channel_.canActivate(1, cpu(timing_.tRRD)));
+}
+
+TEST_F(ChannelTest, TfawLimitsFourActivates)
+{
+    // Issue four activates as fast as tRRD allows.
+    Cycle t = 0;
+    for (std::uint32_t bank = 0; bank < 4; ++bank) {
+        t = firstCycle(t, [&](Cycle c) { return channel_.canActivate(bank, c); });
+        channel_.activate(bank, 1, t);
+    }
+    // The fifth activate must wait until tFAW after the first.
+    const Cycle fifth = firstCycle(
+        t, [&](Cycle c) { return channel_.canActivate(4, c); });
+    EXPECT_GE(fifth, cpu(timing_.tFAW));
+}
+
+TEST_F(ChannelTest, TccdBetweenColumnCommands)
+{
+    // Open the same row in two banks far enough apart that tRCD is long
+    // met for both by the time the first column command goes out.
+    channel_.activate(0, 1, 0);
+    channel_.activate(1, 1, cpu(timing_.tRRD));
+    const Cycle both_ready =
+        cpu(timing_.tRRD) + cpu(timing_.tRCD) + cpu(20);
+    channel_.column(0, false, false, both_ready);
+    // Bank 1 is tRCD-ready, but tCCD gates the second column command.
+    EXPECT_FALSE(channel_.canColumn(1, false, both_ready + cpu(1)));
+    EXPECT_TRUE(channel_.canColumn(1, false,
+                                   both_ready + cpu(timing_.tCCD)));
+}
+
+TEST_F(ChannelTest, ColumnReturnsDataEnd)
+{
+    channel_.activate(0, 1, 0);
+    const Cycle col = firstCycle(
+        0, [&](Cycle c) { return channel_.canColumn(0, false, c); });
+    const Cycle data_end = channel_.column(0, false, false, col);
+    EXPECT_EQ(data_end, col + cpu(timing_.tCL) + cpu(timing_.tBURST));
+}
+
+TEST_F(ChannelTest, WriteToReadTurnaround)
+{
+    channel_.activate(0, 1, 0);
+    const Cycle col = firstCycle(
+        0, [&](Cycle c) { return channel_.canColumn(0, true, c); });
+    const Cycle wr_end = channel_.column(0, true, false, col);
+    // A read column command must wait tWTR past the write data.
+    const Cycle rd_ok = wr_end + cpu(timing_.tWTR);
+    EXPECT_FALSE(channel_.canColumn(0, false, rd_ok - cpu(1)));
+    EXPECT_TRUE(channel_.canColumn(0, false, rd_ok));
+}
+
+TEST_F(ChannelTest, ReadToWriteGatedByReadDrain)
+{
+    channel_.activate(0, 1, 0);
+    const Cycle col = firstCycle(
+        0, [&](Cycle c) { return channel_.canColumn(0, false, c); });
+    const Cycle rd_end = channel_.column(0, false, false, col);
+    EXPECT_FALSE(channel_.canColumn(0, true, rd_end - cpu(1)));
+    EXPECT_TRUE(channel_.canColumn(0, true, rd_end));
+}
+
+TEST_F(ChannelTest, RefreshDisabledByDefault)
+{
+    EXPECT_FALSE(channel_.refreshDue(1000000));
+}
+
+TEST(ChannelRefreshTest, RefreshClosesAllBanksAndRecurs)
+{
+    TimingParams timing;
+    timing.refresh_enabled = true;
+    Channel channel(timing, 4);
+    const Cycle due = timing.toCpu(timing.tREFI);
+    EXPECT_FALSE(channel.refreshDue(due - 1));
+    ASSERT_TRUE(channel.refreshDue(due));
+
+    channel.activate(2, 9, 0);
+    channel.refresh(due);
+    EXPECT_EQ(channel.openRow(2), kNoOpenRow);
+    EXPECT_EQ(channel.stats().refreshes, 1u);
+    // Banks blocked for tRFC.
+    EXPECT_FALSE(channel.canActivate(0, due + timing.toCpu(timing.tRFC) -
+                                            timing.cpu_per_dram_cycle));
+    EXPECT_TRUE(channel.canActivate(0, due + timing.toCpu(timing.tRFC)));
+    // Next refresh one interval later.
+    EXPECT_FALSE(channel.refreshDue(due + 1));
+    EXPECT_TRUE(channel.refreshDue(2 * timing.toCpu(timing.tREFI)));
+}
+
+TEST_F(ChannelTest, StatsAggregate)
+{
+    channel_.activate(0, 1, 0);
+    const Cycle col = firstCycle(
+        0, [&](Cycle c) { return channel_.canColumn(0, false, c); });
+    channel_.column(0, false, false, col);
+    const Cycle pre = firstCycle(
+        col, [&](Cycle c) { return channel_.canPrecharge(0, c); });
+    channel_.precharge(0, pre);
+    EXPECT_EQ(channel_.stats().activates, 1u);
+    EXPECT_EQ(channel_.stats().reads, 1u);
+    EXPECT_EQ(channel_.stats().precharges, 1u);
+    EXPECT_EQ(channel_.stats().writes, 0u);
+}
+
+/**
+ * Property: back-to-back row-hit reads to one bank stream at the data-bus
+ * rate (one line per max(tCCD, tBURST) DRAM cycles) once the pipeline
+ * fills -- the "row-hit maximizes throughput" premise of the paper.
+ */
+TEST_F(ChannelTest, RowHitStreamingRate)
+{
+    channel_.activate(0, 5, 0);
+    Cycle t = 0;
+    Cycle last_issue = 0;
+    std::vector<Cycle> issues;
+    for (int i = 0; i < 10; ++i) {
+        t = firstCycle(t, [&](Cycle c) {
+            return channel_.canColumn(0, false, c);
+        });
+        channel_.column(0, false, false, t);
+        issues.push_back(t);
+        last_issue = t;
+    }
+    (void)last_issue;
+    const Cycle gap = cpu(std::max(timing_.tCCD, timing_.tBURST));
+    for (std::size_t i = 2; i < issues.size(); ++i)
+        EXPECT_EQ(issues[i] - issues[i - 1], gap);
+}
+
+} // namespace
+} // namespace padc::dram

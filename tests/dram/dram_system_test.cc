@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the DramSystem facade: channel construction, routing,
+ * and aggregate statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_system.hh"
+
+namespace padc::dram
+{
+namespace
+{
+
+TEST(DramSystemTest, ConstructsConfiguredChannels)
+{
+    DramConfig cfg;
+    cfg.geometry.channels = 4;
+    DramSystem dram(cfg);
+    EXPECT_EQ(dram.numChannels(), 4u);
+    for (std::uint32_t ch = 0; ch < 4; ++ch)
+        EXPECT_EQ(dram.channel(ch).numBanks(),
+                  cfg.geometry.banks_per_channel);
+}
+
+TEST(DramSystemTest, MapRoutesAcrossChannels)
+{
+    DramConfig cfg;
+    cfg.geometry.channels = 2;
+    DramSystem dram(cfg);
+    bool saw[2] = {false, false};
+    for (Addr addr = 0; addr < 64 * kLineBytes; addr += kLineBytes)
+        saw[dram.map(addr).channel] = true;
+    EXPECT_TRUE(saw[0]);
+    EXPECT_TRUE(saw[1]);
+}
+
+TEST(DramSystemTest, TotalStatsAggregatesChannels)
+{
+    DramConfig cfg;
+    cfg.geometry.channels = 2;
+    DramSystem dram(cfg);
+    dram.channel(0).activate(0, 1, 0);
+    dram.channel(1).activate(0, 2, 0);
+    dram.channel(1).activate(1, 3, cfg.timing.toCpu(cfg.timing.tRRD));
+    const ChannelStats total = dram.totalStats();
+    EXPECT_EQ(total.activates, 3u);
+    EXPECT_EQ(total.reads, 0u);
+}
+
+TEST(DramSystemTest, ChannelsAreIndependent)
+{
+    DramConfig cfg;
+    cfg.geometry.channels = 2;
+    DramSystem dram(cfg);
+    dram.channel(0).activate(3, 42, 0);
+    EXPECT_EQ(dram.channel(0).openRow(3), 42u);
+    EXPECT_EQ(dram.channel(1).openRow(3), kNoOpenRow);
+    // Command bus of channel 1 unaffected by channel 0's command.
+    EXPECT_TRUE(dram.channel(1).commandBusFree(0));
+}
+
+TEST(DramSystemTest, ConfigRoundTrip)
+{
+    DramConfig cfg;
+    cfg.geometry.row_bytes = 8192;
+    cfg.timing.tCL = 11;
+    DramSystem dram(cfg);
+    EXPECT_EQ(dram.config().geometry.row_bytes, 8192u);
+    EXPECT_EQ(dram.config().timing.tCL, 11u);
+    EXPECT_EQ(dram.addressMap().geometry().row_bytes, 8192u);
+}
+
+} // namespace
+} // namespace padc::dram

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for DRAM timing parameters and geometry validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/timing.hh"
+
+namespace padc::dram
+{
+namespace
+{
+
+TEST(TimingTest, DefaultsValid)
+{
+    TimingParams t;
+    EXPECT_TRUE(t.valid());
+}
+
+TEST(TimingTest, ToCpuScalesByRatio)
+{
+    TimingParams t;
+    t.cpu_per_dram_cycle = 6;
+    EXPECT_EQ(t.toCpu(0), 0u);
+    EXPECT_EQ(t.toCpu(1), 6u);
+    EXPECT_EQ(t.toCpu(10), 60u);
+}
+
+TEST(TimingTest, InvalidWhenTrcTooSmall)
+{
+    TimingParams t;
+    t.tRC = t.tRAS + t.tRP - 1;
+    EXPECT_FALSE(t.valid());
+}
+
+TEST(TimingTest, InvalidWhenTrasBelowTrcd)
+{
+    TimingParams t;
+    t.tRAS = t.tRCD - 1;
+    EXPECT_FALSE(t.valid());
+}
+
+TEST(TimingTest, InvalidWhenZeroRatioOrBurst)
+{
+    TimingParams t;
+    t.cpu_per_dram_cycle = 0;
+    EXPECT_FALSE(t.valid());
+    TimingParams u;
+    u.tBURST = 0;
+    EXPECT_FALSE(u.valid());
+}
+
+TEST(TimingTest, InvalidWhenTfawBelowTrrd)
+{
+    TimingParams t;
+    t.tFAW = t.tRRD - 1;
+    EXPECT_FALSE(t.valid());
+}
+
+TEST(GeometryTest, DefaultsValid)
+{
+    Geometry g;
+    EXPECT_TRUE(g.valid());
+    EXPECT_EQ(g.linesPerRow(), 4096u / 64u);
+}
+
+TEST(GeometryTest, RejectsNonPowerOfTwo)
+{
+    Geometry g;
+    g.banks_per_channel = 6;
+    EXPECT_FALSE(g.valid());
+
+    Geometry h;
+    h.channels = 3;
+    EXPECT_FALSE(h.valid());
+
+    Geometry r;
+    r.row_bytes = 5000;
+    EXPECT_FALSE(r.valid());
+}
+
+TEST(GeometryTest, RejectsRowSmallerThanLine)
+{
+    Geometry g;
+    g.row_bytes = 32;
+    EXPECT_FALSE(g.valid());
+}
+
+/** Row-buffer sizes used by the Fig. 23 sweep must all be valid. */
+class RowSizeProperty : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(RowSizeProperty, SweepSizesValid)
+{
+    Geometry g;
+    g.row_bytes = GetParam();
+    EXPECT_TRUE(g.valid());
+    EXPECT_EQ(g.linesPerRow(), GetParam() / 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig23, RowSizeProperty,
+                         ::testing::Values(2048, 4096, 8192, 16384, 32768,
+                                           65536, 131072));
+
+} // namespace
+} // namespace padc::dram

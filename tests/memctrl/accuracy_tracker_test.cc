@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the per-core prefetch accuracy tracker (PSC/PUC/PAR),
+ * including the drop-decrement robustness addition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memctrl/accuracy_tracker.hh"
+
+namespace padc::memctrl
+{
+namespace
+{
+
+AccuracyConfig
+config(Cycle interval = 1000, double initial = 1.0,
+       std::uint32_t min_samples = 1)
+{
+    AccuracyConfig c;
+    c.interval = interval;
+    c.initial_accuracy = initial;
+    c.min_samples = min_samples;
+    return c;
+}
+
+TEST(AccuracyTrackerTest, InitialAccuracy)
+{
+    AccuracyTracker t(2, config(1000, 0.5));
+    EXPECT_DOUBLE_EQ(t.accuracy(0), 0.5);
+    EXPECT_DOUBLE_EQ(t.accuracy(1), 0.5);
+}
+
+TEST(AccuracyTrackerTest, ParUpdatesAtIntervalBoundary)
+{
+    AccuracyTracker t(1, config());
+    for (int i = 0; i < 10; ++i)
+        t.onPrefetchSent(0);
+    for (int i = 0; i < 4; ++i)
+        t.onPrefetchUsed(0);
+    t.tick(999);
+    EXPECT_DOUBLE_EQ(t.accuracy(0), 1.0); // not yet
+    t.tick(1000);
+    EXPECT_DOUBLE_EQ(t.accuracy(0), 0.4);
+}
+
+TEST(AccuracyTrackerTest, CountersResetEachInterval)
+{
+    AccuracyTracker t(1, config());
+    for (int i = 0; i < 10; ++i)
+        t.onPrefetchSent(0);
+    t.tick(1000); // PAR = 0.0
+    EXPECT_DOUBLE_EQ(t.accuracy(0), 0.0);
+    for (int i = 0; i < 4; ++i) {
+        t.onPrefetchSent(0);
+        t.onPrefetchUsed(0);
+    }
+    t.tick(2000);
+    EXPECT_DOUBLE_EQ(t.accuracy(0), 1.0); // fresh interval: 4/4
+}
+
+TEST(AccuracyTrackerTest, MinSamplesKeepsOldEstimate)
+{
+    AccuracyTracker t(1, config(1000, 1.0, 8));
+    for (int i = 0; i < 4; ++i)
+        t.onPrefetchSent(0); // below min_samples
+    t.tick(1000);
+    EXPECT_DOUBLE_EQ(t.accuracy(0), 1.0); // unchanged
+    for (int i = 0; i < 8; ++i)
+        t.onPrefetchSent(0);
+    t.tick(2000);
+    EXPECT_DOUBLE_EQ(t.accuracy(0), 0.0); // now measured
+}
+
+TEST(AccuracyTrackerTest, ParClampedToOne)
+{
+    // PUC can outrun PSC when a prefetch sent in the previous interval
+    // is used in this one.
+    AccuracyTracker t(1, config());
+    t.onPrefetchSent(0);
+    for (int i = 0; i < 5; ++i)
+        t.onPrefetchUsed(0);
+    t.tick(1000);
+    EXPECT_DOUBLE_EQ(t.accuracy(0), 1.0);
+}
+
+TEST(AccuracyTrackerTest, DroppedPrefetchesLeaveIntervalPsc)
+{
+    // 10 sent, 8 dropped unserviced, 2 used: the interval judges only
+    // the prefetches that had a chance -> PAR 1.0, not 0.2.
+    AccuracyTracker t(1, config());
+    for (int i = 0; i < 10; ++i)
+        t.onPrefetchSent(0);
+    for (int i = 0; i < 8; ++i)
+        t.onPrefetchDropped(0);
+    for (int i = 0; i < 2; ++i)
+        t.onPrefetchUsed(0);
+    t.tick(1000);
+    EXPECT_DOUBLE_EQ(t.accuracy(0), 1.0);
+    // Lifetime totals keep the paper's definition.
+    EXPECT_EQ(t.totalSent(0), 10u);
+    EXPECT_EQ(t.totalUsed(0), 2u);
+}
+
+TEST(AccuracyTrackerTest, MassDropsAreNotAnAbsorbingState)
+{
+    // Even if every prefetch of an interval is dropped, the estimate
+    // keeps its previous value rather than collapsing to zero.
+    AccuracyTracker t(1, config(1000, 0.9));
+    for (int i = 0; i < 50; ++i) {
+        t.onPrefetchSent(0);
+        t.onPrefetchDropped(0);
+    }
+    t.tick(1000);
+    EXPECT_DOUBLE_EQ(t.accuracy(0), 0.9);
+}
+
+TEST(AccuracyTrackerTest, DropDecrementSaturatesAtZero)
+{
+    AccuracyTracker t(1, config());
+    t.onPrefetchDropped(0); // no underflow
+    t.onPrefetchSent(0);
+    t.onPrefetchSent(0);
+    t.onPrefetchDropped(0);
+    t.onPrefetchUsed(0);
+    t.tick(1000);
+    EXPECT_DOUBLE_EQ(t.accuracy(0), 1.0); // 1 used / 1 remaining
+}
+
+TEST(AccuracyTrackerTest, PerCoreIsolation)
+{
+    AccuracyTracker t(2, config());
+    for (int i = 0; i < 10; ++i)
+        t.onPrefetchSent(0);
+    for (int i = 0; i < 10; ++i) {
+        t.onPrefetchSent(1);
+        t.onPrefetchUsed(1);
+    }
+    t.tick(1000);
+    EXPECT_DOUBLE_EQ(t.accuracy(0), 0.0);
+    EXPECT_DOUBLE_EQ(t.accuracy(1), 1.0);
+}
+
+TEST(AccuracyTrackerTest, LifetimeTotalsMonotonic)
+{
+    AccuracyTracker t(1, config());
+    for (int i = 0; i < 5; ++i)
+        t.onPrefetchSent(0);
+    t.onPrefetchUsed(0);
+    t.tick(1000);
+    for (int i = 0; i < 3; ++i)
+        t.onPrefetchSent(0);
+    EXPECT_EQ(t.totalSent(0), 8u);
+    EXPECT_EQ(t.totalUsed(0), 1u);
+}
+
+TEST(AccuracyTrackerTest, TickCatchesUpMultipleIntervals)
+{
+    AccuracyTracker t(1, config());
+    for (int i = 0; i < 2; ++i)
+        t.onPrefetchSent(0);
+    t.tick(5500); // five intervals passed at once
+    EXPECT_DOUBLE_EQ(t.accuracy(0), 0.0);
+    for (int i = 0; i < 2; ++i) {
+        t.onPrefetchSent(0);
+        t.onPrefetchUsed(0);
+    }
+    t.tick(5999);
+    EXPECT_DOUBLE_EQ(t.accuracy(0), 0.0);
+    t.tick(6000);
+    EXPECT_DOUBLE_EQ(t.accuracy(0), 1.0);
+}
+
+/** Property: PAR always stays within [0, 1] under random event mixes. */
+class AccuracyRangeProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AccuracyRangeProperty, ParInRange)
+{
+    AccuracyTracker t(1, config(100));
+    std::uint64_t state =
+        static_cast<std::uint64_t>(GetParam()) * 2654435761u + 1;
+    auto rnd = [&]() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    for (Cycle now = 0; now < 10000; now += 10) {
+        if (rnd() % 3 == 0)
+            t.onPrefetchSent(0);
+        if (rnd() % 5 == 0)
+            t.onPrefetchUsed(0);
+        if (rnd() % 7 == 0)
+            t.onPrefetchDropped(0);
+        t.tick(now);
+        ASSERT_GE(t.accuracy(0), 0.0);
+        ASSERT_LE(t.accuracy(0), 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccuracyRangeProperty,
+                         ::testing::Range(1, 6));
+
+} // namespace
+} // namespace padc::memctrl

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit tests for the scheduling-policy priority keys: the C > RH > U >
+ * RANK > FCFS ordering of APS (paper Rules 1 and 2) and the rigid
+ * baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memctrl/policy.hh"
+
+namespace padc::memctrl
+{
+namespace
+{
+
+/** Test fixture with a 2-core tracker whose accuracies we can program. */
+class PolicyTest : public ::testing::Test
+{
+  protected:
+    PolicyTest() : tracker_(2, trackerConfig()) {}
+
+    static AccuracyConfig
+    trackerConfig()
+    {
+        AccuracyConfig c;
+        c.interval = 100;
+        c.min_samples = 1;
+        return c;
+    }
+
+    /** Force core accuracies by synthesizing one interval of events. */
+    void
+    setAccuracy(CoreId core, double accuracy)
+    {
+        for (int i = 0; i < 100; ++i)
+            tracker_.onPrefetchSent(core);
+        for (int i = 0; i < static_cast<int>(accuracy * 100); ++i)
+            tracker_.onPrefetchUsed(core);
+        programmed_ = true;
+    }
+
+    void
+    finishInterval()
+    {
+        ASSERT_TRUE(programmed_);
+        tracker_.tick(boundary_);
+        boundary_ += 100;
+    }
+
+    Request
+    request(CoreId core, bool prefetch, std::uint64_t seq)
+    {
+        Request r;
+        r.core = core;
+        r.is_prefetch = prefetch;
+        r.was_prefetch = prefetch;
+        r.seq = seq;
+        return r;
+    }
+
+    SchedulerConfig config_;
+    AccuracyTracker tracker_;
+    Cycle boundary_ = 100;
+    bool programmed_ = false;
+};
+
+TEST_F(PolicyTest, FrFcfsRowHitBeatsAge)
+{
+    config_.kind = SchedPolicyKind::FrFcfs;
+    SchedContext ctx(config_, tracker_);
+    const Request old_conflict = request(0, false, 1);
+    const Request young_hit = request(0, true, 2);
+    EXPECT_GT(ctx.priorityKey(young_hit, true),
+              ctx.priorityKey(old_conflict, false));
+}
+
+TEST_F(PolicyTest, FrFcfsIsPrefetchBlind)
+{
+    config_.kind = SchedPolicyKind::FrFcfs;
+    SchedContext ctx(config_, tracker_);
+    const Request demand = request(0, false, 5);
+    const Request prefetch = request(0, true, 5);
+    EXPECT_EQ(ctx.priorityKey(demand, true),
+              ctx.priorityKey(prefetch, true));
+}
+
+TEST_F(PolicyTest, FrFcfsOlderWinsAmongEqual)
+{
+    config_.kind = SchedPolicyKind::FrFcfs;
+    SchedContext ctx(config_, tracker_);
+    EXPECT_GT(ctx.priorityKey(request(0, false, 1), true),
+              ctx.priorityKey(request(0, false, 2), true));
+}
+
+TEST_F(PolicyTest, DemandFirstDemandBeatsRowHitPrefetch)
+{
+    config_.kind = SchedPolicyKind::DemandFirst;
+    SchedContext ctx(config_, tracker_);
+    const Request conflict_demand = request(0, false, 9);
+    const Request hit_prefetch = request(0, true, 1);
+    EXPECT_GT(ctx.priorityKey(conflict_demand, false),
+              ctx.priorityKey(hit_prefetch, true));
+}
+
+TEST_F(PolicyTest, DemandFirstUsesRowHitWithinClass)
+{
+    config_.kind = SchedPolicyKind::DemandFirst;
+    SchedContext ctx(config_, tracker_);
+    EXPECT_GT(ctx.priorityKey(request(0, true, 9), true),
+              ctx.priorityKey(request(0, true, 1), false));
+}
+
+TEST_F(PolicyTest, PrefetchFirstInverts)
+{
+    config_.kind = SchedPolicyKind::PrefetchFirst;
+    SchedContext ctx(config_, tracker_);
+    EXPECT_GT(ctx.priorityKey(request(0, true, 9), false),
+              ctx.priorityKey(request(0, false, 1), true));
+}
+
+TEST_F(PolicyTest, ApsAccurateCorePrefetchIsCritical)
+{
+    config_.kind = SchedPolicyKind::Aps;
+    config_.promotion_threshold = 0.85;
+    setAccuracy(0, 0.90);
+    setAccuracy(1, 0.10);
+    finishInterval();
+    SchedContext ctx(config_, tracker_);
+
+    EXPECT_TRUE(ctx.coreAccurate(0));
+    EXPECT_FALSE(ctx.coreAccurate(1));
+    EXPECT_TRUE(ctx.isCritical(request(0, true, 1)));
+    EXPECT_FALSE(ctx.isCritical(request(1, true, 1)));
+    EXPECT_TRUE(ctx.isCritical(request(1, false, 1)));
+
+    // Accurate-core prefetch (row-hit) beats inaccurate-core prefetch.
+    EXPECT_GT(ctx.priorityKey(request(0, true, 9), false),
+              ctx.priorityKey(request(1, true, 1), true));
+}
+
+TEST_F(PolicyTest, ApsUrgencyBoostsLowAccuracyDemands)
+{
+    config_.kind = SchedPolicyKind::Aps;
+    setAccuracy(0, 0.95); // accurate core
+    setAccuracy(1, 0.10); // inaccurate core
+    finishInterval();
+    SchedContext ctx(config_, tracker_);
+
+    // Same row-hit status: the inaccurate core's demand is urgent and
+    // wins over the accurate core's (critical) demand and prefetch.
+    EXPECT_GT(ctx.priorityKey(request(1, false, 9), true),
+              ctx.priorityKey(request(0, false, 1), true));
+    EXPECT_GT(ctx.priorityKey(request(1, false, 9), true),
+              ctx.priorityKey(request(0, true, 1), true));
+    // But urgency is below the row-hit level (Rule 1 order).
+    EXPECT_LT(ctx.priorityKey(request(1, false, 9), false),
+              ctx.priorityKey(request(0, false, 1), true));
+}
+
+TEST_F(PolicyTest, ApsUrgencyCanBeDisabled)
+{
+    config_.kind = SchedPolicyKind::Aps;
+    config_.urgency_enabled = false;
+    setAccuracy(0, 0.95);
+    setAccuracy(1, 0.10);
+    finishInterval();
+    SchedContext ctx(config_, tracker_);
+    // Without urgency, FCFS decides between equal-class row-hits.
+    EXPECT_LT(ctx.priorityKey(request(1, false, 9), true),
+              ctx.priorityKey(request(0, false, 1), true));
+}
+
+TEST_F(PolicyTest, RankingPrefersFewerCriticalRequests)
+{
+    config_.kind = SchedPolicyKind::Aps;
+    config_.ranking_enabled = true;
+    setAccuracy(0, 0.0);
+    setAccuracy(1, 0.0);
+    finishInterval();
+    SchedContext ctx(config_, tracker_);
+
+    std::array<std::uint32_t, kMaxCores> counts{};
+    counts[0] = 30; // long job
+    counts[1] = 2;  // short job -> higher rank
+    ctx.updateRanks(counts, 2);
+
+    // Both demands, both row-hits, core 0 older: rank must win over FCFS.
+    EXPECT_GT(ctx.priorityKey(request(1, false, 9), true),
+              ctx.priorityKey(request(0, false, 1), true));
+}
+
+TEST_F(PolicyTest, RankingDoesNotApplyToNonCritical)
+{
+    config_.kind = SchedPolicyKind::Aps;
+    config_.ranking_enabled = true;
+    setAccuracy(0, 0.0);
+    setAccuracy(1, 0.0);
+    finishInterval();
+    SchedContext ctx(config_, tracker_);
+
+    std::array<std::uint32_t, kMaxCores> counts{};
+    counts[0] = 0;
+    counts[1] = 50;
+    ctx.updateRanks(counts, 2);
+
+    // Non-critical prefetches are unranked (footnote 12): FCFS decides.
+    EXPECT_GT(ctx.priorityKey(request(1, true, 1), true),
+              ctx.priorityKey(request(0, true, 9), true));
+}
+
+TEST_F(PolicyTest, CriticalityDominatesEverything)
+{
+    config_.kind = SchedPolicyKind::Aps;
+    config_.ranking_enabled = true;
+    setAccuracy(0, 0.0);
+    setAccuracy(1, 0.0);
+    finishInterval();
+    SchedContext ctx(config_, tracker_);
+
+    std::array<std::uint32_t, kMaxCores> counts{};
+    ctx.updateRanks(counts, 2);
+
+    // A row-conflict demand outranks a row-hit non-critical prefetch.
+    EXPECT_GT(ctx.priorityKey(request(0, false, 9), false),
+              ctx.priorityKey(request(1, true, 1), true));
+}
+
+TEST_F(PolicyTest, KeyIsTotalOrderOnSeq)
+{
+    config_.kind = SchedPolicyKind::Aps;
+    SchedContext ctx(config_, tracker_);
+    std::uint64_t prev = ctx.priorityKey(request(0, false, 0), false);
+    for (std::uint64_t seq = 1; seq < 100; ++seq) {
+        const std::uint64_t key =
+            ctx.priorityKey(request(0, false, seq), false);
+        EXPECT_LT(key, prev);
+        prev = key;
+    }
+}
+
+} // namespace
+} // namespace padc::memctrl

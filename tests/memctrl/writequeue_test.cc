@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Focused tests for the controller's writeback path: drain watermarks,
+ * write scheduling order, and read/write interleaving behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/address_map.hh"
+#include "dram/channel.hh"
+#include "memctrl/controller.hh"
+
+namespace padc::memctrl
+{
+namespace
+{
+
+class NullHandler : public ResponseHandler
+{
+  public:
+    void
+    dramReadComplete(const Request &, Cycle now) override
+    {
+        last_read_done = now;
+        ++reads_done;
+    }
+
+    void
+    dramPrefetchDropped(const Request &, Cycle) override
+    {
+    }
+
+    Cycle last_read_done = 0;
+    std::size_t reads_done = 0;
+};
+
+class WriteQueueTest : public ::testing::Test
+{
+  protected:
+    WriteQueueTest()
+        : channel_(timing_, 8), map_(geometry_), tracker_(1, acc_)
+    {
+    }
+
+    Addr
+    addrFor(std::uint32_t bank, std::uint64_t row, std::uint32_t col = 0)
+    {
+        dram::DramCoord c;
+        c.bank = bank;
+        c.row = row;
+        c.col = col;
+        return map_.unmap(c);
+    }
+
+    void
+    enqueueWrites(MemoryController &ctrl, std::uint32_t count)
+    {
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const Addr a = addrFor(i % 8, 1 + i / 8, i % 64);
+            ctrl.enqueueWrite(map_.map(a), lineAlign(a), 0, 0);
+        }
+    }
+
+    dram::TimingParams timing_;
+    dram::Geometry geometry_;
+    dram::Channel channel_;
+    dram::AddressMap map_;
+    AccuracyConfig acc_;
+    AccuracyTracker tracker_;
+    NullHandler handler_;
+};
+
+TEST_F(WriteQueueTest, WritesWaitWhileReadsPending)
+{
+    SchedulerConfig cfg;
+    cfg.write_drain_high = 1000; // never force-drain
+    MemoryController ctrl(cfg, channel_, tracker_, handler_, 1);
+
+    // A steady supply of reads to one bank; writes to another.
+    enqueueWrites(ctrl, 4);
+    for (std::uint32_t col = 0; col < 16; ++col) {
+        const Addr a = addrFor(0, 9, col);
+        ASSERT_TRUE(ctrl.enqueueRead(map_.map(a), lineAlign(a), 0, 0,
+                                     false, 0));
+    }
+    Cycle t = 0;
+    while (handler_.reads_done < 16 && t < 100000)
+        ctrl.tick(t++);
+    ASSERT_EQ(handler_.reads_done, 16u);
+    // No write was serviced before the last read completed (reads had
+    // strict priority since the queue stayed below the watermark).
+    EXPECT_EQ(ctrl.stats().writes, 0u);
+    // Once idle, writes drain.
+    for (Cycle end = t + 20000; t < end && ctrl.writeQueueSize() > 0; ++t)
+        ctrl.tick(t);
+    EXPECT_EQ(ctrl.stats().writes, 4u);
+}
+
+TEST_F(WriteQueueTest, HighWatermarkForcesDrain)
+{
+    SchedulerConfig cfg;
+    cfg.write_drain_high = 8;
+    cfg.write_drain_low = 2;
+    MemoryController ctrl(cfg, channel_, tracker_, handler_, 1);
+
+    enqueueWrites(ctrl, 12); // above the high watermark
+    // Keep a read stream alive the whole time.
+    std::uint32_t next_col = 0;
+    Cycle t = 0;
+    for (; t < 60000; ++t) {
+        if (t % 500 == 0 && next_col < 64) {
+            const Addr a = addrFor(0, 9, next_col++);
+            if (!ctrl.hasRead(lineAlign(a)))
+                ctrl.enqueueRead(map_.map(a), lineAlign(a), 0, 0, false,
+                                 t);
+        }
+        ctrl.tick(t);
+        if (ctrl.writeQueueSize() <= cfg.write_drain_low)
+            break;
+    }
+    // Despite pending reads, the drain mode pushed writes through until
+    // the low watermark.
+    EXPECT_LE(ctrl.writeQueueSize(), cfg.write_drain_low);
+    EXPECT_GE(ctrl.stats().writes, 10u);
+}
+
+TEST_F(WriteQueueTest, WritesPreferRowHitsAmongThemselves)
+{
+    SchedulerConfig cfg;
+    MemoryController ctrl(cfg, channel_, tracker_, handler_, 1);
+    // Open row 5 in bank 0 via a read.
+    const Addr warm = addrFor(0, 5, 0);
+    ASSERT_TRUE(
+        ctrl.enqueueRead(map_.map(warm), lineAlign(warm), 0, 0, false, 0));
+    Cycle t = 0;
+    while (handler_.reads_done < 1 && t < 50000)
+        ctrl.tick(t++);
+
+    // Older conflicting write vs younger row-hit write to the same bank.
+    const Addr conflict = addrFor(0, 6, 0);
+    const Addr hit = addrFor(0, 5, 1);
+    ctrl.enqueueWrite(map_.map(conflict), lineAlign(conflict), 0, t);
+    ctrl.enqueueWrite(map_.map(hit), lineAlign(hit), 0, t);
+    // Drain; the row-hit write must retire first (stats.writes counts
+    // at column issue, so catch the instant one is serviced).
+    while (ctrl.stats().writes == 0 && t < 100000)
+        ctrl.tick(t++);
+    ASSERT_EQ(ctrl.stats().writes, 1u);
+    // The open row is unchanged => the first serviced write was the hit.
+    EXPECT_EQ(channel_.openRow(0), 5u);
+}
+
+TEST_F(WriteQueueTest, ForwardedReadCompletesQuickly)
+{
+    SchedulerConfig cfg;
+    MemoryController ctrl(cfg, channel_, tracker_, handler_, 1);
+    const Addr a = addrFor(2, 7, 3);
+    ctrl.enqueueWrite(map_.map(a), lineAlign(a), 0, 0);
+    ASSERT_TRUE(
+        ctrl.enqueueRead(map_.map(a), lineAlign(a), 0, 0, false, 0));
+    Cycle t = 0;
+    while (handler_.reads_done < 1 && t < 1000)
+        ctrl.tick(t++);
+    ASSERT_EQ(handler_.reads_done, 1u);
+    // Forwarding latency is tCL, far below any DRAM access.
+    EXPECT_LE(handler_.last_read_done,
+              timing_.toCpu(timing_.tCL) + timing_.cpu_per_dram_cycle);
+    EXPECT_EQ(ctrl.stats().forwarded_reads, 1u);
+}
+
+TEST_F(WriteQueueTest, OccupancyStatsAdvance)
+{
+    SchedulerConfig cfg;
+    MemoryController ctrl(cfg, channel_, tracker_, handler_, 1);
+    const Addr a = addrFor(0, 1, 0);
+    ASSERT_TRUE(
+        ctrl.enqueueRead(map_.map(a), lineAlign(a), 0, 0, false, 0));
+    for (Cycle t = 0; t < 600; ++t)
+        ctrl.tick(t);
+    EXPECT_GT(ctrl.stats().dram_cycles, 0u);
+    EXPECT_GT(ctrl.stats().read_queue_occupancy_sum, 0u);
+}
+
+} // namespace
+} // namespace padc::memctrl

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the DDPF prefetch-usefulness filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/ddpf.hh"
+
+namespace padc::prefetch
+{
+namespace
+{
+
+TEST(DdpfTest, InitiallyPermissive)
+{
+    DdpfFilter filter(DdpfConfig{});
+    EXPECT_TRUE(filter.allow(0x1000, 0x400));
+    EXPECT_TRUE(filter.allow(0xABCDE000, 0x999));
+}
+
+TEST(DdpfTest, RepeatedUselessnessFilters)
+{
+    DdpfFilter filter(DdpfConfig{}); // initial 3, threshold 2
+    filter.update(0x1000, 0x400, false); // 3 -> 2 (still allowed)
+    EXPECT_TRUE(filter.allow(0x1000, 0x400));
+    filter.update(0x1000, 0x400, false); // 2 -> 1
+    EXPECT_FALSE(filter.allow(0x1000, 0x400));
+}
+
+TEST(DdpfTest, UsefulnessRecovers)
+{
+    DdpfFilter filter(DdpfConfig{});
+    for (int i = 0; i < 4; ++i)
+        filter.update(0x1000, 0x400, false); // saturate down to 0
+    EXPECT_FALSE(filter.allow(0x1000, 0x400));
+    filter.update(0x1000, 0x400, true); // 0 -> 1
+    EXPECT_FALSE(filter.allow(0x1000, 0x400));
+    filter.update(0x1000, 0x400, true); // 1 -> 2
+    EXPECT_TRUE(filter.allow(0x1000, 0x400));
+}
+
+TEST(DdpfTest, CountersSaturateBothWays)
+{
+    DdpfFilter filter(DdpfConfig{});
+    for (int i = 0; i < 10; ++i)
+        filter.update(0x1000, 0x400, true); // stays at 3
+    filter.update(0x1000, 0x400, false);
+    filter.update(0x1000, 0x400, false); // 3 -> 1 exactly two steps
+    EXPECT_FALSE(filter.allow(0x1000, 0x400));
+    for (int i = 0; i < 10; ++i)
+        filter.update(0x1000, 0x400, false); // stays at 0, no wrap
+    filter.update(0x1000, 0x400, true);
+    filter.update(0x1000, 0x400, true);
+    EXPECT_TRUE(filter.allow(0x1000, 0x400));
+}
+
+TEST(DdpfTest, ContextsMostlyIndependent)
+{
+    DdpfFilter filter(DdpfConfig{});
+    for (int i = 0; i < 4; ++i)
+        filter.update(0x1000, 0x400, false);
+    // A different (pc, line) context is overwhelmingly likely to map to
+    // a different counter in a 4K table.
+    EXPECT_TRUE(filter.allow(0x2000, 0x500));
+}
+
+TEST(DdpfTest, AliasingIsDeterministic)
+{
+    // The same context always maps to the same counter: filtering a
+    // context is stable across queries.
+    DdpfFilter filter(DdpfConfig{});
+    for (int i = 0; i < 4; ++i)
+        filter.update(0x77777000, 0x1234, false);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(filter.allow(0x77777000, 0x1234));
+}
+
+TEST(DdpfTest, FilteredCounter)
+{
+    DdpfFilter filter(DdpfConfig{});
+    EXPECT_EQ(filter.filtered(), 0u);
+    filter.noteFiltered();
+    filter.noteFiltered();
+    EXPECT_EQ(filter.filtered(), 2u);
+}
+
+TEST(DdpfTest, CustomThresholdAndInitial)
+{
+    DdpfConfig cfg;
+    cfg.threshold = 3;
+    cfg.initial = 2;
+    DdpfFilter filter(cfg);
+    EXPECT_FALSE(filter.allow(0x40, 0x80)); // starts below threshold
+    filter.update(0x40, 0x80, true);
+    EXPECT_TRUE(filter.allow(0x40, 0x80));
+}
+
+} // namespace
+} // namespace padc::prefetch

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for Feedback Directed Prefetching: the aggressiveness
+ * governor and the pollution filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/fdp.hh"
+
+namespace padc::prefetch
+{
+namespace
+{
+
+FdpController::IntervalCounts
+counts(std::uint64_t sent, std::uint64_t used, std::uint64_t late = 0,
+       std::uint64_t pollution = 0, std::uint64_t demand = 10000)
+{
+    FdpController::IntervalCounts c;
+    c.prefetches_sent = sent;
+    c.prefetches_used = used;
+    c.late_prefetches = late;
+    c.pollution_misses = pollution;
+    c.demand_accesses = demand;
+    return c;
+}
+
+TEST(FdpTest, StartsAtConfiguredLevel)
+{
+    FdpConfig cfg;
+    cfg.initial_level = 3;
+    FdpController fdp(cfg);
+    EXPECT_EQ(fdp.level(), 3u);
+    EXPECT_EQ(fdp.degree(), 2u);
+    EXPECT_EQ(fdp.distance(), 16u);
+}
+
+TEST(FdpTest, LevelClampedToValidRange)
+{
+    FdpConfig low;
+    low.initial_level = 0;
+    EXPECT_EQ(FdpController(low).level(), 1u);
+    FdpConfig high;
+    high.initial_level = 99;
+    EXPECT_EQ(FdpController(high).level(), 5u);
+}
+
+TEST(FdpTest, LowAccuracyThrottlesDown)
+{
+    FdpController fdp(FdpConfig{});
+    const std::uint32_t start = fdp.level();
+    fdp.evaluate(counts(1000, 100)); // 10% accurate
+    EXPECT_EQ(fdp.level(), start - 1);
+}
+
+TEST(FdpTest, ThrottleSaturatesAtLevelOne)
+{
+    FdpController fdp(FdpConfig{});
+    for (int i = 0; i < 10; ++i)
+        fdp.evaluate(counts(1000, 0));
+    EXPECT_EQ(fdp.level(), 1u);
+    EXPECT_EQ(fdp.degree(), 1u);
+    EXPECT_EQ(fdp.distance(), 4u);
+}
+
+TEST(FdpTest, AccurateAndLateRampsUp)
+{
+    FdpController fdp(FdpConfig{});
+    const std::uint32_t start = fdp.level();
+    fdp.evaluate(counts(1000, 950, /*late=*/100));
+    EXPECT_EQ(fdp.level(), start + 1);
+}
+
+TEST(FdpTest, RampSaturatesAtLevelFive)
+{
+    FdpController fdp(FdpConfig{});
+    for (int i = 0; i < 10; ++i)
+        fdp.evaluate(counts(1000, 990, 200));
+    EXPECT_EQ(fdp.level(), 5u);
+    EXPECT_EQ(fdp.degree(), 4u);
+    EXPECT_EQ(fdp.distance(), 64u);
+}
+
+TEST(FdpTest, PollutionThrottlesMiddlingAccuracy)
+{
+    FdpController fdp(FdpConfig{});
+    const std::uint32_t start = fdp.level();
+    // 60% accuracy with heavy pollution.
+    fdp.evaluate(counts(1000, 600, 0, /*pollution=*/200, 10000));
+    EXPECT_EQ(fdp.level(), start - 1);
+}
+
+TEST(FdpTest, MiddlingAccuracyNoSignalsHolds)
+{
+    FdpController fdp(FdpConfig{});
+    const std::uint32_t start = fdp.level();
+    fdp.evaluate(counts(1000, 600));
+    EXPECT_EQ(fdp.level(), start);
+}
+
+TEST(FdpTest, NoPrefetchesCountsAsAccurate)
+{
+    // An idle prefetcher should not be punished.
+    FdpController fdp(FdpConfig{});
+    const std::uint32_t start = fdp.level();
+    fdp.evaluate(counts(0, 0));
+    EXPECT_GE(fdp.level(), start);
+}
+
+TEST(PollutionFilterTest, InsertCheckClear)
+{
+    PollutionFilter filter(1024);
+    EXPECT_FALSE(filter.checkAndClear(0x1000));
+    filter.insert(0x1000);
+    EXPECT_TRUE(filter.checkAndClear(0x1000));
+    EXPECT_FALSE(filter.checkAndClear(0x1000)); // cleared
+}
+
+TEST(PollutionFilterTest, DistinctLinesMostlyIndependent)
+{
+    PollutionFilter filter(4096);
+    filter.insert(0x1000);
+    EXPECT_FALSE(filter.checkAndClear(0x2000));
+    EXPECT_TRUE(filter.checkAndClear(0x1000));
+}
+
+} // namespace
+} // namespace padc::prefetch

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the Markov (miss-correlation) prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "prefetch/markov_prefetcher.hh"
+
+namespace padc::prefetch
+{
+namespace
+{
+
+PrefetcherConfig
+config(std::uint32_t successors = 2)
+{
+    PrefetcherConfig cfg;
+    cfg.kind = PrefetcherKind::Markov;
+    cfg.markov_entries = 1024;
+    cfg.markov_successors = successors;
+    return cfg;
+}
+
+std::vector<Addr>
+miss(Prefetcher &pf, Addr addr, bool train_only = false)
+{
+    std::vector<Addr> out;
+    pf.observe(addr, 0x400, true, train_only, out);
+    return out;
+}
+
+TEST(MarkovTest, FirstPassPredictsNothing)
+{
+    MarkovPrefetcher pf(config());
+    EXPECT_TRUE(miss(pf, 0x1000).empty());
+    EXPECT_TRUE(miss(pf, 0x2000).empty());
+    EXPECT_TRUE(miss(pf, 0x3000).empty());
+}
+
+TEST(MarkovTest, RepeatedSequencePredictsSuccessor)
+{
+    MarkovPrefetcher pf(config());
+    miss(pf, 0x1000);
+    miss(pf, 0x2000);
+    miss(pf, 0x3000);
+    // Revisit the chain head: successor 0x2000 must be predicted.
+    const auto out = miss(pf, 0x1000);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 0x2000u);
+    // And continuing: 0x2000's recorded successor is 0x3000. (0x1000
+    // is also now a successor of 0x3000 from the revisit.)
+    const auto out2 = miss(pf, 0x2000);
+    ASSERT_FALSE(out2.empty());
+    EXPECT_EQ(out2[0], 0x3000u);
+}
+
+TEST(MarkovTest, HitsNeitherTrainNorTrigger)
+{
+    MarkovPrefetcher pf(config());
+    miss(pf, 0x1000);
+    std::vector<Addr> out;
+    pf.observe(0x2000, 0x400, /*miss=*/false, false, out);
+    EXPECT_TRUE(out.empty());
+    // The hit did not interpose in the miss stream: the next miss is
+    // recorded as 0x1000's successor, and 0x2000 never is.
+    miss(pf, 0x9000);
+    const auto pred = miss(pf, 0x1000);
+    ASSERT_EQ(pred.size(), 1u);
+    EXPECT_EQ(pred[0], 0x9000u);
+}
+
+TEST(MarkovTest, MultipleSuccessorsMruFirst)
+{
+    MarkovPrefetcher pf(config(2));
+    // 0x1000 followed by 0x2000 then later by 0x3000.
+    miss(pf, 0x1000);
+    miss(pf, 0x2000);
+    miss(pf, 0x1000);
+    miss(pf, 0x3000);
+    miss(pf, 0x7000); // break the chain
+    const auto out = miss(pf, 0x1000);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 0x3000u); // most recent first
+    EXPECT_EQ(out[1], 0x2000u);
+}
+
+TEST(MarkovTest, SuccessorListCapped)
+{
+    MarkovPrefetcher pf(config(2));
+    for (Addr next = 0x2000; next <= 0x5000; next += 0x1000) {
+        miss(pf, 0x1000);
+        miss(pf, next);
+    }
+    miss(pf, 0x9000);
+    const auto out = miss(pf, 0x1000);
+    EXPECT_EQ(out.size(), 2u); // capped at markov_successors
+    EXPECT_EQ(out[0], 0x5000u);
+    EXPECT_EQ(out[1], 0x4000u);
+}
+
+TEST(MarkovTest, RepeatedPairMovesToMruWithoutDuplication)
+{
+    MarkovPrefetcher pf(config(2));
+    miss(pf, 0x1000);
+    miss(pf, 0x2000);
+    miss(pf, 0x1000);
+    miss(pf, 0x2000);
+    miss(pf, 0x9000);
+    const auto out = miss(pf, 0x1000);
+    // 0x2000 recorded once (deduplicated).
+    ASSERT_GE(out.size(), 1u);
+    EXPECT_EQ(out[0], 0x2000u);
+    int count = 0;
+    for (Addr a : out)
+        count += a == 0x2000u ? 1 : 0;
+    EXPECT_EQ(count, 1);
+}
+
+TEST(MarkovTest, TrainOnlySuppressesLearning)
+{
+    MarkovPrefetcher pf(config());
+    miss(pf, 0x1000);
+    miss(pf, 0x2000, /*train_only=*/true); // transition not recorded
+    miss(pf, 0x9000);
+    EXPECT_TRUE(miss(pf, 0x1000).empty());
+}
+
+TEST(MarkovTest, AddressesAreLineAligned)
+{
+    MarkovPrefetcher pf(config());
+    miss(pf, 0x1008); // unaligned byte address
+    miss(pf, 0x2010);
+    miss(pf, 0x9000);
+    const auto out = miss(pf, 0x1004); // same line as 0x1008
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], lineAlign(0x2010));
+}
+
+} // namespace
+} // namespace padc::prefetch

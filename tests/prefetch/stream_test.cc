@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit and property tests for the stream prefetcher: allocation,
+ * direction training, region-shift pacing, re-anchoring, and the
+ * run-length -> accuracy relationship the workload profiles rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "prefetch/stream_prefetcher.hh"
+
+namespace padc::prefetch
+{
+namespace
+{
+
+PrefetcherConfig
+config(std::uint32_t degree = 4, std::uint32_t distance = 16,
+       std::uint32_t entries = 32)
+{
+    PrefetcherConfig cfg;
+    cfg.kind = PrefetcherKind::Stream;
+    cfg.degree = degree;
+    cfg.distance = distance;
+    cfg.stream_entries = entries;
+    return cfg;
+}
+
+std::vector<Addr>
+observe(Prefetcher &pf, Addr addr, bool miss = true,
+        bool train_only = false)
+{
+    std::vector<Addr> out;
+    pf.observe(addr, 0x400, miss, train_only, out);
+    return out;
+}
+
+TEST(StreamTest, NoPrefetchOnFirstMiss)
+{
+    StreamPrefetcher pf(config());
+    EXPECT_TRUE(observe(pf, lineToAddr(1000)).empty());
+}
+
+TEST(StreamTest, ArmingIssuesFirstBatchBeyondDistance)
+{
+    StreamPrefetcher pf(config(4, 16));
+    observe(pf, lineToAddr(1000));
+    const auto out = observe(pf, lineToAddr(1001));
+    ASSERT_EQ(out.size(), 4u);
+    // First prefetches land just beyond start + distance.
+    EXPECT_EQ(out[0], lineToAddr(1000 + 16 + 1));
+    EXPECT_EQ(out[3], lineToAddr(1000 + 16 + 4));
+}
+
+TEST(StreamTest, DescendingStreamsSupported)
+{
+    StreamPrefetcher pf(config(4, 16));
+    observe(pf, lineToAddr(1000));
+    const auto out = observe(pf, lineToAddr(999));
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], lineToAddr(1000 - 17));
+    EXPECT_EQ(out[3], lineToAddr(1000 - 20));
+}
+
+TEST(StreamTest, SameLineDoesNotArm)
+{
+    StreamPrefetcher pf(config());
+    observe(pf, lineToAddr(1000));
+    EXPECT_TRUE(observe(pf, lineToAddr(1000), /*miss=*/false).empty());
+}
+
+TEST(StreamTest, PacingOnePrefetchPerLineConsumed)
+{
+    // In steady state, N prefetches issue per N lines consumed: the
+    // front cannot run away from the access stream.
+    StreamPrefetcher pf(config(4, 16));
+    observe(pf, lineToAddr(0));
+    std::size_t issued = 0;
+    for (std::uint64_t line = 1; line <= 200; ++line)
+        issued += observe(pf, lineToAddr(line)).size();
+    EXPECT_GE(issued, 195u);
+    EXPECT_LE(issued, 230u);
+}
+
+TEST(StreamTest, PrefetchesAreContiguousAndUnique)
+{
+    StreamPrefetcher pf(config(4, 16));
+    observe(pf, lineToAddr(0));
+    std::set<Addr> seen;
+    for (std::uint64_t line = 1; line <= 100; ++line) {
+        for (Addr a : observe(pf, lineToAddr(line))) {
+            EXPECT_TRUE(seen.insert(a).second)
+                << "duplicate prefetch " << a;
+        }
+    }
+    // Everything from line 17 up to ~line 117 must be covered gap-free.
+    for (std::uint64_t line = 17; line <= 110; ++line)
+        EXPECT_TRUE(seen.count(lineToAddr(line))) << "hole at " << line;
+}
+
+TEST(StreamTest, TrailingAccessDoesNotTrigger)
+{
+    StreamPrefetcher pf(config(4, 16));
+    observe(pf, lineToAddr(100));
+    observe(pf, lineToAddr(101)); // arm + first batch
+    observe(pf, lineToAddr(102)); // advances region
+    // A late access behind the region start must not shift the front.
+    EXPECT_TRUE(observe(pf, lineToAddr(100), false).empty());
+}
+
+TEST(StreamTest, ReanchorWhenConsumerOutrunsFront)
+{
+    StreamPrefetcher pf(config(4, 4, 32));
+    observe(pf, lineToAddr(100));
+    observe(pf, lineToAddr(101)); // region ~[101,105]
+    // Jump just beyond the front but within the slack window.
+    const auto out = observe(pf, lineToAddr(110));
+    ASSERT_FALSE(out.empty());
+    // New prefetches are relative to the re-anchored position.
+    EXPECT_EQ(out[0], lineToAddr(110 + 4 + 1));
+}
+
+TEST(StreamTest, FarJumpAllocatesNewStream)
+{
+    StreamPrefetcher pf(config(4, 16));
+    observe(pf, lineToAddr(100));
+    observe(pf, lineToAddr(101));
+    // A miss far away starts a second stream; arming it works.
+    observe(pf, lineToAddr(50000));
+    const auto out = observe(pf, lineToAddr(50001));
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], lineToAddr(50000 + 17));
+}
+
+TEST(StreamTest, TrainOnlySuppressesAllocationButAllowsTriggers)
+{
+    StreamPrefetcher pf(config(4, 16));
+    // train_only miss: no stream allocated.
+    observe(pf, lineToAddr(100), true, /*train_only=*/true);
+    EXPECT_TRUE(observe(pf, lineToAddr(101), true, true).empty());
+    // Normal allocation, then train_only accesses still trigger.
+    observe(pf, lineToAddr(200));
+    const auto out = observe(pf, lineToAddr(201), true, true);
+    EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(StreamTest, LruVictimSelection)
+{
+    StreamPrefetcher pf(config(4, 16, 2)); // only two entries
+    observe(pf, lineToAddr(1000));
+    observe(pf, lineToAddr(2000));
+    observe(pf, lineToAddr(1001)); // refresh stream A
+    observe(pf, lineToAddr(3000)); // must evict stream B (LRU)
+    // Stream A is still trained and triggering.
+    EXPECT_FALSE(observe(pf, lineToAddr(1005)).empty());
+    // Stream B is gone: its next access allocates fresh (no prefetches).
+    EXPECT_TRUE(observe(pf, lineToAddr(2100)).empty());
+}
+
+TEST(StreamTest, SetAggressivenessChangesDegreeAndDistance)
+{
+    StreamPrefetcher pf(config(4, 16));
+    pf.setAggressiveness(2, 8);
+    EXPECT_EQ(pf.currentDegree(), 2u);
+    EXPECT_EQ(pf.currentDistance(), 8u);
+    observe(pf, lineToAddr(100));
+    const auto out = observe(pf, lineToAddr(101));
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], lineToAddr(100 + 8 + 1)); // start + distance + 1
+}
+
+TEST(StreamTest, NeverPrefetchesNegativeLines)
+{
+    StreamPrefetcher pf(config(4, 16));
+    observe(pf, lineToAddr(10));
+    const auto out = observe(pf, lineToAddr(9)); // descending near zero
+    for (Addr a : out)
+        EXPECT_LT(lineIndex(a), 30u); // all small and non-wrapped
+}
+
+/**
+ * Property: for a sequential run of L lines, the fraction of issued
+ * prefetches that fall inside the run approaches (L - D) / L -- the
+ * relationship the workload profiles use to dial accuracy.
+ */
+class StreamAccuracyProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StreamAccuracyProperty, RunLengthControlsAccuracy)
+{
+    const std::uint64_t run = GetParam();
+    const std::uint32_t distance = 16;
+    StreamPrefetcher pf(config(4, distance));
+    std::vector<Addr> issued;
+    for (std::uint64_t line = 0; line < run; ++line) {
+        std::vector<Addr> out;
+        pf.observe(lineToAddr(5000 + line), 0x400, true, false, out);
+        issued.insert(issued.end(), out.begin(), out.end());
+    }
+    ASSERT_FALSE(issued.empty());
+    const auto inside = static_cast<double>(std::count_if(
+        issued.begin(), issued.end(), [&](Addr a) {
+            return lineIndex(a) < 5000 + run;
+        }));
+    const double measured = inside / static_cast<double>(issued.size());
+    const double expected =
+        static_cast<double>(run - distance) / static_cast<double>(run);
+    EXPECT_NEAR(measured, expected, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RunLengths, StreamAccuracyProperty,
+                         ::testing::Values(32, 64, 128, 512, 2048));
+
+} // namespace
+} // namespace padc::prefetch

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the PC-based stride prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "prefetch/stride_prefetcher.hh"
+
+namespace padc::prefetch
+{
+namespace
+{
+
+PrefetcherConfig
+config(std::uint32_t degree = 4)
+{
+    PrefetcherConfig cfg;
+    cfg.kind = PrefetcherKind::Stride;
+    cfg.degree = degree;
+    cfg.stride_entries = 256;
+    return cfg;
+}
+
+std::vector<Addr>
+observe(Prefetcher &pf, Addr addr, Addr pc, bool train_only = false)
+{
+    std::vector<Addr> out;
+    pf.observe(addr, pc, true, train_only, out);
+    return out;
+}
+
+TEST(StrideTest, DetectsConstantStrideAfterConfidence)
+{
+    StridePrefetcher pf(config());
+    const Addr pc = 0x400;
+    // Accesses with stride 3 lines.
+    EXPECT_TRUE(observe(pf, lineToAddr(100), pc).empty()); // allocate
+    EXPECT_TRUE(observe(pf, lineToAddr(103), pc).empty()); // learn stride
+    EXPECT_TRUE(observe(pf, lineToAddr(106), pc).empty()); // conf 1
+    const auto out = observe(pf, lineToAddr(109), pc);     // conf 2 -> go
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], lineToAddr(112));
+    EXPECT_EQ(out[1], lineToAddr(115));
+    EXPECT_EQ(out[3], lineToAddr(121));
+}
+
+TEST(StrideTest, NegativeStride)
+{
+    StridePrefetcher pf(config(2));
+    const Addr pc = 0x404;
+    observe(pf, lineToAddr(1000), pc);
+    observe(pf, lineToAddr(995), pc);
+    observe(pf, lineToAddr(990), pc);
+    const auto out = observe(pf, lineToAddr(985), pc);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], lineToAddr(980));
+    EXPECT_EQ(out[1], lineToAddr(975));
+}
+
+TEST(StrideTest, DifferentPcsAreIndependent)
+{
+    StridePrefetcher pf(config());
+    // Interleave two PCs with different strides; both must train.
+    for (int i = 0; i < 4; ++i) {
+        observe(pf, lineToAddr(100 + i * 2), 0x400);
+        observe(pf, lineToAddr(9000 + i * 7), 0x500);
+    }
+    const auto a = observe(pf, lineToAddr(108), 0x400);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a[0], lineToAddr(110));
+    const auto b = observe(pf, lineToAddr(9028), 0x500);
+    ASSERT_FALSE(b.empty());
+    EXPECT_EQ(b[0], lineToAddr(9035));
+}
+
+TEST(StrideTest, ConfidenceHysteresisOnStrideChange)
+{
+    StridePrefetcher pf(config());
+    const Addr pc = 0x400;
+    for (int i = 0; i < 4; ++i)
+        observe(pf, lineToAddr(100 + i * 3), pc);
+    // Break the pattern: confidence decays, no prefetch.
+    EXPECT_TRUE(observe(pf, lineToAddr(500), pc).empty());
+    EXPECT_TRUE(observe(pf, lineToAddr(600), pc).empty());
+    // Old stride is eventually replaced; retrain with stride 1.
+    std::vector<Addr> out;
+    for (int i = 0; i < 8; ++i)
+        out = observe(pf, lineToAddr(700 + i), pc);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0], lineToAddr(708));
+}
+
+TEST(StrideTest, ZeroDeltaIgnored)
+{
+    StridePrefetcher pf(config());
+    const Addr pc = 0x400;
+    for (int i = 0; i < 3; ++i)
+        observe(pf, lineToAddr(100 + i * 3), pc);
+    // Repeated access to the same line must not disturb training.
+    EXPECT_TRUE(observe(pf, lineToAddr(106), pc).empty());
+    const auto out = observe(pf, lineToAddr(109), pc);
+    EXPECT_FALSE(out.empty());
+}
+
+TEST(StrideTest, TrainOnlyDoesNotStealEntries)
+{
+    StridePrefetcher pf(config());
+    const Addr pc_a = 0x400;
+    // Train pc_a fully.
+    for (int i = 0; i < 4; ++i)
+        observe(pf, lineToAddr(100 + i * 3), pc_a);
+    // A runahead access from a PC that aliases to a different entry is
+    // fine; but even a brand-new PC must not allocate in train_only
+    // mode. We can't directly inspect the table, so verify pc_a still
+    // predicts afterwards even if the new PC aliases.
+    for (Addr pc = 0x1000; pc < 0x1100; pc += 4)
+        observe(pf, lineToAddr(50000), pc, /*train_only=*/true);
+    const auto out = observe(pf, lineToAddr(112), pc_a);
+    EXPECT_FALSE(out.empty());
+}
+
+TEST(StrideTest, SetAggressivenessChangesDegree)
+{
+    StridePrefetcher pf(config(4));
+    pf.setAggressiveness(1, 999);
+    EXPECT_EQ(pf.currentDegree(), 1u);
+    const Addr pc = 0x400;
+    for (int i = 0; i < 3; ++i)
+        observe(pf, lineToAddr(100 + i * 3), pc);
+    const auto out = observe(pf, lineToAddr(109), pc);
+    EXPECT_EQ(out.size(), 1u);
+}
+
+/** Property: predictions always continue the observed stride exactly. */
+class StridePatternProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StridePatternProperty, PredictionsFollowStride)
+{
+    const std::int64_t stride = GetParam();
+    StridePrefetcher pf(config(3));
+    const Addr pc = 0x440;
+    std::int64_t line = 100000;
+    std::vector<Addr> out;
+    for (int i = 0; i < 10; ++i) {
+        out = observe(pf, lineToAddr(static_cast<Addr>(line)), pc);
+        line += stride;
+    }
+    ASSERT_EQ(out.size(), 3u);
+    // The last observation was at (line - stride).
+    for (int k = 0; k < 3; ++k) {
+        EXPECT_EQ(out[k], lineToAddr(static_cast<Addr>(
+                              line - stride + (k + 1) * stride)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, StridePatternProperty,
+                         ::testing::Values(1, 2, 5, 16, -1, -4));
+
+} // namespace
+} // namespace padc::prefetch

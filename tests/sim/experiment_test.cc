@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the experiment harness: policy setup application,
+ * mix running, and the alone-IPC cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/experiment.hh"
+
+namespace padc::sim
+{
+namespace
+{
+
+TEST(ApplyPolicyTest, SetupFlagMatrix)
+{
+    const SystemConfig base = SystemConfig::baseline(4);
+
+    SystemConfig c = applyPolicy(base, PolicySetup::NoPref);
+    EXPECT_FALSE(c.prefetch_enabled);
+
+    c = applyPolicy(base, PolicySetup::DemandFirst);
+    EXPECT_TRUE(c.prefetch_enabled);
+    EXPECT_EQ(c.sched.kind, SchedPolicyKind::DemandFirst);
+    EXPECT_FALSE(c.sched.apd_enabled);
+
+    c = applyPolicy(base, PolicySetup::DemandPrefEqual);
+    EXPECT_EQ(c.sched.kind, SchedPolicyKind::FrFcfs);
+
+    c = applyPolicy(base, PolicySetup::PrefetchFirst);
+    EXPECT_EQ(c.sched.kind, SchedPolicyKind::PrefetchFirst);
+
+    c = applyPolicy(base, PolicySetup::ApsOnly);
+    EXPECT_EQ(c.sched.kind, SchedPolicyKind::Aps);
+    EXPECT_FALSE(c.sched.apd_enabled);
+    EXPECT_TRUE(c.sched.urgency_enabled);
+
+    c = applyPolicy(base, PolicySetup::Padc);
+    EXPECT_EQ(c.sched.kind, SchedPolicyKind::Aps);
+    EXPECT_TRUE(c.sched.apd_enabled);
+    EXPECT_FALSE(c.sched.ranking_enabled);
+
+    c = applyPolicy(base, PolicySetup::PadcRank);
+    EXPECT_TRUE(c.sched.apd_enabled);
+    EXPECT_TRUE(c.sched.ranking_enabled);
+
+    c = applyPolicy(base, PolicySetup::ApsNoUrgent);
+    EXPECT_FALSE(c.sched.urgency_enabled);
+    EXPECT_FALSE(c.sched.apd_enabled);
+
+    c = applyPolicy(base, PolicySetup::PadcNoUrgent);
+    EXPECT_FALSE(c.sched.urgency_enabled);
+    EXPECT_TRUE(c.sched.apd_enabled);
+
+    c = applyPolicy(base, PolicySetup::ApdOnly);
+    EXPECT_EQ(c.sched.kind, SchedPolicyKind::DemandFirst);
+    EXPECT_TRUE(c.sched.apd_enabled);
+}
+
+TEST(ApplyPolicyTest, LabelsDistinct)
+{
+    std::set<std::string> labels;
+    for (PolicySetup setup :
+         {PolicySetup::NoPref, PolicySetup::DemandFirst,
+          PolicySetup::DemandPrefEqual, PolicySetup::PrefetchFirst,
+          PolicySetup::ApsOnly, PolicySetup::Padc, PolicySetup::PadcRank,
+          PolicySetup::ApsNoUrgent, PolicySetup::PadcNoUrgent,
+          PolicySetup::ApdOnly}) {
+        EXPECT_TRUE(labels.insert(policyLabel(setup)).second);
+    }
+}
+
+TEST(BaselineConfigTest, PaperTableFourSizes)
+{
+    EXPECT_EQ(SystemConfig::baseline(1).sched.request_buffer_size, 64u);
+    EXPECT_EQ(SystemConfig::baseline(2).sched.request_buffer_size, 64u);
+    EXPECT_EQ(SystemConfig::baseline(4).sched.request_buffer_size, 128u);
+    EXPECT_EQ(SystemConfig::baseline(8).sched.request_buffer_size, 256u);
+    EXPECT_EQ(SystemConfig::baseline(1).l2.size_bytes, 1024u * 1024);
+    EXPECT_EQ(SystemConfig::baseline(4).l2.size_bytes, 512u * 1024);
+}
+
+TEST(RunMixTest, SmokeRunProducesMetrics)
+{
+    const SystemConfig cfg =
+        applyPolicy(SystemConfig::baseline(1), PolicySetup::Padc);
+    RunOptions opt;
+    opt.instructions = 20000;
+    opt.warmup = 2000;
+    const RunMetrics m = runMix(cfg, {"libquantum_06"}, opt);
+    ASSERT_EQ(m.cores.size(), 1u);
+    EXPECT_GT(m.cores[0].ipc, 0.0);
+    EXPECT_GE(m.cores[0].instructions, 18000u);
+    EXPECT_GT(m.totalTraffic(), 0u);
+}
+
+TEST(RunMixTest, DeterministicAcrossRuns)
+{
+    const SystemConfig cfg =
+        applyPolicy(SystemConfig::baseline(2), PolicySetup::Padc);
+    RunOptions opt;
+    opt.instructions = 15000;
+    opt.warmup = 1000;
+    const workload::Mix mix = {"milc_06", "libquantum_06"};
+    const RunMetrics a = runMix(cfg, mix, opt);
+    const RunMetrics b = runMix(cfg, mix, opt);
+    for (std::size_t i = 0; i < a.cores.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.cores[i].ipc, b.cores[i].ipc);
+        EXPECT_EQ(a.cores[i].traffic_demand, b.cores[i].traffic_demand);
+    }
+}
+
+TEST(AloneIpcCacheTest, MemoizesAndIsPositive)
+{
+    const SystemConfig base = SystemConfig::baseline(2);
+    RunOptions opt;
+    opt.instructions = 15000;
+    opt.warmup = 1000;
+    AloneIpcCache cache(base, opt);
+    const double first = cache.ipcAlone("swim_00", 0, 0);
+    EXPECT_GT(first, 0.0);
+    const double second = cache.ipcAlone("swim_00", 0, 0);
+    EXPECT_DOUBLE_EQ(first, second);
+    // Different core placement yields a (generally) different value but
+    // must still be positive.
+    EXPECT_GT(cache.ipcAlone("swim_00", 1, 0), 0.0);
+}
+
+TEST(EvaluateMixTest, SpeedupsBelowAloneRun)
+{
+    const SystemConfig base = SystemConfig::baseline(2);
+    RunOptions opt;
+    opt.instructions = 15000;
+    opt.warmup = 1000;
+    AloneIpcCache cache(base, opt);
+    const SystemConfig cfg = applyPolicy(base, PolicySetup::DemandFirst);
+    const MixEvaluation eval =
+        evaluateMix(cfg, {"swim_00", "milc_06"}, opt, cache);
+    ASSERT_EQ(eval.summary.speedups.size(), 2u);
+    for (double is : eval.summary.speedups) {
+        EXPECT_GT(is, 0.0);
+        // Sharing the memory system cannot speed a core up by much; a
+        // small tolerance covers warmup-window noise.
+        EXPECT_LT(is, 1.15);
+    }
+    EXPECT_GE(eval.summary.uf, 1.0);
+}
+
+} // namespace
+} // namespace padc::sim

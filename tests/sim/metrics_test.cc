@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for metric computation: WS/HS/UF math and traffic totals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hh"
+
+namespace padc::sim
+{
+namespace
+{
+
+RunMetrics
+makeRun(const std::vector<double> &ipcs)
+{
+    RunMetrics run;
+    for (double ipc : ipcs) {
+        CoreMetrics m;
+        m.ipc = ipc;
+        run.cores.push_back(m);
+    }
+    return run;
+}
+
+TEST(MultiCoreMetricsTest, WeightedSpeedupIsSumOfSpeedups)
+{
+    const RunMetrics run = makeRun({0.5, 1.0});
+    const MultiCoreMetrics m = multiCoreMetrics(run, {1.0, 2.0});
+    ASSERT_EQ(m.speedups.size(), 2u);
+    EXPECT_DOUBLE_EQ(m.speedups[0], 0.5);
+    EXPECT_DOUBLE_EQ(m.speedups[1], 0.5);
+    EXPECT_DOUBLE_EQ(m.ws, 1.0);
+}
+
+TEST(MultiCoreMetricsTest, HarmonicMeanOfSpeedups)
+{
+    const RunMetrics run = makeRun({0.25, 1.0});
+    // IS = {0.25, 0.5}; HS = 2 / (4 + 2) = 1/3.
+    const MultiCoreMetrics m = multiCoreMetrics(run, {1.0, 2.0});
+    EXPECT_NEAR(m.hs, 1.0 / 3.0, 1e-12);
+}
+
+TEST(MultiCoreMetricsTest, UnfairnessIsMaxOverMin)
+{
+    const RunMetrics run = makeRun({0.9, 0.3, 0.6});
+    const MultiCoreMetrics m = multiCoreMetrics(run, {1.0, 1.0, 1.0});
+    EXPECT_NEAR(m.uf, 3.0, 1e-12);
+}
+
+TEST(MultiCoreMetricsTest, EqualSpeedupsGiveUnitUnfairness)
+{
+    const RunMetrics run = makeRun({0.7, 0.7, 0.7, 0.7});
+    const MultiCoreMetrics m = multiCoreMetrics(run, {1.0, 1.0, 1.0, 1.0});
+    EXPECT_NEAR(m.uf, 1.0, 1e-12);
+    EXPECT_NEAR(m.ws, 2.8, 1e-12);
+    EXPECT_NEAR(m.hs, 0.7, 1e-12);
+}
+
+TEST(MultiCoreMetricsTest, SingleCoreDegenerate)
+{
+    const RunMetrics run = makeRun({1.5});
+    const MultiCoreMetrics m = multiCoreMetrics(run, {1.0});
+    EXPECT_DOUBLE_EQ(m.ws, 1.5);
+    EXPECT_DOUBLE_EQ(m.hs, 1.5);
+    EXPECT_DOUBLE_EQ(m.uf, 1.0);
+}
+
+TEST(MultiCoreMetricsTest, ZeroAloneIpcHandled)
+{
+    const RunMetrics run = makeRun({1.0});
+    const MultiCoreMetrics m = multiCoreMetrics(run, {0.0});
+    EXPECT_DOUBLE_EQ(m.speedups[0], 0.0);
+    EXPECT_DOUBLE_EQ(m.ws, 0.0);
+}
+
+TEST(RunMetricsTest, TrafficTotals)
+{
+    RunMetrics run;
+    CoreMetrics a;
+    a.traffic_demand = 10;
+    a.traffic_pref_useful = 5;
+    a.traffic_pref_useless = 3;
+    a.traffic_writeback = 2;
+    CoreMetrics b;
+    b.traffic_demand = 1;
+    b.traffic_pref_useful = 1;
+    b.traffic_pref_useless = 1;
+    b.traffic_writeback = 1;
+    run.cores = {a, b};
+    EXPECT_EQ(run.trafficDemand(), 11u);
+    EXPECT_EQ(run.trafficPrefUseful(), 6u);
+    EXPECT_EQ(run.trafficPrefUseless(), 4u);
+    EXPECT_EQ(run.trafficWriteback(), 3u);
+    EXPECT_EQ(run.totalTraffic(), 24u);
+}
+
+} // namespace
+} // namespace padc::sim

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit and statistical tests for the synthetic trace generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/generator.hh"
+
+namespace padc::workload
+{
+namespace
+{
+
+TraceParams
+baseParams()
+{
+    TraceParams p;
+    p.seed = 123;
+    p.avg_gap = 10;
+    p.store_fraction = 0.25;
+    p.dependent_fraction = 0.4;
+    p.working_set_bytes = 1 << 20;
+    p.accesses_per_line = 2;
+    p.phases[0].seq_fraction = 0.9;
+    p.phases[0].seq_run_lines = 256;
+    p.phases[0].burst_lines = 4;
+    p.phases[0].concurrent_runs = 2;
+    return p;
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed)
+{
+    SyntheticTrace a(baseParams());
+    SyntheticTrace b(baseParams());
+    for (int i = 0; i < 5000; ++i) {
+        const auto oa = a.next();
+        const auto ob = b.next();
+        ASSERT_EQ(oa.addr, ob.addr);
+        ASSERT_EQ(oa.pc, ob.pc);
+        ASSERT_EQ(oa.is_load, ob.is_load);
+        ASSERT_EQ(oa.compute_gap, ob.compute_gap);
+        ASSERT_EQ(oa.dependent, ob.dependent);
+    }
+}
+
+TEST(GeneratorTest, ResetReproducesSequence)
+{
+    SyntheticTrace trace(baseParams());
+    std::vector<Addr> first;
+    for (int i = 0; i < 1000; ++i)
+        first.push_back(trace.next().addr);
+    trace.reset();
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(trace.next().addr, first[i]);
+}
+
+TEST(GeneratorTest, SeedChangesSequence)
+{
+    TraceParams p = baseParams();
+    SyntheticTrace a(p);
+    p.seed = 124;
+    SyntheticTrace b(p);
+    int same = 0;
+    for (int i = 0; i < 200; ++i)
+        same += a.next().addr == b.next().addr ? 1 : 0;
+    EXPECT_LT(same, 20);
+}
+
+TEST(GeneratorTest, AddressesStayInWorkingSetPlusBase)
+{
+    TraceParams p = baseParams();
+    p.base = 0x100000000ULL;
+    SyntheticTrace trace(p);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr addr = trace.next().addr;
+        EXPECT_GE(addr, p.base);
+        EXPECT_LT(addr, p.base + p.working_set_bytes + kLineBytes);
+    }
+}
+
+TEST(GeneratorTest, ComputeGapAroundMean)
+{
+    TraceParams p = baseParams();
+    p.avg_gap = 20;
+    SyntheticTrace trace(p);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const auto gap = trace.next().compute_gap;
+        EXPECT_GE(gap, 10u);
+        EXPECT_LE(gap, 30u);
+        sum += gap;
+    }
+    EXPECT_NEAR(sum / n, 20.0, 0.5);
+}
+
+TEST(GeneratorTest, ZeroGapSupported)
+{
+    TraceParams p = baseParams();
+    p.avg_gap = 0;
+    SyntheticTrace trace(p);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(trace.next().compute_gap, 0u);
+}
+
+TEST(GeneratorTest, StoreFractionApproximatelyHonored)
+{
+    TraceParams p = baseParams();
+    p.store_fraction = 0.3;
+    SyntheticTrace trace(p);
+    int stores = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        stores += trace.next().is_load ? 0 : 1;
+    EXPECT_NEAR(static_cast<double>(stores) / n, 0.3, 0.02);
+}
+
+TEST(GeneratorTest, DependentFractionApproximatelyHonored)
+{
+    TraceParams p = baseParams();
+    p.dependent_fraction = 0.6;
+    SyntheticTrace trace(p);
+    int dep = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        dep += trace.next().dependent ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(dep) / n, 0.6, 0.02);
+}
+
+TEST(GeneratorTest, SequentialLineShareMatchesConfig)
+{
+    // With line-share semantics, ~90% of consecutive-line steps should
+    // be +1 steps even though random bursts are more numerous as runs.
+    TraceParams p = baseParams();
+    p.accesses_per_line = 1;
+    p.phases[0].seq_fraction = 0.9;
+    p.phases[0].concurrent_runs = 1;
+    SyntheticTrace trace(p);
+    Addr prev = trace.next().addr;
+    int steps = 0;
+    int unit_steps = 0;
+    for (int i = 0; i < 30000; ++i) {
+        const Addr cur = trace.next().addr;
+        ++steps;
+        unit_steps += lineIndex(cur) == lineIndex(prev) + 1 ? 1 : 0;
+        prev = cur;
+    }
+    // Random bursts are internally sequential too, so the +1-step
+    // fraction is 1 minus the run-boundary rate:
+    //   jumps/op = seq_share/seq_len + rand_share/burst_len.
+    const double measured =
+        static_cast<double>(unit_steps) / static_cast<double>(steps);
+    const double expected = 1.0 - (0.9 / 256.0 + 0.1 / 3.2);
+    EXPECT_NEAR(measured, expected, 0.02);
+
+    // Contrast: halving the sequential share visibly lowers it.
+    TraceParams q = p;
+    q.phases[0].seq_fraction = 0.5;
+    SyntheticTrace trace_q(q);
+    Addr prev_q = trace_q.next().addr;
+    int unit_q = 0;
+    for (int i = 0; i < 30000; ++i) {
+        const Addr cur = trace_q.next().addr;
+        unit_q += lineIndex(cur) == lineIndex(prev_q) + 1 ? 1 : 0;
+        prev_q = cur;
+    }
+    EXPECT_LT(unit_q / 30000.0, measured - 0.05);
+}
+
+TEST(GeneratorTest, AccessesPerLineRepeatsLines)
+{
+    TraceParams p = baseParams();
+    p.accesses_per_line = 3;
+    p.phases[0].concurrent_runs = 1;
+    p.phases[0].seq_fraction = 1.0;
+    SyntheticTrace trace(p);
+    std::map<Addr, int> counts;
+    for (int i = 0; i < 3000; ++i)
+        ++counts[lineAlign(trace.next().addr)];
+    int triples = 0;
+    for (const auto &[line, count] : counts)
+        triples += count == 3 ? 1 : 0;
+    // The overwhelming majority of lines are visited exactly 3 times.
+    EXPECT_GT(triples, static_cast<int>(counts.size() * 9 / 10));
+}
+
+TEST(GeneratorTest, PhaseSwitchingChangesBehaviour)
+{
+    TraceParams p = baseParams();
+    p.num_phases = 2;
+    p.accesses_per_line = 1;
+    p.phases[0].seq_fraction = 1.0;
+    p.phases[0].seq_run_lines = 4096;
+    p.phases[0].concurrent_runs = 1;
+    p.phases[0].ops = 2000;
+    p.phases[1] = p.phases[0];
+    p.phases[1].seq_fraction = 0.0;
+    p.phases[1].burst_lines = 2;
+    p.phases[1].ops = 2000;
+    SyntheticTrace trace(p);
+
+    auto unit_step_fraction = [&](int ops) {
+        Addr prev = trace.next().addr;
+        int unit = 0;
+        for (int i = 1; i < ops; ++i) {
+            const Addr cur = trace.next().addr;
+            unit += lineIndex(cur) == lineIndex(prev) + 1 ? 1 : 0;
+            prev = cur;
+        }
+        return static_cast<double>(unit) / ops;
+    };
+
+    const double phase0 = unit_step_fraction(1990);
+    const double phase1 = unit_step_fraction(1990);
+    EXPECT_GT(phase0, 0.95);
+    EXPECT_LT(phase1, 0.6);
+}
+
+TEST(GeneratorTest, ConcurrentRunsInterleave)
+{
+    TraceParams p = baseParams();
+    p.accesses_per_line = 1;
+    p.phases[0].seq_fraction = 1.0;
+    p.phases[0].concurrent_runs = 4;
+    SyntheticTrace trace(p);
+    // With 4 interleaved streams, direct +1 line steps are rare but the
+    // stride-4-apart subsequences are sequential.
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 4000; ++i)
+        addrs.push_back(trace.next().addr);
+    int sub_unit = 0;
+    int sub_total = 0;
+    for (std::size_t i = 4; i < addrs.size(); ++i) {
+        ++sub_total;
+        sub_unit +=
+            lineIndex(addrs[i]) == lineIndex(addrs[i - 4]) + 1 ? 1 : 0;
+    }
+    EXPECT_GT(static_cast<double>(sub_unit) / sub_total, 0.9);
+}
+
+TEST(GeneratorTest, StridedRunsFollowStride)
+{
+    TraceParams p = baseParams();
+    p.accesses_per_line = 1;
+    p.phases[0].seq_fraction = 0.0;
+    p.phases[0].stride_fraction = 1.0;
+    p.phases[0].stride_lines = 6;
+    p.phases[0].concurrent_runs = 1;
+    SyntheticTrace trace(p);
+    Addr prev = trace.next().addr;
+    int stride_steps = 0;
+    int total = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const Addr cur = trace.next().addr;
+        ++total;
+        stride_steps +=
+            lineIndex(cur) == lineIndex(prev) + 6 ? 1 : 0;
+        prev = cur;
+    }
+    EXPECT_GT(static_cast<double>(stride_steps) / total, 0.9);
+}
+
+} // namespace
+} // namespace padc::workload

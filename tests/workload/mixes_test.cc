@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for multiprogrammed workload mix construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/mixes.hh"
+
+namespace padc::workload
+{
+namespace
+{
+
+TEST(MixesTest, RandomMixesDeterministic)
+{
+    const auto a = randomMixes(10, 4, 42);
+    const auto b = randomMixes(10, 4, 42);
+    ASSERT_EQ(a.size(), 10u);
+    EXPECT_EQ(a, b);
+    const auto c = randomMixes(10, 4, 43);
+    EXPECT_NE(a, c);
+}
+
+TEST(MixesTest, MixShapeMatchesRequest)
+{
+    for (std::uint32_t cores : {1u, 2u, 4u, 8u}) {
+        const auto mixes = randomMixes(5, cores, 7);
+        ASSERT_EQ(mixes.size(), 5u);
+        for (const auto &mix : mixes) {
+            ASSERT_EQ(mix.size(), cores);
+            for (const auto &name : mix)
+                EXPECT_NE(findProfile(name), nullptr) << name;
+        }
+    }
+}
+
+TEST(MixesTest, CaseStudiesMatchPaper)
+{
+    const Mix friendly = caseStudyFriendly();
+    ASSERT_EQ(friendly.size(), 4u);
+    EXPECT_EQ(friendly[0], "swim_00");
+    for (const auto &name : friendly)
+        EXPECT_EQ(findProfile(name)->cls, 1) << name;
+
+    const Mix unfriendly = caseStudyUnfriendly();
+    for (const auto &name : unfriendly)
+        EXPECT_EQ(findProfile(name)->cls, 2) << name;
+
+    const Mix mixed = caseStudyMixed();
+    EXPECT_EQ(findProfile(mixed[0])->cls, 2); // omnetpp
+    EXPECT_EQ(findProfile(mixed[1])->cls, 1); // libquantum
+    EXPECT_EQ(findProfile(mixed[2])->cls, 2); // galgel
+    EXPECT_EQ(findProfile(mixed[3])->cls, 1); // GemsFDTD
+}
+
+TEST(MixesTest, TraceParamsDisjointBases)
+{
+    const Mix mix = caseStudyFriendly();
+    std::set<Addr> bases;
+    for (std::uint32_t c = 0; c < 4; ++c) {
+        const TraceParams p = traceParamsFor(mix, c, 0);
+        EXPECT_TRUE(bases.insert(p.base).second);
+        // Bases far enough apart that working sets cannot overlap.
+        EXPECT_GE(p.base, static_cast<Addr>(c) << 40);
+    }
+}
+
+TEST(MixesTest, IdenticalProfilesGetDistinctSeeds)
+{
+    const Mix mix = {"milc_06", "milc_06", "milc_06", "milc_06"};
+    std::set<std::uint64_t> seeds;
+    for (std::uint32_t c = 0; c < 4; ++c)
+        seeds.insert(traceParamsFor(mix, c, 5).seed);
+    EXPECT_EQ(seeds.size(), 4u);
+}
+
+TEST(MixesTest, MixSeedSaltsTraceSeeds)
+{
+    const Mix mix = caseStudyMixed();
+    const TraceParams a = traceParamsFor(mix, 0, 1);
+    const TraceParams b = traceParamsFor(mix, 0, 2);
+    EXPECT_NE(a.seed, b.seed);
+    EXPECT_EQ(a.base, b.base);
+}
+
+TEST(MixesTest, ParamsOtherwiseMatchProfile)
+{
+    const Mix mix = caseStudyFriendly();
+    const TraceParams p = traceParamsFor(mix, 0, 0);
+    const BenchmarkProfile *profile = findProfile(mix[0]);
+    ASSERT_NE(profile, nullptr);
+    EXPECT_EQ(p.avg_gap, profile->params.avg_gap);
+    EXPECT_EQ(p.working_set_bytes, profile->params.working_set_bytes);
+    EXPECT_DOUBLE_EQ(p.store_fraction, profile->params.store_fraction);
+}
+
+} // namespace
+} // namespace padc::workload

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the benchmark profile registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/profile.hh"
+
+namespace padc::workload
+{
+namespace
+{
+
+TEST(ProfileTest, RegistryNonEmptyAndUnique)
+{
+    const auto &profiles = allProfiles();
+    EXPECT_GE(profiles.size(), 30u);
+    std::set<std::string> names;
+    std::set<std::uint64_t> seeds;
+    for (const auto &p : profiles) {
+        EXPECT_TRUE(names.insert(p.name).second)
+            << "duplicate name " << p.name;
+        EXPECT_TRUE(seeds.insert(p.params.seed).second)
+            << "duplicate seed for " << p.name;
+    }
+}
+
+TEST(ProfileTest, AllThreeClassesPresent)
+{
+    EXPECT_GE(profileNamesInClass(0).size(), 5u);
+    EXPECT_GE(profileNamesInClass(1).size(), 10u);
+    EXPECT_GE(profileNamesInClass(2).size(), 4u);
+}
+
+TEST(ProfileTest, FindByName)
+{
+    const BenchmarkProfile *p = findProfile("libquantum_06");
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->cls, 1);
+    EXPECT_EQ(findProfile("not_a_benchmark"), nullptr);
+}
+
+TEST(ProfileTest, PaperCaseStudyBenchmarksExist)
+{
+    for (const char *name :
+         {"swim_00", "bwaves_06", "leslie3d_06", "soplex_06", "art_00",
+          "galgel_00", "ammp_00", "milc_06", "omnetpp_06",
+          "libquantum_06", "GemsFDTD_06"}) {
+        EXPECT_NE(findProfile(name), nullptr) << name;
+    }
+}
+
+TEST(ProfileTest, ParametersSane)
+{
+    for (const auto &p : allProfiles()) {
+        EXPECT_GT(p.params.working_set_bytes, 0u) << p.name;
+        EXPECT_GE(p.params.accesses_per_line, 1u) << p.name;
+        EXPECT_GE(p.params.num_phases, 1u) << p.name;
+        EXPECT_LE(p.params.num_phases, 2u) << p.name;
+        EXPECT_GE(p.params.store_fraction, 0.0) << p.name;
+        EXPECT_LE(p.params.store_fraction, 1.0) << p.name;
+        for (std::uint32_t i = 0; i < p.params.num_phases; ++i) {
+            const auto &ph = p.params.phases[i];
+            EXPECT_GE(ph.seq_fraction, 0.0) << p.name;
+            EXPECT_LE(ph.seq_fraction + ph.stride_fraction, 1.0) << p.name;
+            EXPECT_GE(ph.concurrent_runs, 1u) << p.name;
+        }
+    }
+}
+
+TEST(ProfileTest, ClassZeroFitsInL2)
+{
+    // Prefetch-insensitive profiles must have working sets below the
+    // single-core 1MB L2 so they stop missing after warm-up.
+    for (const auto &name : profileNamesInClass(0)) {
+        const BenchmarkProfile *p = findProfile(name);
+        ASSERT_NE(p, nullptr);
+        EXPECT_LT(p->params.working_set_bytes, 512u * 1024) << name;
+    }
+}
+
+TEST(ProfileTest, UnfriendlyProfilesHaveShortRuns)
+{
+    // Class-2 profiles rely on short runs/bursts for low accuracy.
+    for (const auto &name : profileNamesInClass(2)) {
+        const BenchmarkProfile *p = findProfile(name);
+        ASSERT_NE(p, nullptr);
+        const auto &last_phase =
+            p->params.phases[p->params.num_phases - 1];
+        EXPECT_LE(last_phase.seq_run_lines, 96u) << name;
+    }
+}
+
+TEST(ProfileTest, NameListMatchesRegistry)
+{
+    EXPECT_EQ(allProfileNames().size(), allProfiles().size());
+}
+
+} // namespace
+} // namespace padc::workload

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the pointer-chasing revisit component of the synthetic
+ * generator: recurring burst locations give the miss stream temporal
+ * correlation (the food of Markov prefetchers) without adding
+ * stream-prefetchable structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace padc::workload
+{
+namespace
+{
+
+TraceParams
+revisitParams(double fraction)
+{
+    TraceParams p;
+    p.seed = 5;
+    p.avg_gap = 4;
+    p.working_set_bytes = 8 << 20;
+    p.accesses_per_line = 1;
+    p.phases[0].seq_fraction = 0.0;
+    p.phases[0].burst_lines = 4;
+    p.phases[0].concurrent_runs = 1;
+    p.phases[0].revisit_fraction = fraction;
+    return p;
+}
+
+/** Count how often a (line -> next line) pair repeats in the stream. */
+double
+successorRepeatRate(SyntheticTrace &trace, int ops)
+{
+    std::unordered_map<Addr, Addr> successor;
+    std::uint64_t repeats = 0;
+    std::uint64_t checks = 0;
+    Addr prev = lineAlign(trace.next().addr);
+    for (int i = 1; i < ops; ++i) {
+        const Addr cur = lineAlign(trace.next().addr);
+        auto it = successor.find(prev);
+        if (it != successor.end()) {
+            ++checks;
+            repeats += it->second == cur ? 1 : 0;
+        }
+        successor[prev] = cur;
+        prev = cur;
+    }
+    return checks == 0 ? 0.0
+                       : static_cast<double>(repeats) /
+                             static_cast<double>(checks);
+}
+
+TEST(RevisitTest, RevisitFractionCreatesTemporalCorrelation)
+{
+    SyntheticTrace with(revisitParams(0.5));
+    SyntheticTrace without(revisitParams(0.0));
+    const double corr_with = successorRepeatRate(with, 60000);
+    const double corr_without = successorRepeatRate(without, 60000);
+    EXPECT_GT(corr_with, corr_without + 0.1);
+}
+
+TEST(RevisitTest, ZeroFractionStaysRandom)
+{
+    // Without revisits, repeated burst starts are only birthday-bound
+    // chance collisions; with revisits they are the common case.
+    auto duplicate_starts = [](double fraction) {
+        SyntheticTrace trace(revisitParams(fraction));
+        std::unordered_set<Addr> starts;
+        std::uint64_t dupes = 0;
+        Addr prev = lineAlign(trace.next().addr);
+        for (int i = 1; i < 30000; ++i) {
+            const Addr cur = lineAlign(trace.next().addr);
+            if (lineIndex(cur) != lineIndex(prev) + 1)
+                dupes += starts.insert(cur).second ? 0 : 1;
+            prev = cur;
+        }
+        return dupes;
+    };
+    const std::uint64_t without = duplicate_starts(0.0);
+    const std::uint64_t with = duplicate_starts(0.5);
+    EXPECT_GT(with, without * 5);
+}
+
+TEST(RevisitTest, UnfriendlyProfilesHaveRevisits)
+{
+    for (const char *name : {"art_00", "omnetpp_06", "xalancbmk_06"}) {
+        const BenchmarkProfile *p = findProfile(name);
+        ASSERT_NE(p, nullptr);
+        EXPECT_GT(p->params.phases[0].revisit_fraction, 0.0) << name;
+    }
+}
+
+TEST(RevisitTest, StreamingProfilesHaveNone)
+{
+    for (const char *name : {"libquantum_06", "swim_00", "bwaves_06"}) {
+        const BenchmarkProfile *p = findProfile(name);
+        ASSERT_NE(p, nullptr);
+        EXPECT_DOUBLE_EQ(p->params.phases[0].revisit_fraction, 0.0)
+            << name;
+    }
+}
+
+} // namespace
+} // namespace padc::workload
