@@ -2,18 +2,27 @@
  * @file
  * Simulator micro-benchmarks (google-benchmark): throughput of the hot
  * components -- the DRAM channel command loop, the cache lookup path,
- * the stream prefetcher, the synthetic generator, and a full
- * single-core simulation step.
+ * the stream prefetcher, the synthetic generator, the memory-controller
+ * scheduling loop (sharded vs. reference, at several queue depths), the
+ * parallel sweep runner, and a full single-core simulation step.
+ *
+ * Unless the caller passes its own --benchmark_out, results are also
+ * written to BENCH_simspeed.json in the working directory.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "cache/cache.hh"
+#include "dram/address_map.hh"
 #include "dram/channel.hh"
+#include "memctrl/controller.hh"
 #include "prefetch/stream_prefetcher.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel.hh"
 #include "workload/generator.hh"
 
 namespace
@@ -79,6 +88,118 @@ BM_SyntheticTraceNext(benchmark::State &state)
 }
 BENCHMARK(BM_SyntheticTraceNext);
 
+/** Discards completions; the scheduler benchmarks only need DRAM work. */
+class NullHandler : public memctrl::ResponseHandler
+{
+  public:
+    void dramReadComplete(const memctrl::Request &, Cycle) override {}
+    void dramPrefetchDropped(const memctrl::Request &, Cycle) override {}
+};
+
+/**
+ * Cost of one controller DRAM cycle (complete + schedule + issue) with
+ * the read queue held at state.range(0) outstanding requests. Addresses
+ * follow a deterministic pseudo-random line sequence, so the load mixes
+ * row hits and conflicts across all banks; completed requests are
+ * immediately replaced to keep the depth constant.
+ */
+void
+scheduleReadAtDepth(benchmark::State &state, bool reference)
+{
+    const auto depth = static_cast<std::size_t>(state.range(0));
+    constexpr std::uint32_t kCores = 4;
+
+    dram::TimingParams timing;
+    dram::Channel channel(timing, 8);
+    dram::Geometry geometry;
+    dram::AddressMap map(geometry);
+
+    memctrl::AccuracyConfig acfg;
+    acfg.interval = 1000000; // static accuracy during the benchmark
+    acfg.initial_accuracy = 1.0;
+    memctrl::AccuracyTracker tracker(kCores, acfg);
+    NullHandler handler;
+
+    memctrl::SchedulerConfig cfg;
+    cfg.kind = SchedPolicyKind::Aps;
+    cfg.apd_enabled = false;
+    cfg.request_buffer_size = 256;
+    cfg.reference_scheduler = reference;
+    memctrl::MemoryController ctrl(cfg, channel, tracker, handler, kCores);
+
+    std::uint64_t line = 1;
+    std::uint64_t n = 0;
+    Cycle now = 0;
+    auto topUp = [&](Cycle at) {
+        while (ctrl.readQueueSize() < depth) {
+            line = line * 2862933555777941757ULL + 3037000493ULL;
+            const Addr addr = lineToAddr(line % 4096);
+            ctrl.enqueueRead(map.map(addr), lineAlign(addr),
+                             static_cast<CoreId>(n % kCores), 0x400,
+                             (n & 1) != 0, at);
+            ++n;
+        }
+    };
+    topUp(now);
+
+    // Step in DRAM command clocks: every tick runs a scheduling round.
+    for (auto _ : state) {
+        ctrl.tick(now);
+        now += timing.cpu_per_dram_cycle;
+        topUp(now);
+    }
+    benchmark::DoNotOptimize(ctrl.stats().demand_reads);
+}
+
+void
+BM_ScheduleRead(benchmark::State &state)
+{
+    scheduleReadAtDepth(state, false);
+}
+BENCHMARK(BM_ScheduleRead)->Arg(4)->Arg(32)->Arg(128);
+
+/** Seed implementation baseline: the naive O(queue) scan scheduler. */
+void
+BM_ScheduleReadReference(benchmark::State &state)
+{
+    scheduleReadAtDepth(state, true);
+}
+BENCHMARK(BM_ScheduleReadReference)->Arg(4)->Arg(32)->Arg(128);
+
+/**
+ * A small (policy x mix) sweep through the shared thread pool; compare
+ * against BM_SingleCoreSimulation-style serial cost to see the fan-out
+ * win (thread count via PADC_THREADS).
+ */
+void
+BM_ParallelSweep(benchmark::State &state)
+{
+    const sim::SystemConfig base = sim::SystemConfig::baseline(2);
+    sim::RunOptions opt;
+    opt.instructions = 5000;
+    opt.warmup = 0;
+    const std::vector<workload::Mix> mixes = {
+        {"libquantum_06", "milc_06"},
+        {"swim_00", "omnetpp_06"},
+    };
+    std::vector<sim::SweepPoint> points;
+    for (const auto setup :
+         {sim::PolicySetup::DemandFirst, sim::PolicySetup::ApsOnly,
+          sim::PolicySetup::Padc}) {
+        for (std::size_t i = 0; i < mixes.size(); ++i) {
+            sim::RunOptions point_opt = opt;
+            point_opt.mix_seed = i;
+            points.push_back(
+                {sim::applyPolicy(base, setup), mixes[i], point_opt});
+        }
+    }
+    for (auto _ : state) {
+        const auto results = sim::runSweep(points, sim::sharedRunner());
+        benchmark::DoNotOptimize(results.size());
+    }
+}
+BENCHMARK(BM_ParallelSweep)->Unit(benchmark::kMillisecond);
+
 void
 BM_SingleCoreSimulation(benchmark::State &state)
 {
@@ -97,4 +218,29 @@ BENCHMARK(BM_SingleCoreSimulation)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+ * BENCH_simspeed.json (JSON format) when the caller did not pass one, so
+ * a plain run always leaves a machine-readable record.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    std::string out = "--benchmark_out=BENCH_simspeed.json";
+    std::string fmt = "--benchmark_out_format=json";
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i)
+        has_out |= std::string(argv[i]).rfind("--benchmark_out=", 0) == 0;
+    if (!has_out) {
+        args.push_back(out.data());
+        args.push_back(fmt.data());
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

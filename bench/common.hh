@@ -72,34 +72,27 @@ struct Aggregate
     std::uint32_t mixes = 0;
 };
 
-/**
- * Run @p config over every mix and average the multiprogrammed metrics.
- * The alone-IPC cache must be built from the same base options.
- */
-inline Aggregate
-aggregateOverMixes(const sim::SystemConfig &config,
-                   const std::vector<workload::Mix> &mixes,
-                   const sim::RunOptions &base_options,
-                   sim::AloneIpcCache &alone)
+/** Fold one evaluated mix into an aggregate. */
+inline void
+foldEvaluation(Aggregate &agg, const sim::MixEvaluation &eval)
 {
-    Aggregate agg;
-    for (std::size_t i = 0; i < mixes.size(); ++i) {
-        sim::RunOptions options = base_options;
-        options.mix_seed = i;
-        const sim::MixEvaluation eval =
-            sim::evaluateMix(config, mixes[i], options, alone);
-        agg.ws += eval.summary.ws;
-        agg.hs += eval.summary.hs;
-        agg.uf += eval.summary.uf;
-        agg.traffic += static_cast<double>(eval.metrics.totalTraffic());
-        agg.traffic_useless +=
-            static_cast<double>(eval.metrics.trafficPrefUseless());
-        agg.traffic_useful +=
-            static_cast<double>(eval.metrics.trafficPrefUseful());
-        agg.traffic_demand +=
-            static_cast<double>(eval.metrics.trafficDemand());
-        ++agg.mixes;
-    }
+    agg.ws += eval.summary.ws;
+    agg.hs += eval.summary.hs;
+    agg.uf += eval.summary.uf;
+    agg.traffic += static_cast<double>(eval.metrics.totalTraffic());
+    agg.traffic_useless +=
+        static_cast<double>(eval.metrics.trafficPrefUseless());
+    agg.traffic_useful +=
+        static_cast<double>(eval.metrics.trafficPrefUseful());
+    agg.traffic_demand +=
+        static_cast<double>(eval.metrics.trafficDemand());
+    ++agg.mixes;
+}
+
+/** Divide the accumulated sums through by the mix count. */
+inline void
+finishAggregate(Aggregate &agg)
+{
     const double n = agg.mixes > 0 ? agg.mixes : 1;
     agg.ws /= n;
     agg.hs /= n;
@@ -108,6 +101,33 @@ aggregateOverMixes(const sim::SystemConfig &config,
     agg.traffic_useless /= n;
     agg.traffic_useful /= n;
     agg.traffic_demand /= n;
+}
+
+/**
+ * Run @p config over every mix and average the multiprogrammed metrics.
+ * The alone-IPC cache must be built from the same base options. Mixes
+ * are evaluated in parallel (sim::sharedRunner()); the aggregate is
+ * folded in mix order, so results are independent of the thread count.
+ */
+inline Aggregate
+aggregateOverMixes(const sim::SystemConfig &config,
+                   const std::vector<workload::Mix> &mixes,
+                   const sim::RunOptions &base_options,
+                   sim::AloneIpcCache &alone)
+{
+    std::vector<sim::SweepPoint> points;
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+        sim::RunOptions options = base_options;
+        options.mix_seed = i;
+        points.push_back({config, mixes[i], options});
+    }
+    const std::vector<sim::MixEvaluation> evals =
+        sim::evaluateSweep(points, alone, sim::sharedRunner());
+
+    Aggregate agg;
+    for (const auto &eval : evals)
+        foldEvaluation(agg, eval);
+    finishAggregate(agg);
     return agg;
 }
 
@@ -135,25 +155,31 @@ singleCoreNormalizedIpc(const sim::SystemConfig &base,
 {
     std::vector<std::vector<double>> normalized(policies.size());
 
+    // One sweep point per (benchmark, no-pref baseline + each policy),
+    // evaluated across the pool; the table prints from ordered results.
+    const std::size_t stride = policies.size() + 1;
+    std::vector<sim::SweepPoint> points;
+    for (const auto &name : benchmarks) {
+        const workload::Mix mix = {name};
+        points.push_back(
+            {sim::applyPolicy(base, sim::PolicySetup::NoPref), mix,
+             options});
+        for (const auto setup : policies)
+            points.push_back({sim::applyPolicy(base, setup), mix, options});
+    }
+    const std::vector<sim::RunMetrics> runs =
+        sim::runSweep(points, sim::sharedRunner());
+
     std::printf("%-16s", "benchmark");
     for (const auto setup : policies)
         std::printf(" %17s", sim::policyLabel(setup).c_str());
     std::printf("\n");
 
-    for (const auto &name : benchmarks) {
-        const workload::Mix mix = {name};
-        const double ipc_nopref =
-            sim::runMix(sim::applyPolicy(base, sim::PolicySetup::NoPref),
-                        mix, options)
-                .cores[0]
-                .ipc;
-        std::printf("%-16s", name.c_str());
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        const double ipc_nopref = runs[b * stride].cores[0].ipc;
+        std::printf("%-16s", benchmarks[b].c_str());
         for (std::size_t p = 0; p < policies.size(); ++p) {
-            const double ipc =
-                sim::runMix(sim::applyPolicy(base, policies[p]), mix,
-                            options)
-                    .cores[0]
-                    .ipc;
+            const double ipc = runs[b * stride + 1 + p].cores[0].ipc;
             const double norm = ipc_nopref > 0 ? ipc / ipc_nopref : 0.0;
             normalized[p].push_back(norm);
             std::printf(" %17.3f", norm);
@@ -187,11 +213,28 @@ overallBench(std::uint32_t cores, std::uint32_t num_mixes,
     const auto mixes = workload::randomMixes(num_mixes, cores, mix_seed);
     sim::AloneIpcCache alone(base, options);
 
-    std::printf("%u-core system, %u random mixes\n", cores, num_mixes);
+    // Flatten the whole (policy x mix) grid into one sweep so the pool
+    // stays saturated across policy boundaries, then fold and print each
+    // policy's row from the ordered results.
+    std::vector<sim::SweepPoint> points;
     for (const auto setup : policies) {
-        const Aggregate agg = aggregateOverMixes(
-            sim::applyPolicy(base, setup), mixes, options, alone);
-        printAggregate(sim::policyLabel(setup), agg);
+        const sim::SystemConfig config = sim::applyPolicy(base, setup);
+        for (std::size_t i = 0; i < mixes.size(); ++i) {
+            sim::RunOptions point_options = options;
+            point_options.mix_seed = i;
+            points.push_back({config, mixes[i], point_options});
+        }
+    }
+    const std::vector<sim::MixEvaluation> evals =
+        sim::evaluateSweep(points, alone, sim::sharedRunner());
+
+    std::printf("%u-core system, %u random mixes\n", cores, num_mixes);
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        Aggregate agg;
+        for (std::size_t i = 0; i < mixes.size(); ++i)
+            foldEvaluation(agg, evals[p * mixes.size() + i]);
+        finishAggregate(agg);
+        printAggregate(sim::policyLabel(policies[p]), agg);
     }
 }
 
@@ -220,10 +263,15 @@ caseStudyBench(const workload::Mix &mix,
     std::printf(" %7s %7s %6s %9s %9s\n", "WS", "HS", "UF", "traffic",
                 "useless");
 
-    for (const auto setup : policies) {
-        const sim::MixEvaluation eval = sim::evaluateMix(
-            sim::applyPolicy(base, setup), mix, options, alone);
-        std::printf("%-22s", sim::policyLabel(setup).c_str());
+    std::vector<sim::SweepPoint> points;
+    for (const auto setup : policies)
+        points.push_back({sim::applyPolicy(base, setup), mix, options});
+    const std::vector<sim::MixEvaluation> evals =
+        sim::evaluateSweep(points, alone, sim::sharedRunner());
+
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        const sim::MixEvaluation &eval = evals[p];
+        std::printf("%-22s", sim::policyLabel(policies[p]).c_str());
         for (const double is : eval.summary.speedups)
             std::printf(" %16.3f", is);
         std::printf(" %7.3f %7.3f %6.2f %9llu %9llu\n", eval.summary.ws,

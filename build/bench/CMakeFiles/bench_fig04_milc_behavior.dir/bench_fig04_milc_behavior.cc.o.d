@@ -214,13 +214,16 @@ bench/CMakeFiles/bench_fig04_milc_behavior.dir/bench_fig04_milc_behavior.cc.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/experiment.hh \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/sim/metrics.hh \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sim/metrics.hh \
  /root/repo/src/sim/system.hh /root/repo/src/cache/cache.hh \
- /root/repo/src/common/types.hh /usr/include/c++/12/limits \
- /root/repo/src/cache/replacement.hh /root/repo/src/cache/mshr.hh \
- /root/repo/src/core/core.hh /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/common/types.hh /root/repo/src/cache/replacement.hh \
+ /root/repo/src/cache/mshr.hh /root/repo/src/core/core.hh \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/trace.hh \
  /root/repo/src/dram/dram_system.hh /root/repo/src/dram/address_map.hh \
  /root/repo/src/dram/timing.hh /root/repo/src/dram/channel.hh \
@@ -230,6 +233,14 @@ bench/CMakeFiles/bench_fig04_milc_behavior.dir/bench_fig04_milc_behavior.cc.o: \
  /root/repo/src/memctrl/dropping.hh /root/repo/src/memctrl/policy.hh \
  /root/repo/src/common/config.hh /root/repo/src/memctrl/request.hh \
  /root/repo/src/prefetch/ddpf.hh /root/repo/src/prefetch/fdp.hh \
- /root/repo/src/prefetch/prefetcher.hh /root/repo/src/workload/mixes.hh \
- /root/repo/src/workload/profile.hh /root/repo/src/workload/generator.hh \
- /root/repo/src/common/random.hh
+ /root/repo/src/prefetch/prefetcher.hh /root/repo/src/sim/parallel.hh \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/thread \
+ /root/repo/src/workload/mixes.hh /root/repo/src/workload/profile.hh \
+ /root/repo/src/workload/generator.hh /root/repo/src/common/random.hh

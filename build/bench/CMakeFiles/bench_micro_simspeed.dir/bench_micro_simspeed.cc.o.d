@@ -213,27 +213,39 @@ bench/CMakeFiles/bench_micro_simspeed.dir/bench_micro_simspeed.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/cache/cache.hh /root/repo/src/common/types.hh \
- /root/repo/src/cache/replacement.hh /root/repo/src/dram/channel.hh \
+ /root/repo/src/cache/replacement.hh /root/repo/src/dram/address_map.hh \
+ /root/repo/src/dram/timing.hh /root/repo/src/dram/channel.hh \
  /usr/include/c++/12/array /root/repo/src/dram/bank.hh \
- /root/repo/src/dram/timing.hh \
- /root/repo/src/prefetch/stream_prefetcher.hh \
- /root/repo/src/prefetch/prefetcher.hh /root/repo/src/common/config.hh \
- /root/repo/src/sim/experiment.hh /root/repo/src/sim/metrics.hh \
- /root/repo/src/sim/system.hh /root/repo/src/cache/mshr.hh \
+ /root/repo/src/memctrl/controller.hh /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/common/stats.hh \
- /root/repo/src/core/core.hh /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/trace.hh \
- /root/repo/src/dram/dram_system.hh /root/repo/src/dram/address_map.hh \
+ /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/memctrl/accuracy_tracker.hh \
- /root/repo/src/memctrl/controller.hh /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/memctrl/dropping.hh /root/repo/src/memctrl/policy.hh \
- /root/repo/src/memctrl/request.hh /root/repo/src/prefetch/ddpf.hh \
- /root/repo/src/prefetch/fdp.hh /root/repo/src/workload/mixes.hh \
+ /root/repo/src/common/config.hh /root/repo/src/memctrl/request.hh \
+ /root/repo/src/prefetch/stream_prefetcher.hh \
+ /root/repo/src/prefetch/prefetcher.hh /root/repo/src/sim/experiment.hh \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sim/metrics.hh \
+ /root/repo/src/sim/system.hh /root/repo/src/cache/mshr.hh \
+ /root/repo/src/common/stats.hh /root/repo/src/core/core.hh \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/trace.hh \
+ /root/repo/src/dram/dram_system.hh /root/repo/src/prefetch/ddpf.hh \
+ /root/repo/src/prefetch/fdp.hh /root/repo/src/sim/parallel.hh \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/thread /root/repo/src/workload/mixes.hh \
  /root/repo/src/workload/profile.hh /root/repo/src/workload/generator.hh \
  /root/repo/src/common/random.hh

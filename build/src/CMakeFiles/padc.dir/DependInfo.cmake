@@ -35,6 +35,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/prefetch/stride_prefetcher.cc" "src/CMakeFiles/padc.dir/prefetch/stride_prefetcher.cc.o" "gcc" "src/CMakeFiles/padc.dir/prefetch/stride_prefetcher.cc.o.d"
   "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/padc.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/padc.dir/sim/experiment.cc.o.d"
   "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/padc.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/padc.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/parallel.cc" "src/CMakeFiles/padc.dir/sim/parallel.cc.o" "gcc" "src/CMakeFiles/padc.dir/sim/parallel.cc.o.d"
   "/root/repo/src/sim/system.cc" "src/CMakeFiles/padc.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/padc.dir/sim/system.cc.o.d"
   "/root/repo/src/workload/generator.cc" "src/CMakeFiles/padc.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/padc.dir/workload/generator.cc.o.d"
   "/root/repo/src/workload/mixes.cc" "src/CMakeFiles/padc.dir/workload/mixes.cc.o" "gcc" "src/CMakeFiles/padc.dir/workload/mixes.cc.o.d"

@@ -293,7 +293,9 @@ tests/CMakeFiles/sim_paper_properties_test.dir/sim/paper_properties_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/sim/experiment.hh /root/repo/src/sim/metrics.hh \
+ /root/repo/src/sim/experiment.hh /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sim/metrics.hh \
  /root/repo/src/sim/system.hh /root/repo/src/cache/cache.hh \
  /root/repo/src/common/types.hh /root/repo/src/cache/replacement.hh \
  /root/repo/src/cache/mshr.hh /root/repo/src/common/stats.hh \
@@ -309,6 +311,14 @@ tests/CMakeFiles/sim_paper_properties_test.dir/sim/paper_properties_test.cc.o: \
  /root/repo/src/memctrl/dropping.hh /root/repo/src/memctrl/policy.hh \
  /root/repo/src/common/config.hh /root/repo/src/memctrl/request.hh \
  /root/repo/src/prefetch/ddpf.hh /root/repo/src/prefetch/fdp.hh \
- /root/repo/src/prefetch/prefetcher.hh /root/repo/src/workload/mixes.hh \
+ /root/repo/src/prefetch/prefetcher.hh /root/repo/src/sim/parallel.hh \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/thread /root/repo/src/workload/mixes.hh \
  /root/repo/src/workload/profile.hh /root/repo/src/workload/generator.hh \
  /root/repo/src/common/random.hh

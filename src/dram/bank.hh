@@ -56,6 +56,17 @@ class Bank
     bool canColumn(Cycle now) const { return isOpen() && now >= ready_column_; }
 
     /**
+     * Earliest cycles at which each command class becomes legal as far as
+     * *this bank's* state is concerned (ignoring the open-row predicate
+     * and all channel-global constraints). Exposed so a scheduler can
+     * cache a per-bank lower bound on the next interesting cycle instead
+     * of re-polling can*() every cycle.
+     */
+    Cycle readyActivate() const { return ready_activate_; }
+    Cycle readyPrecharge() const { return ready_precharge_; }
+    Cycle readyColumn() const { return ready_column_; }
+
+    /**
      * Issue ACTIVATE for @p row at cycle @p now.
      * @pre canActivate(now)
      */

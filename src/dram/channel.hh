@@ -82,6 +82,27 @@ class Channel
     /** Column command legality including tCCD, data bus, and turnaround. */
     bool canColumn(std::uint32_t bank, bool is_write, Cycle now) const;
 
+    /**
+     * Bank-local lower bound on the cycle at which a command of the given
+     * class could become legal for @p bank. Channel-global constraints
+     * (command bus, tCCD, tRRD/tFAW, turnaround, data bus, refresh
+     * blackout) are deliberately excluded: the returned cycle is a valid
+     * *lower* bound on can*() turning true, usable as a scheduler wake-up
+     * hint, never as an issue guarantee.
+     */
+    Cycle bankReadyActivate(std::uint32_t bank) const
+    {
+        return banks_[bank].readyActivate();
+    }
+    Cycle bankReadyPrecharge(std::uint32_t bank) const
+    {
+        return banks_[bank].readyPrecharge();
+    }
+    Cycle bankReadyColumn(std::uint32_t bank) const
+    {
+        return banks_[bank].readyColumn();
+    }
+
     /** Issue ACTIVATE. @pre canActivate(bank, now). */
     void activate(std::uint32_t bank, std::uint64_t row, Cycle now);
 

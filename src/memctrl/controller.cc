@@ -1,5 +1,6 @@
 #include "memctrl/controller.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace padc::memctrl
@@ -15,14 +16,129 @@ MemoryController::MemoryController(const SchedulerConfig &config,
       context_(config_, tracker_), apd_(config_, tracker_)
 {
     assert(num_cores_ <= kMaxCores);
+    shards_.resize(channel_.numBanks());
+    for (auto &shard : shards_)
+        shard.pref_by_core.assign(num_cores_, 0);
 }
+
+// --- incremental bookkeeping ------------------------------------------
+
+void
+MemoryController::trackEnqueued(Request &req)
+{
+    assert(req.core < num_cores_);
+    BankShard &shard = shards_[req.coord.bank];
+    req.bank_slot = static_cast<std::uint32_t>(shard.queued.size());
+    shard.queued.push_back(&req);
+    if (req.is_prefetch) {
+        if (shard.pref_by_core[req.core]++ == 0)
+            shard.pref_core_mask |= 1ULL << req.core;
+        ++prefs_per_core_[req.core];
+    } else {
+        ++shard.queued_demands;
+        ++demands_per_core_[req.core];
+    }
+    ++pending_rows_[rowKey(req.coord)];
+    shard.wake = 0; // new arrival: rescan this bank
+}
+
+void
+MemoryController::untrackQueued(Request &req)
+{
+    assert(req.state == RequestState::Queued);
+    BankShard &shard = shards_[req.coord.bank];
+    Request *moved = shard.queued.back();
+    shard.queued[req.bank_slot] = moved;
+    moved->bank_slot = req.bank_slot;
+    shard.queued.pop_back();
+    if (req.is_prefetch) {
+        if (--shard.pref_by_core[req.core] == 0)
+            shard.pref_core_mask &= ~(1ULL << req.core);
+    } else {
+        --shard.queued_demands;
+    }
+    auto it = pending_rows_.find(rowKey(req.coord));
+    if (--it->second == 0)
+        pending_rows_.erase(it);
+}
+
+void
+MemoryController::trackPromoted(Request &req)
+{
+    assert(req.is_prefetch);
+    --prefs_per_core_[req.core];
+    ++demands_per_core_[req.core];
+    if (req.state == RequestState::Queued) {
+        BankShard &shard = shards_[req.coord.bank];
+        if (--shard.pref_by_core[req.core] == 0)
+            shard.pref_core_mask &= ~(1ULL << req.core);
+        ++shard.queued_demands;
+    }
+}
+
+std::uint64_t
+MemoryController::accurateCoreMask() const
+{
+    std::uint64_t mask = 0;
+    for (std::uint32_t c = 0; c < num_cores_; ++c) {
+        if (context_.coreAccurate(c))
+            mask |= 1ULL << c;
+    }
+    return mask;
+}
+
+bool
+MemoryController::shardHasPreferred(const BankShard &shard,
+                                    std::uint64_t accurate_mask) const
+{
+    switch (config_.kind) {
+      case SchedPolicyKind::FrFcfs:
+        return !shard.queued.empty(); // every request is class 1
+      case SchedPolicyKind::DemandFirst:
+        return shard.queued_demands > 0;
+      case SchedPolicyKind::PrefetchFirst:
+        return shard.pref_core_mask != 0;
+      case SchedPolicyKind::Aps:
+        return shard.queued_demands > 0 ||
+               (shard.pref_core_mask & accurate_mask) != 0;
+    }
+    return false;
+}
+
+Cycle
+MemoryController::bankLocalReady(std::uint32_t bank, NextCmd cmd) const
+{
+    switch (cmd) {
+      case NextCmd::Precharge:
+        return channel_.bankReadyPrecharge(bank);
+      case NextCmd::Activate:
+        return channel_.bankReadyActivate(bank);
+      case NextCmd::Column:
+        return channel_.bankReadyColumn(bank);
+      case NextCmd::None:
+        break;
+    }
+    return kNeverCycle;
+}
+
+// --- queue admission --------------------------------------------------
 
 bool
 MemoryController::enqueueRead(const dram::DramCoord &coord, Addr line_addr,
                               CoreId core, Addr pc, bool is_prefetch,
                               Cycle now)
 {
-    assert(read_index_.find(line_addr) == read_index_.end());
+    // Duplicate of an outstanding read: coalesce with it instead of
+    // corrupting read_index_ (formerly an assert, i.e. silent corruption
+    // in NDEBUG builds). A demand duplicate promotes the in-flight
+    // prefetch, mirroring what the L2 does on a demand match.
+    auto dup = read_index_.find(line_addr);
+    if (dup != read_index_.end()) {
+        ++stats_.duplicate_reads;
+        if (!is_prefetch && dup->second->is_prefetch)
+            promote(line_addr, now);
+        return true;
+    }
 
     // Forward from the write queue: the newest data for this line is
     // sitting in the controller, so no DRAM access is needed.
@@ -66,6 +182,7 @@ MemoryController::enqueueRead(const dram::DramCoord &coord, Addr line_addr,
     req.seq = next_seq_++;
     read_q_.push_back(req);
     read_index_[line_addr] = std::prev(read_q_.end());
+    trackEnqueued(read_q_.back());
     if (is_prefetch)
         tracker_.onPrefetchSent(core);
     return true;
@@ -87,6 +204,7 @@ MemoryController::enqueueWrite(const dram::DramCoord &coord, Addr line_addr,
     req.seq = next_seq_++;
     write_q_.push_back(req);
     write_index_[line_addr] = std::prev(write_q_.end());
+    ++pending_rows_[rowKey(coord)];
 }
 
 bool
@@ -96,10 +214,13 @@ MemoryController::promote(Addr line_addr, Cycle now)
     auto it = read_index_.find(line_addr);
     if (it == read_index_.end() || !it->second->is_prefetch)
         return false;
+    trackPromoted(*it->second);
     it->second->is_prefetch = false;
     ++stats_.promotions;
     return true;
 }
+
+// --- command selection ------------------------------------------------
 
 MemoryController::NextCmd
 MemoryController::nextCommand(const Request &req, bool *row_hit) const
@@ -133,26 +254,39 @@ MemoryController::commandIssuable(const Request &req, NextCmd cmd,
 bool
 MemoryController::pendingSameRow(const Request &req) const
 {
-    for (const auto &other : read_q_) {
-        if (&other != &req && other.state == RequestState::Queued &&
-            other.coord.bank == req.coord.bank &&
-            other.coord.row == req.coord.row) {
-            return true;
+    if (config_.reference_scheduler) {
+        // Golden model: the naive scans, independent of the counters.
+        for (const auto &other : read_q_) {
+            if (&other != &req && other.state == RequestState::Queued &&
+                other.coord.bank == req.coord.bank &&
+                other.coord.row == req.coord.row) {
+                return true;
+            }
         }
-    }
-    for (const auto &other : write_q_) {
-        if (&other != &req && other.coord.bank == req.coord.bank &&
-            other.coord.row == req.coord.row) {
-            return true;
+        for (const auto &other : write_q_) {
+            if (&other != &req && other.coord.bank == req.coord.bank &&
+                other.coord.row == req.coord.row) {
+                return true;
+            }
         }
+        return false;
     }
-    return false;
+    // req itself is counted (a queued read or a pending write), so
+    // another request targets the same (bank,row) iff the counter
+    // exceeds one.
+    auto it = pending_rows_.find(rowKey(req.coord));
+    return it != pending_rows_.end() && it->second > 1;
 }
 
 void
 MemoryController::issueCommand(Request &req, NextCmd cmd, bool row_hit,
                                Cycle now)
 {
+    if (issue_log_ != nullptr) {
+        issue_log_->push_back({now, static_cast<std::uint8_t>(cmd),
+                               req.is_write, req.coord.bank, req.coord.row,
+                               req.seq});
+    }
     switch (cmd) {
       case NextCmd::Precharge:
         channel_.precharge(req.coord.bank, now);
@@ -172,12 +306,28 @@ MemoryController::issueCommand(Request &req, NextCmd cmd, bool row_hit,
             req.row_outcome = row_hit ? Request::RowOutcome::Hit
                                       : Request::RowOutcome::Conflict;
         }
+        if (!req.is_write) {
+            // Queued -> Servicing: the read leaves its bank shard and
+            // joins the (seq-sorted) in-flight set.
+            untrackQueued(req);
+            const auto it = read_index_.find(req.line_addr)->second;
+            servicing_.insert(
+                std::lower_bound(servicing_.begin(), servicing_.end(), it,
+                                 [](const ReadList::iterator &a,
+                                    const ReadList::iterator &b) {
+                                     return a->seq < b->seq;
+                                 }),
+                it);
+        }
         req.state = RequestState::Servicing;
         break;
       }
       case NextCmd::None:
         break;
     }
+    // The command changed this bank's state (open row and/or readiness),
+    // so its cached wake-up hint is stale.
+    shards_[req.coord.bank].wake = 0;
 }
 
 void
@@ -203,6 +353,11 @@ MemoryController::finishRead(ReadList::iterator it, Cycle now)
     }
     stats_.read_service_cycles_sum += now - req.arrival;
 
+    if (req.is_prefetch)
+        --prefs_per_core_[req.core];
+    else
+        --demands_per_core_[req.core];
+
     handler_.dramReadComplete(req, now);
     read_index_.erase(req.line_addr);
     read_q_.erase(it);
@@ -211,11 +366,31 @@ MemoryController::finishRead(ReadList::iterator it, Cycle now)
 void
 MemoryController::completeFinished(Cycle now)
 {
-    for (auto it = read_q_.begin(); it != read_q_.end();) {
-        auto next = std::next(it);
-        if (it->state == RequestState::Servicing && it->data_ready <= now)
-            finishRead(it, now);
-        it = next;
+    if (config_.reference_scheduler) {
+        // Golden model: front-to-back queue walk.
+        for (auto it = read_q_.begin(); it != read_q_.end();) {
+            auto next = std::next(it);
+            if (it->state == RequestState::Servicing &&
+                it->data_ready <= now) {
+                servicing_.erase(std::find(servicing_.begin(),
+                                           servicing_.end(), it));
+                finishRead(it, now);
+            }
+            it = next;
+        }
+    } else {
+        // servicing_ is seq-sorted, so same-cycle completions are
+        // reported in queue (seq) order, exactly like the queue walk.
+        for (std::size_t i = 0; i < servicing_.size();) {
+            const ReadList::iterator it = servicing_[i];
+            if (it->data_ready <= now) {
+                servicing_.erase(servicing_.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+                finishRead(it, now);
+            } else {
+                ++i;
+            }
+        }
     }
     for (auto it = forwards_.begin(); it != forwards_.end();) {
         if (it->ready <= now) {
@@ -233,6 +408,8 @@ MemoryController::runApd(Cycle now)
     for (auto it = read_q_.begin(); it != read_q_.end();) {
         auto next = std::next(it);
         if (apd_.shouldDrop(*it, now)) {
+            untrackQueued(*it); // only Queued prefetches are droppable
+            --prefs_per_core_[it->core];
             it->state = RequestState::Dropped;
             ++stats_.prefetches_dropped;
             tracker_.onPrefetchDropped(it->core);
@@ -244,8 +421,109 @@ MemoryController::runApd(Cycle now)
     }
 }
 
+// --- scheduling -------------------------------------------------------
+
 bool
 MemoryController::scheduleRead(Cycle now)
+{
+    if (config_.reference_scheduler)
+        return scheduleReadReference(now);
+
+    const std::uint64_t accurate_mask =
+        (config_.kind == SchedPolicyKind::Aps || config_.ranking_enabled)
+            ? accurateCoreMask()
+            : 0;
+
+    if (config_.ranking_enabled) {
+        std::array<std::uint32_t, kMaxCores> counts{};
+        for (std::uint32_t c = 0; c < num_cores_; ++c) {
+            counts[c] = demands_per_core_[c];
+            if ((accurate_mask >> c) & 1)
+                counts[c] += prefs_per_core_[c];
+        }
+        context_.updateRanks(counts, num_cores_);
+    }
+
+    Request *best = nullptr;
+    std::uint64_t best_key = 0;
+    NextCmd best_cmd = NextCmd::None;
+    bool best_hit = false;
+
+    const Cycle retry = now + channel_.timing().cpu_per_dram_cycle;
+    for (std::uint32_t b = 0; b < shards_.size(); ++b) {
+        BankShard &shard = shards_[b];
+        if (shard.queued.empty() || now < shard.wake)
+            continue;
+        const bool has_preferred = shardHasPreferred(shard, accurate_mask);
+        Cycle wake = kNeverCycle;
+        bool issuable_here = false;
+
+        // All requests to this bank need one of at most two distinct
+        // commands (Column/Precharge against the open row, or Activate
+        // when closed), and command legality does not depend on which
+        // request wants it -- so resolve the bank state and each
+        // command's legality once per shard, not once per request.
+        const std::uint64_t open = channel_.openRow(b);
+        const bool bank_open = open != dram::kNoOpenRow;
+        int col_ok = -1; // lazy tri-state: -1 unknown, else 0/1
+        int pre_ok = -1;
+        int act_ok = -1;
+
+        for (Request *req : shard.queued) {
+            NextCmd cmd;
+            bool row_hit = false;
+            bool issuable;
+            if (!bank_open) {
+                cmd = NextCmd::Activate;
+                if (act_ok < 0)
+                    act_ok = channel_.canActivate(b, now) ? 1 : 0;
+                issuable = act_ok != 0;
+            } else if (req->coord.row == open) {
+                cmd = NextCmd::Column;
+                row_hit = true;
+                if (col_ok < 0)
+                    col_ok = channel_.canColumn(b, false, now) ? 1 : 0;
+                issuable = col_ok != 0;
+            } else {
+                cmd = NextCmd::Precharge;
+                if (pre_ok < 0)
+                    pre_ok = channel_.canPrecharge(b, now) ? 1 : 0;
+                issuable = pre_ok != 0;
+            }
+            const bool blocked =
+                has_preferred && context_.requestClass(*req) == 0;
+            if (!blocked && issuable) {
+                issuable_here = true;
+                const std::uint64_t key =
+                    context_.priorityKey(*req, row_hit);
+                if (best == nullptr || key > best_key) {
+                    best = req;
+                    best_key = key;
+                    best_cmd = cmd;
+                    best_hit = row_hit;
+                }
+            } else {
+                // Fold this request's bank-local readiness into the
+                // shard's wake-up hint. A request that is bank-ready but
+                // held back (class blocking or a channel-global
+                // constraint) forces a retry next DRAM cycle, since that
+                // blocking state can change with any issued command.
+                const Cycle local = bankLocalReady(b, cmd);
+                wake = std::min(wake, local <= now ? retry : local);
+            }
+        }
+        // An issuable-but-not-chosen request must be reconsidered next
+        // cycle; otherwise sleep until the earliest bank-local readiness.
+        shard.wake = issuable_here ? now : wake;
+    }
+    if (best == nullptr)
+        return false;
+    issueCommand(*best, best_cmd, best_hit, now);
+    return true;
+}
+
+bool
+MemoryController::scheduleReadReference(Cycle now)
 {
     if (config_.ranking_enabled) {
         std::array<std::uint32_t, kMaxCores> counts{};
@@ -261,11 +539,11 @@ MemoryController::scheduleRead(Cycle now)
     // prefetch under APS) may not be scheduled to a bank while a
     // preferred-class request to the same bank is outstanding -- even if
     // the preferred request is not timing-ready this cycle.
-    std::array<std::uint8_t, 64> bank_has_preferred{};
+    std::vector<std::uint8_t> bank_has_preferred(channel_.numBanks(), 0);
     for (const auto &req : read_q_) {
         if (req.state == RequestState::Queued &&
             context_.requestClass(req) != 0) {
-            bank_has_preferred[req.coord.bank % 64] = 1;
+            bank_has_preferred[req.coord.bank] = 1;
         }
     }
 
@@ -278,7 +556,7 @@ MemoryController::scheduleRead(Cycle now)
         if (req.state != RequestState::Queued)
             continue;
         if (context_.requestClass(req) == 0 &&
-            bank_has_preferred[req.coord.bank % 64]) {
+            bank_has_preferred[req.coord.bank]) {
             continue;
         }
         bool row_hit = false;
@@ -328,6 +606,9 @@ MemoryController::scheduleWrite(Cycle now)
     if (best->state == RequestState::Servicing) {
         // Nothing waits on a writeback; retire it at column issue.
         ++stats_.writes;
+        auto pending = pending_rows_.find(rowKey(best->coord));
+        if (--pending->second == 0)
+            pending_rows_.erase(pending);
         write_index_.erase(best->line_addr);
         write_q_.erase(best);
     }

@@ -16,11 +16,29 @@
  * several cycles and can be overtaken between commands, exactly like a
  * real FR-FCFS pipeline. Writebacks are drained when the write queue
  * exceeds a high watermark or when no reads are pending.
+ *
+ * Scheduler implementation: the request buffer is sharded per bank with
+ * incremental bookkeeping so that a scheduling round touches only banks
+ * that may actually have an issuable command (see DESIGN.md,
+ * "Performance architecture"):
+ *  - per-bank lists of *queued* reads, so a round never walks requests
+ *    that are already in flight;
+ *  - a cached per-bank wake-up cycle (lower bound on the next cycle any
+ *    command to that bank could be bank-locally legal), invalidated on
+ *    enqueue and whenever a command changes the bank's state;
+ *  - per-(bank,row) pending counters replacing the O(queue) same-row
+ *    scan of the closed-row policy;
+ *  - per-bank demand/prefetch occupancy counters and per-core criticality
+ *    counters replacing the per-cycle class-mask and ranking rescans.
+ * The naive O(queue) scheduler is retained behind
+ * SchedulerConfig::reference_scheduler as the golden model; both paths
+ * are decision-identical (same command each cycle, same stats).
  */
 
 #ifndef PADC_MEMCTRL_CONTROLLER_HH
 #define PADC_MEMCTRL_CONTROLLER_HH
 
+#include <array>
 #include <cstdint>
 #include <list>
 #include <unordered_map>
@@ -74,6 +92,7 @@ struct ControllerStats
     std::uint64_t demands_rejected_full = 0;    ///< demand found buffer full
     std::uint64_t promotions = 0;               ///< prefetch -> demand
     std::uint64_t forwarded_reads = 0;          ///< served from write queue
+    std::uint64_t duplicate_reads = 0;          ///< coalesced duplicate enqueues
 
     std::uint64_t read_queue_occupancy_sum = 0; ///< per-DRAM-cycle integral
     std::uint64_t dram_cycles = 0;
@@ -114,9 +133,14 @@ class MemoryController
      * the core). A read that hits the write queue is forwarded and
      * completes shortly without touching DRAM.
      *
-     * @pre no read for line_addr is outstanding (the L2 MSHR guarantees
-     *      at most one miss per line).
-     * @return true if accepted (or forwarded).
+     * A well-behaved cache never enqueues two reads for the same line
+     * (the L2 MSHR allows at most one miss per line). If a duplicate
+     * arrives anyway it is coalesced with the outstanding request instead
+     * of corrupting the index: the call counts duplicate_reads, promotes
+     * the in-flight prefetch when the duplicate is a demand, and reports
+     * success.
+     *
+     * @return true if accepted (or forwarded, or coalesced).
      */
     bool enqueueRead(const dram::DramCoord &coord, Addr line_addr,
                      CoreId core, Addr pc, bool is_prefetch, Cycle now);
@@ -151,11 +175,54 @@ class MemoryController
     std::size_t readQueueSize() const { return read_q_.size(); }
     std::size_t writeQueueSize() const { return write_q_.size(); }
 
+    /** One DRAM command issued by the scheduler (for equivalence tests). */
+    struct IssueRecord
+    {
+        Cycle cycle;
+        std::uint8_t cmd; ///< NextCmd value
+        bool is_write;
+        std::uint32_t bank;
+        std::uint64_t row;
+        std::uint64_t seq;
+
+        bool operator==(const IssueRecord &other) const = default;
+    };
+
+    /**
+     * Record every issued command into @p log (nullptr disables logging).
+     * The log captures the complete scheduling decision sequence, which
+     * is what the reference/optimized equivalence test compares.
+     */
+    void setIssueLog(std::vector<IssueRecord> *log) { issue_log_ = log; }
+
   private:
     using ReadList = std::list<Request>;
 
     /** The next DRAM command a request needs, given current bank state. */
     enum class NextCmd : std::uint8_t { Precharge, Activate, Column, None };
+
+    /** Scheduler shard for one DRAM bank. */
+    struct BankShard
+    {
+        /** Queued (not yet in-flight) reads to this bank; each request's
+            bank_slot is its index here, so removal is O(1) swap-remove.
+            Order carries no meaning: priority keys are a total order. */
+        std::vector<Request *> queued;
+
+        /** Lower bound on the next cycle any command to this bank could
+            be bank-locally legal; the bank is skipped while now < wake.
+            0 means "unknown, rescan". */
+        Cycle wake = 0;
+
+        std::uint32_t queued_demands = 0; ///< queued demand reads
+
+        /** Queued prefetches per core, plus the derived nonzero bitmask
+            (bit c set iff pref_by_core[c] > 0). The mask makes the APS
+            per-bank "has preferred request" test one AND against the
+            accurate-core mask. */
+        std::vector<std::uint32_t> pref_by_core;
+        std::uint64_t pref_core_mask = 0;
+    };
 
     NextCmd nextCommand(const Request &req, bool *row_hit) const;
     bool commandIssuable(const Request &req, NextCmd cmd, Cycle now) const;
@@ -164,11 +231,40 @@ class MemoryController
     void completeFinished(Cycle now);
     void runApd(Cycle now);
     bool scheduleRead(Cycle now);
+    bool scheduleReadReference(Cycle now);
     bool scheduleWrite(Cycle now);
     void finishRead(ReadList::iterator it, Cycle now);
 
     /** True when another queued request targets the same bank and row. */
     bool pendingSameRow(const Request &req) const;
+
+    // --- incremental bookkeeping helpers ------------------------------
+
+    /** Key of the per-(bank,row) pending-request counter map. */
+    static std::uint64_t rowKey(const dram::DramCoord &coord)
+    {
+        // Row bits never reach bit 48 for any realistic geometry.
+        return (static_cast<std::uint64_t>(coord.bank) << 48) | coord.row;
+    }
+
+    /** Bitmask of cores whose prefetches are currently critical. */
+    std::uint64_t accurateCoreMask() const;
+
+    /** True when @p shard holds a queued preferred-class request. */
+    bool shardHasPreferred(const BankShard &shard,
+                           std::uint64_t accurate_mask) const;
+
+    /** Bank-local lower bound for @p cmd on bank @p bank. */
+    Cycle bankLocalReady(std::uint32_t bank, NextCmd cmd) const;
+
+    /** Register a newly queued read with all incremental structures. */
+    void trackEnqueued(Request &req);
+
+    /** Remove a still-queued read from all incremental structures. */
+    void untrackQueued(Request &req);
+
+    /** Account a queued prefetch being promoted to a demand. */
+    void trackPromoted(Request &req);
 
     SchedulerConfig config_;
     dram::Channel &channel_;
@@ -183,6 +279,24 @@ class MemoryController
     std::unordered_map<Addr, ReadList::iterator> read_index_;
     std::list<Request> write_q_;
     std::unordered_map<Addr, std::list<Request>::iterator> write_index_;
+
+    /** Per-bank scheduler shards, sized from channel_.numBanks(). */
+    std::vector<BankShard> shards_;
+
+    /** In-flight (Servicing) reads, kept sorted by seq so same-cycle
+        completions fire in the same order as a full queue walk. */
+    std::vector<ReadList::iterator> servicing_;
+
+    /** Queued reads + pending writes per (bank,row); backs the closed-row
+        policy's pendingSameRow() in O(1). */
+    std::unordered_map<std::uint64_t, std::uint32_t> pending_rows_;
+
+    /** Requests (any state) in the read queue per core, split by current
+        P bit; critical-request counts for RANK derive from these. */
+    std::array<std::uint32_t, kMaxCores> demands_per_core_{};
+    std::array<std::uint32_t, kMaxCores> prefs_per_core_{};
+
+    std::vector<IssueRecord> *issue_log_ = nullptr;
 
     /** Forwarded reads waiting to be reported complete. */
     struct PendingForward

@@ -67,6 +67,15 @@ struct SchedulerConfig
     /** Row-buffer management (Section 6.8). */
     RowPolicy row_policy = RowPolicy::Open;
 
+    /**
+     * Use the naive O(queue) reference scheduler instead of the
+     * bank-sharded incremental one. The two are decision-identical by
+     * contract (same command stream, same stats); the reference exists as
+     * the golden model for the equivalence test suite and as the seed
+     * implementation baseline for the scheduler micro-benchmarks.
+     */
+    bool reference_scheduler = false;
+
     /** APD age quantum: AGE advances once per this many cycles. */
     Cycle age_quantum = 100;
 

@@ -70,6 +70,13 @@ struct Request
 
     RequestState state = RequestState::Queued;
 
+    /**
+     * Index of this request in its bank's queued-request shard while
+     * state == Queued (scheduler bookkeeping, maintained by the
+     * controller; meaningless in any other state).
+     */
+    std::uint32_t bank_slot = 0;
+
     /** How the request was ultimately serviced by the DRAM. */
     enum class RowOutcome : std::uint8_t { Unknown, Hit, Closed, Conflict };
     RowOutcome row_outcome = RowOutcome::Unknown;

@@ -112,10 +112,47 @@ AloneIpcCache::ipcAlone(const std::string &profile_name, std::uint32_t core,
     // the entry only when the generated trace is identical.
     const std::string key = profile_name + "#" + std::to_string(core) +
                             "#" + std::to_string(mix_seed);
-    auto it = cache_.find(key);
-    if (it != cache_.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+    }
+    // Computed outside the lock so concurrent misses on distinct keys
+    // overlap; a racing duplicate computes the identical value, and
+    // emplace keeps whichever insert lands first.
+    const double ipc = computeAlone(profile_name, core, mix_seed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.emplace(key, ipc);
+    return ipc;
+}
 
+void
+AloneIpcCache::prewarm(const std::vector<workload::Mix> &mixes,
+                       std::uint64_t base_seed,
+                       ParallelExperimentRunner &runner)
+{
+    struct Slot
+    {
+        std::string profile;
+        std::uint32_t core;
+        std::uint64_t seed;
+    };
+    std::vector<Slot> slots;
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+        for (std::uint32_t c = 0; c < mixes[i].size(); ++c)
+            slots.push_back({mixes[i][c], c, base_seed + i});
+    }
+    runner.forEach(slots.size(), [&](std::size_t i) {
+        ipcAlone(slots[i].profile, slots[i].core, slots[i].seed);
+    });
+}
+
+double
+AloneIpcCache::computeAlone(const std::string &profile_name,
+                            std::uint32_t core,
+                            std::uint64_t mix_seed) const
+{
     // Alone methodology (Section 5.2): demand-first policy, application
     // on one core of the CMP, other cores idle. We emulate idle cores
     // with a compute-only spin trace confined to a single line.
@@ -148,9 +185,7 @@ AloneIpcCache::ipcAlone(const std::string &profile_name, std::uint32_t core,
     system.run(options_.instructions, options_.max_cycles,
                options_.warmup);
     const RunMetrics metrics = collectMetrics(system);
-    const double ipc = metrics.cores[core % cfg.num_cores].ipc;
-    cache_[key] = ipc;
-    return ipc;
+    return metrics.cores[core % cfg.num_cores].ipc;
 }
 
 MixEvaluation
@@ -164,6 +199,50 @@ evaluateMix(const SystemConfig &config, const workload::Mix &mix,
         ipc_alone.push_back(alone.ipcAlone(mix[c], c, options.mix_seed));
     eval.summary = multiCoreMetrics(eval.metrics, ipc_alone);
     return eval;
+}
+
+std::vector<MixEvaluation>
+evaluateSweep(const std::vector<SweepPoint> &points, AloneIpcCache &alone,
+              ParallelExperimentRunner &runner)
+{
+    // Fill the alone cache first so the sweep jobs below are pure cache
+    // hits; the alone-runs themselves fan out across the pool too.
+    {
+        struct Key
+        {
+            workload::Mix mix;
+            std::uint64_t seed;
+        };
+        std::vector<Key> keys;
+        for (const auto &point : points) {
+            bool seen = false;
+            for (const auto &key : keys) {
+                seen = key.seed == point.options.mix_seed &&
+                       key.mix == point.mix;
+                if (seen)
+                    break;
+            }
+            if (!seen)
+                keys.push_back({point.mix, point.options.mix_seed});
+        }
+        runner.forEach(keys.size(), [&](std::size_t i) {
+            for (std::uint32_t c = 0; c < keys[i].mix.size(); ++c)
+                alone.ipcAlone(keys[i].mix[c], c, keys[i].seed);
+        });
+    }
+    return runner.map<MixEvaluation>(points.size(), [&](std::size_t i) {
+        return evaluateMix(points[i].config, points[i].mix,
+                           points[i].options, alone);
+    });
+}
+
+std::vector<RunMetrics>
+runSweep(const std::vector<SweepPoint> &points,
+         ParallelExperimentRunner &runner)
+{
+    return runner.map<RunMetrics>(points.size(), [&](std::size_t i) {
+        return runMix(points[i].config, points[i].mix, points[i].options);
+    });
 }
 
 void

@@ -14,10 +14,12 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "sim/metrics.hh"
+#include "sim/parallel.hh"
 #include "sim/system.hh"
 #include "workload/mixes.hh"
 
@@ -67,6 +69,11 @@ RunMetrics runMix(const SystemConfig &config, const workload::Mix &mix,
  * Per the paper's methodology, IPC_alone is measured with the
  * demand-first policy on the same shared-resource configuration, with
  * the application on core 0 and the remaining cores idle.
+ *
+ * Thread-safe: concurrent ipcAlone calls are allowed (each alone-run is
+ * deterministic, so a racing re-computation of the same key yields the
+ * same value; the first insert wins). Use prewarm() to fill the cache in
+ * parallel up front so sweep jobs only ever hit.
  */
 class AloneIpcCache
 {
@@ -81,9 +88,22 @@ class AloneIpcCache
     double ipcAlone(const std::string &profile_name, std::uint32_t core,
                     std::uint64_t mix_seed);
 
+    /**
+     * Compute the alone IPC of every (profile, core) slot of the given
+     * mixes across @p runner, where mix i uses seed base_seed + i (the
+     * convention every bench uses). Deterministic regardless of the
+     * runner's thread count.
+     */
+    void prewarm(const std::vector<workload::Mix> &mixes,
+                 std::uint64_t base_seed, ParallelExperimentRunner &runner);
+
   private:
+    double computeAlone(const std::string &profile_name,
+                        std::uint32_t core, std::uint64_t mix_seed) const;
+
     SystemConfig base_;
     RunOptions options_;
+    std::mutex mutex_;
     std::map<std::string, double> cache_;
 };
 
@@ -97,6 +117,32 @@ struct MixEvaluation
 MixEvaluation evaluateMix(const SystemConfig &config,
                           const workload::Mix &mix,
                           const RunOptions &options, AloneIpcCache &alone);
+
+// --- parallel sweeps --------------------------------------------------
+
+/** One fully specified point of an experiment sweep. */
+struct SweepPoint
+{
+    SystemConfig config;  ///< policy already applied
+    workload::Mix mix;
+    RunOptions options;   ///< carries the per-point seed
+};
+
+/**
+ * Evaluate every point across @p runner; results are ordered like
+ * @p points. The alone cache is prewarmed for every distinct (mix,
+ * seed) slot first, so the sweep jobs themselves never miss.
+ */
+std::vector<MixEvaluation>
+evaluateSweep(const std::vector<SweepPoint> &points, AloneIpcCache &alone,
+              ParallelExperimentRunner &runner);
+
+/**
+ * Run (no WS/HS/UF summary, no alone-runs needed) every point across
+ * @p runner; results ordered like @p points.
+ */
+std::vector<RunMetrics> runSweep(const std::vector<SweepPoint> &points,
+                                 ParallelExperimentRunner &runner);
 
 // --- table printing helpers -------------------------------------------
 

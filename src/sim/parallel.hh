@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Parallel experiment runner for embarrassingly parallel sweeps.
+ *
+ * Every figure bench evaluates a grid of (policy x workload x config)
+ * points, each of which builds its own System and trace generators from
+ * explicit seeds and shares no mutable state with any other point. The
+ * runner fans such points across a persistent std::thread pool.
+ *
+ * Determinism contract: a job must derive all randomness from its own
+ * point (seeds carried in RunOptions / trace parameters) and must not
+ * mutate shared state. Under that contract the runner guarantees
+ * results identical to serial execution: jobs are indexed, each index
+ * runs exactly once, and results are collected into a vector ordered by
+ * index -- never by completion time. Thread count (including 1) is
+ * therefore purely a wall-clock knob; it can never change a reported
+ * number. The PADC_THREADS environment variable overrides the default
+ * worker count (hardware concurrency).
+ */
+
+#ifndef PADC_SIM_PARALLEL_HH
+#define PADC_SIM_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace padc::sim
+{
+
+/**
+ * Worker threads to use by default: the PADC_THREADS environment
+ * variable if set (clamped to >= 1), else std::thread::hardware_concurrency.
+ */
+unsigned defaultThreadCount();
+
+/**
+ * A persistent pool of worker threads executing indexed jobs.
+ */
+class ParallelExperimentRunner
+{
+  public:
+    /** @param threads worker count; 0 means defaultThreadCount(). */
+    explicit ParallelExperimentRunner(unsigned threads = 0);
+
+    ~ParallelExperimentRunner();
+
+    ParallelExperimentRunner(const ParallelExperimentRunner &) = delete;
+    ParallelExperimentRunner &
+    operator=(const ParallelExperimentRunner &) = delete;
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size() + 1); // + caller
+    }
+
+    /**
+     * Run fn(0), ..., fn(n-1), distributing indices across the pool (the
+     * calling thread participates). Returns when every call finished.
+     * @p fn must be safe to call concurrently for distinct indices.
+     * Reentrant calls (fn itself calling forEach) are not supported.
+     */
+    void forEach(std::size_t n, const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Ordered map: returns {fn(0), ..., fn(n-1)}, always indexed by
+     * point, never by completion order.
+     */
+    template <typename R>
+    std::vector<R> map(std::size_t n,
+                       const std::function<R(std::size_t)> &fn)
+    {
+        std::vector<R> out(n);
+        forEach(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+  private:
+    void workerLoop();
+
+    /** Claim and run job indices until the current batch is exhausted. */
+    void drainBatch();
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable batch_done_;
+
+    // Current batch (guarded by mutex_; indices claimed under the lock).
+    const std::function<void(std::size_t)> *job_ = nullptr;
+    std::size_t batch_size_ = 0;
+    std::size_t next_index_ = 0;
+    std::size_t completed_ = 0;
+    std::uint64_t generation_ = 0;
+    bool shutdown_ = false;
+};
+
+/**
+ * Process-wide shared runner (lazily constructed with the default thread
+ * count); the benches use this so a binary spins up one pool total.
+ */
+ParallelExperimentRunner &sharedRunner();
+
+} // namespace padc::sim
+
+#endif // PADC_SIM_PARALLEL_HH

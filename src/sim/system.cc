@@ -441,6 +441,8 @@ System::exportStats() const
                   static_cast<double>(cs.promotions));
         stats.add(prefix + "forwarded_reads",
                   static_cast<double>(cs.forwarded_reads));
+        stats.add(prefix + "duplicate_reads",
+                  static_cast<double>(cs.duplicate_reads));
         stats.add(prefix + "avg_read_queue",
                   cs.dram_cycles > 0
                       ? static_cast<double>(cs.read_queue_occupancy_sum) /

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Golden equivalence tests: the bank-sharded incremental scheduler must
+ * make exactly the same decision as the naive reference scheduler every
+ * cycle, for every policy configuration.
+ *
+ * Two complete controller stacks (separate Channel, AccuracyTracker and
+ * handler) receive an identical randomized stimulus -- enqueues of
+ * demands/prefetches/writebacks over a small bank/row space (high
+ * conflict rate), promotions, accuracy-moving prefetch-used events and
+ * interval ticks -- one configured with reference_scheduler=true, the
+ * other with the optimized path. The test then compares the complete
+ * DRAM command streams (IssueRecord logs), the completion/drop event
+ * sequences, and every statistic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "dram/address_map.hh"
+#include "dram/channel.hh"
+#include "memctrl/controller.hh"
+
+namespace padc::memctrl
+{
+namespace
+{
+
+/** Records completions and drops in arrival order, comparably. */
+class LoggingHandler : public ResponseHandler
+{
+  public:
+    struct Event
+    {
+        Addr line;
+        bool drop;
+        bool was_prefetch;
+        bool still_prefetch;
+        Cycle at;
+
+        bool operator==(const Event &other) const = default;
+    };
+
+    void
+    dramReadComplete(const Request &req, Cycle now) override
+    {
+        events.push_back(
+            {req.line_addr, false, req.was_prefetch, req.is_prefetch, now});
+    }
+
+    void
+    dramPrefetchDropped(const Request &req, Cycle now) override
+    {
+        events.push_back(
+            {req.line_addr, true, req.was_prefetch, req.is_prefetch, now});
+    }
+
+    std::vector<Event> events;
+};
+
+/** One controller plus everything it owns, for lockstep driving. */
+struct Stack
+{
+    Stack(const SchedulerConfig &config, std::uint32_t num_cores)
+        : channel(timing, 8), map(geometry),
+          tracker(num_cores, config.accuracy),
+          ctrl(config, channel, tracker, handler, num_cores)
+    {
+        ctrl.setIssueLog(&issues);
+    }
+
+    dram::TimingParams timing;
+    dram::Geometry geometry;
+    dram::Channel channel;
+    dram::AddressMap map;
+    AccuracyTracker tracker;
+    LoggingHandler handler;
+    MemoryController ctrl;
+    std::vector<MemoryController::IssueRecord> issues;
+};
+
+void
+expectStatsEqual(const ControllerStats &a, const ControllerStats &b)
+{
+    EXPECT_EQ(a.demand_reads, b.demand_reads);
+    EXPECT_EQ(a.prefetch_reads, b.prefetch_reads);
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_EQ(a.read_row_hits, b.read_row_hits);
+    EXPECT_EQ(a.read_row_closed, b.read_row_closed);
+    EXPECT_EQ(a.read_row_conflicts, b.read_row_conflicts);
+    EXPECT_EQ(a.demand_row_hits, b.demand_row_hits);
+    EXPECT_EQ(a.prefetches_dropped, b.prefetches_dropped);
+    EXPECT_EQ(a.prefetches_rejected_full, b.prefetches_rejected_full);
+    EXPECT_EQ(a.demands_rejected_full, b.demands_rejected_full);
+    EXPECT_EQ(a.promotions, b.promotions);
+    EXPECT_EQ(a.forwarded_reads, b.forwarded_reads);
+    EXPECT_EQ(a.duplicate_reads, b.duplicate_reads);
+    EXPECT_EQ(a.read_queue_occupancy_sum, b.read_queue_occupancy_sum);
+    EXPECT_EQ(a.dram_cycles, b.dram_cycles);
+    EXPECT_EQ(a.read_service_cycles_sum, b.read_service_cycles_sum);
+}
+
+/**
+ * Drive reference and optimized stacks through an identical randomized
+ * stimulus and require identical observable behaviour.
+ */
+void
+runEquivalence(SchedulerConfig config, std::uint64_t seed)
+{
+    constexpr std::uint32_t kCores = 4;
+    constexpr Cycle kDriveCycles = 12000;
+    constexpr Cycle kDrainCycles = 8000;
+
+    config.request_buffer_size = 24; // small: exercise rejected-full
+    config.write_buffer_size = 16;
+    config.write_drain_high = 10;
+    config.write_drain_low = 3;
+    config.accuracy.interval = 1500; // several interval boundaries
+    config.accuracy.min_samples = 4;
+
+    SchedulerConfig ref_config = config;
+    ref_config.reference_scheduler = true;
+    SchedulerConfig opt_config = config;
+    opt_config.reference_scheduler = false;
+
+    Stack ref(ref_config, kCores);
+    Stack opt(opt_config, kCores);
+
+    Rng rng(seed);
+    // Small line pool: 8 banks x few rows, so row conflicts, duplicate
+    // enqueues, promotions and write-queue hits all occur.
+    auto randomLine = [&] { return lineToAddr(rng.nextBelow(192)); };
+
+    for (Cycle now = 0; now < kDriveCycles; ++now) {
+        if (rng.chance(0.30)) {
+            const Addr addr = randomLine();
+            const auto core = static_cast<CoreId>(rng.nextBelow(kCores));
+            const bool prefetch = rng.chance(0.5);
+            const bool a = ref.ctrl.enqueueRead(ref.map.map(addr),
+                                                lineAlign(addr), core,
+                                                0x400, prefetch, now);
+            const bool b = opt.ctrl.enqueueRead(opt.map.map(addr),
+                                                lineAlign(addr), core,
+                                                0x400, prefetch, now);
+            ASSERT_EQ(a, b) << "enqueue disagreement at cycle " << now;
+        }
+        if (rng.chance(0.05)) {
+            const Addr addr = randomLine();
+            const auto core = static_cast<CoreId>(rng.nextBelow(kCores));
+            ref.ctrl.enqueueWrite(ref.map.map(addr), lineAlign(addr), core,
+                                  now);
+            opt.ctrl.enqueueWrite(opt.map.map(addr), lineAlign(addr), core,
+                                  now);
+        }
+        if (rng.chance(0.04)) {
+            const Addr addr = randomLine();
+            const bool a = ref.ctrl.promote(lineAlign(addr), now);
+            const bool b = opt.ctrl.promote(lineAlign(addr), now);
+            ASSERT_EQ(a, b) << "promotion disagreement at cycle " << now;
+        }
+        if (rng.chance(0.10)) {
+            // Move the accuracy estimate (flips criticality/urgency).
+            const auto core = static_cast<CoreId>(rng.nextBelow(kCores));
+            ref.tracker.onPrefetchUsed(core);
+            opt.tracker.onPrefetchUsed(core);
+        }
+        ref.tracker.tick(now);
+        opt.tracker.tick(now);
+        ref.ctrl.tick(now);
+        opt.ctrl.tick(now);
+        ASSERT_EQ(ref.issues.size(), opt.issues.size())
+            << "issue-count divergence at cycle " << now;
+    }
+    for (Cycle now = kDriveCycles; now < kDriveCycles + kDrainCycles;
+         ++now) {
+        ref.tracker.tick(now);
+        opt.tracker.tick(now);
+        ref.ctrl.tick(now);
+        opt.ctrl.tick(now);
+    }
+
+    EXPECT_GT(ref.issues.size(), 0u) << "stimulus issued no commands";
+    ASSERT_EQ(ref.issues.size(), opt.issues.size());
+    for (std::size_t i = 0; i < ref.issues.size(); ++i) {
+        EXPECT_TRUE(ref.issues[i] == opt.issues[i])
+            << "command " << i << " differs: cycle " << ref.issues[i].cycle
+            << " vs " << opt.issues[i].cycle << ", bank "
+            << ref.issues[i].bank << " vs " << opt.issues[i].bank
+            << ", seq " << ref.issues[i].seq << " vs "
+            << opt.issues[i].seq;
+        if (!(ref.issues[i] == opt.issues[i]))
+            break; // one divergence floods everything after it
+    }
+    ASSERT_EQ(ref.handler.events.size(), opt.handler.events.size());
+    for (std::size_t i = 0; i < ref.handler.events.size(); ++i)
+        EXPECT_TRUE(ref.handler.events[i] == opt.handler.events[i])
+            << "completion/drop event " << i << " differs";
+    expectStatsEqual(ref.ctrl.stats(), opt.ctrl.stats());
+}
+
+struct Combo
+{
+    SchedPolicyKind kind;
+    bool urgency;
+    bool ranking;
+    bool apd;
+    RowPolicy row;
+};
+
+std::string
+comboName(const Combo &combo)
+{
+    std::string name;
+    switch (combo.kind) {
+      case SchedPolicyKind::FrFcfs: name = "FrFcfs"; break;
+      case SchedPolicyKind::DemandFirst: name = "DemandFirst"; break;
+      case SchedPolicyKind::PrefetchFirst: name = "PrefetchFirst"; break;
+      case SchedPolicyKind::Aps: name = "Aps"; break;
+    }
+    name += combo.urgency ? "_urg" : "_nourg";
+    name += combo.ranking ? "_rank" : "_norank";
+    name += combo.apd ? "_apd" : "_noapd";
+    name += combo.row == RowPolicy::Closed ? "_closed" : "_open";
+    return name;
+}
+
+class SchedEquivalence : public ::testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(SchedEquivalence, DecisionIdentical)
+{
+    const Combo &combo = GetParam();
+    SchedulerConfig config;
+    config.kind = combo.kind;
+    config.urgency_enabled = combo.urgency;
+    config.ranking_enabled = combo.ranking;
+    config.apd_enabled = combo.apd;
+    config.row_policy = combo.row;
+    // Mid-scale threshold so the randomized used-events actually flip
+    // cores between accurate and inaccurate during the run.
+    config.promotion_threshold = 0.60;
+
+    runEquivalence(config, 0xC0FFEE ^ static_cast<std::uint64_t>(
+                                          combo.kind == SchedPolicyKind::Aps
+                                              ? 17
+                                              : 3));
+}
+
+std::vector<Combo>
+allCombos()
+{
+    std::vector<Combo> combos;
+    for (const auto kind :
+         {SchedPolicyKind::FrFcfs, SchedPolicyKind::DemandFirst,
+          SchedPolicyKind::PrefetchFirst, SchedPolicyKind::Aps}) {
+        for (const bool urgency : {false, true}) {
+            for (const bool ranking : {false, true}) {
+                for (const bool apd : {false, true}) {
+                    for (const auto row :
+                         {RowPolicy::Open, RowPolicy::Closed}) {
+                        combos.push_back({kind, urgency, ranking, apd, row});
+                    }
+                }
+            }
+        }
+    }
+    return combos;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SchedEquivalence,
+                         ::testing::ValuesIn(allCombos()),
+                         [](const ::testing::TestParamInfo<Combo> &info) {
+                             return comboName(info.param);
+                         });
+
+/** Duplicate enqueues are coalesced, not asserted on (satellite fix). */
+TEST(DuplicateEnqueue, CoalescesInsteadOfCorrupting)
+{
+    SchedulerConfig config;
+    config.kind = SchedPolicyKind::Aps;
+    Stack stack(config, 2);
+
+    const Addr addr = lineToAddr(5);
+    EXPECT_TRUE(stack.ctrl.enqueueRead(stack.map.map(addr),
+                                       lineAlign(addr), 0, 0x400, true, 0));
+    EXPECT_EQ(stack.ctrl.readQueueSize(), 1u);
+    EXPECT_EQ(stack.ctrl.stats().duplicate_reads, 0u);
+
+    // A duplicate prefetch is absorbed.
+    EXPECT_TRUE(stack.ctrl.enqueueRead(stack.map.map(addr),
+                                       lineAlign(addr), 0, 0x400, true, 1));
+    EXPECT_EQ(stack.ctrl.readQueueSize(), 1u);
+    EXPECT_EQ(stack.ctrl.stats().duplicate_reads, 1u);
+
+    // A duplicate demand promotes the outstanding prefetch.
+    EXPECT_TRUE(stack.ctrl.enqueueRead(stack.map.map(addr),
+                                       lineAlign(addr), 0, 0x400, false, 2));
+    EXPECT_EQ(stack.ctrl.readQueueSize(), 1u);
+    EXPECT_EQ(stack.ctrl.stats().duplicate_reads, 2u);
+    EXPECT_EQ(stack.ctrl.stats().promotions, 1u);
+}
+
+} // namespace
+} // namespace padc::memctrl
