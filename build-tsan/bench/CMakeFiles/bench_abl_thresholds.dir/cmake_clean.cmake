@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_thresholds.dir/bench_abl_thresholds.cc.o"
+  "CMakeFiles/bench_abl_thresholds.dir/bench_abl_thresholds.cc.o.d"
+  "bench_abl_thresholds"
+  "bench_abl_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_milc_behavior.dir/bench_fig04_milc_behavior.cc.o"
+  "CMakeFiles/bench_fig04_milc_behavior.dir/bench_fig04_milc_behavior.cc.o.d"
+  "bench_fig04_milc_behavior"
+  "bench_fig04_milc_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_milc_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig06_single_core_ipc.
+# This may be replaced when dependencies are built.

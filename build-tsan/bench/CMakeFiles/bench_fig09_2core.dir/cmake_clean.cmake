@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_2core.dir/bench_fig09_2core.cc.o"
+  "CMakeFiles/bench_fig09_2core.dir/bench_fig09_2core.cc.o.d"
+  "bench_fig09_2core"
+  "bench_fig09_2core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_2core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

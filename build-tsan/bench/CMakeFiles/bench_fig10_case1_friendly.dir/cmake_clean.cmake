@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_case1_friendly.dir/bench_fig10_case1_friendly.cc.o"
+  "CMakeFiles/bench_fig10_case1_friendly.dir/bench_fig10_case1_friendly.cc.o.d"
+  "bench_fig10_case1_friendly"
+  "bench_fig10_case1_friendly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_case1_friendly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_case2_unfriendly.dir/bench_fig12_case2_unfriendly.cc.o"
+  "CMakeFiles/bench_fig12_case2_unfriendly.dir/bench_fig12_case2_unfriendly.cc.o.d"
+  "bench_fig12_case2_unfriendly"
+  "bench_fig12_case2_unfriendly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_case2_unfriendly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_case3_mixed.dir/bench_fig14_case3_mixed.cc.o"
+  "CMakeFiles/bench_fig14_case3_mixed.dir/bench_fig14_case3_mixed.cc.o.d"
+  "bench_fig14_case3_mixed"
+  "bench_fig14_case3_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_case3_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_ranking.dir/bench_fig19_ranking.cc.o"
+  "CMakeFiles/bench_fig19_ranking.dir/bench_fig19_ranking.cc.o.d"
+  "bench_fig19_ranking"
+  "bench_fig19_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

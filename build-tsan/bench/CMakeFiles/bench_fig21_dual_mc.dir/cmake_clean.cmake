@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_dual_mc.dir/bench_fig21_dual_mc.cc.o"
+  "CMakeFiles/bench_fig21_dual_mc.dir/bench_fig21_dual_mc.cc.o.d"
+  "bench_fig21_dual_mc"
+  "bench_fig21_dual_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_dual_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

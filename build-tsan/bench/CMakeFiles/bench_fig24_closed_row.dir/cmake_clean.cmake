@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_closed_row.dir/bench_fig24_closed_row.cc.o"
+  "CMakeFiles/bench_fig24_closed_row.dir/bench_fig24_closed_row.cc.o.d"
+  "bench_fig24_closed_row"
+  "bench_fig24_closed_row.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_closed_row.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig28_other_prefetchers.dir/bench_fig28_other_prefetchers.cc.o"
+  "CMakeFiles/bench_fig28_other_prefetchers.dir/bench_fig28_other_prefetchers.cc.o.d"
+  "bench_fig28_other_prefetchers"
+  "bench_fig28_other_prefetchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig28_other_prefetchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig28_other_prefetchers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig29_ddpf_fdp.dir/bench_fig29_ddpf_fdp.cc.o"
+  "CMakeFiles/bench_fig29_ddpf_fdp.dir/bench_fig29_ddpf_fdp.cc.o.d"
+  "bench_fig29_ddpf_fdp"
+  "bench_fig29_ddpf_fdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig29_ddpf_fdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig31_permutation.dir/bench_fig31_permutation.cc.o"
+  "CMakeFiles/bench_fig31_permutation.dir/bench_fig31_permutation.cc.o.d"
+  "bench_fig31_permutation"
+  "bench_fig31_permutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig31_permutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

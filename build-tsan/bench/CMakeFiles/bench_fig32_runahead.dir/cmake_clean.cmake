@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig32_runahead.dir/bench_fig32_runahead.cc.o"
+  "CMakeFiles/bench_fig32_runahead.dir/bench_fig32_runahead.cc.o.d"
+  "bench_fig32_runahead"
+  "bench_fig32_runahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig32_runahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

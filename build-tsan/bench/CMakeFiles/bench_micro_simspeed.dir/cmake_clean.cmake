@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_simspeed.dir/bench_micro_simspeed.cc.o"
+  "CMakeFiles/bench_micro_simspeed.dir/bench_micro_simspeed.cc.o.d"
+  "bench_micro_simspeed"
+  "bench_micro_simspeed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_simspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab07_rbhu.dir/bench_tab07_rbhu.cc.o"
+  "CMakeFiles/bench_tab07_rbhu.dir/bench_tab07_rbhu.cc.o.d"
+  "bench_tab07_rbhu"
+  "bench_tab07_rbhu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab07_rbhu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

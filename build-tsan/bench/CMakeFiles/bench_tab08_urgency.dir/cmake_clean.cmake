@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab08_urgency.dir/bench_tab08_urgency.cc.o"
+  "CMakeFiles/bench_tab08_urgency.dir/bench_tab08_urgency.cc.o.d"
+  "bench_tab08_urgency"
+  "bench_tab08_urgency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab08_urgency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

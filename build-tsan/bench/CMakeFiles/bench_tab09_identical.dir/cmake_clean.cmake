@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab09_identical.dir/bench_tab09_identical.cc.o"
+  "CMakeFiles/bench_tab09_identical.dir/bench_tab09_identical.cc.o.d"
+  "bench_tab09_identical"
+  "bench_tab09_identical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab09_identical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

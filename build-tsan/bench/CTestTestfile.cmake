@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-tsan/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(perf_smoke "/root/repo/build-tsan/bench/bench_micro_simspeed" "--benchmark_filter=BM_ScheduleRead|BM_ParallelSweep" "--benchmark_min_time=0.02" "--benchmark_out=/root/repo/build-tsan/BENCH_simspeed.json" "--benchmark_out_format=json")
+set_tests_properties(perf_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;43;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_inspector.dir/dram_inspector.cpp.o"
+  "CMakeFiles/dram_inspector.dir/dram_inspector.cpp.o.d"
+  "dram_inspector"
+  "dram_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padc_sim.dir/padc_sim.cpp.o"
+  "CMakeFiles/padc_sim.dir/padc_sim.cpp.o.d"
+  "padc_sim"
+  "padc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

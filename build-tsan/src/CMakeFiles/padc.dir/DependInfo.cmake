@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/padc.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/padc.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/mshr.cc" "src/CMakeFiles/padc.dir/cache/mshr.cc.o" "gcc" "src/CMakeFiles/padc.dir/cache/mshr.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/CMakeFiles/padc.dir/cache/replacement.cc.o" "gcc" "src/CMakeFiles/padc.dir/cache/replacement.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/padc.dir/common/config.cc.o" "gcc" "src/CMakeFiles/padc.dir/common/config.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/padc.dir/common/random.cc.o" "gcc" "src/CMakeFiles/padc.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/padc.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/padc.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/core.cc" "src/CMakeFiles/padc.dir/core/core.cc.o" "gcc" "src/CMakeFiles/padc.dir/core/core.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/CMakeFiles/padc.dir/core/trace.cc.o" "gcc" "src/CMakeFiles/padc.dir/core/trace.cc.o.d"
+  "/root/repo/src/core/trace_file.cc" "src/CMakeFiles/padc.dir/core/trace_file.cc.o" "gcc" "src/CMakeFiles/padc.dir/core/trace_file.cc.o.d"
+  "/root/repo/src/dram/address_map.cc" "src/CMakeFiles/padc.dir/dram/address_map.cc.o" "gcc" "src/CMakeFiles/padc.dir/dram/address_map.cc.o.d"
+  "/root/repo/src/dram/bank.cc" "src/CMakeFiles/padc.dir/dram/bank.cc.o" "gcc" "src/CMakeFiles/padc.dir/dram/bank.cc.o.d"
+  "/root/repo/src/dram/channel.cc" "src/CMakeFiles/padc.dir/dram/channel.cc.o" "gcc" "src/CMakeFiles/padc.dir/dram/channel.cc.o.d"
+  "/root/repo/src/dram/dram_system.cc" "src/CMakeFiles/padc.dir/dram/dram_system.cc.o" "gcc" "src/CMakeFiles/padc.dir/dram/dram_system.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/CMakeFiles/padc.dir/dram/timing.cc.o" "gcc" "src/CMakeFiles/padc.dir/dram/timing.cc.o.d"
+  "/root/repo/src/memctrl/accuracy_tracker.cc" "src/CMakeFiles/padc.dir/memctrl/accuracy_tracker.cc.o" "gcc" "src/CMakeFiles/padc.dir/memctrl/accuracy_tracker.cc.o.d"
+  "/root/repo/src/memctrl/controller.cc" "src/CMakeFiles/padc.dir/memctrl/controller.cc.o" "gcc" "src/CMakeFiles/padc.dir/memctrl/controller.cc.o.d"
+  "/root/repo/src/memctrl/dropping.cc" "src/CMakeFiles/padc.dir/memctrl/dropping.cc.o" "gcc" "src/CMakeFiles/padc.dir/memctrl/dropping.cc.o.d"
+  "/root/repo/src/memctrl/policy.cc" "src/CMakeFiles/padc.dir/memctrl/policy.cc.o" "gcc" "src/CMakeFiles/padc.dir/memctrl/policy.cc.o.d"
+  "/root/repo/src/prefetch/cdc_prefetcher.cc" "src/CMakeFiles/padc.dir/prefetch/cdc_prefetcher.cc.o" "gcc" "src/CMakeFiles/padc.dir/prefetch/cdc_prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/ddpf.cc" "src/CMakeFiles/padc.dir/prefetch/ddpf.cc.o" "gcc" "src/CMakeFiles/padc.dir/prefetch/ddpf.cc.o.d"
+  "/root/repo/src/prefetch/fdp.cc" "src/CMakeFiles/padc.dir/prefetch/fdp.cc.o" "gcc" "src/CMakeFiles/padc.dir/prefetch/fdp.cc.o.d"
+  "/root/repo/src/prefetch/markov_prefetcher.cc" "src/CMakeFiles/padc.dir/prefetch/markov_prefetcher.cc.o" "gcc" "src/CMakeFiles/padc.dir/prefetch/markov_prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/prefetcher.cc" "src/CMakeFiles/padc.dir/prefetch/prefetcher.cc.o" "gcc" "src/CMakeFiles/padc.dir/prefetch/prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/stream_prefetcher.cc" "src/CMakeFiles/padc.dir/prefetch/stream_prefetcher.cc.o" "gcc" "src/CMakeFiles/padc.dir/prefetch/stream_prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/stride_prefetcher.cc" "src/CMakeFiles/padc.dir/prefetch/stride_prefetcher.cc.o" "gcc" "src/CMakeFiles/padc.dir/prefetch/stride_prefetcher.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/padc.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/padc.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/padc.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/padc.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/parallel.cc" "src/CMakeFiles/padc.dir/sim/parallel.cc.o" "gcc" "src/CMakeFiles/padc.dir/sim/parallel.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/padc.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/padc.dir/sim/system.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/padc.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/padc.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/mixes.cc" "src/CMakeFiles/padc.dir/workload/mixes.cc.o" "gcc" "src/CMakeFiles/padc.dir/workload/mixes.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/CMakeFiles/padc.dir/workload/profile.cc.o" "gcc" "src/CMakeFiles/padc.dir/workload/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

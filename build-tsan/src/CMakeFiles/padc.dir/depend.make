@@ -1,0 +1,2 @@
+# Empty dependencies file for padc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_mshr_test.dir/cache/mshr_test.cc.o"
+  "CMakeFiles/cache_mshr_test.dir/cache/mshr_test.cc.o.d"
+  "cache_mshr_test"
+  "cache_mshr_test.pdb"
+  "cache_mshr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_mshr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_config_test.dir/common/config_test.cc.o"
+  "CMakeFiles/common_config_test.dir/common/config_test.cc.o.d"
+  "common_config_test"
+  "common_config_test.pdb"
+  "common_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_trace_file_test.dir/core/trace_file_test.cc.o"
+  "CMakeFiles/core_trace_file_test.dir/core/trace_file_test.cc.o.d"
+  "core_trace_file_test"
+  "core_trace_file_test.pdb"
+  "core_trace_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_trace_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_address_map_test.dir/dram/address_map_test.cc.o"
+  "CMakeFiles/dram_address_map_test.dir/dram/address_map_test.cc.o.d"
+  "dram_address_map_test"
+  "dram_address_map_test.pdb"
+  "dram_address_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_address_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

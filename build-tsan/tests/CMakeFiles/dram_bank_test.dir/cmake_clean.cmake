@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_bank_test.dir/dram/bank_test.cc.o"
+  "CMakeFiles/dram_bank_test.dir/dram/bank_test.cc.o.d"
+  "dram_bank_test"
+  "dram_bank_test.pdb"
+  "dram_bank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_bank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

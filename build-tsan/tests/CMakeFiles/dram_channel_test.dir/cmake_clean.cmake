@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_channel_test.dir/dram/channel_test.cc.o"
+  "CMakeFiles/dram_channel_test.dir/dram/channel_test.cc.o.d"
+  "dram_channel_test"
+  "dram_channel_test.pdb"
+  "dram_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_dram_system_test.dir/dram/dram_system_test.cc.o"
+  "CMakeFiles/dram_dram_system_test.dir/dram/dram_system_test.cc.o.d"
+  "dram_dram_system_test"
+  "dram_dram_system_test.pdb"
+  "dram_dram_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_dram_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

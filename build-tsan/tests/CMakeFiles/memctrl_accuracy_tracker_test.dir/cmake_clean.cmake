@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memctrl_accuracy_tracker_test.dir/memctrl/accuracy_tracker_test.cc.o"
+  "CMakeFiles/memctrl_accuracy_tracker_test.dir/memctrl/accuracy_tracker_test.cc.o.d"
+  "memctrl_accuracy_tracker_test"
+  "memctrl_accuracy_tracker_test.pdb"
+  "memctrl_accuracy_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memctrl_accuracy_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

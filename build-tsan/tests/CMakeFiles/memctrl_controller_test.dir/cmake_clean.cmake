@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memctrl_controller_test.dir/memctrl/controller_test.cc.o"
+  "CMakeFiles/memctrl_controller_test.dir/memctrl/controller_test.cc.o.d"
+  "memctrl_controller_test"
+  "memctrl_controller_test.pdb"
+  "memctrl_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memctrl_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memctrl_dropping_test.dir/memctrl/dropping_test.cc.o"
+  "CMakeFiles/memctrl_dropping_test.dir/memctrl/dropping_test.cc.o.d"
+  "memctrl_dropping_test"
+  "memctrl_dropping_test.pdb"
+  "memctrl_dropping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memctrl_dropping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

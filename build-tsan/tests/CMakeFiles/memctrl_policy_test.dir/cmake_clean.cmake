@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memctrl_policy_test.dir/memctrl/policy_test.cc.o"
+  "CMakeFiles/memctrl_policy_test.dir/memctrl/policy_test.cc.o.d"
+  "memctrl_policy_test"
+  "memctrl_policy_test.pdb"
+  "memctrl_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memctrl_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

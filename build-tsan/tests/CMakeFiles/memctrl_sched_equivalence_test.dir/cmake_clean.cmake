@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memctrl_sched_equivalence_test.dir/memctrl/sched_equivalence_test.cc.o"
+  "CMakeFiles/memctrl_sched_equivalence_test.dir/memctrl/sched_equivalence_test.cc.o.d"
+  "memctrl_sched_equivalence_test"
+  "memctrl_sched_equivalence_test.pdb"
+  "memctrl_sched_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memctrl_sched_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memctrl_writequeue_test.dir/memctrl/writequeue_test.cc.o"
+  "CMakeFiles/memctrl_writequeue_test.dir/memctrl/writequeue_test.cc.o.d"
+  "memctrl_writequeue_test"
+  "memctrl_writequeue_test.pdb"
+  "memctrl_writequeue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memctrl_writequeue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_cdc_test.dir/prefetch/cdc_test.cc.o"
+  "CMakeFiles/prefetch_cdc_test.dir/prefetch/cdc_test.cc.o.d"
+  "prefetch_cdc_test"
+  "prefetch_cdc_test.pdb"
+  "prefetch_cdc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_cdc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_ddpf_test.dir/prefetch/ddpf_test.cc.o"
+  "CMakeFiles/prefetch_ddpf_test.dir/prefetch/ddpf_test.cc.o.d"
+  "prefetch_ddpf_test"
+  "prefetch_ddpf_test.pdb"
+  "prefetch_ddpf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_ddpf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_fdp_test.dir/prefetch/fdp_test.cc.o"
+  "CMakeFiles/prefetch_fdp_test.dir/prefetch/fdp_test.cc.o.d"
+  "prefetch_fdp_test"
+  "prefetch_fdp_test.pdb"
+  "prefetch_fdp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_fdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

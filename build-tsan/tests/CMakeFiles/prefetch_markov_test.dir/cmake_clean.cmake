@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_markov_test.dir/prefetch/markov_test.cc.o"
+  "CMakeFiles/prefetch_markov_test.dir/prefetch/markov_test.cc.o.d"
+  "prefetch_markov_test"
+  "prefetch_markov_test.pdb"
+  "prefetch_markov_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_markov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_stream_test.dir/prefetch/stream_test.cc.o"
+  "CMakeFiles/prefetch_stream_test.dir/prefetch/stream_test.cc.o.d"
+  "prefetch_stream_test"
+  "prefetch_stream_test.pdb"
+  "prefetch_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_stride_test.dir/prefetch/stride_test.cc.o"
+  "CMakeFiles/prefetch_stride_test.dir/prefetch/stride_test.cc.o.d"
+  "prefetch_stride_test"
+  "prefetch_stride_test.pdb"
+  "prefetch_stride_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_stride_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_invariants_test.dir/sim/invariants_test.cc.o"
+  "CMakeFiles/sim_invariants_test.dir/sim/invariants_test.cc.o.d"
+  "sim_invariants_test"
+  "sim_invariants_test.pdb"
+  "sim_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

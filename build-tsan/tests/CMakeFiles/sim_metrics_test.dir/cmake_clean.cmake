@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_metrics_test.dir/sim/metrics_test.cc.o"
+  "CMakeFiles/sim_metrics_test.dir/sim/metrics_test.cc.o.d"
+  "sim_metrics_test"
+  "sim_metrics_test.pdb"
+  "sim_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_paper_properties_test.dir/sim/paper_properties_test.cc.o"
+  "CMakeFiles/sim_paper_properties_test.dir/sim/paper_properties_test.cc.o.d"
+  "sim_paper_properties_test"
+  "sim_paper_properties_test.pdb"
+  "sim_paper_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_paper_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_mixes_test.dir/workload/mixes_test.cc.o"
+  "CMakeFiles/workload_mixes_test.dir/workload/mixes_test.cc.o.d"
+  "workload_mixes_test"
+  "workload_mixes_test.pdb"
+  "workload_mixes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_mixes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

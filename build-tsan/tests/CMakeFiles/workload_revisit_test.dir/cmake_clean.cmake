@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_revisit_test.dir/workload/revisit_test.cc.o"
+  "CMakeFiles/workload_revisit_test.dir/workload/revisit_test.cc.o.d"
+  "workload_revisit_test"
+  "workload_revisit_test.pdb"
+  "workload_revisit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_revisit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
