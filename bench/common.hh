@@ -19,6 +19,7 @@
 
 #include "common/stats.hh"
 #include "sim/experiment.hh"
+#include "sim/journal.hh"
 #include "workload/mixes.hh"
 #include "workload/profile.hh"
 
@@ -46,6 +47,36 @@ defaultOptions(std::uint32_t cores)
     opt.warmup = opt.instructions / 4;
     opt.max_cycles = 80000000;
     return opt;
+}
+
+/**
+ * Print the per-point failure summary of a sweep: which points failed
+ * or were truncated at the cycle cap, and why. Prints nothing when the
+ * sweep was fault-free, so healthy bench output is unchanged. Returns
+ * the number of unhealthy points.
+ */
+template <typename T>
+inline std::size_t
+reportSweepFailures(const std::vector<sim::SweepPoint> &points,
+                    const std::vector<sim::Result<T>> &results)
+{
+    std::size_t bad = 0;
+    for (const auto &result : results)
+        bad += result.ok() ? 0 : 1;
+    if (bad == 0)
+        return 0;
+    std::printf("WARNING: %zu of %zu sweep points did not produce a "
+                "converged result:\n",
+                bad, results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].ok())
+            continue;
+        std::printf("  point %zu (%s): %s: %s\n", i,
+                    sim::describePoint(points[i]).c_str(),
+                    sim::toString(results[i].outcome.status),
+                    results[i].outcome.detail.c_str());
+    }
+    return bad;
 }
 
 /** Print the standard bench banner. */
@@ -121,12 +152,14 @@ aggregateOverMixes(const sim::SystemConfig &config,
         options.mix_seed = i;
         points.push_back({config, mixes[i], options});
     }
-    const std::vector<sim::MixEvaluation> evals =
-        sim::evaluateSweep(points, alone, sim::sharedRunner());
+    const auto evals =
+        sim::evaluateSweep(points, alone, sim::sharedRunner(),
+                           sim::envJournal());
+    reportSweepFailures(points, evals);
 
     Aggregate agg;
     for (const auto &eval : evals)
-        foldEvaluation(agg, eval);
+        foldEvaluation(agg, eval.value);
     finishAggregate(agg);
     return agg;
 }
@@ -167,8 +200,15 @@ singleCoreNormalizedIpc(const sim::SystemConfig &base,
         for (const auto setup : policies)
             points.push_back({sim::applyPolicy(base, setup), mix, options});
     }
-    const std::vector<sim::RunMetrics> runs =
-        sim::runSweep(points, sim::sharedRunner());
+    const auto runs =
+        sim::runSweep(points, sim::sharedRunner(), sim::envJournal());
+    reportSweepFailures(points, runs);
+    // Failed points carry an empty metrics vector; read them as 0 IPC
+    // so one bad point cannot take down the whole table.
+    const auto ipc_of = [&runs](std::size_t i) {
+        const sim::RunMetrics &m = runs[i].value;
+        return m.cores.empty() ? 0.0 : m.cores[0].ipc;
+    };
 
     std::printf("%-16s", "benchmark");
     for (const auto setup : policies)
@@ -176,10 +216,10 @@ singleCoreNormalizedIpc(const sim::SystemConfig &base,
     std::printf("\n");
 
     for (std::size_t b = 0; b < benchmarks.size(); ++b) {
-        const double ipc_nopref = runs[b * stride].cores[0].ipc;
+        const double ipc_nopref = ipc_of(b * stride);
         std::printf("%-16s", benchmarks[b].c_str());
         for (std::size_t p = 0; p < policies.size(); ++p) {
-            const double ipc = runs[b * stride + 1 + p].cores[0].ipc;
+            const double ipc = ipc_of(b * stride + 1 + p);
             const double norm = ipc_nopref > 0 ? ipc / ipc_nopref : 0.0;
             normalized[p].push_back(norm);
             std::printf(" %17.3f", norm);
@@ -225,14 +265,16 @@ overallBench(std::uint32_t cores, std::uint32_t num_mixes,
             points.push_back({config, mixes[i], point_options});
         }
     }
-    const std::vector<sim::MixEvaluation> evals =
-        sim::evaluateSweep(points, alone, sim::sharedRunner());
+    const auto evals =
+        sim::evaluateSweep(points, alone, sim::sharedRunner(),
+                           sim::envJournal());
+    reportSweepFailures(points, evals);
 
     std::printf("%u-core system, %u random mixes\n", cores, num_mixes);
     for (std::size_t p = 0; p < policies.size(); ++p) {
         Aggregate agg;
         for (std::size_t i = 0; i < mixes.size(); ++i)
-            foldEvaluation(agg, evals[p * mixes.size() + i]);
+            foldEvaluation(agg, evals[p * mixes.size() + i].value);
         finishAggregate(agg);
         printAggregate(sim::policyLabel(policies[p]), agg);
     }
@@ -266,11 +308,13 @@ caseStudyBench(const workload::Mix &mix,
     std::vector<sim::SweepPoint> points;
     for (const auto setup : policies)
         points.push_back({sim::applyPolicy(base, setup), mix, options});
-    const std::vector<sim::MixEvaluation> evals =
-        sim::evaluateSweep(points, alone, sim::sharedRunner());
+    const auto evals =
+        sim::evaluateSweep(points, alone, sim::sharedRunner(),
+                           sim::envJournal());
+    reportSweepFailures(points, evals);
 
     for (std::size_t p = 0; p < policies.size(); ++p) {
-        const sim::MixEvaluation &eval = evals[p];
+        const sim::MixEvaluation &eval = evals[p].value;
         std::printf("%-22s", sim::policyLabel(policies[p]).c_str());
         for (const double is : eval.summary.speedups)
             std::printf(" %16.3f", is);

@@ -9,10 +9,35 @@ namespace padc::cache
 bool
 CacheConfig::valid() const
 {
-    if (ways == 0 || size_bytes % (kLineBytes * ways) != 0)
-        return false;
+    ConfigErrors errors;
+    validate(errors, "cache");
+    return errors.ok();
+}
+
+void
+CacheConfig::validate(ConfigErrors &errors, const std::string &prefix) const
+{
+    if (ways == 0) {
+        errors.add(prefix + ".ways", "must be >= 1");
+        return; // the remaining checks divide by ways
+    }
+    if (hit_latency == 0)
+        errors.add(prefix + ".hit_latency", "must be >= 1 cycle");
+    if (size_bytes % (kLineBytes * ways) != 0) {
+        errors.add(prefix + ".size_bytes",
+                   "must be a multiple of line size (" +
+                       std::to_string(kLineBytes) + ") x ways (" +
+                       std::to_string(ways) + "); got " +
+                       std::to_string(size_bytes));
+        return; // sets() is meaningless below
+    }
     const std::uint32_t s = sets();
-    return s != 0 && (s & (s - 1)) == 0; // power-of-two sets
+    if (s == 0 || (s & (s - 1)) != 0) {
+        errors.add(prefix + ".size_bytes",
+                   "implies " + std::to_string(s) +
+                       " sets; the set count must be a non-zero power "
+                       "of two");
+    }
 }
 
 SetAssocCache::SetAssocCache(const CacheConfig &config, std::string name)

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/config.hh"
 #include "common/types.hh"
 #include "cache/replacement.hh"
 
@@ -43,6 +44,13 @@ struct CacheConfig
     }
 
     bool valid() const;
+
+    /**
+     * Append a structured diagnostic per violated constraint, with
+     * field paths under @p prefix (e.g. "l2.ways"). valid() is
+     * equivalent to validate() producing no errors.
+     */
+    void validate(ConfigErrors &errors, const std::string &prefix) const;
 };
 
 /** Per-line metadata. */

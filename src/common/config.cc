@@ -1,7 +1,29 @@
 #include "common/config.hh"
 
+#include <utility>
+
 namespace padc
 {
+
+void
+ConfigErrors::add(std::string field, std::string message)
+{
+    errors_.push_back({std::move(field), std::move(message)});
+}
+
+std::string
+ConfigErrors::str() const
+{
+    std::string out;
+    for (const ConfigError &error : errors_) {
+        if (!out.empty())
+            out += "; ";
+        out += error.field;
+        out += ": ";
+        out += error.message;
+    }
+    return out;
+}
 
 std::string
 toString(SchedPolicyKind kind)

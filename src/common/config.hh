@@ -13,9 +13,48 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace padc
 {
+
+/**
+ * One structured configuration diagnostic: the dotted path of the
+ * offending field ("sched.write_drain_low", "dram.timing.tRC") and a
+ * human-readable explanation of the constraint it violates.
+ */
+struct ConfigError
+{
+    std::string field;
+    std::string message;
+};
+
+/**
+ * Accumulator the config validators append to. Component validators
+ * (SchedulerConfig, DramConfig, CacheConfig, ...) take the dotted
+ * prefix of their position in the enclosing configuration so every
+ * diagnostic names the exact field, regardless of nesting.
+ */
+class ConfigErrors
+{
+  public:
+    /** Record that @p field (a dotted path) violates @p message. */
+    void add(std::string field, std::string message);
+
+    bool ok() const { return errors_.empty(); }
+
+    const std::vector<ConfigError> &errors() const { return errors_; }
+
+    /**
+     * All diagnostics joined into one human-readable string, e.g.
+     * "sched.write_drain_low: must be < write_drain_high (16 >= 8); ...".
+     * Empty when ok().
+     */
+    std::string str() const;
+
+  private:
+    std::vector<ConfigError> errors_;
+};
 
 /**
  * DRAM request scheduling policy family.

@@ -6,6 +6,24 @@
 namespace padc::core
 {
 
+void
+CoreConfig::validate(ConfigErrors &errors, const std::string &prefix) const
+{
+    if (window_size == 0)
+        errors.add(prefix + ".window_size", "must be >= 1");
+    if (retire_width == 0)
+        errors.add(prefix + ".retire_width", "must be >= 1");
+    if (fetch_width == 0)
+        errors.add(prefix + ".fetch_width", "must be >= 1");
+    if (lsq_size == 0)
+        errors.add(prefix + ".lsq_size", "must be >= 1");
+    if (mem_issue_width == 0)
+        errors.add(prefix + ".mem_issue_width", "must be >= 1");
+    if (runahead && runahead_max_ops == 0)
+        errors.add(prefix + ".runahead_max_ops",
+                   "must be >= 1 when runahead is enabled");
+}
+
 Core::Core(CoreId id, const CoreConfig &config, TraceSource &trace,
            MemoryPort &port)
     : id_(id), config_(config), trace_(trace), port_(port)

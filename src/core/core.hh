@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/config.hh"
 #include "common/types.hh"
 #include "core/trace.hh"
 
@@ -41,6 +42,9 @@ struct CoreConfig
 
     bool runahead = false; ///< runahead execution (Section 6.14)
     std::uint32_t runahead_max_ops = 256; ///< trace ops consumed per episode
+
+    /** Append one diagnostic per violated constraint under @p prefix. */
+    void validate(ConfigErrors &errors, const std::string &prefix) const;
 };
 
 /** Outcome classes returned by the memory port. */

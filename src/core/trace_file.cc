@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 
 namespace padc::core
 {
@@ -71,19 +72,33 @@ captureTrace(TraceSource &source, std::size_t count)
     return ops;
 }
 
+namespace
+{
+
 bool
-writeTraceFile(const std::string &path, const std::vector<TraceOp> &ops)
+fail(std::string *error, const std::string &message)
+{
+    if (error != nullptr)
+        *error = message;
+    return false;
+}
+
+} // namespace
+
+bool
+writeTraceFile(const std::string &path, const std::vector<TraceOp> &ops,
+               std::string *error)
 {
     FilePtr file(std::fopen(path.c_str(), "wb"));
     if (file == nullptr)
-        return false;
+        return fail(error, "cannot open '" + path + "' for writing");
 
     unsigned char header[16];
     std::memcpy(header, kMagic, 8);
     putU64(header + 8, ops.size());
     if (std::fwrite(header, 1, sizeof(header), file.get()) !=
         sizeof(header)) {
-        return false;
+        return fail(error, "short write of header to '" + path + "'");
     }
 
     for (const TraceOp &op : ops) {
@@ -99,28 +114,59 @@ writeTraceFile(const std::string &path, const std::vector<TraceOp> &ops)
         putU32(record + 20, flags);
         if (std::fwrite(record, 1, sizeof(record), file.get()) !=
             sizeof(record)) {
-            return false;
+            return fail(error, "short write of op record to '" + path +
+                                   "' (disk full?)");
         }
     }
+
+    // Buffered bytes can still fail at flush/close (e.g. delayed
+    // ENOSPC); surface that instead of reporting a truncated file as
+    // written.
+    if (std::fflush(file.get()) != 0 || std::ferror(file.get()) != 0)
+        return fail(error, "flush of '" + path + "' failed");
+    if (std::fclose(file.release()) != 0)
+        return fail(error, "close of '" + path + "' failed");
     return true;
 }
 
 bool
-readTraceFile(const std::string &path, std::vector<TraceOp> *ops)
+readTraceFile(const std::string &path, std::vector<TraceOp> *ops,
+              std::string *error)
 {
     ops->clear();
     FilePtr file(std::fopen(path.c_str(), "rb"));
     if (file == nullptr)
-        return false;
+        return fail(error, "cannot open '" + path + "' for reading");
 
     unsigned char header[16];
     if (std::fread(header, 1, sizeof(header), file.get()) !=
         sizeof(header)) {
-        return false;
+        return fail(error, "'" + path + "' is shorter than the " +
+                               std::to_string(sizeof(header)) +
+                               "-byte PADCTRC1 header");
     }
     if (std::memcmp(header, kMagic, 8) != 0)
-        return false;
+        return fail(error, "'" + path + "' is not a PADCTRC1 trace "
+                                        "(bad magic)");
     const std::uint64_t count = getU64(header + 8);
+
+    // Check the recorded count against the actual file size up front,
+    // so a truncated capture or an absurd count (corrupt header) is
+    // rejected before any allocation.
+    if (std::fseek(file.get(), 0, SEEK_END) != 0)
+        return fail(error, "cannot seek in '" + path + "'");
+    const long size = std::ftell(file.get());
+    const std::uint64_t expected = sizeof(header) + count * 24;
+    if (size < 0 || static_cast<std::uint64_t>(size) != expected) {
+        return fail(error,
+                    "'" + path + "' holds " + std::to_string(size) +
+                        " bytes but its header promises " +
+                        std::to_string(count) + " ops (" +
+                        std::to_string(expected) +
+                        " bytes): truncated or corrupt");
+    }
+    if (std::fseek(file.get(), sizeof(header), SEEK_SET) != 0)
+        return fail(error, "cannot seek in '" + path + "'");
 
     ops->reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
@@ -128,7 +174,9 @@ readTraceFile(const std::string &path, std::vector<TraceOp> *ops)
         if (std::fread(record, 1, sizeof(record), file.get()) !=
             sizeof(record)) {
             ops->clear();
-            return false; // truncated
+            return fail(error, "'" + path + "' truncated inside op " +
+                                   std::to_string(i) + " of " +
+                                   std::to_string(count));
         }
         TraceOp op;
         op.addr = getU64(record);
@@ -144,7 +192,11 @@ readTraceFile(const std::string &path, std::vector<TraceOp> *ops)
 
 FileTrace::FileTrace(const std::string &path)
 {
-    ok_ = readTraceFile(path, &ops_) && !ops_.empty();
+    ok_ = readTraceFile(path, &ops_, &error_);
+    if (ok_ && ops_.empty()) {
+        ok_ = false;
+        error_ = "'" + path + "' holds no operations";
+    }
 }
 
 TraceOp

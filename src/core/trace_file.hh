@@ -31,17 +31,31 @@ std::vector<TraceOp> captureTrace(TraceSource &source, std::size_t count);
 
 /**
  * Write @p ops to @p path in the PADCTRC1 format.
- * @return true on success (false: could not open or write the file).
+ *
+ * Every byte is accounted for: short fwrites, flush failures, and a
+ * failing fclose (delayed ENOSPC and similar) all report failure
+ * instead of leaving a silently truncated file behind.
+ *
+ * @param error when non-null, receives a descriptive message on failure.
+ * @return true on success.
  */
 bool writeTraceFile(const std::string &path,
-                    const std::vector<TraceOp> &ops);
+                    const std::vector<TraceOp> &ops,
+                    std::string *error = nullptr);
 
 /**
  * Read a PADCTRC1 file.
+ *
+ * Rejects, with a descriptive error: missing files, short headers, bad
+ * magic, files whose size disagrees with the recorded op count
+ * (truncated or trailing garbage), and short records.
+ *
  * @param ops receives the operations; cleared first.
- * @return true on success (false: missing file, bad magic, truncation).
+ * @param error when non-null, receives a descriptive message on failure.
+ * @return true on success.
  */
-bool readTraceFile(const std::string &path, std::vector<TraceOp> *ops);
+bool readTraceFile(const std::string &path, std::vector<TraceOp> *ops,
+                   std::string *error = nullptr);
 
 /**
  * A TraceSource replaying a recorded file (looping, like VectorTrace).
@@ -55,6 +69,9 @@ class FileTrace : public TraceSource
     /** True when the file was loaded successfully. */
     bool ok() const { return ok_; }
 
+    /** Why loading failed; empty when ok(). */
+    const std::string &error() const { return error_; }
+
     /** Number of recorded operations. */
     std::size_t size() const { return ops_.size(); }
 
@@ -65,6 +82,7 @@ class FileTrace : public TraceSource
     std::vector<TraceOp> ops_;
     std::size_t pos_ = 0;
     bool ok_ = false;
+    std::string error_;
 };
 
 } // namespace padc::core

@@ -3,6 +3,58 @@
 namespace padc::dram
 {
 
+namespace
+{
+
+bool
+isPow2(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+void
+DramConfig::validate(ConfigErrors &errors, const std::string &prefix) const
+{
+    // Mirrors TimingParams::valid() / Geometry::valid(), with one named
+    // diagnostic per violated constraint.
+    if (timing.cpu_per_dram_cycle == 0)
+        errors.add(prefix + ".timing.cpu_per_dram_cycle", "must be >= 1");
+    if (timing.tBURST == 0)
+        errors.add(prefix + ".timing.tBURST", "must be >= 1");
+    if (timing.tRC < timing.tRAS + timing.tRP) {
+        errors.add(prefix + ".timing.tRC",
+                   "must be >= tRAS + tRP (" + std::to_string(timing.tRC) +
+                       " < " + std::to_string(timing.tRAS) + " + " +
+                       std::to_string(timing.tRP) + ")");
+    }
+    if (timing.tRAS < timing.tRCD) {
+        errors.add(prefix + ".timing.tRAS",
+                   "must be >= tRCD (" + std::to_string(timing.tRAS) +
+                       " < " + std::to_string(timing.tRCD) + ")");
+    }
+    if (timing.tFAW < timing.tRRD) {
+        errors.add(prefix + ".timing.tFAW",
+                   "must be >= tRRD (" + std::to_string(timing.tFAW) +
+                       " < " + std::to_string(timing.tRRD) + ")");
+    }
+    if (!isPow2(geometry.channels))
+        errors.add(prefix + ".geometry.channels",
+                   "must be a non-zero power of two; got " +
+                       std::to_string(geometry.channels));
+    if (!isPow2(geometry.banks_per_channel))
+        errors.add(prefix + ".geometry.banks_per_channel",
+                   "must be a non-zero power of two; got " +
+                       std::to_string(geometry.banks_per_channel));
+    if (!isPow2(geometry.row_bytes) || geometry.row_bytes < kLineBytes) {
+        errors.add(prefix + ".geometry.row_bytes",
+                   "must be a power of two >= the line size (" +
+                       std::to_string(kLineBytes) + "); got " +
+                       std::to_string(geometry.row_bytes));
+    }
+}
+
 DramSystem::DramSystem(const DramConfig &config)
     : config_(config), map_(config.geometry)
 {

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/config.hh"
 #include "dram/address_map.hh"
 #include "dram/channel.hh"
 #include "dram/timing.hh"
@@ -23,6 +24,13 @@ struct DramConfig
 {
     TimingParams timing;
     Geometry geometry;
+
+    /**
+     * Append one diagnostic per violated timing/geometry constraint
+     * under @p prefix. Produces no errors exactly when both
+     * TimingParams::valid() and Geometry::valid() hold.
+     */
+    void validate(ConfigErrors &errors, const std::string &prefix) const;
 };
 
 /**

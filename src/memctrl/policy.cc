@@ -19,6 +19,51 @@ constexpr std::uint32_t kLevel0Shift = kRowHitShift + 1;  // 1 bit
 
 } // namespace
 
+void
+SchedulerConfig::validate(ConfigErrors &errors,
+                          const std::string &prefix) const
+{
+    if (request_buffer_size == 0)
+        errors.add(prefix + ".request_buffer_size", "must be >= 1");
+    if (write_buffer_size == 0)
+        errors.add(prefix + ".write_buffer_size", "must be >= 1");
+    if (write_drain_low >= write_drain_high) {
+        errors.add(prefix + ".write_drain_low",
+                   "must be < write_drain_high (" +
+                       std::to_string(write_drain_low) +
+                       " >= " + std::to_string(write_drain_high) + ")");
+    }
+    if (promotion_threshold < 0.0 || promotion_threshold > 1.0) {
+        errors.add(prefix + ".promotion_threshold",
+                   "must be within [0, 1]; got " +
+                       std::to_string(promotion_threshold));
+    }
+    if (age_quantum == 0)
+        errors.add(prefix + ".age_quantum", "must be >= 1 cycle");
+    for (std::size_t i = 0; i < drop_accuracy_bounds.size(); ++i) {
+        const double bound = drop_accuracy_bounds[i];
+        if (bound <= 0.0 || bound >= 1.0) {
+            errors.add(prefix + ".drop_accuracy_bounds[" +
+                           std::to_string(i) + "]",
+                       "must be within (0, 1); got " +
+                           std::to_string(bound));
+        }
+        if (i > 0 && drop_accuracy_bounds[i - 1] >= bound) {
+            errors.add(prefix + ".drop_accuracy_bounds[" +
+                           std::to_string(i) + "]",
+                       "accuracy bands must be strictly ascending");
+        }
+    }
+    if (accuracy.interval == 0)
+        errors.add(prefix + ".accuracy.interval", "must be >= 1 cycle");
+    if (accuracy.initial_accuracy < 0.0 ||
+        accuracy.initial_accuracy > 1.0) {
+        errors.add(prefix + ".accuracy.initial_accuracy",
+                   "must be within [0, 1]; got " +
+                       std::to_string(accuracy.initial_accuracy));
+    }
+}
+
 SchedContext::SchedContext(const SchedulerConfig &config,
                            const AccuracyTracker &tracker)
     : config_(config), tracker_(tracker)

@@ -87,6 +87,9 @@ struct SchedulerConfig
     std::array<double, 3> drop_accuracy_bounds = {0.10, 0.30, 0.70};
 
     AccuracyConfig accuracy;
+
+    /** Append one diagnostic per violated constraint under @p prefix. */
+    void validate(ConfigErrors &errors, const std::string &prefix) const;
 };
 
 /**

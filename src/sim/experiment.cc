@@ -1,10 +1,11 @@
 #include "sim/experiment.hh"
 
-#include <cassert>
 #include <iomanip>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 
+#include "sim/journal.hh"
 #include "workload/generator.hh"
 
 namespace padc::sim
@@ -81,9 +82,14 @@ applyPolicy(SystemConfig base, PolicySetup setup)
 
 RunMetrics
 runMix(const SystemConfig &config, const workload::Mix &mix,
-       const RunOptions &options)
+       const RunOptions &options, RunStatus *status)
 {
-    assert(mix.size() == config.num_cores);
+    if (mix.size() != config.num_cores) {
+        throw std::invalid_argument(
+            "runMix: mix has " + std::to_string(mix.size()) +
+            " profiles for a " + std::to_string(config.num_cores) +
+            "-core configuration");
+    }
 
     std::vector<std::unique_ptr<workload::SyntheticTrace>> traces;
     std::vector<core::TraceSource *> sources;
@@ -94,7 +100,10 @@ runMix(const SystemConfig &config, const workload::Mix &mix,
     }
 
     System system(config, std::move(sources));
-    system.run(options.instructions, options.max_cycles, options.warmup);
+    const RunStatus run_status = system.run(
+        options.instructions, options.max_cycles, options.warmup);
+    if (status != nullptr)
+        *status = run_status;
     return collectMetrics(system);
 }
 
@@ -190,10 +199,11 @@ AloneIpcCache::computeAlone(const std::string &profile_name,
 
 MixEvaluation
 evaluateMix(const SystemConfig &config, const workload::Mix &mix,
-            const RunOptions &options, AloneIpcCache &alone)
+            const RunOptions &options, AloneIpcCache &alone,
+            RunStatus *status)
 {
     MixEvaluation eval;
-    eval.metrics = runMix(config, mix, options);
+    eval.metrics = runMix(config, mix, options, status);
     std::vector<double> ipc_alone;
     for (std::uint32_t c = 0; c < config.num_cores; ++c)
         ipc_alone.push_back(alone.ipcAlone(mix[c], c, options.mix_seed));
@@ -201,12 +211,88 @@ evaluateMix(const SystemConfig &config, const workload::Mix &mix,
     return eval;
 }
 
-std::vector<MixEvaluation>
+std::string
+describePoint(const SweepPoint &point)
+{
+    std::string out = toString(point.config.sched.kind);
+    if (point.config.sched.apd_enabled)
+        out += "+apd";
+    if (!point.config.prefetch_enabled)
+        out += " no-pref";
+    out += ", mix [";
+    for (std::size_t c = 0; c < point.mix.size(); ++c) {
+        if (c > 0)
+            out += " ";
+        out += point.mix[c];
+    }
+    out += "], seed " + std::to_string(point.options.mix_seed);
+    return out;
+}
+
+const char *
+toString(PointStatus status)
+{
+    switch (status) {
+      case PointStatus::Ok: return "ok";
+      case PointStatus::Truncated: return "truncated";
+      case PointStatus::Failed: return "failed";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/**
+ * Execute one sweep point under the fault-tolerance contract: serve it
+ * from the journal when recorded, otherwise run @p fn, fold any
+ * exception or cycle-cap truncation into the per-point outcome, and
+ * checkpoint the finished point. @p fn receives a RunStatus out-param
+ * and returns the point's value.
+ */
+template <typename T, typename Fn>
+Result<T>
+runPoint(SweepJournal *journal, const SweepPoint &point, Fn &&fn)
+{
+    Result<T> result;
+    std::uint64_t key = 0;
+    if (journal != nullptr) {
+        key = sweepPointKey(point);
+        if (journal->lookup(key, &result))
+            return result;
+    }
+    try {
+        RunStatus status;
+        result.value = fn(&status);
+        if (!status.converged()) {
+            result.outcome.status = PointStatus::Truncated;
+            result.outcome.detail = status.detail();
+        }
+    } catch (const std::exception &e) {
+        result.value = T{};
+        result.outcome.status = PointStatus::Failed;
+        result.outcome.detail = e.what();
+    } catch (...) {
+        result.value = T{};
+        result.outcome.status = PointStatus::Failed;
+        result.outcome.detail = "unknown exception";
+    }
+    if (journal != nullptr)
+        journal->record(key, result);
+    return result;
+}
+
+} // namespace
+
+std::vector<Result<MixEvaluation>>
 evaluateSweep(const std::vector<SweepPoint> &points, AloneIpcCache &alone,
-              ParallelExperimentRunner &runner)
+              ParallelExperimentRunner &runner, SweepJournal *journal)
 {
     // Fill the alone cache first so the sweep jobs below are pure cache
     // hits; the alone-runs themselves fan out across the pool too.
+    // Prewarm failures are deliberately ignored here: a failing
+    // alone-run resurfaces at every point that needs it, where it is
+    // recorded as that point's Failed outcome.
     {
         struct Key
         {
@@ -215,6 +301,12 @@ evaluateSweep(const std::vector<SweepPoint> &points, AloneIpcCache &alone,
         };
         std::vector<Key> keys;
         for (const auto &point : points) {
+            // Journaled points replay without alone-runs; don't prewarm
+            // for them (that would undo most of a resume's savings).
+            if (journal != nullptr &&
+                journal->containsEval(sweepPointKey(point))) {
+                continue;
+            }
             bool seen = false;
             for (const auto &key : keys) {
                 seen = key.seed == point.options.mix_seed &&
@@ -225,24 +317,33 @@ evaluateSweep(const std::vector<SweepPoint> &points, AloneIpcCache &alone,
             if (!seen)
                 keys.push_back({point.mix, point.options.mix_seed});
         }
-        runner.forEach(keys.size(), [&](std::size_t i) {
+        runner.tryForEach(keys.size(), [&](std::size_t i) {
             for (std::uint32_t c = 0; c < keys[i].mix.size(); ++c)
                 alone.ipcAlone(keys[i].mix[c], c, keys[i].seed);
         });
     }
-    return runner.map<MixEvaluation>(points.size(), [&](std::size_t i) {
-        return evaluateMix(points[i].config, points[i].mix,
-                           points[i].options, alone);
-    });
+    return runner.map<Result<MixEvaluation>>(
+        points.size(), [&](std::size_t i) {
+            return runPoint<MixEvaluation>(
+                journal, points[i], [&](RunStatus *status) {
+                    return evaluateMix(points[i].config, points[i].mix,
+                                       points[i].options, alone, status);
+                });
+        });
 }
 
-std::vector<RunMetrics>
+std::vector<Result<RunMetrics>>
 runSweep(const std::vector<SweepPoint> &points,
-         ParallelExperimentRunner &runner)
+         ParallelExperimentRunner &runner, SweepJournal *journal)
 {
-    return runner.map<RunMetrics>(points.size(), [&](std::size_t i) {
-        return runMix(points[i].config, points[i].mix, points[i].options);
-    });
+    return runner.map<Result<RunMetrics>>(
+        points.size(), [&](std::size_t i) {
+            return runPoint<RunMetrics>(
+                journal, points[i], [&](RunStatus *status) {
+                    return runMix(points[i].config, points[i].mix,
+                                  points[i].options, status);
+                });
+        });
 }
 
 void

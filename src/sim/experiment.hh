@@ -26,6 +26,8 @@
 namespace padc::sim
 {
 
+class SweepJournal;
+
 /** The policy columns appearing in the paper's figures. */
 enum class PolicySetup
 {
@@ -59,9 +61,15 @@ struct RunOptions
 /**
  * Run one multiprogrammed mix under @p config.
  * Builds one SyntheticTrace per core from the named profiles.
+ *
+ * @param status when non-null, receives the RunStatus of the underlying
+ *        System::run, so callers can distinguish converged results from
+ *        runs truncated at the max_cycles cap.
+ * @throws std::invalid_argument when @p config fails validation or the
+ *         mix size does not match num_cores.
  */
 RunMetrics runMix(const SystemConfig &config, const workload::Mix &mix,
-                  const RunOptions &options);
+                  const RunOptions &options, RunStatus *status = nullptr);
 
 /**
  * Memoizing provider of alone-run IPCs.
@@ -116,7 +124,8 @@ struct MixEvaluation
 
 MixEvaluation evaluateMix(const SystemConfig &config,
                           const workload::Mix &mix,
-                          const RunOptions &options, AloneIpcCache &alone);
+                          const RunOptions &options, AloneIpcCache &alone,
+                          RunStatus *status = nullptr);
 
 // --- parallel sweeps --------------------------------------------------
 
@@ -128,21 +137,73 @@ struct SweepPoint
     RunOptions options;   ///< carries the per-point seed
 };
 
+/** Short human-readable identification of a sweep point. */
+std::string describePoint(const SweepPoint &point);
+
+/**
+ * Per-point execution status. A sweep never aborts because one point
+ * misbehaved: every point carries its own outcome.
+ */
+enum class PointStatus : std::uint8_t
+{
+    Ok,        ///< converged; the value is a full result
+    Truncated, ///< hit the max_cycles cap; the value holds partial stats
+    Failed,    ///< threw (bad config, ...); the value is default-empty
+};
+
+/** "ok" / "truncated" / "failed". */
+const char *toString(PointStatus status);
+
+/** Outcome + diagnostic of one executed sweep point. */
+struct PointOutcome
+{
+    PointStatus status = PointStatus::Ok;
+    std::string detail; ///< why, for Truncated/Failed; empty for Ok
+
+    bool ok() const { return status == PointStatus::Ok; }
+};
+
+/**
+ * A per-point sweep result: the computed value plus the outcome that
+ * says how far it can be trusted. Failed points carry a
+ * default-constructed value; Truncated points carry the partial
+ * (frozen-at-cap) metrics.
+ */
+template <typename T>
+struct Result
+{
+    T value{};
+    PointOutcome outcome;
+
+    bool ok() const { return outcome.ok(); }
+};
+
 /**
  * Evaluate every point across @p runner; results are ordered like
  * @p points. The alone cache is prewarmed for every distinct (mix,
  * seed) slot first, so the sweep jobs themselves never miss.
+ *
+ * Fault tolerance: a point that throws or fails to converge records a
+ * Failed/Truncated outcome with a diagnostic; the remaining points
+ * still run. Nothing is thrown for per-point failures.
+ *
+ * @param journal when non-null, points whose key is already recorded
+ *        replay the stored result (bit-identical) instead of running,
+ *        and freshly computed points are appended for future resumes.
  */
-std::vector<MixEvaluation>
+std::vector<Result<MixEvaluation>>
 evaluateSweep(const std::vector<SweepPoint> &points, AloneIpcCache &alone,
-              ParallelExperimentRunner &runner);
+              ParallelExperimentRunner &runner,
+              SweepJournal *journal = nullptr);
 
 /**
  * Run (no WS/HS/UF summary, no alone-runs needed) every point across
- * @p runner; results ordered like @p points.
+ * @p runner; results ordered like @p points. Same fault-tolerance and
+ * journal contract as evaluateSweep.
  */
-std::vector<RunMetrics> runSweep(const std::vector<SweepPoint> &points,
-                                 ParallelExperimentRunner &runner);
+std::vector<Result<RunMetrics>>
+runSweep(const std::vector<SweepPoint> &points,
+         ParallelExperimentRunner &runner, SweepJournal *journal = nullptr);
 
 // --- table printing helpers -------------------------------------------
 

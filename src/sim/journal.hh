@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Sweep checkpoint/resume journal.
+ *
+ * Long figure sweeps (hundreds of (policy x mix) points, minutes of
+ * wall-clock) die completely when the process is killed halfway. The
+ * journal makes them resumable: every completed point is appended to a
+ * text file keyed by a 64-bit hash of its full configuration (system
+ * config, mix, run options and seeds), and a rerun pointed at the same
+ * journal replays recorded points instead of recomputing them.
+ *
+ * Guarantees:
+ *  - Replayed results are bit-identical to recomputed ones: doubles are
+ *    stored as their IEEE-754 bit patterns, never via decimal round
+ *    trips.
+ *  - A journal truncated mid-append (process killed during a write)
+ *    loses at most the final partial line; loading tolerates and
+ *    discards it.
+ *  - Recording is append + flush under a mutex, so concurrent sweep
+ *    workers interleave whole lines only.
+ *
+ * The key hashes every field that influences a point's result. Config
+ * fields added in the future must be folded into sweepPointKey();
+ * failing to do so risks stale replays across configs that differ only
+ * in the new field (the version tag below guards format changes, not
+ * key-coverage changes).
+ *
+ * Benches opt in via the PADC_RESUME environment variable (see
+ * envJournal()); the library never touches the filesystem unless asked.
+ */
+
+#ifndef PADC_SIM_JOURNAL_HH
+#define PADC_SIM_JOURNAL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "sim/experiment.hh"
+
+namespace padc::sim
+{
+
+/**
+ * Deterministic 64-bit key of one sweep point: FNV-1a over a canonical
+ * serialization of the complete SystemConfig, the mix profile names,
+ * and the RunOptions (including seeds).
+ */
+std::uint64_t sweepPointKey(const SweepPoint &point);
+
+/**
+ * Append-only journal of completed sweep points; see file comment.
+ */
+class SweepJournal
+{
+  public:
+    /**
+     * Open (creating if absent) the journal at @p path and load every
+     * complete, well-formed entry already recorded there.
+     * @throws std::runtime_error when the file cannot be created.
+     */
+    explicit SweepJournal(std::string path);
+
+    ~SweepJournal();
+
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+
+    const std::string &path() const { return path_; }
+
+    /** Entries recovered when the journal was opened. */
+    std::size_t loadedEntries() const { return loaded_; }
+
+    /** Lookups served from the journal since it was opened. */
+    std::size_t hits() const;
+
+    /**
+     * Replay the recorded evaluateSweep result for @p key into @p out.
+     * @return true on a hit (out fully populated, bit-identical to the
+     *         run that recorded it).
+     */
+    bool lookup(std::uint64_t key, Result<MixEvaluation> *out);
+
+    /** Replay the recorded runSweep result for @p key. */
+    bool lookup(std::uint64_t key, Result<RunMetrics> *out);
+
+    /**
+     * True when an evaluateSweep entry for @p key is recorded (used to
+     * skip alone-IPC prewarm work for already-completed points; does
+     * not count as a hit).
+     */
+    bool containsEval(std::uint64_t key) const;
+
+    /** Record a completed evaluateSweep point (append + flush). */
+    void record(std::uint64_t key, const Result<MixEvaluation> &result);
+
+    /** Record a completed runSweep point (append + flush). */
+    void record(std::uint64_t key, const Result<RunMetrics> &result);
+
+  private:
+    using EntryKey = std::pair<char, std::uint64_t>; ///< (kind, hash)
+
+    bool lookupLine(char kind, std::uint64_t key, std::string *line);
+    void recordLine(char kind, std::uint64_t key, const std::string &body);
+
+    mutable std::mutex mutex_;
+    std::string path_;
+    std::map<EntryKey, std::string> entries_; ///< payload (line body)
+    std::size_t loaded_ = 0;
+    std::size_t hits_ = 0;
+    std::FILE *append_ = nullptr;
+};
+
+/**
+ * The process-wide journal selected by the PADC_RESUME environment
+ * variable, opened lazily on first use; nullptr when PADC_RESUME is
+ * unset or the journal file cannot be opened (a warning is printed and
+ * the sweep proceeds without checkpointing).
+ */
+SweepJournal *envJournal();
+
+} // namespace padc::sim
+
+#endif // PADC_SIM_JOURNAL_HH

@@ -1,6 +1,9 @@
 #include "sim/parallel.hh"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 namespace padc::sim
 {
@@ -8,14 +11,29 @@ namespace padc::sim
 unsigned
 defaultThreadCount()
 {
-    if (const char *env = std::getenv("PADC_THREADS")) {
-        const long parsed = std::strtol(env, nullptr, 10);
-        if (parsed >= 1)
-            return static_cast<unsigned>(parsed);
-        return 1;
+    const unsigned hw_raw = std::thread::hardware_concurrency();
+    const unsigned hw = hw_raw >= 1 ? hw_raw : 1;
+    const char *env = std::getenv("PADC_THREADS");
+    if (env == nullptr)
+        return hw;
+
+    char *end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE || parsed < 1) {
+        std::fprintf(stderr,
+                     "padc: warning: invalid PADC_THREADS=\"%s\" "
+                     "(want a positive integer); using %u threads\n",
+                     env, hw);
+        return hw;
     }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw >= 1 ? hw : 1;
+    if (parsed > static_cast<long>(kMaxThreads)) {
+        std::fprintf(stderr,
+                     "padc: warning: PADC_THREADS=%ld clamped to %u\n",
+                     parsed, kMaxThreads);
+        return kMaxThreads;
+    }
+    return static_cast<unsigned>(parsed);
 }
 
 ParallelExperimentRunner::ParallelExperimentRunner(unsigned threads)
@@ -44,23 +62,38 @@ void
 ParallelExperimentRunner::forEach(std::size_t n,
                                   const std::function<void(std::size_t)> &fn)
 {
+    const std::vector<std::exception_ptr> errors = tryForEach(n, fn);
+    for (const std::exception_ptr &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+}
+
+std::vector<std::exception_ptr>
+ParallelExperimentRunner::tryForEach(
+    std::size_t n, const std::function<void(std::size_t)> &fn)
+{
     if (n == 0)
-        return;
+        return {};
     {
         std::lock_guard<std::mutex> lock(mutex_);
         job_ = &fn;
         batch_size_ = n;
         next_index_ = 0;
         completed_ = 0;
+        errors_.assign(n, nullptr);
         ++generation_;
     }
     work_ready_.notify_all();
     drainBatch();
+    std::vector<std::exception_ptr> errors;
     {
         std::unique_lock<std::mutex> lock(mutex_);
         batch_done_.wait(lock, [this] { return completed_ == batch_size_; });
         job_ = nullptr;
+        errors.swap(errors_);
     }
+    return errors;
 }
 
 void
@@ -76,9 +109,19 @@ ParallelExperimentRunner::drainBatch()
             job = job_;
             index = next_index_++;
         }
-        (*job)(index);
+        // A throwing job must still count toward batch completion --
+        // otherwise forEach waits on completed_ forever (worker throw)
+        // or std::terminate tears the process down (caller throw).
+        std::exception_ptr error;
+        try {
+            (*job)(index);
+        } catch (...) {
+            error = std::current_exception();
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            if (error)
+                errors_[index] = std::move(error);
             ++completed_;
             if (completed_ == batch_size_)
                 batch_done_.notify_all();

@@ -16,6 +16,14 @@
  * therefore purely a wall-clock knob; it can never change a reported
  * number. The PADC_THREADS environment variable overrides the default
  * worker count (hardware concurrency).
+ *
+ * Failure contract: a job that throws never terminates the process,
+ * never deadlocks the batch, and never poisons the pool. Exceptions are
+ * captured per index on whatever thread ran the job; every remaining
+ * index still runs. forEach/map rethrow the lowest-index exception on
+ * the calling thread once the batch has fully drained (deterministic
+ * regardless of thread count); tryForEach instead reports every
+ * captured exception so callers can degrade per point.
  */
 
 #ifndef PADC_SIM_PARALLEL_HH
@@ -24,6 +32,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -34,9 +43,16 @@ namespace padc::sim
 
 /**
  * Worker threads to use by default: the PADC_THREADS environment
- * variable if set (clamped to >= 1), else std::thread::hardware_concurrency.
+ * variable if it parses as a whole positive integer (clamped to
+ * kMaxThreads), else std::thread::hardware_concurrency. Invalid values
+ * (trailing garbage, overflow, zero, negative) fall back to hardware
+ * concurrency with a one-line warning on stderr rather than silently
+ * serializing a sweep.
  */
 unsigned defaultThreadCount();
+
+/** Upper bound accepted from PADC_THREADS. */
+inline constexpr unsigned kMaxThreads = 1024;
 
 /**
  * A persistent pool of worker threads executing indexed jobs.
@@ -63,12 +79,25 @@ class ParallelExperimentRunner
      * calling thread participates). Returns when every call finished.
      * @p fn must be safe to call concurrently for distinct indices.
      * Reentrant calls (fn itself calling forEach) are not supported.
+     *
+     * If any job threw, the exception captured for the lowest throwing
+     * index is rethrown here (on the calling thread) after the whole
+     * batch drained; the pool stays usable for subsequent batches.
      */
     void forEach(std::size_t n, const std::function<void(std::size_t)> &fn);
 
     /**
+     * Like forEach, but never throws for job failures: returns one
+     * std::exception_ptr per index, null where fn(i) succeeded. The
+     * fault-tolerant sweep layer uses this to turn per-point failures
+     * into recorded diagnostics instead of aborting the sweep.
+     */
+    std::vector<std::exception_ptr>
+    tryForEach(std::size_t n, const std::function<void(std::size_t)> &fn);
+
+    /**
      * Ordered map: returns {fn(0), ..., fn(n-1)}, always indexed by
-     * point, never by completion order.
+     * point, never by completion order. Rethrows like forEach.
      */
     template <typename R>
     std::vector<R> map(std::size_t n,
@@ -98,6 +127,9 @@ class ParallelExperimentRunner
     std::size_t completed_ = 0;
     std::uint64_t generation_ = 0;
     bool shutdown_ = false;
+
+    /** Per-index exceptions of the current batch (null = succeeded). */
+    std::vector<std::exception_ptr> errors_;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "sim/system.hh"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace padc::sim
 {
@@ -43,15 +44,64 @@ SystemConfig::baseline(std::uint32_t cores)
     return c;
 }
 
+ConfigErrors
+SystemConfig::validate() const
+{
+    ConfigErrors errors;
+    if (num_cores < 1 || num_cores > memctrl::kMaxCores) {
+        errors.add("num_cores",
+                   "must be within [1, " +
+                       std::to_string(memctrl::kMaxCores) + "]; got " +
+                       std::to_string(num_cores));
+    }
+    if (mshr_per_l2 == 0)
+        errors.add("mshr_per_l2", "must be >= 1");
+    core.validate(errors, "core");
+    l1.validate(errors, "l1");
+    l2.validate(errors, "l2");
+    sched.validate(errors, "sched");
+    dram.validate(errors, "dram");
+    if (prefetch_enabled && prefetcher.kind == PrefetcherKind::None) {
+        errors.add("prefetcher.kind",
+                   "prefetch_enabled requires a prefetcher algorithm "
+                   "(use prefetch_enabled = false to disable)");
+    }
+    return errors;
+}
+
+std::string
+RunStatus::detail() const
+{
+    if (converged())
+        return "";
+    std::string cores;
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        if (truncated_mask & (1ULL << i)) {
+            if (!cores.empty())
+                cores += ",";
+            cores += std::to_string(i);
+        }
+    }
+    return (cores_truncated == 1 ? "core " : "cores ") + cores +
+           " hit the " + std::to_string(max_cycles) +
+           "-cycle cap before retiring the instruction target";
+}
+
 System::System(const SystemConfig &config,
                std::vector<core::TraceSource *> traces)
     : config_(config), traces_(std::move(traces)),
       // Fig. 4(a) layout: eight 200-cycle buckets plus overflow.
       useful_hist_(200, 8), useless_hist_(200, 8)
 {
-    assert(traces_.size() == config_.num_cores);
-    assert(config_.num_cores >= 1 &&
-           config_.num_cores <= memctrl::kMaxCores);
+    const ConfigErrors errors = config_.validate();
+    if (!errors.ok())
+        throw std::invalid_argument("invalid SystemConfig: " + errors.str());
+    if (traces_.size() != config_.num_cores) {
+        throw std::invalid_argument(
+            "System: got " + std::to_string(traces_.size()) +
+            " trace sources for " + std::to_string(config_.num_cores) +
+            " cores");
+    }
 
     dram_ = std::make_unique<dram::DramSystem>(config_.dram);
     tracker_ = std::make_unique<memctrl::AccuracyTracker>(
@@ -489,7 +539,7 @@ System::intervalTick(Cycle now)
     next_interval_ = now + config_.sched.accuracy.interval;
 }
 
-void
+RunStatus
 System::run(std::uint64_t instructions_per_core, std::uint64_t max_cycles,
             std::uint64_t warmup_instructions)
 {
@@ -535,7 +585,12 @@ System::run(std::uint64_t instructions_per_core, std::uint64_t max_cycles,
     }
 
     // Cycle cap reached: freeze whatever progress the remaining cores
-    // made so metrics stay computable (done remains false).
+    // made so metrics stay computable (done remains false), and report
+    // the truncation in the returned status instead of pretending the
+    // run converged.
+    RunStatus status;
+    status.cycles = now_;
+    status.max_cycles = max_cycles;
     for (CoreId i = 0; i < config_.num_cores; ++i) {
         if (!results_[i].done) {
             CoreResult &res = results_[i];
@@ -544,8 +599,13 @@ System::run(std::uint64_t instructions_per_core, std::uint64_t max_cycles,
             res.mem_stats = mem_[i];
             res.pref_sent = tracker_->totalSent(i);
             res.pref_used = tracker_->totalUsed(i);
+            status.truncated_mask |= 1ULL << i;
+            ++status.cores_truncated;
+        } else {
+            ++status.cores_completed;
         }
     }
+    return status;
 }
 
 } // namespace padc::sim

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -71,6 +72,36 @@ struct SystemConfig
      * PADC scheduling.
      */
     static SystemConfig baseline(std::uint32_t cores);
+
+    /**
+     * Check every cross-cutting and per-component constraint and return
+     * the accumulated structured diagnostics (empty = valid). System's
+     * constructor calls this and throws std::invalid_argument with
+     * ConfigErrors::str() when it is non-empty, so misconfiguration
+     * surfaces as one readable message naming each offending field
+     * instead of an assert or silent corruption.
+     */
+    ConfigErrors validate() const;
+};
+
+/**
+ * Outcome of one System::run call. A core is "truncated" when the
+ * cycle cap expired before it retired its instruction target; its
+ * CoreResult then holds the frozen partial progress (done == false)
+ * rather than converged end-of-run numbers.
+ */
+struct RunStatus
+{
+    std::uint64_t truncated_mask = 0; ///< bit i: core i hit the cap
+    std::uint32_t cores_completed = 0;
+    std::uint32_t cores_truncated = 0;
+    Cycle cycles = 0;             ///< simulation time after the run
+    std::uint64_t max_cycles = 0; ///< the cap this run was given
+
+    bool converged() const { return cores_truncated == 0; }
+
+    /** "" when converged; else e.g. "cores 1,3 hit the 100-cycle cap". */
+    std::string detail() const;
 };
 
 /** Per-core traffic, usefulness, and RBHU counters. */
@@ -130,8 +161,11 @@ class System : public core::MemoryPort, public memctrl::ResponseHandler
 {
   public:
     /**
-     * @param config system configuration (validated with assertions)
+     * @param config system configuration; SystemConfig::validate() is
+     *        invoked and std::invalid_argument thrown on any violation
      * @param traces one trace source per core; not owned
+     * @throws std::invalid_argument naming every invalid config field,
+     *         or a trace count != num_cores
      */
     System(const SystemConfig &config,
            std::vector<core::TraceSource *> traces);
@@ -151,9 +185,15 @@ class System : public core::MemoryPort, public memctrl::ResponseHandler
      * @param warmup_instructions per-core instruction count at which the
      *        warm-up snapshot is taken; metrics are computed over the
      *        [warmup, target] window (0 = measure from reset).
+     *
+     * @return per-run status distinguishing cores that reached the
+     *         target from cores frozen at the cycle cap, so callers can
+     *         report truncated (non-converged) runs instead of treating
+     *         the frozen partial stats as converged results.
      */
-    void run(std::uint64_t instructions_per_core, std::uint64_t max_cycles,
-             std::uint64_t warmup_instructions = 0);
+    RunStatus run(std::uint64_t instructions_per_core,
+                  std::uint64_t max_cycles,
+                  std::uint64_t warmup_instructions = 0);
 
     // --- core::MemoryPort ---
     core::AccessReply access(CoreId core, Addr addr, Addr pc, bool is_load,

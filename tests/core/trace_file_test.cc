@@ -78,9 +78,12 @@ TEST_F(TraceFileTest, FileTraceReplaysAndLoops)
 TEST_F(TraceFileTest, MissingFileFails)
 {
     std::vector<TraceOp> ops;
-    EXPECT_FALSE(readTraceFile("/nonexistent/padc.trc", &ops));
+    std::string error;
+    EXPECT_FALSE(readTraceFile("/nonexistent/padc.trc", &ops, &error));
+    EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
     FileTrace trace("/nonexistent/padc.trc");
     EXPECT_FALSE(trace.ok());
+    EXPECT_FALSE(trace.error().empty());
 }
 
 TEST_F(TraceFileTest, BadMagicRejected)
@@ -89,7 +92,20 @@ TEST_F(TraceFileTest, BadMagicRejected)
     out << "NOTATRACE-------garbage";
     out.close();
     std::vector<TraceOp> ops;
-    EXPECT_FALSE(readTraceFile(path_, &ops));
+    std::string error;
+    EXPECT_FALSE(readTraceFile(path_, &ops, &error));
+    EXPECT_NE(error.find("bad magic"), std::string::npos) << error;
+}
+
+TEST_F(TraceFileTest, ShortHeaderRejected)
+{
+    std::ofstream out(path_, std::ios::binary);
+    out << "PADC"; // 4 of 16 header bytes
+    out.close();
+    std::vector<TraceOp> ops;
+    std::string error;
+    EXPECT_FALSE(readTraceFile(path_, &ops, &error));
+    EXPECT_NE(error.find("header"), std::string::npos) << error;
 }
 
 TEST_F(TraceFileTest, TruncationRejected)
@@ -104,8 +120,53 @@ TEST_F(TraceFileTest, TruncationRejected)
     out.write(data.data(), static_cast<std::streamsize>(data.size() - 10));
     out.close();
     std::vector<TraceOp> ops;
-    EXPECT_FALSE(readTraceFile(path_, &ops));
+    std::string error;
+    EXPECT_FALSE(readTraceFile(path_, &ops, &error));
     EXPECT_TRUE(ops.empty());
+    // The diagnostic reports the size disagreement, not just "failed".
+    EXPECT_NE(error.find("truncated or corrupt"), std::string::npos)
+        << error;
+}
+
+TEST_F(TraceFileTest, TrailingGarbageRejected)
+{
+    ASSERT_TRUE(writeTraceFile(path_, sampleOps()));
+    {
+        std::ofstream out(path_, std::ios::binary | std::ios::app);
+        out << "extra bytes past the promised op count";
+    }
+    std::vector<TraceOp> ops;
+    std::string error;
+    EXPECT_FALSE(readTraceFile(path_, &ops, &error));
+    EXPECT_NE(error.find("truncated or corrupt"), std::string::npos)
+        << error;
+}
+
+TEST_F(TraceFileTest, CorruptCountRejectedBeforeAllocation)
+{
+    ASSERT_TRUE(writeTraceFile(path_, sampleOps()));
+    // Overwrite the op count with an absurd value; the size check must
+    // reject it up front instead of attempting a giant reserve().
+    {
+        std::fstream out(path_,
+                         std::ios::binary | std::ios::in | std::ios::out);
+        out.seekp(8);
+        const unsigned char huge[8] = {0xff, 0xff, 0xff, 0xff,
+                                       0xff, 0xff, 0xff, 0x7f};
+        out.write(reinterpret_cast<const char *>(huge), 8);
+    }
+    std::vector<TraceOp> ops;
+    std::string error;
+    EXPECT_FALSE(readTraceFile(path_, &ops, &error));
+    EXPECT_NE(error.find("promises"), std::string::npos) << error;
+}
+
+TEST_F(TraceFileTest, UnwritableDirectoryReportsOpenFailure)
+{
+    std::string error;
+    EXPECT_FALSE(
+        writeTraceFile("/nonexistent-dir/padc.trc", sampleOps(), &error));
+    EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
 }
 
 TEST_F(TraceFileTest, CaptureFromSyntheticGeneratorMatchesReplay)

@@ -131,15 +131,16 @@ TEST(SweepApi, EvaluateSweepMatchesSerialEvaluateMix)
 
     AloneIpcCache parallel_cache(base, options);
     ParallelExperimentRunner runner(4);
-    const std::vector<MixEvaluation> pooled =
+    const std::vector<Result<MixEvaluation>> pooled =
         evaluateSweep(points, parallel_cache, runner);
 
     ASSERT_EQ(pooled.size(), serial.size());
     for (std::size_t i = 0; i < pooled.size(); ++i) {
-        EXPECT_EQ(pooled[i].summary.ws, serial[i].summary.ws);
-        EXPECT_EQ(pooled[i].summary.hs, serial[i].summary.hs);
-        EXPECT_EQ(pooled[i].summary.uf, serial[i].summary.uf);
-        EXPECT_EQ(pooled[i].metrics.totalTraffic(),
+        EXPECT_TRUE(pooled[i].ok());
+        EXPECT_EQ(pooled[i].value.summary.ws, serial[i].summary.ws);
+        EXPECT_EQ(pooled[i].value.summary.hs, serial[i].summary.hs);
+        EXPECT_EQ(pooled[i].value.summary.uf, serial[i].summary.uf);
+        EXPECT_EQ(pooled[i].value.metrics.totalTraffic(),
                   serial[i].metrics.totalTraffic());
     }
 }
