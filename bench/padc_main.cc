@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Real main() of the `padc` experiment driver. All logic lives in
+ * src/exp/driver.cc so the CLI is testable in-process.
+ */
+
+#include "exp/driver.hh"
+
+int
+main(int argc, char **argv)
+{
+    return padc::exp::driverMain(argc, argv);
+}

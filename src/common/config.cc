@@ -1,5 +1,6 @@
 #include "common/config.hh"
 
+#include <cstddef>
 #include <utility>
 
 namespace padc
@@ -25,72 +26,103 @@ ConfigErrors::str() const
     return out;
 }
 
+namespace
+{
+
+/**
+ * One row of an enum name table. The first row carrying a given value
+ * defines its canonical (toString) name; every row is accepted by
+ * parsing, so aliases are extra rows after the canonical one.
+ */
+template <typename E>
+struct EnumName
+{
+    E value;
+    const char *name;
+};
+
+template <typename E, std::size_t N>
+std::string
+nameOf(const EnumName<E> (&table)[N], E value)
+{
+    for (const auto &entry : table) {
+        if (entry.value == value)
+            return entry.name;
+    }
+    return "unknown";
+}
+
+template <typename E, std::size_t N>
+bool
+parseName(const EnumName<E> (&table)[N], const std::string &name, E *out)
+{
+    for (const auto &entry : table) {
+        if (name == entry.name) {
+            *out = entry.value;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Scheduling policies; canonical names match the paper's figures. */
+constexpr EnumName<SchedPolicyKind> kSchedPolicyNames[] = {
+    {SchedPolicyKind::FrFcfs, "demand-pref-equal"},
+    {SchedPolicyKind::FrFcfs, "frfcfs"},
+    {SchedPolicyKind::FrFcfs, "demand-prefetch-equal"},
+    {SchedPolicyKind::DemandFirst, "demand-first"},
+    {SchedPolicyKind::PrefetchFirst, "prefetch-first"},
+    {SchedPolicyKind::Aps, "aps"},
+    {SchedPolicyKind::Aps, "padc"},
+};
+
+constexpr EnumName<PrefetcherKind> kPrefetcherNames[] = {
+    {PrefetcherKind::None, "none"},     {PrefetcherKind::Stream, "stream"},
+    {PrefetcherKind::Stride, "stride"}, {PrefetcherKind::Cdc, "cdc"},
+    {PrefetcherKind::Markov, "markov"},
+};
+
+constexpr EnumName<RowPolicy> kRowPolicyNames[] = {
+    {RowPolicy::Open, "open-row"},
+    {RowPolicy::Closed, "closed-row"},
+};
+
+} // namespace
+
 std::string
 toString(SchedPolicyKind kind)
 {
-    switch (kind) {
-      case SchedPolicyKind::FrFcfs: return "demand-pref-equal";
-      case SchedPolicyKind::DemandFirst: return "demand-first";
-      case SchedPolicyKind::PrefetchFirst: return "prefetch-first";
-      case SchedPolicyKind::Aps: return "aps";
-    }
-    return "unknown";
+    return nameOf(kSchedPolicyNames, kind);
 }
 
 std::string
 toString(PrefetcherKind kind)
 {
-    switch (kind) {
-      case PrefetcherKind::None: return "none";
-      case PrefetcherKind::Stream: return "stream";
-      case PrefetcherKind::Stride: return "stride";
-      case PrefetcherKind::Cdc: return "cdc";
-      case PrefetcherKind::Markov: return "markov";
-    }
-    return "unknown";
+    return nameOf(kPrefetcherNames, kind);
 }
 
 std::string
 toString(RowPolicy policy)
 {
-    return policy == RowPolicy::Open ? "open-row" : "closed-row";
+    return nameOf(kRowPolicyNames, policy);
 }
 
 bool
 parseSchedPolicy(const std::string &name, SchedPolicyKind *out)
 {
-    if (name == "demand-pref-equal" || name == "frfcfs" ||
-        name == "demand-prefetch-equal") {
-        *out = SchedPolicyKind::FrFcfs;
-    } else if (name == "demand-first") {
-        *out = SchedPolicyKind::DemandFirst;
-    } else if (name == "prefetch-first") {
-        *out = SchedPolicyKind::PrefetchFirst;
-    } else if (name == "aps" || name == "padc") {
-        *out = SchedPolicyKind::Aps;
-    } else {
-        return false;
-    }
-    return true;
+    return parseName(kSchedPolicyNames, name, out);
 }
 
 bool
 parsePrefetcher(const std::string &name, PrefetcherKind *out)
 {
-    if (name == "none") {
-        *out = PrefetcherKind::None;
-    } else if (name == "stream") {
-        *out = PrefetcherKind::Stream;
-    } else if (name == "stride") {
-        *out = PrefetcherKind::Stride;
-    } else if (name == "cdc") {
-        *out = PrefetcherKind::Cdc;
-    } else if (name == "markov") {
-        *out = PrefetcherKind::Markov;
-    } else {
-        return false;
-    }
-    return true;
+    return parseName(kPrefetcherNames, name, out);
+}
+
+bool
+parseRowPolicy(const std::string &name, RowPolicy *out)
+{
+    return parseName(kRowPolicyNames, name, out);
 }
 
 } // namespace padc

@@ -109,6 +109,9 @@ bool parseSchedPolicy(const std::string &name, SchedPolicyKind *out);
 /** Parse a prefetcher name ("none", "stream", "stride", "cdc", "markov"). */
 bool parsePrefetcher(const std::string &name, PrefetcherKind *out);
 
+/** Parse a row-buffer policy name ("open-row", "closed-row"). */
+bool parseRowPolicy(const std::string &name, RowPolicy *out);
+
 } // namespace padc
 
 #endif // PADC_COMMON_CONFIG_HH

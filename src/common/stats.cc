@@ -19,24 +19,26 @@ StatSet::merge(const std::string &prefix, const StatSet &other)
         entries_.emplace_back(prefix + name, value);
 }
 
+void
+StatSet::reindex() const
+{
+    for (; indexed_ < entries_.size(); ++indexed_)
+        index_.try_emplace(entries_[indexed_].first, indexed_);
+}
+
 double
 StatSet::get(const std::string &name) const
 {
-    for (const auto &[n, v] : entries_) {
-        if (n == name)
-            return v;
-    }
-    return 0.0;
+    reindex();
+    const auto it = index_.find(name);
+    return it == index_.end() ? 0.0 : entries_[it->second].second;
 }
 
 bool
 StatSet::has(const std::string &name) const
 {
-    for (const auto &[n, v] : entries_) {
-        if (n == name)
-            return true;
-    }
-    return false;
+    reindex();
+    return index_.find(name) != index_.end();
 }
 
 std::string

@@ -10,8 +10,10 @@
 #ifndef PADC_COMMON_STATS_HH
 #define PADC_COMMON_STATS_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -22,6 +24,12 @@ namespace padc
  * Ordered name -> value list used to export component statistics.
  *
  * Insertion order is preserved so dumps are stable and diffable.
+ * Lookups (get/has) go through a lazily built name index, so
+ * ratio-heavy post-processing over large merged sets costs O(1)
+ * amortized per lookup instead of a linear scan; appends stay cheap
+ * (the index catches up on the next lookup). When the same name was
+ * added more than once, lookups see the first occurrence, exactly as
+ * the original front-to-back scan did.
  */
 class StatSet
 {
@@ -52,7 +60,18 @@ class StatSet
     std::string toString() const;
 
   private:
+    /** Index every entry appended since the last lookup. */
+    void reindex() const;
+
     std::vector<std::pair<std::string, double>> entries_;
+
+    /**
+     * name -> index of its first occurrence in entries_, covering
+     * entries_[0, indexed_). Entries beyond indexed_ were appended
+     * after the last lookup and are folded in by reindex().
+     */
+    mutable std::unordered_map<std::string, std::size_t> index_;
+    mutable std::size_t indexed_ = 0;
 };
 
 /**

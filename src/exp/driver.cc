@@ -1,0 +1,486 @@
+#include "exp/driver.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "exp/json.hh"
+#include "exp/registry.hh"
+#include "exp/report.hh"
+
+namespace padc::exp
+{
+
+namespace
+{
+
+/** 64-bit hash rendered as the fixed-width hex the JSON schema uses. */
+std::string
+hex16(std::uint64_t value)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+bool
+parseUint64(const char *text, std::uint64_t *out)
+{
+    // strtoull accepts (and wraps) signed input; reject it up front.
+    if (text == nullptr || *text == '\0' || text[0] == '-' ||
+        text[0] == '+')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0')
+        return false;
+    *out = value;
+    return true;
+}
+
+/**
+ * Redirect stdout to /dev/null for the scope (RAII): the structured
+ * --format json|csv streams replace the experiments' human-readable
+ * rows, which keep printing through printf.
+ */
+class StdoutSilencer
+{
+  public:
+    explicit StdoutSilencer(bool active)
+    {
+        if (!active)
+            return;
+        std::fflush(stdout);
+        saved_ = ::dup(::fileno(stdout));
+        const int devnull = ::open("/dev/null", O_WRONLY);
+        if (devnull >= 0) {
+            ::dup2(devnull, ::fileno(stdout));
+            ::close(devnull);
+        }
+    }
+
+    ~StdoutSilencer()
+    {
+        if (saved_ < 0)
+            return;
+        std::fflush(stdout);
+        ::dup2(saved_, ::fileno(stdout));
+        ::close(saved_);
+    }
+
+    StdoutSilencer(const StdoutSilencer &) = delete;
+    StdoutSilencer &operator=(const StdoutSilencer &) = delete;
+
+  private:
+    int saved_ = -1;
+};
+
+/** CSV field, quoted when it contains a separator or quote. */
+std::string
+csvField(const std::string &text)
+{
+    if (text.find_first_of(",\"\n") == std::string::npos)
+        return text;
+    std::string out = "\"";
+    for (const char c : text) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+driverUsage()
+{
+    return "usage: padc <command> [options]\n"
+           "\n"
+           "commands:\n"
+           "  list                     list every registered experiment\n"
+           "  run <name|tag|glob>...   run the selected experiments\n"
+           "  run --all                run every registered experiment\n"
+           "  help                     show this message\n"
+           "\n"
+           "options:\n"
+           "  --threads N    worker threads for the sweep pool\n"
+           "                 (default: PADC_THREADS or hardware "
+           "concurrency)\n"
+           "  --resume PATH  checkpoint/resume journal (default: "
+           "$PADC_RESUME)\n"
+           "  --seed N       override the random-mix seed of seeded "
+           "experiments\n"
+           "  --format FMT   text | json | csv (default: text)\n"
+           "  --out DIR      directory for BENCH_<name>.json files "
+           "(default: .)\n"
+           "\n"
+           "Every run also writes a machine-readable BENCH_<name>.json\n"
+           "(schema padc-bench-result-v1) per experiment into --out.\n";
+}
+
+bool
+parseDriverArgs(int argc, const char *const *argv, DriverOptions *out,
+                std::string *error)
+{
+    *out = DriverOptions{};
+    if (argc < 2) {
+        *error = "missing command (try 'padc help')";
+        return false;
+    }
+
+    const std::string command = argv[1];
+    if (command == "help" || command == "--help" || command == "-h") {
+        out->command = DriverOptions::Command::Help;
+    } else if (command == "list") {
+        out->command = DriverOptions::Command::List;
+    } else if (command == "run") {
+        out->command = DriverOptions::Command::Run;
+    } else {
+        *error = "unknown command '" + command + "' (try 'padc help')";
+        return false;
+    }
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--all") {
+            out->all = true;
+        } else if (arg == "--threads") {
+            const char *text = value();
+            std::uint64_t threads = 0;
+            if (!parseUint64(text, &threads) || threads == 0 ||
+                threads > sim::kMaxThreads) {
+                *error = "--threads expects an integer in [1, " +
+                         std::to_string(sim::kMaxThreads) + "]";
+                return false;
+            }
+            out->threads = static_cast<unsigned>(threads);
+        } else if (arg == "--resume") {
+            const char *text = value();
+            if (text == nullptr || *text == '\0') {
+                *error = "--resume expects a journal path";
+                return false;
+            }
+            out->resume_path = text;
+        } else if (arg == "--seed") {
+            std::uint64_t seed = 0;
+            if (!parseUint64(value(), &seed)) {
+                *error = "--seed expects a non-negative integer";
+                return false;
+            }
+            out->seed = seed;
+        } else if (arg == "--format") {
+            const char *text = value();
+            if (text != nullptr && std::strcmp(text, "text") == 0) {
+                out->format = DriverOptions::Format::Text;
+            } else if (text != nullptr &&
+                       std::strcmp(text, "json") == 0) {
+                out->format = DriverOptions::Format::Json;
+            } else if (text != nullptr && std::strcmp(text, "csv") == 0) {
+                out->format = DriverOptions::Format::Csv;
+            } else {
+                *error = "--format expects text, json, or csv";
+                return false;
+            }
+        } else if (arg == "--out") {
+            const char *text = value();
+            if (text == nullptr || *text == '\0') {
+                *error = "--out expects a directory";
+                return false;
+            }
+            out->out_dir = text;
+        } else if (!arg.empty() && arg[0] == '-') {
+            *error = "unknown option '" + arg + "' (try 'padc help')";
+            return false;
+        } else if (out->command == DriverOptions::Command::Run) {
+            out->selectors.push_back(arg);
+        } else {
+            *error = "unexpected argument '" + arg + "'";
+            return false;
+        }
+    }
+
+    if (out->command == DriverOptions::Command::Run &&
+        out->selectors.empty() && !out->all) {
+        *error = "run expects experiment names, tags, globs, or --all";
+        return false;
+    }
+    return true;
+}
+
+std::string
+resultJson(const ExperimentInfo &info, const ExperimentResult &result)
+{
+    JsonWriter writer;
+    writer.beginObject();
+    writer.member("schema", "padc-bench-result-v1");
+    writer.member("name", info.name);
+    writer.member("anchor", info.anchor);
+    writer.member("title", info.title);
+    writer.beginArray("tags");
+    for (const std::string &tag : info.tags)
+        writer.element(tag);
+    writer.endArray();
+    writer.member("config_hash", hex16(result.configHash()));
+    writer.member("status", result.status);
+    writer.member("detail", result.detail);
+    writer.member("wall_seconds", result.wall_seconds);
+    writer.member("sim_cycles", result.simCycles());
+    writer.member("sim_cycles_per_sec",
+                  result.wall_seconds > 0.0
+                      ? static_cast<double>(result.simCycles()) /
+                            result.wall_seconds
+                      : 0.0);
+    writer.beginArray("points");
+    for (const PointRecord &point : result.points) {
+        writer.beginObject();
+        writer.member("key", hex16(point.key));
+        writer.member("label", point.label);
+        writer.member("status", point.status);
+        writer.member("detail", point.detail);
+        writer.member("cycles", static_cast<std::uint64_t>(point.cycles));
+        writer.beginObject("metrics");
+        for (const auto &[name, value] : point.metrics.entries())
+            writer.member(name, value);
+        writer.endObject();
+        writer.endObject();
+    }
+    writer.endArray();
+    writer.beginObject("scalars");
+    for (const auto &[name, value] : result.scalars.entries())
+        writer.member(name, value);
+    writer.endObject();
+    writer.endObject();
+    return writer.str();
+}
+
+namespace
+{
+
+int
+listExperiments(const DriverOptions &options)
+{
+    const auto experiments = ExperimentRegistry::instance().all();
+    if (options.format == DriverOptions::Format::Json) {
+        JsonWriter writer;
+        writer.beginObject();
+        writer.member("schema", "padc-experiment-list-v1");
+        writer.beginArray("experiments");
+        for (const Experiment *experiment : experiments) {
+            const ExperimentInfo &info = experiment->info;
+            writer.beginObject();
+            writer.member("name", info.name);
+            writer.member("anchor", info.anchor);
+            writer.member("title", info.title);
+            writer.member("paper_shape", info.paper_shape);
+            writer.beginArray("tags");
+            for (const std::string &tag : info.tags)
+                writer.element(tag);
+            writer.endArray();
+            writer.endObject();
+        }
+        writer.endArray();
+        writer.endObject();
+        std::printf("%s\n", writer.str().c_str());
+        return 0;
+    }
+
+    for (const Experiment *experiment : experiments) {
+        const ExperimentInfo &info = experiment->info;
+        std::string tags;
+        for (const std::string &tag : info.tags) {
+            tags += tags.empty() ? "" : ",";
+            tags += tag;
+        }
+        std::printf("%-16s %-28s %s  [%s]\n", info.name.c_str(),
+                    info.anchor.c_str(), info.title.c_str(),
+                    tags.c_str());
+    }
+    return 0;
+}
+
+/** Resolve the run selectors; empty return = a selector failed. */
+std::vector<const Experiment *>
+selectExperiments(const DriverOptions &options, bool *ok)
+{
+    const ExperimentRegistry &registry = ExperimentRegistry::instance();
+    *ok = true;
+    if (options.all)
+        return registry.all();
+
+    std::vector<const Experiment *> selected;
+    for (const std::string &selector : options.selectors) {
+        const auto matches = registry.match(selector);
+        if (matches.empty()) {
+            std::fprintf(stderr, "padc: unknown experiment '%s'",
+                         selector.c_str());
+            const std::string suggestion =
+                registry.closestName(selector);
+            if (!suggestion.empty())
+                std::fprintf(stderr, " (did you mean '%s'?)",
+                             suggestion.c_str());
+            std::fprintf(stderr, "\n");
+            *ok = false;
+            return {};
+        }
+        for (const Experiment *match : matches) {
+            if (std::find(selected.begin(), selected.end(), match) ==
+                selected.end())
+                selected.push_back(match);
+        }
+    }
+    return selected;
+}
+
+void
+printCsv(const std::vector<const Experiment *> &experiments,
+         const std::vector<ExperimentResult> &results)
+{
+    std::printf(
+        "experiment,point,label,key,status,cycles,metric,value\n");
+    for (std::size_t e = 0; e < experiments.size(); ++e) {
+        const std::string &name = experiments[e]->info.name;
+        const ExperimentResult &result = results[e];
+        for (std::size_t p = 0; p < result.points.size(); ++p) {
+            const PointRecord &point = result.points[p];
+            for (const auto &[metric, value] : point.metrics.entries()) {
+                std::printf(
+                    "%s,%zu,%s,%s,%s,%llu,%s,%s\n", name.c_str(), p,
+                    csvField(point.label).c_str(),
+                    hex16(point.key).c_str(), point.status.c_str(),
+                    static_cast<unsigned long long>(point.cycles),
+                    csvField(metric).c_str(),
+                    jsonNumber(value).c_str());
+            }
+        }
+    }
+}
+
+} // namespace
+
+int
+driverMain(int argc, const char *const *argv)
+{
+    DriverOptions options;
+    std::string error;
+    if (!parseDriverArgs(argc, argv, &options, &error)) {
+        std::fprintf(stderr, "padc: %s\n", error.c_str());
+        return 2;
+    }
+
+    switch (options.command) {
+      case DriverOptions::Command::Help:
+        std::printf("%s", driverUsage().c_str());
+        return 0;
+      case DriverOptions::Command::List:
+        return listExperiments(options);
+      case DriverOptions::Command::Run:
+        break;
+    }
+
+    bool selectors_ok = false;
+    const auto experiments = selectExperiments(options, &selectors_ok);
+    if (!selectors_ok)
+        return 2;
+
+    if (options.threads > 0 &&
+        !sim::setSharedRunnerThreads(options.threads)) {
+        std::fprintf(stderr,
+                     "padc: warning: --threads ignored (pool already "
+                     "running)\n");
+    }
+    if (!options.resume_path.empty() &&
+        !sim::setEnvJournalPath(options.resume_path)) {
+        std::fprintf(stderr,
+                     "padc: warning: --resume ignored (journal already "
+                     "resolved)\n");
+    }
+
+    std::error_code dir_error;
+    std::filesystem::create_directories(options.out_dir, dir_error);
+    if (dir_error) {
+        std::fprintf(stderr, "padc: cannot create --out '%s': %s\n",
+                     options.out_dir.c_str(),
+                     dir_error.message().c_str());
+        return 2;
+    }
+
+    const bool silent_text =
+        options.format != DriverOptions::Format::Text;
+    bool any_failed = false;
+    std::vector<ExperimentResult> results;
+    std::vector<std::string> documents;
+    for (const Experiment *experiment : experiments) {
+        const ExperimentInfo &info = experiment->info;
+        ExperimentContext context(info, sim::sharedRunner(),
+                                  sim::envJournal(), options.seed);
+        const auto start = std::chrono::steady_clock::now();
+        {
+            StdoutSilencer silence(silent_text);
+            banner(info.anchor, info.title, info.paper_shape);
+            try {
+                experiment->run(context);
+            } catch (const std::exception &e) {
+                context.result().status = "failed";
+                context.result().detail = e.what();
+            }
+        }
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - start;
+
+        ExperimentResult &result = context.result();
+        result.wall_seconds = wall.count();
+        if (result.status == "failed" && !result.detail.empty() &&
+            result.points.empty()) {
+            std::fprintf(stderr, "padc: experiment '%s' failed: %s\n",
+                         info.name.c_str(), result.detail.c_str());
+        }
+        any_failed = any_failed || result.status == "failed";
+
+        const std::string document = resultJson(info, result);
+        const std::filesystem::path path =
+            std::filesystem::path(options.out_dir) /
+            ("BENCH_" + info.name + ".json");
+        if (std::FILE *file = std::fopen(path.c_str(), "w")) {
+            std::fputs(document.c_str(), file);
+            std::fputc('\n', file);
+            std::fclose(file);
+        } else {
+            std::fprintf(stderr, "padc: cannot write '%s'\n",
+                         path.c_str());
+            any_failed = true;
+        }
+        documents.push_back(document);
+        results.push_back(std::move(result));
+    }
+
+    if (options.format == DriverOptions::Format::Json) {
+        std::string out = "{\"schema\": \"padc-bench-results-v1\", "
+                          "\"results\": [";
+        for (std::size_t i = 0; i < documents.size(); ++i) {
+            out += i == 0 ? "" : ",";
+            out += documents[i];
+        }
+        out += "]}";
+        std::printf("%s\n", out.c_str());
+    } else if (options.format == DriverOptions::Format::Csv) {
+        printCsv(experiments, results);
+    }
+    return any_failed ? 1 : 0;
+}
+
+} // namespace padc::exp

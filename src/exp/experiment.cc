@@ -1,0 +1,208 @@
+#include "exp/experiment.hh"
+
+#include <algorithm>
+
+#include "exp/report.hh"
+#include "sim/metrics.hh"
+
+namespace padc::exp
+{
+
+namespace
+{
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t
+fnv1a(std::uint64_t hash, const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+std::uint64_t
+fnv1a(std::uint64_t hash, const std::string &text)
+{
+    return fnv1a(hash, text.data(), text.size());
+}
+
+/** Simulated cycles of one run: the slowest core's cycle count. */
+Cycle
+runCycles(const sim::RunMetrics &metrics)
+{
+    Cycle cycles = 0;
+    for (const auto &core : metrics.cores)
+        cycles = std::max(cycles, core.cycles);
+    return cycles;
+}
+
+void
+addTrafficMetrics(StatSet &metrics, const sim::RunMetrics &run)
+{
+    metrics.add("traffic_total", static_cast<double>(run.totalTraffic()));
+    metrics.add("traffic_demand",
+                static_cast<double>(run.trafficDemand()));
+    metrics.add("traffic_pref_useful",
+                static_cast<double>(run.trafficPrefUseful()));
+    metrics.add("traffic_pref_useless",
+                static_cast<double>(run.trafficPrefUseless()));
+    metrics.add("traffic_writeback",
+                static_cast<double>(run.trafficWriteback()));
+}
+
+/** Rank of a point status for worst-status aggregation. */
+int
+severity(const std::string &status)
+{
+    if (status == "ok")
+        return 0;
+    if (status == "truncated")
+        return 1;
+    return 2;
+}
+
+} // namespace
+
+std::uint64_t
+ExperimentResult::configHash() const
+{
+    const std::uint64_t count = points.size();
+    std::uint64_t hash = fnv1a(kFnvOffset, &count, sizeof(count));
+    for (const PointRecord &point : points)
+        hash = fnv1a(hash, &point.key, sizeof(point.key));
+    return hash;
+}
+
+std::uint64_t
+ExperimentResult::simCycles() const
+{
+    std::uint64_t cycles = 0;
+    for (const PointRecord &point : points)
+        cycles += point.cycles;
+    return cycles;
+}
+
+ExperimentContext::ExperimentContext(
+    const ExperimentInfo &info, sim::ParallelExperimentRunner &runner,
+    sim::SweepJournal *journal, std::optional<std::uint64_t> seed_override)
+    : info_(info), runner_(runner), journal_(journal),
+      seed_override_(seed_override)
+{
+}
+
+void
+ExperimentContext::recordPoint(PointRecord record)
+{
+    if (severity(record.status) > severity(result_.status)) {
+        result_.status = record.status;
+        result_.detail = record.detail;
+    }
+    result_.points.push_back(std::move(record));
+}
+
+std::vector<sim::Result<sim::MixEvaluation>>
+ExperimentContext::evaluateSweep(const std::vector<sim::SweepPoint> &points,
+                                 sim::AloneIpcCache &alone)
+{
+    const auto results =
+        sim::evaluateSweep(points, alone, runner_, journal_);
+    reportSweepFailures(points, results);
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const sim::MixEvaluation &eval = results[i].value;
+        PointRecord record;
+        record.key = sim::sweepPointKey(points[i]);
+        record.label = sim::describePoint(points[i]);
+        record.status = sim::toString(results[i].outcome.status);
+        record.detail = results[i].outcome.detail;
+        record.cycles = runCycles(eval.metrics);
+        record.metrics.add("ws", eval.summary.ws);
+        record.metrics.add("hs", eval.summary.hs);
+        record.metrics.add("uf", eval.summary.uf);
+        for (std::size_t c = 0; c < eval.summary.speedups.size(); ++c)
+            record.metrics.add("speedup" + std::to_string(c),
+                               eval.summary.speedups[c]);
+        addTrafficMetrics(record.metrics, eval.metrics);
+        recordPoint(std::move(record));
+    }
+    return results;
+}
+
+std::vector<sim::Result<sim::RunMetrics>>
+ExperimentContext::runSweep(const std::vector<sim::SweepPoint> &points)
+{
+    const auto results = sim::runSweep(points, runner_, journal_);
+    reportSweepFailures(points, results);
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const sim::RunMetrics &run = results[i].value;
+        PointRecord record;
+        record.key = sim::sweepPointKey(points[i]);
+        record.label = sim::describePoint(points[i]);
+        record.status = sim::toString(results[i].outcome.status);
+        record.detail = results[i].outcome.detail;
+        record.cycles = runCycles(run);
+        for (std::size_t c = 0; c < run.cores.size(); ++c) {
+            const std::string prefix = "core" + std::to_string(c) + ".";
+            record.metrics.add(prefix + "ipc", run.cores[c].ipc);
+            record.metrics.add(prefix + "mpki", run.cores[c].mpki);
+            record.metrics.add(prefix + "spl", run.cores[c].spl);
+            record.metrics.add(prefix + "rbhu", run.cores[c].rbhu);
+        }
+        addTrafficMetrics(record.metrics, run);
+        recordPoint(std::move(record));
+    }
+    return results;
+}
+
+sim::RunMetrics
+ExperimentContext::runMix(const sim::SystemConfig &config,
+                          const workload::Mix &mix,
+                          const sim::RunOptions &options)
+{
+    sim::RunStatus status;
+    const sim::RunMetrics run = sim::runMix(config, mix, options, &status);
+
+    PointRecord record;
+    record.key = sim::sweepPointKey({config, mix, options});
+    record.label = sim::describePoint({config, mix, options});
+    record.status = status.converged() ? "ok" : "truncated";
+    record.detail = status.detail();
+    record.cycles = runCycles(run);
+    for (std::size_t c = 0; c < run.cores.size(); ++c) {
+        const std::string prefix = "core" + std::to_string(c) + ".";
+        record.metrics.add(prefix + "ipc", run.cores[c].ipc);
+        record.metrics.add(prefix + "mpki", run.cores[c].mpki);
+        record.metrics.add(prefix + "spl", run.cores[c].spl);
+        record.metrics.add(prefix + "rbhu", run.cores[c].rbhu);
+    }
+    addTrafficMetrics(record.metrics, run);
+    recordPoint(std::move(record));
+    return run;
+}
+
+void
+ExperimentContext::recordScalar(const std::string &name, double value)
+{
+    result_.scalars.add(name, value);
+}
+
+void
+ExperimentContext::recordCustomPoint(const std::string &label,
+                                     Cycle cycles, const StatSet &metrics)
+{
+    PointRecord record;
+    record.key = fnv1a(fnv1a(kFnvOffset, info_.name), "/" + label);
+    record.label = label;
+    record.status = "ok";
+    record.cycles = cycles;
+    record.metrics = metrics;
+    recordPoint(std::move(record));
+}
+
+} // namespace padc::exp

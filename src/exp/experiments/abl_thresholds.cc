@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation (DESIGN.md): sensitivity of PADC to its two thresholds --
+ * the APS promotion threshold and the APD drop-threshold table -- plus
+ * the prefetch-distance rescaling used by this reproduction.
+ *
+ * Expectation: performance is flat near the paper's 85% promotion
+ * threshold; overly small drop thresholds cost useful prefetches while
+ * overly large ones stop dropping anything; very long lookahead
+ * distances waste buffer space at our clock ratio.
+ */
+
+#include <array>
+#include <cstdio>
+
+#include "exp/harness.hh"
+#include "exp/registry.hh"
+
+namespace padc::exp
+{
+namespace
+{
+
+void
+runAblThresholds(ExperimentContext &ctx)
+{
+    const sim::RunOptions options = defaultOptions(4);
+    const auto mixes = workload::randomMixes(4, 4, ctx.mixSeed(21));
+    sim::SystemConfig base = sim::SystemConfig::baseline(4);
+    sim::AloneIpcCache alone(base, options);
+
+    std::printf("--- promotion threshold (APS) ---\n");
+    for (const double threshold : {0.25, 0.50, 0.70, 0.85, 0.95}) {
+        sim::SystemConfig cfg =
+            sim::applyPolicy(base, sim::PolicySetup::Padc);
+        cfg.sched.promotion_threshold = threshold;
+        const auto agg =
+            aggregateOverMixes(ctx, cfg, mixes, options, alone);
+        std::printf("threshold %.2f   WS %7.3f  HS %7.3f  traffic %9.0f\n",
+                    threshold, agg.ws, agg.hs, agg.traffic);
+    }
+
+    std::printf("\n--- drop-threshold table scale (APD) ---\n");
+    struct Table
+    {
+        const char *label;
+        std::array<Cycle, 4> values;
+    };
+    const Table tables[] = {
+        {"aggressive /10", {10, 150, 5000, 10000}},
+        {"paper Table 6", {100, 1500, 50000, 100000}},
+        {"lenient x10", {1000, 15000, 500000, 1000000}},
+    };
+    for (const auto &table : tables) {
+        sim::SystemConfig cfg =
+            sim::applyPolicy(base, sim::PolicySetup::Padc);
+        cfg.sched.drop_thresholds = table.values;
+        const auto agg =
+            aggregateOverMixes(ctx, cfg, mixes, options, alone);
+        std::printf("%-16s WS %7.3f  HS %7.3f  useless %8.0f\n",
+                    table.label, agg.ws, agg.hs, agg.traffic_useless);
+    }
+
+    std::printf("\n--- stream prefetch distance (time rescaling) ---\n");
+    for (const std::uint32_t distance : {8u, 16u, 32u, 64u}) {
+        sim::SystemConfig cfg =
+            sim::applyPolicy(base, sim::PolicySetup::Padc);
+        cfg.prefetcher.distance = distance;
+        const auto agg =
+            aggregateOverMixes(ctx, cfg, mixes, options, alone);
+        std::printf("distance %3u    WS %7.3f  HS %7.3f  traffic %9.0f\n",
+                    distance, agg.ws, agg.hs, agg.traffic);
+    }
+}
+
+const Registrar registrar(
+    {"abl_thresholds", "Ablation", "PADC threshold sensitivity",
+     "flat near paper settings; extremes degrade", {"ablation"}},
+    &runAblThresholds);
+
+} // namespace
+} // namespace padc::exp

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 1: normalized performance of the stream prefetcher under the
+ * two rigid DRAM scheduling policies (demand-first vs
+ * demand-prefetch-equal) for ten benchmarks on a single core.
+ *
+ * Paper shape: for the prefetch-unfriendly left five (galgel, ammp,
+ * xalancbmk, art, milc) demand-first wins; for the prefetch-friendly
+ * right five (lbm, leslie3d, swim, bwaves, libquantum) the order flips.
+ */
+
+#include "exp/harness.hh"
+#include "exp/registry.hh"
+
+namespace padc::exp
+{
+namespace
+{
+
+void
+runFig01(ExperimentContext &ctx)
+{
+    const std::vector<std::string> benchmarks = {
+        "galgel_00", "ammp_00",  "xalancbmk_06", "art_00",
+        "milc_06",   "lbm_06",   "leslie3d_06",  "swim_00",
+        "bwaves_06", "libquantum_06"};
+
+    const sim::SystemConfig base = sim::SystemConfig::baseline(1);
+    const sim::RunOptions options = defaultOptions(1);
+
+    const std::vector<sim::PolicySetup> policies = {
+        sim::PolicySetup::DemandFirst, sim::PolicySetup::DemandPrefEqual};
+    singleCoreNormalizedIpc(ctx, base, benchmarks, policies, options);
+}
+
+const Registrar registrar(
+    {"fig01", "Figure 1", "stream prefetcher under rigid policies",
+     "demand-first wins left five; demand-pref-equal wins right five",
+     {"single-core", "rigid"}},
+    &runFig01);
+
+} // namespace
+} // namespace padc::exp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 7: stall time per load (SPL) on the single-core system for all
+ * five policies.
+ *
+ * Paper shape: PADC has the lowest SPL on average (-5.0% vs
+ * demand-first); prefetching reduces SPL drastically for the friendly
+ * benchmarks.
+ */
+
+#include <cstdio>
+
+#include "exp/registry.hh"
+#include "exp/report.hh"
+
+namespace padc::exp
+{
+namespace
+{
+
+void
+runFig07(ExperimentContext &ctx)
+{
+    const sim::SystemConfig base = sim::SystemConfig::baseline(1);
+    const sim::RunOptions options = defaultOptions(1);
+    const auto &policies = fivePolicies();
+
+    std::printf("%-16s", "benchmark");
+    for (const auto setup : policies)
+        std::printf(" %17s", sim::policyLabel(setup).c_str());
+    std::printf("\n");
+
+    std::vector<std::vector<double>> spl(policies.size());
+    for (const auto &name : figureSixBenchmarks()) {
+        std::printf("%-16s", name.c_str());
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const auto metrics = ctx.runMix(
+                sim::applyPolicy(base, policies[p]), {name}, options);
+            spl[p].push_back(metrics.cores[0].spl);
+            std::printf(" %17.1f", metrics.cores[0].spl);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-16s", "amean");
+    for (const auto &column : spl)
+        std::printf(" %17.1f", amean(column));
+    std::printf("\n");
+}
+
+const Registrar registrar(
+    {"fig07", "Figure 7", "stall cycles per load (SPL), single core",
+     "PADC lowest average SPL; large drops for friendly apps",
+     {"single-core"}},
+    &runFig07);
+
+} // namespace
+} // namespace padc::exp

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figures 10-11, case study I: four prefetch-friendly applications
+ * (swim, bwaves, leslie3d, soplex) on the 4-core system.
+ *
+ * Paper shape: demand-pref-equal clearly beats demand-first (all four
+ * prefetchers are accurate); PADC is best overall (paper: +31.3% WS
+ * over demand-first); traffic savings are small.
+ */
+
+#include "exp/harness.hh"
+#include "exp/registry.hh"
+
+namespace padc::exp
+{
+namespace
+{
+
+void
+runFig10(ExperimentContext &ctx)
+{
+    caseStudyBench(ctx, workload::caseStudyFriendly(), fivePolicies());
+}
+
+const Registrar registrar(
+    {"fig10", "Figures 10-11 (case study I)",
+     "four prefetch-friendly applications, 4 cores",
+     "equal >> demand-first; PADC best WS", {"case-study"}},
+    &runFig10);
+
+} // namespace
+} // namespace padc::exp

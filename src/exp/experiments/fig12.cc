@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figures 12-13, case study II: four prefetch-unfriendly applications
+ * (art, galgel, ammp, milc) on the 4-core system.
+ *
+ * Paper shape: demand-first and APS beat demand-pref-equal; APD's
+ * dropping makes PADC the best policy (paper: +17.7% WS over
+ * demand-first, -9.1% traffic) and recovers most of the loss versus no
+ * prefetching.
+ */
+
+#include "exp/harness.hh"
+#include "exp/registry.hh"
+
+namespace padc::exp
+{
+namespace
+{
+
+void
+runFig12(ExperimentContext &ctx)
+{
+    caseStudyBench(ctx, workload::caseStudyUnfriendly(), fivePolicies());
+}
+
+const Registrar registrar(
+    {"fig12", "Figures 12-13 (case study II)",
+     "four prefetch-unfriendly applications, 4 cores",
+     "demand-first >> equal; PADC best and close to no-pref;"
+     " big traffic cut",
+     {"case-study"}},
+    &runFig12);
+
+} // namespace
+} // namespace padc::exp

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figures 14-15, case study III: two prefetch-friendly (libquantum,
+ * GemsFDTD) plus two prefetch-unfriendly (omnetpp, galgel) applications
+ * on the 4-core system.
+ *
+ * Paper shape: PADC prevents the unfriendly apps' useless prefetches
+ * from denying service to the friendly apps: best WS/HS, large traffic
+ * reduction (paper: -14.5%).
+ */
+
+#include "exp/harness.hh"
+#include "exp/registry.hh"
+
+namespace padc::exp
+{
+namespace
+{
+
+void
+runFig14(ExperimentContext &ctx)
+{
+    caseStudyBench(ctx, workload::caseStudyMixed(), fivePolicies());
+}
+
+const Registrar registrar(
+    {"fig14", "Figures 14-15 (case study III)",
+     "mixed friendly/unfriendly applications, 4 cores",
+     "PADC best WS/HS and lowest unfairness; traffic cut",
+     {"case-study"}},
+    &runFig14);
+
+} // namespace
+} // namespace padc::exp

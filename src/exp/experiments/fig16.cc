@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 16: overall performance and traffic on the 4-core system over
+ * random mixes (paper: 32 workloads).
+ *
+ * Paper shape: PADC improves WS by ~8.2% and HS by ~4.1% over
+ * demand-first and cuts traffic ~10.1%.
+ */
+
+#include "exp/harness.hh"
+#include "exp/registry.hh"
+
+namespace padc::exp
+{
+namespace
+{
+
+void
+runFig16(ExperimentContext &ctx)
+{
+    overallBench(ctx, 4, 12, fivePolicies());
+}
+
+const Registrar registrar(
+    {"fig16", "Figure 16", "4-core overall performance and traffic",
+     "PADC best WS/HS, lowest traffic", {"overall"}},
+    &runFig16);
+
+} // namespace
+} // namespace padc::exp

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Figure 17: overall performance and traffic on the 8-core system over
+ * random mixes (paper: 21 workloads).
+ *
+ * Paper shape: with one controller the rigid policies barely help (or
+ * hurt) at 8 cores; PADC improves WS ~9.9% over demand-first and cuts
+ * traffic ~9.4% -- the benefit grows with core count.
+ */
+
+#include "exp/harness.hh"
+#include "exp/registry.hh"
+
+namespace padc::exp
+{
+namespace
+{
+
+void
+runFig17(ExperimentContext &ctx)
+{
+    overallBench(ctx, 8, 8, fivePolicies());
+}
+
+const Registrar registrar(
+    {"fig17", "Figure 17", "8-core overall performance and traffic",
+     "PADC's edge grows with core count", {"overall"}},
+    &runFig17);
+
+} // namespace
+} // namespace padc::exp

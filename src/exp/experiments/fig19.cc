@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figures 19-20: PADC augmented with the shortest-job-first ranking
+ * rule (Section 6.5) on the 4-core and 8-core systems.
+ *
+ * Paper shape: ranking keeps WS roughly level, improves HS slightly,
+ * and reduces unfairness (more so at 8 cores: -10.4% UF, +2% WS).
+ */
+
+#include <cstdio>
+
+#include "exp/harness.hh"
+#include "exp/registry.hh"
+
+namespace padc::exp
+{
+namespace
+{
+
+void
+runFig19(ExperimentContext &ctx)
+{
+    const std::vector<sim::PolicySetup> policies = {
+        sim::PolicySetup::DemandFirst, sim::PolicySetup::Padc,
+        sim::PolicySetup::PadcRank};
+    overallBench(ctx, 4, 10, policies);
+    std::printf("\n");
+    overallBench(ctx, 8, 6, policies);
+}
+
+const Registrar registrar(
+    {"fig19", "Figures 19-20", "PADC with request ranking",
+     "PADC-rank lowers UF; WS/HS level or better", {"overall"}},
+    &runFig19);
+
+} // namespace
+} // namespace padc::exp

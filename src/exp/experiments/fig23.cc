@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 23: WS of each policy across DRAM row-buffer sizes (2KB to
+ * 128KB) on the 4-core system.
+ *
+ * Paper shape: PADC wins at every size; the rigid policies lose their
+ * prefetching benefit at very large rows (demand-first can even drop
+ * below no-prefetching) while PADC keeps improving.
+ */
+
+#include <cstdio>
+
+#include "exp/harness.hh"
+#include "exp/registry.hh"
+
+namespace padc::exp
+{
+namespace
+{
+
+void
+runFig23(ExperimentContext &ctx)
+{
+    const sim::RunOptions options = defaultOptions(4);
+    const auto mixes = workload::randomMixes(4, 4, ctx.mixSeed(77));
+
+    std::printf("%-10s", "row size");
+    for (const auto setup : fivePolicies())
+        std::printf(" %17s", sim::policyLabel(setup).c_str());
+    std::printf("\n");
+
+    for (const std::uint32_t row_kb : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        sim::SystemConfig base = sim::SystemConfig::baseline(4);
+        base.dram.geometry.row_bytes = row_kb * 1024;
+        sim::AloneIpcCache alone(base, options);
+        std::printf("%6uKB  ", row_kb);
+        for (const auto setup : fivePolicies()) {
+            const auto agg = aggregateOverMixes(
+                ctx, sim::applyPolicy(base, setup), mixes, options,
+                alone);
+            std::printf(" %17.3f", agg.ws);
+        }
+        std::printf("\n");
+    }
+}
+
+const Registrar registrar(
+    {"fig23", "Figure 23", "row-buffer size sweep, 4 cores",
+     "PADC best at every row size", {"sweep", "sensitivity"}},
+    &runFig23);
+
+} // namespace
+} // namespace padc::exp

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figures 29-30: comparison and combination with Dynamic Data Prefetch
+ * Filtering (DDPF) and Feedback Directed Prefetching (FDP).
+ *
+ * Paper shape: DDPF/FDP cut more traffic than APD but also kill useful
+ * prefetches, so APD performs best; APS composes with DDPF/FDP
+ * (aps-ddpf, aps-fdp) but plain PADC is the best configuration, under
+ * both demand-first and demand-pref-equal base scheduling.
+ */
+
+#include "exp/harness.hh"
+#include "exp/registry.hh"
+
+namespace padc::exp
+{
+namespace
+{
+
+void
+runFig29(ExperimentContext &ctx)
+{
+    sim::SystemConfig base = sim::SystemConfig::baseline(4);
+    const sim::RunOptions options = defaultOptions(4);
+    const auto mixes = workload::randomMixes(8, 4, ctx.mixSeed(11));
+    sim::AloneIpcCache alone(base, options);
+
+    struct Variant
+    {
+        const char *label;
+        sim::PolicySetup setup;
+        bool ddpf;
+        bool fdp;
+    };
+    const Variant variants[] = {
+        {"demand-first", sim::PolicySetup::DemandFirst, false, false},
+        {"demand-first-ddpf", sim::PolicySetup::DemandFirst, true, false},
+        {"demand-first-fdp", sim::PolicySetup::DemandFirst, false, true},
+        {"demand-first-apd", sim::PolicySetup::ApdOnly, false, false},
+        {"demand-pref-equal", sim::PolicySetup::DemandPrefEqual, false,
+         false},
+        {"dpe-ddpf", sim::PolicySetup::DemandPrefEqual, true, false},
+        {"dpe-fdp", sim::PolicySetup::DemandPrefEqual, false, true},
+        {"aps-ddpf", sim::PolicySetup::ApsOnly, true, false},
+        {"aps-fdp", sim::PolicySetup::ApsOnly, false, true},
+        {"aps-apd (PADC)", sim::PolicySetup::Padc, false, false},
+    };
+    for (const auto &variant : variants) {
+        sim::SystemConfig cfg = sim::applyPolicy(base, variant.setup);
+        cfg.ddpf_enabled = variant.ddpf;
+        cfg.fdp_enabled = variant.fdp;
+        const auto agg =
+            aggregateOverMixes(ctx, cfg, mixes, options, alone);
+        printAggregate(variant.label, agg);
+    }
+}
+
+const Registrar registrar(
+    {"fig29", "Figures 29-30", "DDPF and FDP comparison",
+     "PADC best WS; DDPF/FDP cut more traffic at a performance cost",
+     {"prefetchers"}},
+    &runFig29);
+
+} // namespace
+} // namespace padc::exp

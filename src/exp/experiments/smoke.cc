@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Smoke experiment: a deliberately tiny 2-point sweep (no-prefetching
+ * vs demand-first on one benchmark, short run) used by the `exp_smoke`
+ * ctest label and the driver tests to exercise the full registry ->
+ * context -> structured-JSON pipeline in seconds.
+ */
+
+#include <cstdio>
+
+#include "exp/registry.hh"
+#include "exp/report.hh"
+
+namespace padc::exp
+{
+namespace
+{
+
+void
+runSmoke(ExperimentContext &ctx)
+{
+    const sim::SystemConfig base = sim::SystemConfig::baseline(1);
+    sim::RunOptions options;
+    options.instructions = 20000;
+    options.warmup = 5000;
+    options.max_cycles = 10000000;
+
+    const workload::Mix mix = {"mcf_06"};
+    const std::vector<sim::PolicySetup> policies = {
+        sim::PolicySetup::NoPref, sim::PolicySetup::DemandFirst};
+
+    std::vector<sim::SweepPoint> points;
+    for (const auto setup : policies)
+        points.push_back({sim::applyPolicy(base, setup), mix, options});
+    const auto runs = ctx.runSweep(points);
+
+    std::printf("%-18s %8s %8s\n", "policy", "IPC", "MPKI");
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        const sim::RunMetrics &m = runs[p].value;
+        const double ipc = m.cores.empty() ? 0.0 : m.cores[0].ipc;
+        const double mpki = m.cores.empty() ? 0.0 : m.cores[0].mpki;
+        std::printf("%-18s %8.3f %8.2f\n",
+                    sim::policyLabel(policies[p]).c_str(), ipc, mpki);
+    }
+}
+
+const Registrar registrar(
+    {"smoke", "Smoke test", "two-point pipeline smoke check",
+     "runs in seconds; exercises registry/driver/JSON end to end",
+     {"smoke"}},
+    &runSmoke);
+
+} // namespace
+} // namespace padc::exp

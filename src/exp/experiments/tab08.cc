@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Table 8: effect of prioritizing urgent requests (demands from
+ * low-accuracy cores) on the case-study-III mix.
+ *
+ * Paper shape: without urgency, the prefetch-unfriendly applications
+ * starve (high UF); urgency restores their speedups and improves HS at
+ * a small WS cost.
+ */
+
+#include "exp/harness.hh"
+#include "exp/registry.hh"
+
+namespace padc::exp
+{
+namespace
+{
+
+void
+runTab08(ExperimentContext &ctx)
+{
+    const std::vector<sim::PolicySetup> policies = {
+        sim::PolicySetup::DemandFirst, sim::PolicySetup::ApsNoUrgent,
+        sim::PolicySetup::ApsOnly,     sim::PolicySetup::PadcNoUrgent,
+        sim::PolicySetup::Padc,
+    };
+    caseStudyBench(ctx, workload::caseStudyMixed(), policies);
+}
+
+const Registrar registrar(
+    {"tab08", "Table 8", "urgent-request prioritization ablation",
+     "no-urgent variants have much higher unfairness", {"table"}},
+    &runTab08);
+
+} // namespace
+} // namespace padc::exp

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Tables 9-10: four identical applications per workload -- all
+ * libquantum (prefetch-friendly) and all milc (prefetch-unfriendly) on
+ * the 4-core system.
+ *
+ * Paper shape: for 4x libquantum, demand-pref-equal/APS/PADC all beat
+ * demand-first (paper +18.2% WS) with near-equal per-core speedups; for
+ * 4x milc, PADC beats every rigid policy via dropping.
+ */
+
+#include <cstdio>
+
+#include "exp/harness.hh"
+#include "exp/registry.hh"
+
+namespace padc::exp
+{
+namespace
+{
+
+void
+runTab09(ExperimentContext &ctx)
+{
+    caseStudyBench(ctx,
+                   {"libquantum_06", "libquantum_06", "libquantum_06",
+                    "libquantum_06"},
+                   fivePolicies());
+    std::printf("\n");
+    banner("Table 10", "four identical milc instances",
+           "demand-first/APS > equal; PADC best of all");
+    caseStudyBench(ctx, {"milc_06", "milc_06", "milc_06", "milc_06"},
+                   fivePolicies());
+}
+
+const Registrar registrar(
+    {"tab09", "Table 9", "four identical libquantum instances",
+     "equal/APS/PADC > demand-first; speedups uniform", {"table"}},
+    &runTab09);
+
+} // namespace
+} // namespace padc::exp

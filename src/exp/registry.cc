@@ -1,0 +1,133 @@
+#include "exp/registry.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace padc::exp
+{
+
+bool
+globMatch(const std::string &pattern, const std::string &text)
+{
+    // Iterative glob with backtracking over the last '*'.
+    std::size_t p = 0;
+    std::size_t t = 0;
+    std::size_t star = std::string::npos;
+    std::size_t star_t = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == text[t] || pattern[p] == '?')) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            star_t = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++star_t;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+ExperimentRegistry &
+ExperimentRegistry::instance()
+{
+    static ExperimentRegistry registry;
+    return registry;
+}
+
+void
+ExperimentRegistry::add(ExperimentInfo info, ExperimentFn run)
+{
+    if (find(info.name) != nullptr)
+        throw std::logic_error("duplicate experiment name: " + info.name);
+    experiments_.push_back({std::move(info), run});
+}
+
+std::vector<const Experiment *>
+ExperimentRegistry::all() const
+{
+    std::vector<const Experiment *> out;
+    out.reserve(experiments_.size());
+    for (const Experiment &experiment : experiments_)
+        out.push_back(&experiment);
+    std::sort(out.begin(), out.end(),
+              [](const Experiment *a, const Experiment *b) {
+                  return a->info.name < b->info.name;
+              });
+    return out;
+}
+
+const Experiment *
+ExperimentRegistry::find(const std::string &name) const
+{
+    for (const Experiment &experiment : experiments_) {
+        if (experiment.info.name == name)
+            return &experiment;
+    }
+    return nullptr;
+}
+
+std::vector<const Experiment *>
+ExperimentRegistry::match(const std::string &selector) const
+{
+    std::vector<const Experiment *> out;
+    for (const Experiment *experiment : all()) {
+        const ExperimentInfo &info = experiment->info;
+        const bool tagged =
+            std::find(info.tags.begin(), info.tags.end(), selector) !=
+            info.tags.end();
+        if (info.name == selector || tagged ||
+            globMatch(selector, info.name)) {
+            out.push_back(experiment);
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diagonal = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t substitute =
+                diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diagonal = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+        }
+    }
+    return row[b.size()];
+}
+
+} // namespace
+
+std::string
+ExperimentRegistry::closestName(const std::string &input) const
+{
+    std::string best;
+    std::size_t best_distance = 0;
+    for (const Experiment &experiment : experiments_) {
+        const std::size_t distance =
+            editDistance(input, experiment.info.name);
+        if (best.empty() || distance < best_distance) {
+            best = experiment.info.name;
+            best_distance = distance;
+        }
+    }
+    return best;
+}
+
+} // namespace padc::exp

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Static self-registration registry of all experiments.
+ *
+ * Each experiment translation unit defines a file-local
+ * `Registrar reg_<name>(info, run);` at namespace scope; constructing
+ * it adds the experiment to the process-wide registry before main()
+ * runs. The experiment TUs are linked as an object library
+ * (`padc_experiments` in src/CMakeLists.txt) so a static-library
+ * linker can never drop the otherwise-unreferenced registrations.
+ */
+
+#ifndef PADC_EXP_REGISTRY_HH
+#define PADC_EXP_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hh"
+
+namespace padc::exp
+{
+
+/**
+ * Glob match supporting '*' (any run) and '?' (any one character);
+ * used by the driver's selectors, e.g. `padc run 'fig1*'`.
+ */
+bool globMatch(const std::string &pattern, const std::string &text);
+
+/** Process-wide experiment registry. */
+class ExperimentRegistry
+{
+  public:
+    static ExperimentRegistry &instance();
+
+    /**
+     * Register an experiment.
+     * @throws std::logic_error on a duplicate name (two registrations
+     *         competing for one CLI name is a programming error).
+     */
+    void add(ExperimentInfo info, ExperimentFn run);
+
+    /** All experiments, sorted by name. */
+    std::vector<const Experiment *> all() const;
+
+    /** Exact-name lookup; nullptr when absent. */
+    const Experiment *find(const std::string &name) const;
+
+    /**
+     * Every experiment selected by @p selector, name-sorted: an exact
+     * name, a tag, or a glob over names. Empty when nothing matches.
+     */
+    std::vector<const Experiment *>
+    match(const std::string &selector) const;
+
+    /**
+     * The registered name closest to @p input by edit distance, for
+     * "did you mean" suggestions; empty when the registry is empty.
+     */
+    std::string closestName(const std::string &input) const;
+
+    std::size_t size() const { return experiments_.size(); }
+
+  private:
+    ExperimentRegistry() = default;
+
+    std::vector<Experiment> experiments_;
+};
+
+/** Registers an experiment from a namespace-scope constructor. */
+class Registrar
+{
+  public:
+    Registrar(ExperimentInfo info, ExperimentFn run)
+    {
+        ExperimentRegistry::instance().add(std::move(info), run);
+    }
+};
+
+} // namespace padc::exp
+
+#endif // PADC_EXP_REGISTRY_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared reporting helpers of the experiment library: the standard
+ * banner, the canonical policy column sets, per-scale default run
+ * options, multiprogrammed aggregates, and the per-point sweep failure
+ * summary. Moved here from the former bench/common.hh so no experiment
+ * logic lives in a header.
+ *
+ * Every experiment regenerates one table or figure of "Prefetch-Aware
+ * DRAM Controllers" (MICRO-41): it prints the same rows/series the
+ * paper reports, computed from our simulation stack. Absolute values
+ * differ from the paper (different substrate; see DESIGN.md), the
+ * *shape* is what each experiment asserts in its paper_shape field.
+ */
+
+#ifndef PADC_EXP_REPORT_HH
+#define PADC_EXP_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace padc::exp
+{
+
+/** The five policy columns used by most figures. */
+const std::vector<sim::PolicySetup> &fivePolicies();
+
+/** Default run options per system scale (keeps the suite laptop-fast). */
+sim::RunOptions defaultOptions(std::uint32_t cores);
+
+/** The paper's Fig. 1 / Fig. 6 benchmark selection (available subset). */
+std::vector<std::string> figureSixBenchmarks();
+
+/** Print the standard experiment banner. */
+void banner(const std::string &artifact, const std::string &description,
+            const std::string &expectation);
+
+/**
+ * Print the per-point failure summary of a sweep: which points failed
+ * or were truncated at the cycle cap, and why. Prints nothing when the
+ * sweep was fault-free, so healthy experiment output is unchanged.
+ * Returns the number of unhealthy points.
+ */
+std::size_t
+reportSweepFailures(const std::vector<sim::SweepPoint> &points,
+                    const std::vector<sim::Result<sim::MixEvaluation>> &results);
+
+std::size_t
+reportSweepFailures(const std::vector<sim::SweepPoint> &points,
+                    const std::vector<sim::Result<sim::RunMetrics>> &results);
+
+/** Aggregate multiprogrammed results across a set of mixes. */
+struct Aggregate
+{
+    double ws = 0.0;
+    double hs = 0.0;
+    double uf = 0.0;
+    double traffic = 0.0;         ///< mean total lines per mix
+    double traffic_useless = 0.0; ///< mean useless-prefetch lines
+    double traffic_useful = 0.0;
+    double traffic_demand = 0.0;
+    std::uint32_t mixes = 0;
+};
+
+/** Fold one evaluated mix into an aggregate. */
+void foldEvaluation(Aggregate &agg, const sim::MixEvaluation &eval);
+
+/** Divide the accumulated sums through by the mix count. */
+void finishAggregate(Aggregate &agg);
+
+/** Print one aggregate row. */
+void printAggregate(const std::string &label, const Aggregate &agg);
+
+} // namespace padc::exp
+
+#endif // PADC_EXP_REPORT_HH

@@ -123,6 +123,15 @@ class SweepJournal
  */
 SweepJournal *envJournal();
 
+/**
+ * Install the journal path envJournal() should use instead of reading
+ * PADC_RESUME (the `padc` driver's --resume flag goes through here).
+ * Must be called before the first envJournal() use.
+ * @return false (and changes nothing) when envJournal() already
+ *         resolved its journal.
+ */
+bool setEnvJournalPath(const std::string &path);
+
 } // namespace padc::sim
 
 #endif // PADC_SIM_JOURNAL_HH

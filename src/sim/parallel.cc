@@ -149,11 +149,32 @@ ParallelExperimentRunner::workerLoop()
     }
 }
 
+namespace
+{
+
+/** Thread count the shared runner is created with (0 = default). */
+unsigned shared_runner_threads = 0;
+
+/** Whether sharedRunner() has constructed the pool already. */
+bool shared_runner_created = false;
+
+} // namespace
+
 ParallelExperimentRunner &
 sharedRunner()
 {
-    static ParallelExperimentRunner runner;
+    shared_runner_created = true;
+    static ParallelExperimentRunner runner(shared_runner_threads);
     return runner;
+}
+
+bool
+setSharedRunnerThreads(unsigned threads)
+{
+    if (shared_runner_created)
+        return false;
+    shared_runner_threads = threads;
+    return true;
 }
 
 } // namespace padc::sim

@@ -134,9 +134,19 @@ class ParallelExperimentRunner
 
 /**
  * Process-wide shared runner (lazily constructed with the default thread
- * count); the benches use this so a binary spins up one pool total.
+ * count); the experiments use this so a process spins up one pool total.
  */
 ParallelExperimentRunner &sharedRunner();
+
+/**
+ * Set the worker count sharedRunner() will be constructed with
+ * (0 restores the default). Must be called before the first
+ * sharedRunner() use; the `padc` driver's --threads flag goes through
+ * here.
+ * @return false (and changes nothing) when the shared pool already
+ *         exists.
+ */
+bool setSharedRunnerThreads(unsigned threads);
 
 } // namespace padc::sim
 

@@ -70,6 +70,48 @@ TEST(ConfigTest, RowPolicyNames)
     EXPECT_EQ(toString(RowPolicy::Closed), "closed-row");
 }
 
+TEST(ConfigTest, RowPolicyRoundTrip)
+{
+    for (RowPolicy policy : {RowPolicy::Open, RowPolicy::Closed}) {
+        RowPolicy parsed{};
+        ASSERT_TRUE(parseRowPolicy(toString(policy), &parsed));
+        EXPECT_EQ(parsed, policy);
+    }
+    RowPolicy parsed = RowPolicy::Closed;
+    EXPECT_FALSE(parseRowPolicy("ajar-row", &parsed));
+    EXPECT_EQ(parsed, RowPolicy::Closed);
+}
+
+// The name tables are the single source of truth for both directions:
+// every enumerator must render to a parseable canonical name, and no
+// enumerator may render as "unknown".
+TEST(ConfigTest, EveryEnumValueRoundTrips)
+{
+    for (SchedPolicyKind kind :
+         {SchedPolicyKind::FrFcfs, SchedPolicyKind::DemandFirst,
+          SchedPolicyKind::PrefetchFirst, SchedPolicyKind::Aps}) {
+        ASSERT_NE(toString(kind), "unknown");
+        SchedPolicyKind parsed{};
+        ASSERT_TRUE(parseSchedPolicy(toString(kind), &parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    for (PrefetcherKind kind :
+         {PrefetcherKind::None, PrefetcherKind::Stream,
+          PrefetcherKind::Stride, PrefetcherKind::Cdc,
+          PrefetcherKind::Markov}) {
+        ASSERT_NE(toString(kind), "unknown");
+        PrefetcherKind parsed{};
+        ASSERT_TRUE(parsePrefetcher(toString(kind), &parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    for (RowPolicy policy : {RowPolicy::Open, RowPolicy::Closed}) {
+        ASSERT_NE(toString(policy), "unknown");
+        RowPolicy parsed{};
+        ASSERT_TRUE(parseRowPolicy(toString(policy), &parsed));
+        EXPECT_EQ(parsed, policy);
+    }
+}
+
 TEST(TypesTest, LineHelpers)
 {
     EXPECT_EQ(lineAlign(0x1234), 0x1200u);

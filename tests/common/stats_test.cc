@@ -29,6 +29,43 @@ TEST(StatSetTest, MissingReadsAsZero)
     EXPECT_DOUBLE_EQ(s.get("nope"), 0.0);
 }
 
+// Lookups go through the lazy name index; a duplicate name must keep
+// reading as its first occurrence, exactly like the original
+// front-to-back linear scan.
+TEST(StatSetTest, DuplicateNameReadsFirstOccurrence)
+{
+    StatSet s;
+    s.add("dup", 1.0);
+    s.add("other", 5.0);
+    s.add("dup", 2.0);
+    EXPECT_TRUE(s.has("dup"));
+    EXPECT_DOUBLE_EQ(s.get("dup"), 1.0);
+    ASSERT_EQ(s.entries().size(), 3u);
+    EXPECT_DOUBLE_EQ(s.entries()[2].second, 2.0); // both kept in order
+}
+
+// Appends after a lookup must be visible to later lookups (the index
+// catches up lazily instead of being rebuilt per add).
+TEST(StatSetTest, IndexCatchesUpAfterInterleavedAdds)
+{
+    StatSet s;
+    s.add("a", 1.0);
+    EXPECT_DOUBLE_EQ(s.get("a"), 1.0); // builds index over {a}
+    EXPECT_FALSE(s.has("b"));
+    s.add("b", 2.0);
+    s.add("a", 9.0); // duplicate appended after the index was built
+    EXPECT_TRUE(s.has("b"));
+    EXPECT_DOUBLE_EQ(s.get("b"), 2.0);
+    EXPECT_DOUBLE_EQ(s.get("a"), 1.0); // still the first occurrence
+
+    StatSet merged;
+    merged.add("x", 3.0);
+    EXPECT_TRUE(merged.has("x"));
+    merged.merge("pre.", s);
+    EXPECT_DOUBLE_EQ(merged.get("pre.b"), 2.0);
+    EXPECT_DOUBLE_EQ(merged.get("pre.a"), 1.0);
+}
+
 TEST(StatSetTest, InsertionOrderPreserved)
 {
     StatSet s;

@@ -1,0 +1,96 @@
+#include "exp/json.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace padc::exp
+{
+namespace
+{
+
+TEST(JsonQuote, EscapesSpecials)
+{
+    EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
+    EXPECT_EQ(jsonQuote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    EXPECT_EQ(jsonQuote("line\nbreak"), "\"line\\nbreak\"");
+    EXPECT_EQ(jsonQuote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonNumber, RoundTripsBitExactly)
+{
+    for (const double value :
+         {0.0, 1.0, -1.5, 0.1, 1.0 / 3.0, 123456789.123456789,
+          std::numeric_limits<double>::max(),
+          std::numeric_limits<double>::min()}) {
+        const std::string text = jsonNumber(value);
+        EXPECT_EQ(std::strtod(text.c_str(), nullptr), value) << text;
+    }
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+}
+
+TEST(JsonWriter, NestedDocument)
+{
+    JsonWriter writer;
+    writer.beginObject();
+    writer.member("name", "x");
+    writer.member("n", std::uint64_t{7});
+    writer.beginArray("items");
+    writer.element("a");
+    writer.element("b");
+    writer.endArray();
+    writer.beginObject("inner");
+    writer.member("flag", true);
+    writer.endObject();
+    writer.endObject();
+
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(parseJson(writer.str(), &parsed, &error)) << error;
+    ASSERT_TRUE(parsed.isObject());
+    EXPECT_EQ(parsed.find("name")->string, "x");
+    EXPECT_EQ(parsed.find("n")->number, 7.0);
+    ASSERT_TRUE(parsed.find("items")->isArray());
+    EXPECT_EQ(parsed.find("items")->array.size(), 2u);
+    EXPECT_EQ(parsed.find("items")->array[1].string, "b");
+    EXPECT_TRUE(parsed.find("inner")->find("flag")->boolean);
+}
+
+TEST(JsonParser, AcceptsScalarsAndRejectsGarbage)
+{
+    JsonValue value;
+    ASSERT_TRUE(parseJson("  null ", &value));
+    EXPECT_EQ(value.kind, JsonValue::Kind::Null);
+    ASSERT_TRUE(parseJson("-12.5e2", &value));
+    EXPECT_EQ(value.number, -1250.0);
+    ASSERT_TRUE(parseJson("\"\\u0041\\n\"", &value));
+    EXPECT_EQ(value.string, "A\n");
+    ASSERT_TRUE(parseJson("[1, [2, 3], {\"k\": false}]", &value));
+    EXPECT_EQ(value.array[1].array[1].number, 3.0);
+    EXPECT_FALSE(value.array[2].find("k")->boolean);
+
+    std::string error;
+    EXPECT_FALSE(parseJson("", &value, &error));
+    EXPECT_FALSE(parseJson("{", &value, &error));
+    EXPECT_FALSE(parseJson("[1,]", &value, &error));
+    EXPECT_FALSE(parseJson("{\"a\":1} trailing", &value, &error));
+    EXPECT_FALSE(parseJson("nul", &value, &error));
+    EXPECT_FALSE(parseJson("01", &value, &error));
+}
+
+TEST(JsonValue, FindOnNonObjectIsNull)
+{
+    JsonValue value;
+    ASSERT_TRUE(parseJson("[1]", &value));
+    EXPECT_EQ(value.find("x"), nullptr);
+    ASSERT_TRUE(parseJson("{\"a\": 1}", &value));
+    EXPECT_EQ(value.find("b"), nullptr);
+    ASSERT_NE(value.find("a"), nullptr);
+}
+
+} // namespace
+} // namespace padc::exp
