@@ -12,6 +12,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +26,7 @@
 #include "prefetch/stream_prefetcher.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel.hh"
+#include "telemetry/telemetry.hh"
 #include "workload/generator.hh"
 
 namespace
@@ -97,58 +101,92 @@ class NullHandler : public memctrl::ResponseHandler
 };
 
 /**
- * Cost of one controller DRAM cycle (complete + schedule + issue) with
- * the read queue held at state.range(0) outstanding requests. Addresses
- * follow a deterministic pseudo-random line sequence, so the load mixes
- * row hits and conflicts across all banks; completed requests are
- * immediately replaced to keep the depth constant.
+ * Reusable scheduler workload: a controller whose read queue is held at
+ * a fixed depth of pseudo-random requests (mixing row hits and
+ * conflicts across all banks), stepped one DRAM command clock per
+ * tick. Shared by the scheduling micro-benchmarks and the telemetry
+ * overhead check.
  */
-void
-scheduleReadAtDepth(benchmark::State &state, bool reference)
+struct SchedulerLoad
 {
-    const auto depth = static_cast<std::size_t>(state.range(0));
-    constexpr std::uint32_t kCores = 4;
+    static constexpr std::uint32_t kCores = 4;
 
     dram::TimingParams timing;
-    dram::Channel channel(timing, 8);
+    dram::Channel channel{timing, 8};
     dram::Geometry geometry;
-    dram::AddressMap map(geometry);
-
-    memctrl::AccuracyConfig acfg;
-    acfg.interval = 1000000; // static accuracy during the benchmark
-    acfg.initial_accuracy = 1.0;
-    memctrl::AccuracyTracker tracker(kCores, acfg);
+    dram::AddressMap map{geometry};
+    memctrl::AccuracyTracker tracker;
     NullHandler handler;
+    memctrl::MemoryController ctrl;
 
-    memctrl::SchedulerConfig cfg;
-    cfg.kind = SchedPolicyKind::Aps;
-    cfg.apd_enabled = false;
-    cfg.request_buffer_size = 256;
-    cfg.reference_scheduler = reference;
-    memctrl::MemoryController ctrl(cfg, channel, tracker, handler, kCores);
-
+    std::size_t depth;
     std::uint64_t line = 1;
     std::uint64_t n = 0;
     Cycle now = 0;
-    auto topUp = [&](Cycle at) {
+
+    static memctrl::AccuracyConfig
+    accuracyConfig()
+    {
+        memctrl::AccuracyConfig acfg;
+        acfg.interval = 1000000; // static accuracy during the benchmark
+        acfg.initial_accuracy = 1.0;
+        return acfg;
+    }
+
+    static memctrl::SchedulerConfig
+    schedConfig(bool reference)
+    {
+        memctrl::SchedulerConfig cfg;
+        cfg.kind = SchedPolicyKind::Aps;
+        cfg.apd_enabled = false;
+        cfg.request_buffer_size = 256;
+        cfg.reference_scheduler = reference;
+        return cfg;
+    }
+
+    SchedulerLoad(std::size_t queue_depth, bool reference)
+        : tracker(kCores, accuracyConfig()),
+          ctrl(schedConfig(reference), channel, tracker, handler, kCores),
+          depth(queue_depth)
+    {
+        topUp();
+    }
+
+    void
+    topUp()
+    {
         while (ctrl.readQueueSize() < depth) {
             line = line * 2862933555777941757ULL + 3037000493ULL;
             const Addr addr = lineToAddr(line % 4096);
             ctrl.enqueueRead(map.map(addr), lineAlign(addr),
                              static_cast<CoreId>(n % kCores), 0x400,
-                             (n & 1) != 0, at);
+                             (n & 1) != 0, now);
             ++n;
         }
-    };
-    topUp(now);
+    }
 
-    // Step in DRAM command clocks: every tick runs a scheduling round.
-    for (auto _ : state) {
+    /** One scheduling round (complete + schedule + issue) and refill. */
+    void
+    tick()
+    {
         ctrl.tick(now);
         now += timing.cpu_per_dram_cycle;
-        topUp(now);
+        topUp();
     }
-    benchmark::DoNotOptimize(ctrl.stats().demand_reads);
+};
+
+/**
+ * Cost of one controller DRAM cycle with the read queue held at
+ * state.range(0) outstanding requests.
+ */
+void
+scheduleReadAtDepth(benchmark::State &state, bool reference)
+{
+    SchedulerLoad load(static_cast<std::size_t>(state.range(0)),
+                       reference);
+    for (auto _ : state)
+        load.tick();
+    benchmark::DoNotOptimize(load.ctrl.stats().demand_reads);
 }
 
 void
@@ -165,6 +203,25 @@ BM_ScheduleReadReference(benchmark::State &state)
     scheduleReadAtDepth(state, true);
 }
 BENCHMARK(BM_ScheduleReadReference)->Arg(4)->Arg(32)->Arg(128);
+
+/**
+ * Same scheduling loop with a request trace attached in count-only mode
+ * (limit 0): every hook fires but nothing is stored. Compare against
+ * BM_ScheduleRead at the same depth to see the full tracing toll; the
+ * compiled-in-but-disabled cost is asserted by
+ * --telemetry-overhead-check below.
+ */
+void
+BM_ScheduleReadTelemetry(benchmark::State &state)
+{
+    SchedulerLoad load(static_cast<std::size_t>(state.range(0)), false);
+    telemetry::TraceBuffer trace(0);
+    load.ctrl.setTrace(&trace, 0);
+    for (auto _ : state)
+        load.tick();
+    benchmark::DoNotOptimize(trace.seen());
+}
+BENCHMARK(BM_ScheduleReadTelemetry)->Arg(4)->Arg(32)->Arg(128);
 
 /**
  * A small (policy x mix) sweep through the shared thread pool; compare
@@ -216,6 +273,91 @@ BM_SingleCoreSimulation(benchmark::State &state)
 }
 BENCHMARK(BM_SingleCoreSimulation)->Unit(benchmark::kMillisecond);
 
+// --- telemetry overhead check ---------------------------------------
+
+/** Wall seconds for @p ticks scheduler rounds, optionally traced. */
+double
+timedRounds(std::uint64_t ticks, telemetry::TraceBuffer *trace)
+{
+    SchedulerLoad load(32, false);
+    if (trace != nullptr)
+        load.ctrl.setTrace(trace, 0);
+    const auto begin = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < ticks; ++i)
+        load.tick();
+    const auto end = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(load.ctrl.stats().demand_reads);
+    return std::chrono::duration<double>(end - begin).count();
+}
+
+/**
+ * Assert that telemetry compiled in but *disabled* (no sinks attached:
+ * every hook is one untaken null test) stays within measurement noise
+ * of itself, and that even count-only tracing -- every hook firing,
+ * nothing stored -- stays within a generous noise bound of the
+ * disabled path. The rounds are interleaved so frequency drift hits
+ * all variants alike, and each variant takes the median of its rounds.
+ *
+ * Off by default: only runs under --telemetry-overhead-check, because
+ * a timing assertion has no place in a normal benchmark invocation
+ * (and is meaningless under sanitizers).
+ *
+ * @return process exit code (0 = within noise)
+ */
+int
+telemetryOverheadCheck()
+{
+    constexpr std::uint64_t kTicks = 200000;
+    constexpr int kRounds = 9;
+    constexpr double kNoiseBound = 1.30;
+
+    // Warm both paths (page faults, branch predictors, allocator).
+    telemetry::TraceBuffer warm(0);
+    timedRounds(kTicks / 4, nullptr);
+    timedRounds(kTicks / 4, &warm);
+
+    std::vector<double> disabled_a, disabled_b, counted;
+    for (int round = 0; round < kRounds; ++round) {
+        disabled_a.push_back(timedRounds(kTicks, nullptr));
+        telemetry::TraceBuffer trace(0);
+        counted.push_back(timedRounds(kTicks, &trace));
+        disabled_b.push_back(timedRounds(kTicks, nullptr));
+    }
+    const auto median = [](std::vector<double> &v) {
+        std::sort(v.begin(), v.end());
+        return v[v.size() / 2];
+    };
+    const double a = median(disabled_a);
+    const double b = median(disabled_b);
+    const double t = median(counted);
+
+    const double aa_ratio = std::max(a, b) / std::min(a, b);
+    const double traced_ratio = t / std::min(a, b);
+    std::printf("telemetry-overhead-check: disabled %.4fs / %.4fs "
+                "(A/A ratio %.3f), count-only traced %.4fs "
+                "(ratio %.3f), bound %.2f\n",
+                a, b, aa_ratio, t, traced_ratio, kNoiseBound);
+
+    if (aa_ratio > kNoiseBound) {
+        std::fprintf(stderr,
+                     "telemetry-overhead-check: FAIL: disabled-path A/A "
+                     "ratio %.3f exceeds %.2f -- the disabled hooks are "
+                     "not branch-cheap (or the machine is too noisy to "
+                     "measure)\n",
+                     aa_ratio, kNoiseBound);
+        return 1;
+    }
+    if (traced_ratio > kNoiseBound) {
+        std::fprintf(stderr,
+                     "telemetry-overhead-check: FAIL: count-only tracing "
+                     "ratio %.3f exceeds %.2f\n",
+                     traced_ratio, kNoiseBound);
+        return 1;
+    }
+    std::printf("telemetry-overhead-check: PASS\n");
+    return 0;
+}
+
 } // namespace
 
 /**
@@ -226,6 +368,10 @@ BENCHMARK(BM_SingleCoreSimulation)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
+    if (argc == 2 &&
+        std::string(argv[1]) == "--telemetry-overhead-check") {
+        return telemetryOverheadCheck();
+    }
     std::vector<char *> args(argv, argv + argc);
     std::string out = "--benchmark_out=BENCH_simspeed.json";
     std::string fmt = "--benchmark_out_format=json";

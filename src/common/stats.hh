@@ -107,6 +107,26 @@ class Histogram
     /** Arithmetic mean of all samples. */
     double mean() const;
 
+    /** Largest sample recorded (0 when empty). */
+    std::uint64_t max() const { return max_; }
+
+    /**
+     * Value below which at least @p p percent of samples fall,
+     * estimated from the bucket layout: the smallest bucket upper edge
+     * whose cumulative count covers the rank. Within the overflow
+     * bucket the exact maximum is returned (the histogram tracks it),
+     * so p100 is always the true max. @p p is clamped to [0, 100];
+     * returns 0 for an empty histogram.
+     */
+    double percentile(double p) const;
+
+    /**
+     * Export as named stats: <prefix>.count/mean/p50/p90/p99/max plus
+     * per-bucket counts (<prefix>.le_<edge> cumulative-style upper
+     * edges, <prefix>.overflow).
+     */
+    StatSet toStatSet(const std::string &prefix) const;
+
     void reset();
 
   private:
@@ -114,6 +134,7 @@ class Histogram
     std::vector<std::uint64_t> counts_; // last entry = overflow
     std::uint64_t total_ = 0;
     double sum_ = 0.0;
+    std::uint64_t max_ = 0;
 };
 
 /** Geometric mean of a vector of strictly-positive values. */

@@ -122,6 +122,14 @@ Channel::refresh(Cycle now)
     cmd_bus_free_ = ready;
     next_refresh_due_ += timing_.toCpu(timing_.tREFI);
     ++stats_.refreshes;
+    if (trace_ != nullptr) {
+        telemetry::TraceEvent event;
+        event.cycle = now;
+        event.kind = telemetry::EventKind::Refresh;
+        event.channel = trace_channel_;
+        event.bank = telemetry::TraceEvent::kNoBank;
+        trace_->record(event);
+    }
 }
 
 } // namespace padc::dram

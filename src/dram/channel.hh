@@ -25,6 +25,7 @@
 #include "common/types.hh"
 #include "dram/bank.hh"
 #include "dram/timing.hh"
+#include "telemetry/telemetry.hh"
 
 namespace padc::dram
 {
@@ -130,6 +131,17 @@ class Channel
 
     const TimingParams &timing() const { return timing_; }
 
+    /**
+     * Attach a request-lifecycle trace sink so channel-level events with
+     * no associated request (refresh) appear in the trace too. nullptr
+     * disables (the default).
+     */
+    void setTrace(telemetry::TraceBuffer *trace, std::uint8_t channel_id)
+    {
+        trace_ = trace;
+        trace_channel_ = channel_id;
+    }
+
   private:
     const TimingParams &timing_;
     std::vector<Bank> banks_;
@@ -144,6 +156,9 @@ class Channel
     std::array<Cycle, 4> act_history_{}; ///< ring of recent ACT times (tFAW)
     std::uint32_t act_history_pos_ = 0;
     std::uint64_t acts_issued_ = 0; ///< lifetime ACT count (ring validity)
+
+    telemetry::TraceBuffer *trace_ = nullptr;
+    std::uint8_t trace_channel_ = 0;
 
     ChannelStats stats_;
 };

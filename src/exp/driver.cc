@@ -15,6 +15,8 @@
 #include "exp/json.hh"
 #include "exp/registry.hh"
 #include "exp/report.hh"
+#include "telemetry/export.hh"
+#include "telemetry/profiler.hh"
 
 namespace padc::exp
 {
@@ -125,6 +127,15 @@ driverUsage()
            "  --format FMT   text | json | csv (default: text)\n"
            "  --out DIR      directory for BENCH_<name>.json files "
            "(default: .)\n"
+           "  --timeseries[=PATH]\n"
+           "                 record per-interval telemetry (PAR, drop\n"
+           "                 threshold, bus util, queues) to a CSV\n"
+           "                 (default: <out>/<name>.timeseries.csv)\n"
+           "  --trace[=PATH] record request-lifecycle events to a Chrome\n"
+           "                 trace-event JSON loadable in Perfetto\n"
+           "                 (default: <out>/<name>.trace.json)\n"
+           "  --trace-limit N\n"
+           "                 events retained per run (default: 1048576)\n"
            "\n"
            "Every run also writes a machine-readable BENCH_<name>.json\n"
            "(schema padc-bench-result-v1) per experiment into --out.\n";
@@ -203,6 +214,34 @@ parseDriverArgs(int argc, const char *const *argv, DriverOptions *out,
                 return false;
             }
             out->out_dir = text;
+        } else if (arg == "--timeseries") {
+            out->timeseries = true;
+        } else if (arg.rfind("--timeseries=", 0) == 0) {
+            out->timeseries = true;
+            out->timeseries_path = arg.substr(std::strlen("--timeseries="));
+            if (out->timeseries_path.empty()) {
+                *error = "--timeseries= expects a file path";
+                return false;
+            }
+        } else if (arg == "--trace") {
+            out->trace = true;
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            out->trace = true;
+            out->trace_path = arg.substr(std::strlen("--trace="));
+            if (out->trace_path.empty()) {
+                *error = "--trace= expects a file path";
+                return false;
+            }
+        } else if (arg == "--trace-limit" ||
+                   arg.rfind("--trace-limit=", 0) == 0) {
+            const char *text =
+                arg == "--trace-limit"
+                    ? value()
+                    : arg.c_str() + std::strlen("--trace-limit=");
+            if (!parseUint64(text, &out->trace_limit)) {
+                *error = "--trace-limit expects a non-negative integer";
+                return false;
+            }
         } else if (!arg.empty() && arg[0] == '-') {
             *error = "unknown option '" + arg + "' (try 'padc help')";
             return false;
@@ -264,6 +303,20 @@ resultJson(const ExperimentInfo &info, const ExperimentResult &result)
     for (const auto &[name, value] : result.scalars.entries())
         writer.member(name, value);
     writer.endObject();
+    writer.beginObject("profile");
+    for (const auto &[name, value] : result.profile.entries())
+        writer.member(name, value);
+    writer.endObject();
+    writer.beginArray("sinks");
+    for (const SinkSummary &sink : result.sinks) {
+        writer.beginObject();
+        writer.member("kind", sink.kind);
+        writer.member("path", sink.path);
+        writer.member("rows", sink.rows);
+        writer.member("dropped", sink.dropped);
+        writer.endObject();
+    }
+    writer.endArray();
     writer.endObject();
     return writer.str();
 }
@@ -346,6 +399,109 @@ selectExperiments(const DriverOptions &options, bool *ok)
     return selected;
 }
 
+/**
+ * Fail early when an explicit telemetry output path points into a
+ * directory that does not exist: better a clear pre-run diagnostic
+ * than minutes of simulation followed by a failed fopen.
+ */
+bool
+checkSinkPath(const std::string &path, const char *flag)
+{
+    if (path.empty())
+        return true;
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (parent.empty() || std::filesystem::is_directory(parent))
+        return true;
+    std::fprintf(stderr,
+                 "padc: %s directory '%s' does not exist\n", flag,
+                 parent.string().c_str());
+    return false;
+}
+
+/**
+ * Export one experiment's telemetry captures and record the written
+ * files in the result. Export failures mark the run failed rather than
+ * silently losing the requested artifacts.
+ */
+void
+writeSinks(const DriverOptions &options, const ExperimentInfo &info,
+           ExperimentContext &context, ExperimentResult &result,
+           bool *any_failed)
+{
+    const auto emit = [&](const char *kind, const std::string &explicit_path,
+                          const std::string &default_name,
+                          const std::string &text, std::uint64_t rows,
+                          std::uint64_t dropped) {
+        const std::string path =
+            explicit_path.empty()
+                ? (std::filesystem::path(options.out_dir) / default_name)
+                      .string()
+                : explicit_path;
+        std::string error;
+        if (!telemetry::writeTextFile(path, text, &error)) {
+            std::fprintf(stderr, "padc: %s\n", error.c_str());
+            *any_failed = true;
+            return;
+        }
+        result.sinks.push_back({kind, path, rows, dropped});
+    };
+
+    if (options.timeseries) {
+        std::vector<telemetry::LabeledSeries> series;
+        std::uint64_t rows = 0;
+        std::uint64_t dropped = 0;
+        for (const auto &capture : context.captures()) {
+            const telemetry::IntervalSampler *sampler =
+                capture.collector->sampler();
+            series.push_back({capture.label, sampler});
+            if (sampler != nullptr) {
+                rows += sampler->pushed() - sampler->dropped();
+                dropped += sampler->dropped();
+            }
+        }
+        emit("timeseries", options.timeseries_path,
+             info.name + ".timeseries.csv", telemetry::timeseriesCsv(series),
+             rows, dropped);
+    }
+    if (options.trace) {
+        std::vector<telemetry::LabeledTrace> traces;
+        std::uint64_t rows = 0;
+        std::uint64_t dropped = 0;
+        for (const auto &capture : context.captures()) {
+            const telemetry::TraceBuffer *trace =
+                capture.collector->trace();
+            traces.push_back({capture.label, trace});
+            if (trace != nullptr) {
+                rows += trace->events().size();
+                dropped += trace->dropped();
+            }
+        }
+        emit("trace", options.trace_path, info.name + ".trace.json",
+             telemetry::chromeTraceJson(traces), rows, dropped);
+    }
+}
+
+/** Snapshot the wall-clock profiler into the result's profile block. */
+void
+recordProfile(ExperimentResult &result)
+{
+    const telemetry::WallProfiler::Snapshot snap =
+        telemetry::WallProfiler::instance().snapshot();
+    result.profile.add("build_seconds",
+                       snap.seconds(telemetry::ProfilePhase::Build));
+    result.profile.add("simulate_seconds",
+                       snap.seconds(telemetry::ProfilePhase::Simulate));
+    result.profile.add("collect_seconds",
+                       snap.seconds(telemetry::ProfilePhase::Collect));
+    result.profile.add("scheduler_seconds_est",
+                       snap.schedulerSecondsEstimate());
+    result.profile.add(
+        "scheduler_sampled_cycles",
+        static_cast<double>(
+            snap.calls(telemetry::ProfilePhase::SchedulerSample)));
+}
+
 void
 printCsv(const std::vector<const Experiment *> &experiments,
          const std::vector<ExperimentResult> &results)
@@ -378,7 +534,8 @@ driverMain(int argc, const char *const *argv)
     DriverOptions options;
     std::string error;
     if (!parseDriverArgs(argc, argv, &options, &error)) {
-        std::fprintf(stderr, "padc: %s\n", error.c_str());
+        std::fprintf(stderr, "padc: %s\n%s", error.c_str(),
+                     driverUsage().c_str());
         return 2;
     }
 
@@ -396,6 +553,23 @@ driverMain(int argc, const char *const *argv)
     const auto experiments = selectExperiments(options, &selectors_ok);
     if (!selectors_ok)
         return 2;
+
+    // One explicit telemetry file cannot hold several experiments'
+    // output; require default (per-experiment) naming in that case.
+    if (experiments.size() > 1 && (!options.trace_path.empty() ||
+                                   !options.timeseries_path.empty())) {
+        std::fprintf(stderr,
+                     "padc: explicit --trace=/--timeseries= paths only "
+                     "work with a single selected experiment (%zu "
+                     "selected); use the flag without a path for "
+                     "per-experiment files\n",
+                     experiments.size());
+        return 2;
+    }
+    if (!checkSinkPath(options.trace_path, "--trace") ||
+        !checkSinkPath(options.timeseries_path, "--timeseries")) {
+        return 2;
+    }
 
     if (options.threads > 0 &&
         !sim::setSharedRunnerThreads(options.threads)) {
@@ -424,10 +598,16 @@ driverMain(int argc, const char *const *argv)
     bool any_failed = false;
     std::vector<ExperimentResult> results;
     std::vector<std::string> documents;
+    telemetry::TelemetryConfig tcfg;
+    tcfg.timeseries = options.timeseries;
+    tcfg.trace = options.trace;
+    tcfg.trace_limit = options.trace_limit;
+
     for (const Experiment *experiment : experiments) {
         const ExperimentInfo &info = experiment->info;
         ExperimentContext context(info, sim::sharedRunner(),
-                                  sim::envJournal(), options.seed);
+                                  sim::envJournal(), options.seed, tcfg);
+        telemetry::WallProfiler::instance().reset();
         const auto start = std::chrono::steady_clock::now();
         {
             StdoutSilencer silence(silent_text);
@@ -444,6 +624,33 @@ driverMain(int argc, const char *const *argv)
 
         ExperimentResult &result = context.result();
         result.wall_seconds = wall.count();
+        recordProfile(result);
+        writeSinks(options, info, context, result, &any_failed);
+        if (options.format == DriverOptions::Format::Text) {
+            std::printf(
+                "[%s] %.3g sim-cycles in %.2fs (%.3g cycles/sec); "
+                "build %.2fs, simulate %.2fs, collect %.2fs, "
+                "scheduler ~%.2fs (sampled estimate)\n",
+                info.name.c_str(),
+                static_cast<double>(result.simCycles()),
+                result.wall_seconds,
+                result.wall_seconds > 0.0
+                    ? static_cast<double>(result.simCycles()) /
+                          result.wall_seconds
+                    : 0.0,
+                result.profile.get("build_seconds"),
+                result.profile.get("simulate_seconds"),
+                result.profile.get("collect_seconds"),
+                result.profile.get("scheduler_seconds_est"));
+            for (const SinkSummary &sink : result.sinks) {
+                std::printf("[%s] wrote %s '%s' (%llu rows, %llu "
+                            "beyond retention)\n",
+                            info.name.c_str(), sink.kind.c_str(),
+                            sink.path.c_str(),
+                            static_cast<unsigned long long>(sink.rows),
+                            static_cast<unsigned long long>(sink.dropped));
+            }
+        }
         if (result.status == "failed" && !result.detail.empty() &&
             result.points.empty()) {
             std::fprintf(stderr, "padc: experiment '%s' failed: %s\n",

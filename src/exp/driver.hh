@@ -56,6 +56,12 @@ struct DriverOptions
     std::optional<std::uint64_t> seed;  ///< --seed override
     Format format = Format::Text;
     std::string out_dir = ".";          ///< BENCH_<name>.json directory
+
+    bool timeseries = false;     ///< --timeseries[=PATH]
+    bool trace = false;          ///< --trace[=PATH]
+    std::string timeseries_path; ///< empty = <out>/<name>.timeseries.csv
+    std::string trace_path;      ///< empty = <out>/<name>.trace.json
+    std::uint64_t trace_limit = 1u << 20; ///< --trace-limit events kept
 };
 
 /**

@@ -89,10 +89,27 @@ ExperimentResult::simCycles() const
 
 ExperimentContext::ExperimentContext(
     const ExperimentInfo &info, sim::ParallelExperimentRunner &runner,
-    sim::SweepJournal *journal, std::optional<std::uint64_t> seed_override)
+    sim::SweepJournal *journal, std::optional<std::uint64_t> seed_override,
+    telemetry::TelemetryConfig telemetry)
     : info_(info), runner_(runner), journal_(journal),
-      seed_override_(seed_override)
+      seed_override_(seed_override), tcfg_(telemetry)
 {
+}
+
+std::vector<sim::SweepPoint>
+ExperimentContext::attachCollectors(
+    const std::vector<sim::SweepPoint> &points)
+{
+    if (!tcfg_.any())
+        return points;
+    std::vector<sim::SweepPoint> attached = points;
+    for (auto &point : attached) {
+        captures_.push_back(
+            {sim::describePoint(point),
+             std::make_unique<telemetry::Collector>(tcfg_)});
+        point.config.collector = captures_.back().collector.get();
+    }
+    return attached;
 }
 
 void
@@ -110,7 +127,8 @@ ExperimentContext::evaluateSweep(const std::vector<sim::SweepPoint> &points,
                                  sim::AloneIpcCache &alone)
 {
     const auto results =
-        sim::evaluateSweep(points, alone, runner_, journal_);
+        sim::evaluateSweep(attachCollectors(points), alone, runner_,
+                           journal_);
     reportSweepFailures(points, results);
 
     for (std::size_t i = 0; i < points.size(); ++i) {
@@ -136,7 +154,8 @@ ExperimentContext::evaluateSweep(const std::vector<sim::SweepPoint> &points,
 std::vector<sim::Result<sim::RunMetrics>>
 ExperimentContext::runSweep(const std::vector<sim::SweepPoint> &points)
 {
-    const auto results = sim::runSweep(points, runner_, journal_);
+    const auto results =
+        sim::runSweep(attachCollectors(points), runner_, journal_);
     reportSweepFailures(points, results);
 
     for (std::size_t i = 0; i < points.size(); ++i) {
@@ -166,7 +185,15 @@ ExperimentContext::runMix(const sim::SystemConfig &config,
                           const sim::RunOptions &options)
 {
     sim::RunStatus status;
-    const sim::RunMetrics run = sim::runMix(config, mix, options, &status);
+    sim::SystemConfig run_config = config;
+    if (tcfg_.any()) {
+        captures_.push_back(
+            {sim::describePoint({config, mix, options}),
+             std::make_unique<telemetry::Collector>(tcfg_)});
+        run_config.collector = captures_.back().collector.get();
+    }
+    const sim::RunMetrics run =
+        sim::runMix(run_config, mix, options, &status);
 
     PointRecord record;
     record.key = sim::sweepPointKey({config, mix, options});

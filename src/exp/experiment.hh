@@ -17,6 +17,7 @@
 #define PADC_EXP_EXPERIMENT_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "sim/experiment.hh"
 #include "sim/journal.hh"
 #include "sim/parallel.hh"
+#include "telemetry/telemetry.hh"
 #include "workload/mixes.hh"
 
 namespace padc::exp
@@ -52,6 +54,15 @@ struct PointRecord
     StatSet metrics;       ///< per-point scalar metrics
 };
 
+/** One telemetry artifact the driver wrote for this experiment. */
+struct SinkSummary
+{
+    std::string kind; ///< "timeseries" / "trace"
+    std::string path; ///< where the file was written
+    std::uint64_t rows = 0;    ///< rows / events retained in the file
+    std::uint64_t dropped = 0; ///< rows / events lost to retention bounds
+};
+
 /** Structured outcome of one experiment run. */
 struct ExperimentResult
 {
@@ -60,6 +71,9 @@ struct ExperimentResult
     std::vector<PointRecord> points;
     StatSet scalars;           ///< experiment-level summary metrics
     double wall_seconds = 0.0; ///< filled by the driver
+
+    std::vector<SinkSummary> sinks; ///< telemetry files (driver-filled)
+    StatSet profile; ///< host wall-clock phase profile (driver-filled)
 
     /**
      * 64-bit FNV-1a over every point key in order (seeded with the
@@ -88,11 +102,14 @@ class ExperimentContext
      * @param journal checkpoint/resume journal, may be nullptr
      * @param seed_override --seed value, overrides per-experiment
      *        default mix seeds when set
+     * @param telemetry which telemetry sinks to attach to each executed
+     *        point (all off by default)
      */
     ExperimentContext(const ExperimentInfo &info,
                       sim::ParallelExperimentRunner &runner,
                       sim::SweepJournal *journal,
-                      std::optional<std::uint64_t> seed_override);
+                      std::optional<std::uint64_t> seed_override,
+                      telemetry::TelemetryConfig telemetry = {});
 
     const ExperimentInfo &info() const { return info_; }
 
@@ -142,13 +159,38 @@ class ExperimentContext
     /** The structured result under construction. */
     ExperimentResult &result() { return result_; }
 
+    /**
+     * Telemetry collected for one executed point. Collectors are
+     * allocated per point (in execution order) when telemetry is
+     * enabled; journal-replayed points still get a collector, which
+     * simply stays empty because the simulation never runs.
+     */
+    struct PointCapture
+    {
+        std::string label;
+        std::unique_ptr<telemetry::Collector> collector;
+    };
+
+    /** Captures of every executed point, in execution order. */
+    const std::vector<PointCapture> &captures() const { return captures_; }
+
   private:
     void recordPoint(PointRecord record);
+
+    /**
+     * When telemetry is on, return a copy of @p points with one fresh
+     * Collector attached per point (ownership parked in captures_);
+     * otherwise return @p points unchanged.
+     */
+    std::vector<sim::SweepPoint>
+    attachCollectors(const std::vector<sim::SweepPoint> &points);
 
     const ExperimentInfo &info_;
     sim::ParallelExperimentRunner &runner_;
     sim::SweepJournal *journal_;
     std::optional<std::uint64_t> seed_override_;
+    telemetry::TelemetryConfig tcfg_;
+    std::vector<PointCapture> captures_;
     ExperimentResult result_;
 };
 

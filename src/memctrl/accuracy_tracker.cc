@@ -33,6 +33,7 @@ AccuracyTracker::onPrefetchDropped(CoreId core)
     auto &c = cores_[core];
     if (c.psc > 0)
         --c.psc;
+    ++c.total_dropped;
 }
 
 void

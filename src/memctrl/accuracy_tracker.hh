@@ -93,6 +93,10 @@ class AccuracyTracker
     {
         return cores_[core].total_used;
     }
+    std::uint64_t totalDropped(CoreId core) const
+    {
+        return cores_[core].total_dropped;
+    }
 
     std::uint32_t numCores() const
     {
@@ -109,6 +113,7 @@ class AccuracyTracker
         double par = 1.0;      ///< accuracy register
         std::uint64_t total_sent = 0;
         std::uint64_t total_used = 0;
+        std::uint64_t total_dropped = 0;
     };
 
     AccuracyConfig config_;

@@ -135,6 +135,7 @@ MemoryController::enqueueRead(const dram::DramCoord &coord, Addr line_addr,
     auto dup = read_index_.find(line_addr);
     if (dup != read_index_.end()) {
         ++stats_.duplicate_reads;
+        traceRequest(telemetry::EventKind::Coalesce, *dup->second, now);
         if (!is_prefetch && dup->second->is_prefetch)
             promote(line_addr, now);
         return true;
@@ -158,6 +159,7 @@ MemoryController::enqueueRead(const dram::DramCoord &coord, Addr line_addr,
             now + channel_.timing().toCpu(channel_.timing().tCL);
         forwards_.push_back({req, ready});
         ++stats_.forwarded_reads;
+        traceRequest(telemetry::EventKind::Forward, req, now);
         if (is_prefetch)
             tracker_.onPrefetchSent(core);
         return true;
@@ -168,6 +170,15 @@ MemoryController::enqueueRead(const dram::DramCoord &coord, Addr line_addr,
             ++stats_.prefetches_rejected_full;
         else
             ++stats_.demands_rejected_full;
+        if (trace_ != nullptr) {
+            Request rejected;
+            rejected.line_addr = line_addr;
+            rejected.coord = coord;
+            rejected.core = core;
+            rejected.is_prefetch = is_prefetch;
+            rejected.was_prefetch = is_prefetch;
+            traceRequest(telemetry::EventKind::RejectFull, rejected, now);
+        }
         return false;
     }
 
@@ -183,6 +194,7 @@ MemoryController::enqueueRead(const dram::DramCoord &coord, Addr line_addr,
     read_q_.push_back(req);
     read_index_[line_addr] = std::prev(read_q_.end());
     trackEnqueued(read_q_.back());
+    traceRequest(telemetry::EventKind::Enqueue, read_q_.back(), now);
     if (is_prefetch)
         tracker_.onPrefetchSent(core);
     return true;
@@ -205,18 +217,19 @@ MemoryController::enqueueWrite(const dram::DramCoord &coord, Addr line_addr,
     write_q_.push_back(req);
     write_index_[line_addr] = std::prev(write_q_.end());
     ++pending_rows_[rowKey(coord)];
+    traceRequest(telemetry::EventKind::EnqueueWrite, write_q_.back(), now);
 }
 
 bool
 MemoryController::promote(Addr line_addr, Cycle now)
 {
-    (void)now;
     auto it = read_index_.find(line_addr);
     if (it == read_index_.end() || !it->second->is_prefetch)
         return false;
     trackPromoted(*it->second);
     it->second->is_prefetch = false;
     ++stats_.promotions;
+    traceRequest(telemetry::EventKind::Promote, *it->second, now);
     return true;
 }
 
@@ -325,6 +338,22 @@ MemoryController::issueCommand(Request &req, NextCmd cmd, bool row_hit,
       case NextCmd::None:
         break;
     }
+    if (trace_ != nullptr && cmd != NextCmd::None) {
+        telemetry::EventKind kind;
+        switch (cmd) {
+          case NextCmd::Precharge:
+            kind = telemetry::EventKind::CmdPrecharge;
+            break;
+          case NextCmd::Activate:
+            kind = telemetry::EventKind::CmdActivate;
+            break;
+          default:
+            kind = req.is_write ? telemetry::EventKind::CmdWrite
+                                : telemetry::EventKind::CmdRead;
+            break;
+        }
+        traceRequest(kind, req, now);
+    }
     // The command changed this bank's state (open row and/or readiness),
     // so its cached wake-up hint is stale.
     shards_[req.coord.bank].wake = 0;
@@ -352,6 +381,7 @@ MemoryController::finishRead(ReadList::iterator it, Cycle now)
       case Request::RowOutcome::Unknown: break;
     }
     stats_.read_service_cycles_sum += now - req.arrival;
+    traceRequest(telemetry::EventKind::Complete, req, now, req.arrival);
 
     if (req.is_prefetch)
         --prefs_per_core_[req.core];
@@ -394,6 +424,8 @@ MemoryController::completeFinished(Cycle now)
     }
     for (auto it = forwards_.begin(); it != forwards_.end();) {
         if (it->ready <= now) {
+            traceRequest(telemetry::EventKind::Complete, it->req, now,
+                         it->req.arrival);
             handler_.dramReadComplete(it->req, now);
             it = forwards_.erase(it);
         } else {
@@ -412,6 +444,7 @@ MemoryController::runApd(Cycle now)
             --prefs_per_core_[it->core];
             it->state = RequestState::Dropped;
             ++stats_.prefetches_dropped;
+            traceRequest(telemetry::EventKind::Drop, *it, now, it->arrival);
             tracker_.onPrefetchDropped(it->core);
             handler_.dramPrefetchDropped(*it, now);
             read_index_.erase(it->line_addr);
@@ -606,6 +639,8 @@ MemoryController::scheduleWrite(Cycle now)
     if (best->state == RequestState::Servicing) {
         // Nothing waits on a writeback; retire it at column issue.
         ++stats_.writes;
+        traceRequest(telemetry::EventKind::WriteRetire, *best, now,
+                     best->arrival);
         auto pending = pending_rows_.find(rowKey(best->coord));
         if (--pending->second == 0)
             pending_rows_.erase(pending);

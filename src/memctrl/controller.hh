@@ -51,6 +51,7 @@
 #include "memctrl/dropping.hh"
 #include "memctrl/policy.hh"
 #include "memctrl/request.hh"
+#include "telemetry/telemetry.hh"
 
 namespace padc::memctrl
 {
@@ -195,6 +196,21 @@ class MemoryController
      */
     void setIssueLog(std::vector<IssueRecord> *log) { issue_log_ = log; }
 
+    /**
+     * Attach a request-lifecycle trace sink tagged with this
+     * controller's channel id (nullptr disables tracing; the disabled
+     * path is a single null test per event site, same idiom as the
+     * issue log).
+     */
+    void setTrace(telemetry::TraceBuffer *trace, std::uint8_t channel_id)
+    {
+        trace_ = trace;
+        trace_channel_ = channel_id;
+    }
+
+    /** The APD unit (read-only; telemetry samples its thresholds). */
+    const ApdUnit &apd() const { return apd_; }
+
   private:
     using ReadList = std::list<Request>;
 
@@ -266,6 +282,31 @@ class MemoryController
     /** Account a queued prefetch being promoted to a demand. */
     void trackPromoted(Request &req);
 
+    /** Record one lifecycle event for @p req (no-op when untraced). */
+    void traceRequest(telemetry::EventKind kind, const Request &req,
+                      Cycle now, std::uint64_t aux = 0)
+    {
+        if (trace_ == nullptr)
+            return;
+        telemetry::TraceEvent event;
+        event.cycle = now;
+        event.addr = req.line_addr;
+        event.aux = aux;
+        event.row = req.coord.row;
+        event.kind = kind;
+        event.core = static_cast<std::uint8_t>(req.core);
+        event.channel = trace_channel_;
+        event.bank = static_cast<std::uint16_t>(req.coord.bank);
+        event.flags = static_cast<std::uint8_t>(
+            (req.is_prefetch ? telemetry::TraceEvent::kPrefetch : 0) |
+            (req.was_prefetch ? telemetry::TraceEvent::kWasPrefetch : 0) |
+            (req.row_outcome == Request::RowOutcome::Hit
+                 ? telemetry::TraceEvent::kRowHit
+                 : 0) |
+            (req.is_write ? telemetry::TraceEvent::kWrite : 0));
+        trace_->record(event);
+    }
+
     SchedulerConfig config_;
     dram::Channel &channel_;
     AccuracyTracker &tracker_;
@@ -297,6 +338,9 @@ class MemoryController
     std::array<std::uint32_t, kMaxCores> prefs_per_core_{};
 
     std::vector<IssueRecord> *issue_log_ = nullptr;
+
+    telemetry::TraceBuffer *trace_ = nullptr;
+    std::uint8_t trace_channel_ = 0;
 
     /** Forwarded reads waiting to be reported complete. */
     struct PendingForward

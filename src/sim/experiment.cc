@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "sim/journal.hh"
+#include "telemetry/profiler.hh"
 #include "workload/generator.hh"
 
 namespace padc::sim
@@ -92,19 +93,31 @@ runMix(const SystemConfig &config, const workload::Mix &mix,
     }
 
     std::vector<std::unique_ptr<workload::SyntheticTrace>> traces;
-    std::vector<core::TraceSource *> sources;
-    for (std::uint32_t c = 0; c < config.num_cores; ++c) {
-        traces.push_back(std::make_unique<workload::SyntheticTrace>(
-            workload::traceParamsFor(mix, c, options.mix_seed)));
-        sources.push_back(traces.back().get());
+    std::unique_ptr<System> system;
+    {
+        telemetry::WallProfiler::Scope scope(
+            telemetry::ProfilePhase::Build);
+        std::vector<core::TraceSource *> sources;
+        for (std::uint32_t c = 0; c < config.num_cores; ++c) {
+            traces.push_back(std::make_unique<workload::SyntheticTrace>(
+                workload::traceParamsFor(mix, c, options.mix_seed)));
+            sources.push_back(traces.back().get());
+        }
+        system = std::make_unique<System>(config, std::move(sources));
     }
 
-    System system(config, std::move(sources));
-    const RunStatus run_status = system.run(
-        options.instructions, options.max_cycles, options.warmup);
+    RunStatus run_status;
+    {
+        telemetry::WallProfiler::Scope scope(
+            telemetry::ProfilePhase::Simulate);
+        run_status = system->run(options.instructions, options.max_cycles,
+                                 options.warmup);
+    }
     if (status != nullptr)
         *status = run_status;
-    return collectMetrics(system);
+
+    telemetry::WallProfiler::Scope scope(telemetry::ProfilePhase::Collect);
+    return collectMetrics(*system);
 }
 
 AloneIpcCache::AloneIpcCache(SystemConfig base, RunOptions options)

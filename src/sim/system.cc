@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "telemetry/profiler.hh"
+
 namespace padc::sim
 {
 
@@ -111,6 +113,15 @@ System::System(const SystemConfig &config,
         controllers_.push_back(std::make_unique<memctrl::MemoryController>(
             config_.sched, dram_->channel(ch), *tracker_, *this,
             config_.num_cores));
+    }
+
+    telem_ = config_.collector;
+    if (telem_ != nullptr && telem_->trace() != nullptr) {
+        for (std::uint32_t ch = 0; ch < dram_->numChannels(); ++ch) {
+            const auto id = static_cast<std::uint8_t>(ch);
+            controllers_[ch]->setTrace(telem_->trace(), id);
+            dram_->channel(ch).setTrace(telem_->trace(), id);
+        }
     }
 
     const std::uint32_t num_l2 = config_.shared_l2 ? 1 : config_.num_cores;
@@ -238,6 +249,7 @@ System::issuePrefetch(CoreId core, Addr addr, Addr pc, Cycle now)
     entry.was_prefetch = true;
     entry.issue_cycle = now;
     ++ms.prefetches_issued;
+    traceMshr(telemetry::EventKind::MshrAlloc, core, line_addr, true, now);
     if (config_.fdp_enabled)
         ++fdp_[core].counts.prefetches_sent;
 }
@@ -301,6 +313,8 @@ System::access(CoreId core, Addr addr, Addr pc, bool is_load,
             entry->waiters.push_back({core, token_tag});
             if (!is_load)
                 entry->store_waiting = true;
+            traceMshr(telemetry::EventKind::MshrCoalesce, core, line_addr,
+                      entry->prefetch, now);
             reply = {core::AccessStatus::Pending, 0};
         } else {
             const dram::DramCoord coord = dram_->map(line_addr);
@@ -319,6 +333,8 @@ System::access(CoreId core, Addr addr, Addr pc, bool is_load,
                 entry.waiters.push_back({core, token_tag});
                 if (!is_load)
                     entry.store_waiting = true;
+                traceMshr(telemetry::EventKind::MshrAlloc, core, line_addr,
+                          false, now);
                 reply = {core::AccessStatus::Pending, 0};
             }
         }
@@ -404,17 +420,20 @@ System::dramReadComplete(const memctrl::Request &req, Cycle now)
         fillL1(core, line_addr, entry->store_waiting, now);
     for (const cache::LoadToken &waiter : entry->waiters)
         cores_[waiter.core]->completeLoad(waiter.tag, now);
+    traceMshr(telemetry::EventKind::MshrRelease, core, line_addr,
+              still_prefetch, now);
     mshr.release(line_addr);
 }
 
 void
 System::dramPrefetchDropped(const memctrl::Request &req, Cycle now)
 {
-    (void)now;
     cache::MshrFile &mshr = mshrFor(req.core);
     [[maybe_unused]] cache::MshrEntry *entry = mshr.find(req.line_addr);
     assert(entry != nullptr && entry->prefetch && entry->waiters.empty() &&
            "APD must only drop unpromoted prefetches");
+    traceMshr(telemetry::EventKind::MshrRelease, req.core, req.line_addr,
+              true, now);
     mshr.release(req.line_addr);
 }
 
@@ -524,9 +543,66 @@ System::exportStats() const
 }
 
 void
+System::sampleTelemetry(Cycle now)
+{
+    telemetry::IntervalSampler &sampler = *telem_->sampler();
+
+    core_samples_.resize(config_.num_cores);
+    for (CoreId i = 0; i < config_.num_cores; ++i) {
+        telemetry::IntervalSampler::CoreSample &s = core_samples_[i];
+        s.par = tracker_->accuracy(i);
+        s.sent = tracker_->totalSent(i);
+        s.used = tracker_->totalUsed(i);
+        s.dropped = tracker_->totalDropped(i);
+        s.drop_threshold = config_.sched.apd_enabled
+                               ? controllers_[0]->apd().dropThreshold(i)
+                               : 0;
+    }
+
+    chan_samples_.resize(controllers_.size());
+    for (std::uint32_t ch = 0; ch < controllers_.size(); ++ch) {
+        const memctrl::ControllerStats &cs = controllers_[ch]->stats();
+        telemetry::IntervalSampler::ChannelSample &s = chan_samples_[ch];
+        s.reads = cs.demand_reads + cs.prefetch_reads;
+        s.writes = cs.writes;
+        s.row_hits = cs.read_row_hits;
+        s.row_reads =
+            cs.read_row_hits + cs.read_row_closed + cs.read_row_conflicts;
+        s.occupancy_sum = cs.read_queue_occupancy_sum;
+        s.dram_cycles = cs.dram_cycles;
+        s.write_queue = controllers_[ch]->writeQueueSize();
+    }
+
+    const dram::TimingParams &timing = dram_->channel(0).timing();
+    sampler.sample(now, core_samples_, chan_samples_,
+                   timing.toCpu(timing.tBURST));
+}
+
+void
+System::traceMshr(telemetry::EventKind kind, CoreId core, Addr line_addr,
+                  bool is_prefetch, Cycle now)
+{
+    if (telem_ == nullptr || telem_->trace() == nullptr)
+        return;
+    const dram::DramCoord coord = dram_->map(line_addr);
+    telemetry::TraceEvent event;
+    event.cycle = now;
+    event.addr = line_addr;
+    event.row = coord.row;
+    event.kind = kind;
+    event.core = static_cast<std::uint8_t>(core);
+    event.channel = static_cast<std::uint8_t>(coord.channel);
+    event.bank = static_cast<std::uint16_t>(coord.bank);
+    event.flags = is_prefetch ? telemetry::TraceEvent::kPrefetch : 0;
+    telem_->trace()->record(event);
+}
+
+void
 System::intervalTick(Cycle now)
 {
     accuracy_timeline_.emplace_back(now, tracker_->accuracy(0));
+    if (telem_ != nullptr && telem_->sampler() != nullptr)
+        sampleTelemetry(now);
     if (config_.fdp_enabled) {
         for (CoreId i = 0; i < config_.num_cores; ++i) {
             FdpState &state = fdp_[i];
@@ -548,8 +624,19 @@ System::run(std::uint64_t instructions_per_core, std::uint64_t max_cycles,
         tracker_->tick(now_);
         if (now_ >= next_interval_)
             intervalTick(now_);
-        for (auto &controller : controllers_)
-            controller->tick(now_);
+        if ((now_ & (telemetry::kSchedulerSampleInterval - 1)) == 0) {
+            // 1-in-1024 sampled wall-clock timing of the scheduler hot
+            // path (extrapolated in the profiler snapshot); two steady-
+            // clock reads per kilocycle, negligible against a cycle of
+            // simulation work.
+            telemetry::WallProfiler::Scope scope(
+                telemetry::ProfilePhase::SchedulerSample);
+            for (auto &controller : controllers_)
+                controller->tick(now_);
+        } else {
+            for (auto &controller : controllers_)
+                controller->tick(now_);
+        }
 
         bool all_done = true;
         for (CoreId i = 0; i < config_.num_cores; ++i) {

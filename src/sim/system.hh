@@ -33,6 +33,7 @@
 #include "prefetch/ddpf.hh"
 #include "prefetch/fdp.hh"
 #include "prefetch/prefetcher.hh"
+#include "telemetry/telemetry.hh"
 
 namespace padc::sim
 {
@@ -63,6 +64,18 @@ struct SystemConfig
 
     memctrl::SchedulerConfig sched;
     dram::DramConfig dram;
+
+    /**
+     * Optional telemetry collector (not owned; must outlive the System).
+     * When set, the System attaches the collector's sinks: the request
+     * trace hooks into every controller and channel, and the interval
+     * sampler records one row per core at each FDP/accuracy interval
+     * boundary. nullptr (the default) disables all telemetry with a
+     * single pointer test per hook. Deliberately excluded from
+     * validate() and from sweep point keys: it is an observer, not a
+     * simulated parameter.
+     */
+    telemetry::Collector *collector = nullptr;
 
     /**
      * Baseline configuration for an n-core CMP following paper Tables
@@ -285,6 +298,13 @@ class System : public core::MemoryPort, public memctrl::ResponseHandler
     /** FDP interval rollover and accuracy-timeline sampling. */
     void intervalTick(Cycle now);
 
+    /** Push one interval sample per core into the telemetry collector. */
+    void sampleTelemetry(Cycle now);
+
+    /** Record an MSHR lifecycle event (no-op when untraced). */
+    void traceMshr(telemetry::EventKind kind, CoreId core, Addr line_addr,
+                   bool is_prefetch, Cycle now);
+
     SystemConfig config_;
 
     std::unique_ptr<dram::DramSystem> dram_;
@@ -311,6 +331,11 @@ class System : public core::MemoryPort, public memctrl::ResponseHandler
     Cycle next_interval_ = 0;
 
     std::vector<Addr> candidate_buf_; ///< reused prefetch candidate list
+
+    telemetry::Collector *telem_ = nullptr; ///< nullptr = no telemetry
+    /// Reused scratch for sampleTelemetry (avoids per-interval allocs).
+    std::vector<telemetry::IntervalSampler::CoreSample> core_samples_;
+    std::vector<telemetry::IntervalSampler::ChannelSample> chan_samples_;
 
     Cycle now_ = 0;
 };

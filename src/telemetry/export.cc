@@ -1,0 +1,317 @@
+#include "telemetry/export.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "exp/json.hh"
+
+namespace padc::telemetry
+{
+
+namespace
+{
+
+/** CSV field, quoted when it contains a separator, quote, or newline. */
+std::string
+csvField(const std::string &text)
+{
+    if (text.find_first_of(",\"\n") == std::string::npos)
+        return text;
+    std::string out = "\"";
+    for (const char c : text) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+append(std::string &out, std::uint64_t value)
+{
+    out += std::to_string(value);
+}
+
+void
+append(std::string &out, double value)
+{
+    out += exp::jsonNumber(value);
+}
+
+// --- Chrome trace-event helpers ------------------------------------
+
+/** Thread id of a request-side event: the core index. */
+std::uint64_t
+coreTid(const TraceEvent &event)
+{
+    return event.core;
+}
+
+/** Thread id of a DRAM-side event: (channel, bank) flattened. */
+std::uint64_t
+dramTid(const TraceEvent &event)
+{
+    const std::uint64_t bank =
+        event.bank == TraceEvent::kNoBank ? 0xFF : event.bank;
+    return static_cast<std::uint64_t>(event.channel) * 256 + bank;
+}
+
+/** True for events rendered on the DRAM process (bank tracks). */
+bool
+isDramEvent(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::CmdPrecharge:
+      case EventKind::CmdActivate:
+      case EventKind::CmdRead:
+      case EventKind::CmdWrite:
+      case EventKind::Refresh:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+hexAddr(Addr addr)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+}
+
+/** Common prefix of one event object: name, ph, pid, tid, ts. */
+void
+eventHead(std::string &out, const char *name, char ph, std::uint64_t pid,
+          std::uint64_t tid, std::uint64_t ts)
+{
+    out += "{\"name\":";
+    out += exp::jsonQuote(name);
+    out += ",\"ph\":\"";
+    out += ph;
+    out += "\",\"pid\":";
+    append(out, pid);
+    out += ",\"tid\":";
+    append(out, tid);
+    out += ",\"ts\":";
+    append(out, ts);
+}
+
+void
+metadataEvent(std::string &out, const char *what, std::uint64_t pid,
+              std::uint64_t tid, bool has_tid, const std::string &name)
+{
+    out += "{\"name\":\"";
+    out += what;
+    out += "\",\"ph\":\"M\",\"pid\":";
+    append(out, pid);
+    if (has_tid) {
+        out += ",\"tid\":";
+        append(out, tid);
+    }
+    out += ",\"ts\":0,\"args\":{\"name\":";
+    out += exp::jsonQuote(name);
+    out += "}}";
+}
+
+const char *
+completeName(const TraceEvent &event)
+{
+    if ((event.flags & TraceEvent::kWasPrefetch) == 0)
+        return "demand";
+    return (event.flags & TraceEvent::kPrefetch) != 0 ? "prefetch"
+                                                      : "prefetch(promoted)";
+}
+
+} // namespace
+
+std::string
+timeseriesCsv(const std::vector<LabeledSeries> &points)
+{
+    std::string out =
+        "point,label,cycle,core,par,psc,puc,drop_threshold,"
+        "sent,used,dropped,bus_util,row_hit_rate,read_queue,"
+        "write_queue\n";
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        if (points[p].sampler == nullptr)
+            continue;
+        const std::string label = csvField(points[p].label);
+        for (const IntervalRow &row : points[p].sampler->rows()) {
+            append(out, static_cast<std::uint64_t>(p));
+            out += ',';
+            out += label;
+            out += ',';
+            append(out, static_cast<std::uint64_t>(row.cycle));
+            out += ',';
+            append(out, static_cast<std::uint64_t>(row.core));
+            out += ',';
+            append(out, row.par);
+            out += ',';
+            append(out, row.psc);
+            out += ',';
+            append(out, row.puc);
+            out += ',';
+            append(out, static_cast<std::uint64_t>(row.drop_threshold));
+            out += ',';
+            append(out, row.sent);
+            out += ',';
+            append(out, row.used);
+            out += ',';
+            append(out, row.dropped);
+            out += ',';
+            append(out, row.bus_util);
+            out += ',';
+            append(out, row.row_hit_rate);
+            out += ',';
+            append(out, row.read_queue);
+            out += ',';
+            append(out, row.write_queue);
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+std::string
+chromeTraceJson(const std::vector<LabeledTrace> &points)
+{
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    const auto emit = [&](const std::string &event) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += event;
+    };
+
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        if (points[p].trace == nullptr)
+            continue;
+        const std::uint64_t pid_req = 2 * p + 1;
+        const std::uint64_t pid_dram = 2 * p + 2;
+        const std::string tag = "point" + std::to_string(p) + " " +
+                                points[p].label;
+
+        std::string meta;
+        metadataEvent(meta, "process_name", pid_req, 0, false,
+                      tag + " requests");
+        emit(meta);
+        meta.clear();
+        metadataEvent(meta, "process_name", pid_dram, 0, false,
+                      tag + " dram");
+        emit(meta);
+
+        // Name each thread track the first time it appears.
+        std::map<std::pair<std::uint64_t, std::uint64_t>, bool> named;
+        const auto nameTrack = [&](std::uint64_t pid, std::uint64_t tid,
+                                   const std::string &name) {
+            if (!named.emplace(std::make_pair(pid, tid), true).second)
+                return;
+            std::string event;
+            metadataEvent(event, "thread_name", pid, tid, true, name);
+            emit(event);
+        };
+
+        for (const TraceEvent &event : points[p].trace->events()) {
+            std::string body;
+            if (isDramEvent(event.kind)) {
+                const std::uint64_t tid = dramTid(event);
+                const std::string track =
+                    event.kind == EventKind::Refresh
+                        ? "ch" + std::to_string(event.channel) +
+                              " refresh"
+                        : "ch" + std::to_string(event.channel) +
+                              " bank" + std::to_string(event.bank);
+                nameTrack(pid_dram, tid, track);
+                eventHead(body, toString(event.kind), 'i', pid_dram, tid,
+                          event.cycle);
+                body += ",\"s\":\"t\",\"args\":{";
+                if (event.kind != EventKind::Refresh) {
+                    body += "\"addr\":";
+                    body += exp::jsonQuote(hexAddr(event.addr));
+                    body += ",\"row\":";
+                    append(body, event.row);
+                    body += ",\"core\":";
+                    append(body,
+                           static_cast<std::uint64_t>(event.core));
+                }
+                body += "}}";
+                emit(body);
+                continue;
+            }
+
+            const std::uint64_t tid = coreTid(event);
+            nameTrack(pid_req, tid,
+                      "core" + std::to_string(event.core));
+            if (event.kind == EventKind::Complete) {
+                // Duration event spanning arrival -> completion.
+                eventHead(body, completeName(event), 'X', pid_req, tid,
+                          event.aux);
+                body += ",\"dur\":";
+                append(body, event.cycle - event.aux);
+                body += ",\"args\":{\"addr\":";
+                body += exp::jsonQuote(hexAddr(event.addr));
+                body += ",\"bank\":";
+                append(body, static_cast<std::uint64_t>(event.bank));
+                body += ",\"row\":";
+                append(body, event.row);
+                body += ",\"row_hit\":";
+                body += (event.flags & TraceEvent::kRowHit) != 0
+                            ? "true"
+                            : "false";
+                body += "}}";
+                emit(body);
+                continue;
+            }
+
+            eventHead(body, toString(event.kind), 'i', pid_req, tid,
+                      event.cycle);
+            body += ",\"s\":\"t\",\"args\":{\"addr\":";
+            body += exp::jsonQuote(hexAddr(event.addr));
+            body += ",\"bank\":";
+            append(body, static_cast<std::uint64_t>(event.bank));
+            if (event.kind == EventKind::Drop ||
+                event.kind == EventKind::WriteRetire) {
+                body += ",\"age\":";
+                append(body, event.cycle - event.aux);
+            }
+            if ((event.flags & TraceEvent::kWasPrefetch) != 0)
+                body += ",\"prefetch\":true";
+            body += "}}";
+            emit(body);
+        }
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &text,
+              std::string *error)
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+        if (error != nullptr) {
+            *error = "cannot open '" + path +
+                     "' for writing: " + std::strerror(errno);
+        }
+        return false;
+    }
+    const std::size_t written =
+        std::fwrite(text.data(), 1, text.size(), file);
+    const bool flushed = std::fflush(file) == 0;
+    const bool closed = std::fclose(file) == 0;
+    if (written != text.size() || !flushed || !closed) {
+        if (error != nullptr)
+            *error = "short write to '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace padc::telemetry

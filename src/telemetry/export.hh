@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Telemetry exporters: interval time-series as CSV, lifecycle traces as
+ * Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
+ *
+ * Both take a list of labeled per-point sinks so a whole sweep exports
+ * into one file: the CSV gets a leading point column, the trace maps
+ * each point to its own process pair (requests per core, DRAM per
+ * bank). Trace mapping:
+ *
+ *  - pid 2p+1 "requests": one thread track per core. Completed reads
+ *    are "X" duration events spanning arrival -> completion; enqueue /
+ *    coalesce / promote / MSHR transitions and APD drops are instant
+ *    events on the owning core's track.
+ *  - pid 2p+2 "dram": one thread track per (channel, bank). DRAM
+ *    commands (PRE/ACT/RD/WR) are instant events; refreshes get a
+ *    per-channel refresh track.
+ *
+ * Timestamps map one simulated processor cycle to one trace
+ * microsecond (the format's native unit), so durations read directly
+ * as cycles.
+ */
+
+#ifndef PADC_TELEMETRY_EXPORT_HH
+#define PADC_TELEMETRY_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hh"
+
+namespace padc::telemetry
+{
+
+/** One sweep point's time-series sink, with its human label. */
+struct LabeledSeries
+{
+    std::string label;
+    const IntervalSampler *sampler = nullptr; ///< skipped when null
+};
+
+/** One sweep point's trace sink, with its human label. */
+struct LabeledTrace
+{
+    std::string label;
+    const TraceBuffer *trace = nullptr; ///< skipped when null
+};
+
+/**
+ * Render the interval time-series of every point as CSV: a header row
+ * followed by one row per (point, interval boundary, core).
+ */
+std::string timeseriesCsv(const std::vector<LabeledSeries> &points);
+
+/** Render the traces of every point as one Chrome trace-event JSON. */
+std::string chromeTraceJson(const std::vector<LabeledTrace> &points);
+
+/**
+ * Write @p text to @p path (truncating).
+ * @return true on success; false with a description in @p error.
+ */
+bool writeTextFile(const std::string &path, const std::string &text,
+                   std::string *error);
+
+} // namespace padc::telemetry
+
+#endif // PADC_TELEMETRY_EXPORT_HH

@@ -1,0 +1,35 @@
+#include "telemetry/profiler.hh"
+
+namespace padc::telemetry
+{
+
+WallProfiler &
+WallProfiler::instance()
+{
+    static WallProfiler profiler;
+    return profiler;
+}
+
+WallProfiler::Snapshot
+WallProfiler::snapshot() const
+{
+    Snapshot snap;
+    for (std::size_t i = 0; i < kProfilePhases; ++i) {
+        snap.entries[i].nanos =
+            cells_[i].nanos.load(std::memory_order_relaxed);
+        snap.entries[i].calls =
+            cells_[i].calls.load(std::memory_order_relaxed);
+    }
+    return snap;
+}
+
+void
+WallProfiler::reset()
+{
+    for (auto &cell : cells_) {
+        cell.nanos.store(0, std::memory_order_relaxed);
+        cell.calls.store(0, std::memory_order_relaxed);
+    }
+}
+
+} // namespace padc::telemetry

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Host-side scoped wall-clock profiling of the simulation pipeline.
+ *
+ * A process-wide singleton accumulates (nanoseconds, calls) per phase
+ * through RAII scopes. The coarse phases (Build / Simulate / Collect)
+ * wrap whole runMix stages, so their cost is a handful of clock reads
+ * per simulated run. The scheduler hot path is too hot to time every
+ * cycle; instead System::run times the memory-controller tick loop on
+ * one cycle out of kSchedulerSampleInterval and the reader extrapolates
+ * (sampled_ns * interval estimates the full scheduler wall time). Each
+ * sample pays two steady_clock reads, so the extrapolation is an upper
+ * bound that overestimates most when a controller tick is cheaper than
+ * the clock reads (tiny configs); treat it as a trend/ceiling, not an
+ * exact attribution. The
+ * counters are atomics so parallel sweep workers can share the
+ * singleton; numbers therefore aggregate *across* worker threads (CPU
+ * seconds, not elapsed seconds, when the pool fans out).
+ *
+ * The driver snapshots-and-resets around each experiment and reports
+ * the phases next to the sim-cycles/sec block and in the "profile"
+ * member of BENCH_<name>.json.
+ */
+
+#ifndef PADC_TELEMETRY_PROFILER_HH
+#define PADC_TELEMETRY_PROFILER_HH
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace padc::telemetry
+{
+
+/** Profiled pipeline phases. */
+enum class ProfilePhase : std::uint8_t
+{
+    Build,           ///< trace construction + System assembly
+    Simulate,        ///< System::run
+    Collect,         ///< metrics collection
+    SchedulerSample, ///< sampled controller-tick loop (see file comment)
+};
+
+constexpr std::size_t kProfilePhases = 4;
+
+/** Cycles between scheduler hot-path samples (power of two). */
+constexpr std::uint64_t kSchedulerSampleInterval = 1024;
+
+/**
+ * Process-wide wall-clock accumulator; see file comment.
+ */
+class WallProfiler
+{
+  public:
+    static WallProfiler &instance();
+
+    void add(ProfilePhase phase, std::uint64_t nanos)
+    {
+        Cell &cell = cells_[static_cast<std::size_t>(phase)];
+        cell.nanos.fetch_add(nanos, std::memory_order_relaxed);
+        cell.calls.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Consistent-enough copy of the counters (relaxed reads). */
+    struct Snapshot
+    {
+        struct Entry
+        {
+            std::uint64_t nanos = 0;
+            std::uint64_t calls = 0;
+        };
+        std::array<Entry, kProfilePhases> entries;
+
+        double seconds(ProfilePhase phase) const
+        {
+            return static_cast<double>(
+                       entries[static_cast<std::size_t>(phase)].nanos) *
+                   1e-9;
+        }
+        std::uint64_t calls(ProfilePhase phase) const
+        {
+            return entries[static_cast<std::size_t>(phase)].calls;
+        }
+
+        /**
+         * Extrapolated scheduler wall time: one cycle in
+         * kSchedulerSampleInterval is timed, so the full-loop estimate
+         * is the sampled time scaled back up.
+         */
+        double schedulerSecondsEstimate() const
+        {
+            return seconds(ProfilePhase::SchedulerSample) *
+                   static_cast<double>(kSchedulerSampleInterval);
+        }
+    };
+
+    Snapshot snapshot() const;
+
+    void reset();
+
+    /** RAII phase timer. */
+    class Scope
+    {
+      public:
+        explicit Scope(ProfilePhase phase)
+            : phase_(phase), start_(std::chrono::steady_clock::now())
+        {
+        }
+
+        ~Scope()
+        {
+            const auto elapsed =
+                std::chrono::steady_clock::now() - start_;
+            WallProfiler::instance().add(
+                phase_,
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        elapsed)
+                        .count()));
+        }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        ProfilePhase phase_;
+        std::chrono::steady_clock::time_point start_;
+    };
+
+  private:
+    struct Cell
+    {
+        std::atomic<std::uint64_t> nanos{0};
+        std::atomic<std::uint64_t> calls{0};
+    };
+
+    std::array<Cell, kProfilePhases> cells_;
+};
+
+} // namespace padc::telemetry
+
+#endif // PADC_TELEMETRY_PROFILER_HH

@@ -75,6 +75,29 @@ TEST(ParseDriverArgs, CommandsAndFlags)
     EXPECT_EQ(options.format, DriverOptions::Format::Json);
     EXPECT_EQ(options.out_dir, "/tmp/x");
     EXPECT_EQ(options.resume_path, "/tmp/j.jsonl");
+    EXPECT_FALSE(options.trace);
+    EXPECT_FALSE(options.timeseries);
+
+    const char *telem[] = {"padc",          "run",
+                           "smoke",         "--trace=/tmp/t.json",
+                           "--timeseries",  "--trace-limit",
+                           "512"};
+    ASSERT_TRUE(parseDriverArgs(7, telem, &options, &error)) << error;
+    EXPECT_TRUE(options.trace);
+    EXPECT_EQ(options.trace_path, "/tmp/t.json");
+    EXPECT_TRUE(options.timeseries);
+    EXPECT_TRUE(options.timeseries_path.empty());
+    EXPECT_EQ(options.trace_limit, 512u);
+
+    const char *telem2[] = {"padc", "run", "smoke",
+                            "--timeseries=/tmp/ts.csv",
+                            "--trace-limit=0", "--trace"};
+    ASSERT_TRUE(parseDriverArgs(6, telem2, &options, &error)) << error;
+    EXPECT_TRUE(options.timeseries);
+    EXPECT_EQ(options.timeseries_path, "/tmp/ts.csv");
+    EXPECT_EQ(options.trace_limit, 0u); // 0 = count-only tracing
+    EXPECT_TRUE(options.trace);
+    EXPECT_TRUE(options.trace_path.empty());
 }
 
 TEST(ParseDriverArgs, Rejections)
@@ -100,6 +123,12 @@ TEST(ParseDriverArgs, Rejections)
     EXPECT_TRUE(fails({"run", "smoke", "--format", "xml"}));
     EXPECT_TRUE(fails({"run", "smoke", "--frob"}));
     EXPECT_TRUE(fails({"list", "stray"}));
+    EXPECT_TRUE(fails({"run", "smoke", "--trace-limit", "nope"}));
+    EXPECT_TRUE(fails({"run", "smoke", "--trace-limit", "-1"}));
+    EXPECT_TRUE(fails({"run", "smoke", "--trace-limit"}));
+    EXPECT_TRUE(fails({"run", "smoke", "--trace-limit=1x"}));
+    EXPECT_TRUE(fails({"run", "smoke", "--trace="}));
+    EXPECT_TRUE(fails({"run", "smoke", "--timeseries="}));
 }
 
 TEST(DriverList, EnumeratesEveryExperimentExactlyOnce)
