@@ -24,9 +24,11 @@
 #include "dram/channel.hh"
 #include "memctrl/controller.hh"
 #include "prefetch/stream_prefetcher.hh"
+#include "core/trace_file.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel.hh"
 #include "telemetry/telemetry.hh"
+#include "trace/format.hh"
 #include "workload/generator.hh"
 
 namespace
@@ -91,6 +93,70 @@ BM_SyntheticTraceNext(benchmark::State &state)
         benchmark::DoNotOptimize(trace.next().addr);
 }
 BENCHMARK(BM_SyntheticTraceNext);
+
+/** Generated ops shared by the trace-decode benchmarks. */
+const std::vector<core::TraceOp> &
+benchTraceOps()
+{
+    static const std::vector<core::TraceOp> ops = [] {
+        workload::TraceParams params;
+        params.seed = 13;
+        workload::SyntheticTrace generator(params);
+        std::vector<core::TraceOp> v;
+        for (int i = 0; i < 100000; ++i)
+            v.push_back(generator.next());
+        return v;
+    }();
+    return ops;
+}
+
+/**
+ * Decode throughput of the compressed PADCTRC2 format (delta + varint
+ * blocks, full checksum verification) -- the replay-side cost a
+ * trace-backed workload pays per simulated op.
+ */
+void
+BM_TraceDecode(benchmark::State &state)
+{
+    const std::string path = "/tmp/padc_bench_v2.trc";
+    std::string error;
+    if (!trace::writeTraceFileV2(path, benchTraceOps(), &error)) {
+        state.SkipWithError(error.c_str());
+        return;
+    }
+    for (auto _ : state) {
+        std::vector<core::TraceOp> ops;
+        if (!trace::readTraceFileV2(path, &ops, &error))
+            state.SkipWithError(error.c_str());
+        benchmark::DoNotOptimize(ops.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(benchTraceOps().size()));
+    std::remove(path.c_str());
+}
+BENCHMARK(BM_TraceDecode)->Unit(benchmark::kMillisecond);
+
+/** Baseline: decode of the uncompressed fixed-record v1 format. */
+void
+BM_TraceDecodeV1(benchmark::State &state)
+{
+    const std::string path = "/tmp/padc_bench_v1.trc";
+    std::string error;
+    if (!core::writeTraceFile(path, benchTraceOps(), &error)) {
+        state.SkipWithError(error.c_str());
+        return;
+    }
+    for (auto _ : state) {
+        std::vector<core::TraceOp> ops;
+        if (!core::readTraceFile(path, &ops, &error))
+            state.SkipWithError(error.c_str());
+        benchmark::DoNotOptimize(ops.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(benchTraceOps().size()));
+    std::remove(path.c_str());
+}
+BENCHMARK(BM_TraceDecodeV1)->Unit(benchmark::kMillisecond);
 
 /** Discards completions; the scheduler benchmarks only need DRAM work. */
 class NullHandler : public memctrl::ResponseHandler

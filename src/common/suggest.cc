@@ -1,0 +1,53 @@
+#include "common/suggest.hh"
+
+#include <algorithm>
+
+namespace padc
+{
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diagonal = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t substitute =
+                diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diagonal = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+        }
+    }
+    return row[b.size()];
+}
+
+std::string
+closestMatch(const std::string &input,
+             const std::vector<std::string> &candidates)
+{
+    std::string best;
+    std::size_t best_distance = 0;
+    for (const std::string &candidate : candidates) {
+        const std::size_t distance = editDistance(input, candidate);
+        if (best.empty() || distance < best_distance) {
+            best = candidate;
+            best_distance = distance;
+        }
+    }
+    return best;
+}
+
+std::string
+didYouMean(const std::string &input,
+           const std::vector<std::string> &candidates)
+{
+    const std::string best = closestMatch(input, candidates);
+    if (best.empty())
+        return "";
+    return " (did you mean '" + best + "'?)";
+}
+
+} // namespace padc

@@ -6,6 +6,8 @@
 #include <memory>
 #include <string>
 
+#include "common/atomic_file.hh"
+
 namespace padc::core
 {
 
@@ -89,17 +91,16 @@ bool
 writeTraceFile(const std::string &path, const std::vector<TraceOp> &ops,
                std::string *error)
 {
-    FilePtr file(std::fopen(path.c_str(), "wb"));
-    if (file == nullptr)
-        return fail(error, "cannot open '" + path + "' for writing");
+    // Crash-safe: all bytes go to a '<path>.tmp' sibling which is
+    // renamed into place only after a clean flush+close, so an
+    // interrupted capture never leaves a truncated file at @p path
+    // that a later read rejects as corrupt.
+    AtomicFile file(path);
 
     unsigned char header[16];
     std::memcpy(header, kMagic, 8);
     putU64(header + 8, ops.size());
-    if (std::fwrite(header, 1, sizeof(header), file.get()) !=
-        sizeof(header)) {
-        return fail(error, "short write of header to '" + path + "'");
-    }
+    file.write(header, sizeof(header));
 
     for (const TraceOp &op : ops) {
         unsigned char record[24];
@@ -112,20 +113,12 @@ writeTraceFile(const std::string &path, const std::vector<TraceOp> &ops,
         if (op.dependent)
             flags |= kFlagDependent;
         putU32(record + 20, flags);
-        if (std::fwrite(record, 1, sizeof(record), file.get()) !=
-            sizeof(record)) {
-            return fail(error, "short write of op record to '" + path +
-                                   "' (disk full?)");
-        }
+        if (!file.write(record, sizeof(record)))
+            break;
     }
 
-    // Buffered bytes can still fail at flush/close (e.g. delayed
-    // ENOSPC); surface that instead of reporting a truncated file as
-    // written.
-    if (std::fflush(file.get()) != 0 || std::ferror(file.get()) != 0)
-        return fail(error, "flush of '" + path + "' failed");
-    if (std::fclose(file.release()) != 0)
-        return fail(error, "close of '" + path + "' failed");
+    if (!file.commit())
+        return fail(error, file.error());
     return true;
 }
 

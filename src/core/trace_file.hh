@@ -34,7 +34,10 @@ std::vector<TraceOp> captureTrace(TraceSource &source, std::size_t count);
  *
  * Every byte is accounted for: short fwrites, flush failures, and a
  * failing fclose (delayed ENOSPC and similar) all report failure
- * instead of leaving a silently truncated file behind.
+ * instead of leaving a silently truncated file behind. Writes are
+ * crash-safe: bytes go to a `<path>.tmp` sibling that is atomically
+ * renamed onto @p path only on a clean close, so an interrupted
+ * capture never leaves a half-written file at the destination.
  *
  * @param error when non-null, receives a descriptive message on failure.
  * @return true on success.

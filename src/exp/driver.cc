@@ -17,6 +17,8 @@
 #include "exp/report.hh"
 #include "telemetry/export.hh"
 #include "telemetry/profiler.hh"
+#include "trace/corpus.hh"
+#include "trace/tools.hh"
 
 namespace padc::exp
 {
@@ -114,6 +116,9 @@ driverUsage()
            "  list                     list every registered experiment\n"
            "  run <name|tag|glob>...   run the selected experiments\n"
            "  run --all                run every registered experiment\n"
+           "  trace <subcommand>       trace-corpus toolchain (capture,\n"
+           "                           convert, info, verify; see\n"
+           "                           'padc trace help')\n"
            "  help                     show this message\n"
            "\n"
            "options:\n"
@@ -127,6 +132,10 @@ driverUsage()
            "  --format FMT   text | json | csv (default: text)\n"
            "  --out DIR      directory for BENCH_<name>.json files "
            "(default: .)\n"
+           "  --corpus DIR   register the trace corpus at DIR "
+           "(corpus.json)\n"
+           "                 as trace-backed workload profiles before "
+           "running\n"
            "  --timeseries[=PATH]\n"
            "                 record per-interval telemetry (PAR, drop\n"
            "                 threshold, bus util, queues) to a CSV\n"
@@ -214,6 +223,13 @@ parseDriverArgs(int argc, const char *const *argv, DriverOptions *out,
                 return false;
             }
             out->out_dir = text;
+        } else if (arg == "--corpus") {
+            const char *text = value();
+            if (text == nullptr || *text == '\0') {
+                *error = "--corpus expects a directory";
+                return false;
+            }
+            out->corpus_dir = text;
         } else if (arg == "--timeseries") {
             out->timeseries = true;
         } else if (arg.rfind("--timeseries=", 0) == 0) {
@@ -531,6 +547,11 @@ printCsv(const std::vector<const Experiment *> &experiments,
 int
 driverMain(int argc, const char *const *argv)
 {
+    // The trace toolchain has its own grammar; hand it the raw argv
+    // before the experiment-driver parse.
+    if (argc >= 2 && std::strcmp(argv[1], "trace") == 0)
+        return trace::traceToolMain(argc, argv);
+
     DriverOptions options;
     std::string error;
     if (!parseDriverArgs(argc, argv, &options, &error)) {
@@ -547,6 +568,15 @@ driverMain(int argc, const char *const *argv)
         return listExperiments(options);
       case DriverOptions::Command::Run:
         break;
+    }
+
+    if (!options.corpus_dir.empty()) {
+        trace::Corpus corpus;
+        if (!trace::loadCorpus(options.corpus_dir, &corpus, &error) ||
+            !trace::registerCorpus(corpus, &error)) {
+            std::fprintf(stderr, "padc: %s\n", error.c_str());
+            return 2;
+        }
     }
 
     bool selectors_ok = false;

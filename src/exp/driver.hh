@@ -56,6 +56,7 @@ struct DriverOptions
     std::optional<std::uint64_t> seed;  ///< --seed override
     Format format = Format::Text;
     std::string out_dir = ".";          ///< BENCH_<name>.json directory
+    std::string corpus_dir;             ///< --corpus trace-profile dir
 
     bool timeseries = false;     ///< --timeseries[=PATH]
     bool trace = false;          ///< --trace[=PATH]

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/suggest.hh"
+
 namespace padc::exp
 {
 
@@ -90,44 +92,14 @@ ExperimentRegistry::match(const std::string &selector) const
     return out;
 }
 
-namespace
-{
-
-std::size_t
-editDistance(const std::string &a, const std::string &b)
-{
-    std::vector<std::size_t> row(b.size() + 1);
-    for (std::size_t j = 0; j <= b.size(); ++j)
-        row[j] = j;
-    for (std::size_t i = 1; i <= a.size(); ++i) {
-        std::size_t diagonal = row[0];
-        row[0] = i;
-        for (std::size_t j = 1; j <= b.size(); ++j) {
-            const std::size_t substitute =
-                diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
-            diagonal = row[j];
-            row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
-        }
-    }
-    return row[b.size()];
-}
-
-} // namespace
-
 std::string
 ExperimentRegistry::closestName(const std::string &input) const
 {
-    std::string best;
-    std::size_t best_distance = 0;
-    for (const Experiment &experiment : experiments_) {
-        const std::size_t distance =
-            editDistance(input, experiment.info.name);
-        if (best.empty() || distance < best_distance) {
-            best = experiment.info.name;
-            best_distance = distance;
-        }
-    }
-    return best;
+    std::vector<std::string> names;
+    names.reserve(experiments_.size());
+    for (const Experiment &experiment : experiments_)
+        names.push_back(experiment.info.name);
+    return closestMatch(input, names);
 }
 
 } // namespace padc::exp

@@ -91,16 +91,19 @@ runMix(const SystemConfig &config, const workload::Mix &mix,
             " profiles for a " + std::to_string(config.num_cores) +
             "-core configuration");
     }
+    ConfigErrors mix_errors;
+    if (!workload::validateMix(mix, &mix_errors))
+        throw std::invalid_argument("runMix: " + mix_errors.str());
 
-    std::vector<std::unique_ptr<workload::SyntheticTrace>> traces;
+    std::vector<std::unique_ptr<core::TraceSource>> traces;
     std::unique_ptr<System> system;
     {
         telemetry::WallProfiler::Scope scope(
             telemetry::ProfilePhase::Build);
         std::vector<core::TraceSource *> sources;
         for (std::uint32_t c = 0; c < config.num_cores; ++c) {
-            traces.push_back(std::make_unique<workload::SyntheticTrace>(
-                workload::traceParamsFor(mix, c, options.mix_seed)));
+            traces.push_back(
+                workload::makeTraceSource(mix, c, options.mix_seed));
             sources.push_back(traces.back().get());
         }
         system = std::make_unique<System>(config, std::move(sources));
@@ -180,17 +183,19 @@ AloneIpcCache::computeAlone(const std::string &profile_name,
     // with a compute-only spin trace confined to a single line.
     SystemConfig cfg = applyPolicy(base_, PolicySetup::DemandFirst);
 
-    // Build the mix-placed trace for the target core, then run it alone.
+    // Build the mix-placed trace for the target core, then run it
+    // alone. makeTraceSource resolves trace-backed profiles to replays
+    // and synthetic ones to the generator, so alone-IPC normalization
+    // works identically for captured traces.
     workload::Mix dummy_mix(base_.num_cores, profile_name);
-    workload::TraceParams params =
-        workload::traceParamsFor(dummy_mix, core, mix_seed);
-    workload::SyntheticTrace app_trace(params);
+    std::unique_ptr<core::TraceSource> app_trace =
+        workload::makeTraceSource(dummy_mix, core, mix_seed);
 
     std::vector<std::unique_ptr<core::VectorTrace>> idle_traces;
     std::vector<core::TraceSource *> sources;
     for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
         if (c == core % cfg.num_cores) {
-            sources.push_back(&app_trace);
+            sources.push_back(app_trace.get());
         } else {
             core::TraceOp spin;
             spin.compute_gap = 1000;

@@ -1,0 +1,331 @@
+#include "trace/import.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace padc::trace
+{
+
+namespace
+{
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error != nullptr)
+        *error = message;
+    return false;
+}
+
+/** Split a CSV line on commas, trimming surrounding whitespace. */
+std::vector<std::string>
+splitFields(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t comma = line.find(',', start);
+        std::string field = comma == std::string::npos
+                                ? line.substr(start)
+                                : line.substr(start, comma - start);
+        std::size_t first = field.find_first_not_of(" \t\r");
+        if (first == std::string::npos) {
+            field.clear();
+        } else {
+            const std::size_t last = field.find_last_not_of(" \t\r");
+            field = field.substr(first, last - first + 1);
+        }
+        fields.push_back(field);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return fields;
+}
+
+/** Parse a u64 in decimal or 0x-prefixed hex. */
+bool
+parseU64(const std::string &field, std::uint64_t *out)
+{
+    if (field.empty())
+        return false;
+    int base = 10;
+    std::size_t pos = 0;
+    if (field.size() > 2 && field[0] == '0' &&
+        (field[1] == 'x' || field[1] == 'X')) {
+        base = 16;
+        pos = 2;
+    }
+    std::uint64_t value = 0;
+    for (; pos < field.size(); ++pos) {
+        const char c = field[pos];
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (base == 16 && c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else if (base == 16 && c >= 'A' && c <= 'F')
+            digit = c - 'A' + 10;
+        else
+            return false;
+        const std::uint64_t shifted =
+            value * static_cast<std::uint64_t>(base);
+        if (shifted / static_cast<std::uint64_t>(base) != value)
+            return false; // overflow
+        value = shifted + static_cast<std::uint64_t>(digit);
+        if (value < shifted)
+            return false;
+    }
+    *out = value;
+    return true;
+}
+
+/** Parse the rw field: R/L/0 = load, W/S/1 = store. */
+bool
+parseRw(const std::string &field, bool *is_load)
+{
+    if (field.size() != 1)
+        return false;
+    switch (field[0]) {
+      case 'R':
+      case 'r':
+      case 'L':
+      case 'l':
+      case '0':
+        *is_load = true;
+        return true;
+      case 'W':
+      case 'w':
+      case 'S':
+      case 's':
+      case '1':
+        *is_load = false;
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+parseBool01(const std::string &field, bool *out)
+{
+    if (field == "0") {
+        *out = false;
+        return true;
+    }
+    if (field == "1") {
+        *out = true;
+        return true;
+    }
+    return false;
+}
+
+std::string
+lineDiag(std::uint64_t line, const std::string &what)
+{
+    return "line " + std::to_string(line) + ": " + what;
+}
+
+std::uint64_t
+getLe64(const unsigned char *p)
+{
+    std::uint64_t value = 0;
+    for (int i = 7; i >= 0; --i)
+        value = (value << 8) | p[i];
+    return value;
+}
+
+} // namespace
+
+bool
+importCsvMemtrace(const std::string &path, std::vector<core::TraceOp> *ops,
+                  std::string *error, ImportStats *stats)
+{
+    ops->clear();
+    ImportStats local;
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        return fail(error, "cannot open trace file: " + path);
+
+    std::string line;
+    int c;
+    std::uint64_t line_number = 0;
+    bool ok = true;
+    while (ok) {
+        line.clear();
+        while ((c = std::fgetc(file)) != EOF && c != '\n')
+            line.push_back(static_cast<char>(c));
+        if (line.empty() && c == EOF)
+            break;
+        ++line_number;
+        ++local.lines;
+
+        // Skip blank lines and '#' comments.
+        const std::size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#') {
+            ++local.skipped;
+            if (c == EOF)
+                break;
+            continue;
+        }
+
+        const std::vector<std::string> fields = splitFields(line);
+        if (fields.size() < 4 || fields.size() > 5) {
+            ok = fail(error,
+                      lineDiag(line_number,
+                               "expected 4 or 5 fields (addr,pc,rw,gap[,dep])"
+                               ", got " +
+                                   std::to_string(fields.size())));
+            break;
+        }
+
+        core::TraceOp op;
+        std::uint64_t addr;
+        std::uint64_t pc;
+        std::uint64_t gap;
+        if (!parseU64(fields[0], &addr)) {
+            ok = fail(error, lineDiag(line_number,
+                                      "bad addr field '" + fields[0] + "'"));
+            break;
+        }
+        if (!parseU64(fields[1], &pc)) {
+            ok = fail(error, lineDiag(line_number,
+                                      "bad pc field '" + fields[1] + "'"));
+            break;
+        }
+        if (!parseRw(fields[2], &op.is_load)) {
+            ok = fail(error,
+                      lineDiag(line_number, "bad rw field '" + fields[2] +
+                                                "' (expected R/W/L/S/0/1)"));
+            break;
+        }
+        if (!parseU64(fields[3], &gap) || gap > 0xFFFFFFFFULL) {
+            ok = fail(error, lineDiag(line_number,
+                                      "bad gap field '" + fields[3] + "'"));
+            break;
+        }
+        op.dependent = false;
+        if (fields.size() == 5 && !parseBool01(fields[4], &op.dependent)) {
+            ok = fail(error,
+                      lineDiag(line_number, "bad dep field '" + fields[4] +
+                                                "' (expected 0 or 1)"));
+            break;
+        }
+        op.addr = addr;
+        op.pc = pc;
+        op.compute_gap = static_cast<std::uint32_t>(gap);
+        ops->push_back(op);
+        ++local.ops;
+        if (c == EOF)
+            break;
+    }
+    std::fclose(file);
+    if (!ok) {
+        ops->clear();
+        return false;
+    }
+    if (stats != nullptr)
+        *stats = local;
+    return true;
+}
+
+bool
+importChampSim(const std::string &path, std::vector<core::TraceOp> *ops,
+               std::string *error, ImportStats *stats)
+{
+    constexpr std::size_t kRecordBytes = 64;
+    constexpr std::size_t kDestMemOffset = 16;
+    constexpr std::size_t kSrcMemOffset = 32;
+    constexpr int kDestMemSlots = 2;
+    constexpr int kSrcMemSlots = 4;
+
+    ops->clear();
+    ImportStats local;
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        return fail(error, "cannot open trace file: " + path);
+
+    unsigned char record[kRecordBytes];
+    std::uint32_t pending_gap = 0;
+    bool ok = true;
+    while (true) {
+        const std::size_t got =
+            std::fread(record, 1, kRecordBytes, file);
+        if (got == 0)
+            break;
+        if (got != kRecordBytes) {
+            ok = fail(error,
+                      "record " + std::to_string(local.lines) +
+                          ": truncated (got " + std::to_string(got) +
+                          " of 64 bytes); file is not a whole number of "
+                          "ChampSim records");
+            break;
+        }
+        ++local.lines;
+        const std::uint64_t ip = getLe64(record);
+
+        bool touched_memory = false;
+        // Source operands are loads, destinations stores -- emit loads
+        // first to mirror execute-then-retire ordering.
+        for (int slot = 0; slot < kSrcMemSlots; ++slot) {
+            const std::uint64_t addr =
+                getLe64(record + kSrcMemOffset + 8 * slot);
+            if (addr == 0)
+                continue;
+            core::TraceOp op;
+            op.addr = addr;
+            op.pc = ip;
+            op.is_load = true;
+            op.dependent = false;
+            op.compute_gap = touched_memory ? 0 : pending_gap;
+            touched_memory = true;
+            ops->push_back(op);
+            ++local.ops;
+        }
+        for (int slot = 0; slot < kDestMemSlots; ++slot) {
+            const std::uint64_t addr =
+                getLe64(record + kDestMemOffset + 8 * slot);
+            if (addr == 0)
+                continue;
+            core::TraceOp op;
+            op.addr = addr;
+            op.pc = ip;
+            op.is_load = false;
+            op.dependent = false;
+            op.compute_gap = touched_memory ? 0 : pending_gap;
+            touched_memory = true;
+            ops->push_back(op);
+            ++local.ops;
+        }
+        if (touched_memory) {
+            pending_gap = 0;
+        } else if (pending_gap < 0xFFFFFFFFU) {
+            ++pending_gap;
+        }
+    }
+    std::fclose(file);
+    if (!ok) {
+        ops->clear();
+        return false;
+    }
+    if (stats != nullptr)
+        *stats = local;
+    return true;
+}
+
+bool
+importTrace(ImportFormat format, const std::string &path,
+            std::vector<core::TraceOp> *ops, std::string *error,
+            ImportStats *stats)
+{
+    switch (format) {
+      case ImportFormat::Csv:
+        return importCsvMemtrace(path, ops, error, stats);
+      case ImportFormat::ChampSim:
+        return importChampSim(path, ops, error, stats);
+    }
+    return fail(error, "unknown import format");
+}
+
+} // namespace padc::trace

@@ -1,0 +1,66 @@
+#include "trace/stream.hh"
+
+namespace padc::trace
+{
+
+StreamingFileTrace::StreamingFileTrace(const std::string &path)
+    : reader_(path)
+{
+    if (!reader_.ok()) {
+        error_ = reader_.error();
+        return;
+    }
+    if (reader_.info().op_count == 0) {
+        error_ = "'" + path + "' holds no operations";
+        return;
+    }
+    // Eagerly decode the first block so a corrupt head fails at
+    // construction rather than mid-run.
+    if (!loadBlock(0))
+        return;
+    ok_ = true;
+}
+
+bool
+StreamingFileTrace::loadBlock(std::uint64_t block)
+{
+    std::string error;
+    if (!reader_.readBlock(block, &block_, &error)) {
+        if (error_.empty())
+            error_ = error;
+        ok_ = false;
+        block_.clear();
+        pos_ = 0;
+        return false;
+    }
+    block_number_ = block;
+    pos_ = 0;
+    return true;
+}
+
+core::TraceOp
+StreamingFileTrace::next()
+{
+    if (pos_ >= block_.size()) {
+        if (!ok_)
+            return core::TraceOp{};
+        const std::uint64_t next_block =
+            (block_number_ + 1) % reader_.numBlocks();
+        if (!loadBlock(next_block))
+            return core::TraceOp{};
+    }
+    return block_[pos_++];
+}
+
+void
+StreamingFileTrace::reset()
+{
+    if (!ok_ && error_.empty())
+        return;
+    // A mid-stream failure does not survive reset: replay is defined
+    // from the first block, which reloads (and re-validates) here.
+    if (loadBlock(0))
+        ok_ = true;
+}
+
+} // namespace padc::trace

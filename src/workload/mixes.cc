@@ -1,8 +1,11 @@
 #include "workload/mixes.hh"
 
-#include <cassert>
+#include <stdexcept>
 
 #include "common/random.hh"
+#include "common/suggest.hh"
+#include "workload/generator.hh"
+#include "workload/trace_profile.hh"
 
 namespace padc::workload
 {
@@ -41,12 +44,60 @@ caseStudyMixed()
     return {"omnetpp_06", "libquantum_06", "galgel_00", "GemsFDTD_06"};
 }
 
+namespace
+{
+
+/** "core N is out of range for a K-profile mix" guard. */
+void
+checkCore(const Mix &mix, std::uint32_t core)
+{
+    if (core >= mix.size()) {
+        throw std::invalid_argument(
+            "core " + std::to_string(core) + " is out of range for a " +
+            std::to_string(mix.size()) + "-profile mix");
+    }
+}
+
+/** Diagnostic for a name that resolves to no synthetic profile. */
+std::string
+unknownProfileMessage(const std::string &name)
+{
+    if (isTraceProfile(name)) {
+        return "profile '" + name +
+               "' is trace-backed and has no generator parameters; "
+               "use makeTraceSource()";
+    }
+    return "unknown profile '" + name + "'" +
+           didYouMean(name, mixProfilePool());
+}
+
+} // namespace
+
+bool
+validateMix(const Mix &mix, ConfigErrors *errors)
+{
+    bool ok = true;
+    for (std::size_t core = 0; core < mix.size(); ++core) {
+        const std::string &name = mix[core];
+        if (findProfile(name) != nullptr || isTraceProfile(name))
+            continue;
+        ok = false;
+        if (errors != nullptr) {
+            errors->add("mix[" + std::to_string(core) + "]",
+                        "unknown profile '" + name + "'" +
+                            didYouMean(name, mixProfilePool()));
+        }
+    }
+    return ok;
+}
+
 TraceParams
 traceParamsFor(const Mix &mix, std::uint32_t core, std::uint64_t mix_seed)
 {
-    assert(core < mix.size());
+    checkCore(mix, core);
     const BenchmarkProfile *profile = findProfile(mix[core]);
-    assert(profile != nullptr && "unknown profile name in mix");
+    if (profile == nullptr)
+        throw std::invalid_argument(unknownProfileMessage(mix[core]));
 
     TraceParams params = profile->params;
     // Distinct seed per (mix, core) so identical profiles co-running on
@@ -57,6 +108,18 @@ traceParamsFor(const Mix &mix, std::uint32_t core, std::uint64_t mix_seed)
     // rows in the shared DRAM but never share lines.
     params.base = static_cast<Addr>(core) << 40;
     return params;
+}
+
+std::unique_ptr<core::TraceSource>
+makeTraceSource(const Mix &mix, std::uint32_t core, std::uint64_t mix_seed)
+{
+    checkCore(mix, core);
+    std::unique_ptr<core::TraceSource> traced =
+        makeRegisteredTraceSource(mix[core]);
+    if (traced != nullptr)
+        return traced;
+    return std::make_unique<SyntheticTrace>(
+        traceParamsFor(mix, core, mix_seed));
 }
 
 } // namespace padc::workload

@@ -9,9 +9,12 @@
 #define PADC_WORKLOAD_MIXES_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/config.hh"
+#include "core/trace.hh"
 #include "workload/profile.hh"
 
 namespace padc::workload
@@ -37,13 +40,38 @@ Mix caseStudyUnfriendly();
 Mix caseStudyMixed();
 
 /**
- * Concrete trace parameters for one core of a mix: the profile's
- * parameters with a per-(mix, core) seed and a disjoint address-space
- * base.
- * @pre the profile name exists.
+ * Check every name in @p mix against the profile pool (built-in
+ * synthetic profiles plus registered trace-backed profiles),
+ * accumulating one ConfigError per unknown name -- each with a
+ * Levenshtein "did you mean" suggestion -- instead of stopping at the
+ * first. Field paths are "mix[core]".
+ * @return true when every name resolves.
+ */
+bool validateMix(const Mix &mix, ConfigErrors *errors);
+
+/**
+ * Concrete trace parameters for one core of a mix: the synthetic
+ * profile's parameters with a per-(mix, core) seed and a disjoint
+ * address-space base.
+ * @throws std::invalid_argument when @p core is out of range or the
+ *         name is not a synthetic profile (unknown names carry a
+ *         "did you mean" suggestion; trace-backed profiles have no
+ *         generator parameters and are called out as such).
  */
 TraceParams traceParamsFor(const Mix &mix, std::uint32_t core,
                            std::uint64_t mix_seed);
+
+/**
+ * Instantiate the trace source for one core of a mix: a fresh
+ * StreamingFileTrace-backed replay for trace-backed profiles, otherwise
+ * a SyntheticTrace over traceParamsFor(). This is the single entry
+ * point the simulator uses, so captured traces drop into mixes
+ * anywhere a synthetic profile fits.
+ * @throws std::invalid_argument as traceParamsFor() does.
+ */
+std::unique_ptr<core::TraceSource>
+makeTraceSource(const Mix &mix, std::uint32_t core,
+                std::uint64_t mix_seed);
 
 } // namespace padc::workload
 

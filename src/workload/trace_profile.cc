@@ -1,0 +1,94 @@
+#include "workload/trace_profile.hh"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "workload/profile.hh"
+
+namespace padc::workload
+{
+
+namespace
+{
+
+std::mutex &
+registryMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::map<std::string, TraceSourceFactory> &
+registry()
+{
+    static std::map<std::string, TraceSourceFactory> profiles;
+    return profiles;
+}
+
+} // namespace
+
+void
+registerTraceProfile(const std::string &name, TraceSourceFactory factory)
+{
+    if (findProfile(name) != nullptr) {
+        throw std::logic_error("trace profile '" + name +
+                               "' shadows a built-in synthetic profile");
+    }
+    std::lock_guard<std::mutex> lock(registryMutex());
+    if (!registry().emplace(name, std::move(factory)).second)
+        throw std::logic_error("duplicate trace profile name: " + name);
+}
+
+bool
+isTraceProfile(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    return registry().count(name) != 0;
+}
+
+std::vector<std::string>
+traceProfileNames()
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    std::vector<std::string> names;
+    names.reserve(registry().size());
+    for (const auto &entry : registry())
+        names.push_back(entry.first);
+    return names;
+}
+
+void
+clearTraceProfiles()
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    registry().clear();
+}
+
+std::vector<std::string>
+mixProfilePool()
+{
+    std::vector<std::string> pool = allProfileNames();
+    std::vector<std::string> traced = traceProfileNames();
+    pool.insert(pool.end(), traced.begin(), traced.end());
+    std::sort(pool.begin(), pool.end());
+    return pool;
+}
+
+std::unique_ptr<core::TraceSource>
+makeRegisteredTraceSource(const std::string &name)
+{
+    TraceSourceFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex());
+        auto it = registry().find(name);
+        if (it == registry().end())
+            return nullptr;
+        factory = it->second;
+    }
+    // Invoke outside the lock; factories open files.
+    return factory();
+}
+
+} // namespace padc::workload

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Registry of trace-backed workload profiles.
+ *
+ * Synthetic profiles (profile.hh) are parameterizations of the
+ * generator; trace-backed profiles replay a captured or imported trace
+ * file instead. Registering one under a name makes it usable anywhere a
+ * profile name is accepted -- in a Mix, in case studies, on the `padc`
+ * command line -- without the workload layer depending on the trace
+ * subsystem: registration supplies an opaque factory, and src/trace
+ * registers StreamingFileTrace factories for every corpus entry it
+ * loads (trace -> workload, never the reverse).
+ *
+ * The registry is process-global and mutex-guarded; experiments run on
+ * a thread pool and may resolve mixes concurrently.
+ */
+
+#ifndef PADC_WORKLOAD_TRACE_PROFILE_HH
+#define PADC_WORKLOAD_TRACE_PROFILE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trace.hh"
+
+namespace padc::workload
+{
+
+/** Produces a fresh, independently-positioned source per call. */
+using TraceSourceFactory =
+    std::function<std::unique_ptr<core::TraceSource>()>;
+
+/**
+ * Register a trace-backed profile.
+ * @throws std::logic_error if @p name is already taken, by another
+ *         trace profile or by a built-in synthetic profile.
+ */
+void registerTraceProfile(const std::string &name,
+                          TraceSourceFactory factory);
+
+/** Whether @p name names a registered trace-backed profile. */
+bool isTraceProfile(const std::string &name);
+
+/** Names of all registered trace-backed profiles, sorted. */
+std::vector<std::string> traceProfileNames();
+
+/** Drop all registered trace-backed profiles (tests). */
+void clearTraceProfiles();
+
+/**
+ * Every name a Mix may reference: built-in synthetic profiles plus
+ * registered trace-backed profiles. The candidate pool behind
+ * "did you mean" suggestions.
+ */
+std::vector<std::string> mixProfilePool();
+
+/**
+ * Instantiate the trace source registered under @p name.
+ * @return nullptr when @p name is not a trace-backed profile.
+ */
+std::unique_ptr<core::TraceSource>
+makeRegisteredTraceSource(const std::string &name);
+
+} // namespace padc::workload
+
+#endif // PADC_WORKLOAD_TRACE_PROFILE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit tests for the shared "did you mean" machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/suggest.hh"
+
+namespace padc
+{
+namespace
+{
+
+TEST(SuggestTest, EditDistanceBasics)
+{
+    EXPECT_EQ(editDistance("", ""), 0u);
+    EXPECT_EQ(editDistance("abc", "abc"), 0u);
+    EXPECT_EQ(editDistance("abc", ""), 3u);
+    EXPECT_EQ(editDistance("", "abc"), 3u);
+    EXPECT_EQ(editDistance("kitten", "sitting"), 3u);
+    EXPECT_EQ(editDistance("flaw", "lawn"), 2u);
+    EXPECT_EQ(editDistance("fig09", "fig These"), 6u);
+}
+
+TEST(SuggestTest, ClosestMatchPicksNearest)
+{
+    const std::vector<std::string> names = {"libquantum_06", "milc_06",
+                                            "swim_00"};
+    EXPECT_EQ(closestMatch("libquantm_06", names), "libquantum_06");
+    EXPECT_EQ(closestMatch("milc06", names), "milc_06");
+    EXPECT_EQ(closestMatch("swim", names), "swim_00");
+}
+
+TEST(SuggestTest, ClosestMatchEmptyCandidates)
+{
+    EXPECT_EQ(closestMatch("anything", {}), "");
+}
+
+TEST(SuggestTest, ClosestMatchFirstWinsTies)
+{
+    const std::vector<std::string> names = {"aaa", "aab"};
+    EXPECT_EQ(closestMatch("aa", names), "aaa");
+}
+
+TEST(SuggestTest, DidYouMeanFormatting)
+{
+    const std::vector<std::string> names = {"fig09", "fig16"};
+    EXPECT_EQ(didYouMean("fig9", names), " (did you mean 'fig09'?)");
+    EXPECT_EQ(didYouMean("anything", {}), "");
+}
+
+} // namespace
+} // namespace padc

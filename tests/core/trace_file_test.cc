@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "core/trace_file.hh"
@@ -167,6 +168,27 @@ TEST_F(TraceFileTest, UnwritableDirectoryReportsOpenFailure)
     EXPECT_FALSE(
         writeTraceFile("/nonexistent-dir/padc.trc", sampleOps(), &error));
     EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
+TEST_F(TraceFileTest, SuccessfulWriteLeavesNoTmpSibling)
+{
+    ASSERT_TRUE(writeTraceFile(path_, sampleOps()));
+    EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+}
+
+TEST_F(TraceFileTest, FailedCommitCleansUpTmpAndKeepsDestination)
+{
+    // Destination is a directory, so the final rename cannot succeed;
+    // the write must fail without leaving its temp sibling behind or
+    // disturbing what already sits at the destination path.
+    const std::string dir = ::testing::TempDir() + "padc_trace_dir.trc";
+    std::filesystem::create_directories(dir + "/occupied");
+    std::string error;
+    EXPECT_FALSE(writeTraceFile(dir, sampleOps(), &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(std::filesystem::exists(dir + ".tmp"));
+    EXPECT_TRUE(std::filesystem::is_directory(dir + "/occupied"));
+    std::filesystem::remove_all(dir);
 }
 
 TEST_F(TraceFileTest, CaptureFromSyntheticGeneratorMatchesReplay)

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the external trace importers: text/CSV memtrace and
+ * ChampSim-style fixed-record binaries, including their per-line /
+ * per-record rejection diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "trace/import.hh"
+
+namespace padc::trace
+{
+namespace
+{
+
+class ImportTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "padc_import_test.in";
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+    }
+
+    void
+    writeText(const std::string &text) const
+    {
+        std::ofstream out(path_);
+        out << text;
+    }
+
+    void
+    writeBinary(const std::string &bytes) const
+    {
+        std::ofstream out(path_, std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    /** One 64-byte ChampSim record. */
+    static std::string
+    champsimRecord(std::uint64_t ip,
+                   const std::vector<std::uint64_t> &src_mem,
+                   const std::vector<std::uint64_t> &dest_mem)
+    {
+        std::string record(64, '\0');
+        const auto put64 = [&record](std::size_t offset,
+                                     std::uint64_t value) {
+            for (int i = 0; i < 8; ++i) {
+                record[offset + static_cast<std::size_t>(i)] =
+                    static_cast<char>((value >> (8 * i)) & 0xFF);
+            }
+        };
+        put64(0, ip);
+        for (std::size_t i = 0; i < dest_mem.size() && i < 2; ++i)
+            put64(16 + 8 * i, dest_mem[i]);
+        for (std::size_t i = 0; i < src_mem.size() && i < 4; ++i)
+            put64(32 + 8 * i, src_mem[i]);
+        return record;
+    }
+
+    std::string path_;
+};
+
+TEST_F(ImportTest, CsvBasicFields)
+{
+    writeText("# a comment\n"
+              "0x1000,0x400,R,3\n"
+              "4096,1028,W,0\n"
+              "\n"
+              "0x2000,0x408,L,7,1\n");
+    std::vector<core::TraceOp> ops;
+    std::string error;
+    ImportStats stats;
+    ASSERT_TRUE(importCsvMemtrace(path_, &ops, &error, &stats)) << error;
+    ASSERT_EQ(ops.size(), 3u);
+    EXPECT_EQ(stats.ops, 3u);
+    EXPECT_EQ(stats.skipped, 2u); // comment + blank
+
+    EXPECT_EQ(ops[0].addr, 0x1000u);
+    EXPECT_EQ(ops[0].pc, 0x400u);
+    EXPECT_TRUE(ops[0].is_load);
+    EXPECT_EQ(ops[0].compute_gap, 3u);
+    EXPECT_FALSE(ops[0].dependent);
+
+    EXPECT_EQ(ops[1].addr, 4096u); // decimal accepted
+    EXPECT_FALSE(ops[1].is_load);  // W = store
+
+    EXPECT_TRUE(ops[2].dependent); // optional 5th field
+}
+
+TEST_F(ImportTest, CsvRwSpellings)
+{
+    writeText("0x0,0x0,r,0\n0x40,0x0,0,0\n0x80,0x0,s,0\n0xC0,0x0,1,0\n");
+    std::vector<core::TraceOp> ops;
+    std::string error;
+    ASSERT_TRUE(importCsvMemtrace(path_, &ops, &error)) << error;
+    ASSERT_EQ(ops.size(), 4u);
+    EXPECT_TRUE(ops[0].is_load);
+    EXPECT_TRUE(ops[1].is_load);
+    EXPECT_FALSE(ops[2].is_load);
+    EXPECT_FALSE(ops[3].is_load);
+}
+
+TEST_F(ImportTest, CsvWhitespaceTolerated)
+{
+    writeText("  0x1000 , 0x400 , R , 3 \r\n");
+    std::vector<core::TraceOp> ops;
+    std::string error;
+    ASSERT_TRUE(importCsvMemtrace(path_, &ops, &error)) << error;
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_EQ(ops[0].addr, 0x1000u);
+}
+
+TEST_F(ImportTest, CsvDiagnosticNamesLineAndField)
+{
+    writeText("0x1000,0x400,R,3\n"
+              "0x2000,0x404,Q,1\n");
+    std::vector<core::TraceOp> ops;
+    std::string error;
+    EXPECT_FALSE(importCsvMemtrace(path_, &ops, &error));
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    EXPECT_NE(error.find("rw"), std::string::npos) << error;
+    EXPECT_TRUE(ops.empty()); // strict: nothing survives a bad line
+}
+
+TEST_F(ImportTest, CsvBadAddrDiagnostic)
+{
+    writeText("zork,0x400,R,3\n");
+    std::vector<core::TraceOp> ops;
+    std::string error;
+    EXPECT_FALSE(importCsvMemtrace(path_, &ops, &error));
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+    EXPECT_NE(error.find("addr"), std::string::npos) << error;
+}
+
+TEST_F(ImportTest, CsvWrongFieldCountDiagnostic)
+{
+    writeText("0x1000,0x400\n");
+    std::vector<core::TraceOp> ops;
+    std::string error;
+    EXPECT_FALSE(importCsvMemtrace(path_, &ops, &error));
+    EXPECT_NE(error.find("4 or 5 fields"), std::string::npos) << error;
+}
+
+TEST_F(ImportTest, CsvMissingFileDiagnostic)
+{
+    std::vector<core::TraceOp> ops;
+    std::string error;
+    EXPECT_FALSE(
+        importCsvMemtrace("/nonexistent/padc.csv", &ops, &error));
+    EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
+TEST_F(ImportTest, ChampSimLoadsStoresAndGaps)
+{
+    std::string bytes;
+    bytes += champsimRecord(0x400, {}, {});       // compute only
+    bytes += champsimRecord(0x404, {}, {});       // compute only
+    bytes += champsimRecord(0x408, {0x1000}, {}); // one load
+    bytes += champsimRecord(0x40C, {0x2000, 0x2040}, {0x3000});
+    writeBinary(bytes);
+
+    std::vector<core::TraceOp> ops;
+    std::string error;
+    ImportStats stats;
+    ASSERT_TRUE(importChampSim(path_, &ops, &error, &stats)) << error;
+    EXPECT_EQ(stats.lines, 4u);
+    ASSERT_EQ(ops.size(), 4u);
+
+    // The two memory-free records become the next op's compute gap.
+    EXPECT_EQ(ops[0].compute_gap, 2u);
+    EXPECT_EQ(ops[0].addr, 0x1000u);
+    EXPECT_EQ(ops[0].pc, 0x408u);
+    EXPECT_TRUE(ops[0].is_load);
+
+    // Record with several operands: loads first, then stores, gap only
+    // on the first op.
+    EXPECT_EQ(ops[1].addr, 0x2000u);
+    EXPECT_TRUE(ops[1].is_load);
+    EXPECT_EQ(ops[1].compute_gap, 0u);
+    EXPECT_EQ(ops[2].addr, 0x2040u);
+    EXPECT_TRUE(ops[2].is_load);
+    EXPECT_EQ(ops[3].addr, 0x3000u);
+    EXPECT_FALSE(ops[3].is_load);
+    EXPECT_EQ(ops[3].pc, 0x40Cu);
+}
+
+TEST_F(ImportTest, ChampSimTruncatedRecordRejected)
+{
+    std::string bytes = champsimRecord(0x400, {0x1000}, {});
+    bytes += bytes.substr(0, 30); // partial second record
+    writeBinary(bytes);
+
+    std::vector<core::TraceOp> ops;
+    std::string error;
+    EXPECT_FALSE(importChampSim(path_, &ops, &error));
+    EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+    EXPECT_TRUE(ops.empty());
+}
+
+TEST_F(ImportTest, ImportTraceDispatches)
+{
+    writeText("0x1000,0x400,R,3\n");
+    std::vector<core::TraceOp> ops;
+    std::string error;
+    ASSERT_TRUE(importTrace(ImportFormat::Csv, path_, &ops, &error))
+        << error;
+    EXPECT_EQ(ops.size(), 1u);
+}
+
+} // namespace
+} // namespace padc::trace

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
+#include "workload/generator.hh"
 #include "workload/mixes.hh"
 
 namespace padc::workload
@@ -95,6 +97,58 @@ TEST(MixesTest, ParamsOtherwiseMatchProfile)
     EXPECT_EQ(p.avg_gap, profile->params.avg_gap);
     EXPECT_EQ(p.working_set_bytes, profile->params.working_set_bytes);
     EXPECT_DOUBLE_EQ(p.store_fraction, profile->params.store_fraction);
+}
+
+TEST(MixesTest, UnknownProfileThrowsWithSuggestion)
+{
+    const Mix mix = {"libquantm_06"};
+    try {
+        traceParamsFor(mix, 0, 0);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("libquantm_06"), std::string::npos) << what;
+        EXPECT_NE(what.find("did you mean 'libquantum_06'"),
+                  std::string::npos)
+            << what;
+    }
+}
+
+TEST(MixesTest, OutOfRangeCoreThrows)
+{
+    const Mix mix = {"milc_06"};
+    EXPECT_THROW(traceParamsFor(mix, 1, 0), std::invalid_argument);
+    EXPECT_THROW(makeTraceSource(mix, 5, 0), std::invalid_argument);
+}
+
+TEST(MixesTest, ValidateMixAccumulatesAllErrors)
+{
+    const Mix mix = {"milc_06", "bogus_one", "bogus_two"};
+    ConfigErrors errors;
+    EXPECT_FALSE(validateMix(mix, &errors));
+    const std::string text = errors.str();
+    // Both bad slots reported in one pass, each with its field path;
+    // the valid slot stays silent.
+    EXPECT_NE(text.find("mix[1]"), std::string::npos) << text;
+    EXPECT_NE(text.find("mix[2]"), std::string::npos) << text;
+    EXPECT_EQ(text.find("mix[0]"), std::string::npos) << text;
+}
+
+TEST(MixesTest, ValidateMixAcceptsBuiltins)
+{
+    ConfigErrors errors;
+    EXPECT_TRUE(validateMix(caseStudyFriendly(), &errors))
+        << errors.str();
+}
+
+TEST(MixesTest, MakeTraceSourceSynthesizesForBuiltins)
+{
+    const Mix mix = {"milc_06"};
+    auto source = makeTraceSource(mix, 0, 3);
+    ASSERT_NE(source, nullptr);
+    SyntheticTrace direct(traceParamsFor(mix, 0, 3));
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(source->next().addr, direct.next().addr) << i;
 }
 
 } // namespace
