@@ -30,6 +30,7 @@
 #include "telemetry/telemetry.hh"
 #include "trace/format.hh"
 #include "workload/generator.hh"
+#include "workload/trace_profile.hh"
 
 namespace
 {
@@ -338,6 +339,97 @@ BM_SingleCoreSimulation(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SingleCoreSimulation)->Unit(benchmark::kMillisecond);
+
+/**
+ * Registers (once) the serial pointer-chase profile the idle-heavy
+ * end-to-end benchmark runs: fully dependent loads striding randomly
+ * through a working set far larger than the L2, one access per line,
+ * no compute between them -- the lat_mem_rd idiom. Every load is an L2 miss whose address hangs
+ * off the previous one, so the core sits in a DRAM-latency-bound stall
+ * loop and almost every simulated cycle is dead time. Registered under
+ * a bench-local name so the builtin profile table (and with it
+ * randomMixes and every figure) is untouched.
+ */
+const char *
+pointerChaseProfile()
+{
+    static const char *name = [] {
+        workload::TraceParams p;
+        p.seed = 41;
+        p.avg_gap = 0;
+        p.store_fraction = 0.0;
+        p.dependent_fraction = 1.0;
+        p.working_set_bytes = 8ULL << 20;
+        p.accesses_per_line = 1;
+        p.phases[0].seq_fraction = 0.0;
+        p.phases[0].stride_fraction = 0.0;
+        p.phases[0].burst_lines = 1;
+        p.phases[0].revisit_fraction = 0.0;
+        p.phases[0].concurrent_runs = 1;
+        workload::registerTraceProfile("bench_pchase", [p] {
+            return std::make_unique<workload::SyntheticTrace>(p);
+        });
+        return "bench_pchase";
+    }();
+    return name;
+}
+
+/**
+ * Full System::run throughput (sim-cycles/sec counter) on a short
+ * single-core mix, cycle-by-cycle (BM_EndToEnd) vs. the event-driven
+ * next-event loop (BM_EndToEndEventDriven). Arg 0 is an idle-heavy
+ * serial pointer chase (bench_pchase, prefetcher off) where nearly
+ * every cycle is a dead wait on a dependent DRAM miss; Arg 1 is a
+ * saturated streaming profile (libquantum_06) where nearly every cycle
+ * does work. Compare the pair at the same arg: the idle-heavy arg
+ * shows the skipping win, the saturated arg bounds its overhead when
+ * there is nothing to skip.
+ */
+void
+endToEnd(benchmark::State &state, bool event_skip)
+{
+    sim::SystemConfig cfg = sim::applyPolicy(
+        sim::SystemConfig::baseline(1), sim::PolicySetup::Padc);
+    cfg.event_skip = event_skip;
+    const bool idle_heavy = state.range(0) == 0;
+    if (idle_heavy) {
+        // No prefetcher: a stream prefetcher keeps the channel busy
+        // between the dependent misses, and the chase defeats it
+        // anyway (random next-line, one access per line).
+        cfg.prefetch_enabled = false;
+    }
+    const workload::Mix mix = {idle_heavy ? pointerChaseProfile()
+                                          : "libquantum_06"};
+    sim::RunOptions opt;
+    opt.instructions = 15000;
+    opt.warmup = 0;
+    std::uint64_t total_cycles = 0;
+    for (auto _ : state) {
+        sim::RunStatus status;
+        benchmark::DoNotOptimize(
+            sim::runMix(cfg, mix, opt, &status).cores[0].ipc);
+        total_cycles += status.cycles;
+    }
+    state.counters["sim_cycles_per_sec"] = benchmark::Counter(
+        static_cast<double>(total_cycles), benchmark::Counter::kIsRate);
+}
+
+void
+BM_EndToEnd(benchmark::State &state)
+{
+    endToEnd(state, false);
+}
+BENCHMARK(BM_EndToEnd)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void
+BM_EndToEndEventDriven(benchmark::State &state)
+{
+    endToEnd(state, true);
+}
+BENCHMARK(BM_EndToEndEventDriven)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 // --- telemetry overhead check ---------------------------------------
 

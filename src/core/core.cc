@@ -87,9 +87,12 @@ Core::retire(Cycle now)
             // the miss is still outstanding, orphan its pending entry so
             // the completion callback does not touch a popped ROB slot.
             if (head.pending_miss && !head.complete) {
-                auto it = pending_.find(head.tag);
-                if (it != pending_.end())
-                    it->second = nullptr;
+                for (auto &p : pending_) {
+                    if (p.first == head.tag) {
+                        p.second = nullptr;
+                        break;
+                    }
+                }
             }
             ++stats_.stores;
         }
@@ -174,7 +177,7 @@ Core::issue(Cycle now)
             entry->ready = reply.ready;
         } else {
             entry->pending_miss = true;
-            pending_[entry->tag] = entry;
+            pending_.emplace_back(entry->tag, entry);
             ++mem_ops_in_flight_;
         }
         issue_q_.pop_front();
@@ -226,7 +229,7 @@ Core::runaheadStep(Cycle now)
                 break;
             }
             if (reply.status == AccessStatus::Pending) {
-                pending_[tag] = nullptr;
+                pending_.emplace_back(tag, nullptr);
                 runahead_tags_.insert(tag);
                 ++runahead_in_flight_;
             }
@@ -246,12 +249,15 @@ Core::runaheadStep(Cycle now)
 void
 Core::completeLoad(std::uint64_t tag, Cycle now)
 {
-    auto it = pending_.find(tag);
+    auto it = pending_.begin();
+    while (it != pending_.end() && it->first != tag)
+        ++it;
     assert(it != pending_.end());
     RobEntry *entry = it->second;
-    pending_.erase(it);
+    *it = pending_.back();
+    pending_.pop_back();
 
-    if (runahead_tags_.erase(tag) > 0) {
+    if (!runahead_tags_.empty() && runahead_tags_.erase(tag) > 0) {
         assert(runahead_in_flight_ > 0);
         --runahead_in_flight_;
     } else {
@@ -275,6 +281,65 @@ Core::tick(Cycle now)
         runaheadStep(now);
     fetch(now);
     issue(now);
+}
+
+Cycle
+Core::nextEventCycle(Cycle from) const
+{
+    if (runahead_active_)
+        return from; // pseudo-execution consumes trace every cycle
+
+    if (!rob_.empty()) {
+        const RobEntry &head = rob_.front();
+        if (!head.is_mem)
+            return from; // compute blocks retire every cycle
+        if (head.is_load) {
+            if (head.issued && (head.complete || head.ready <= from))
+                return from; // head retires this cycle
+            if (config_.runahead && head.pending_miss && head.issued)
+                return from; // a stalled tick would start runahead
+        } else if (head.issued) {
+            return from; // stores retire once issued
+        }
+    }
+
+    if (instrs_in_window_ < config_.window_size)
+        return from; // fetch makes progress (trace sources never run dry)
+
+    if (!issue_q_.empty()) {
+        const RobEntry *front = issue_q_.front();
+        if (!(front->dependent && mem_ops_in_flight_ > 0) &&
+            mem_ops_in_flight_ < config_.lsq_size) {
+            // An issue attempt has observable side effects (port access,
+            // retry accounting) even when it bounces, so any cycle with
+            // one cannot be skipped.
+            return from;
+        }
+    }
+
+    // Fully stalled. A head load with a known completion time wakes the
+    // core at that cycle; everything else waits on a completeLoad()
+    // driven by a memory-controller event, which the controller's own
+    // next-event computation already bounds.
+    if (!rob_.empty()) {
+        const RobEntry &head = rob_.front();
+        if (head.is_mem && head.is_load && head.issued && !head.complete &&
+            head.ready != kNeverCycle) {
+            return head.ready;
+        }
+    }
+    return kNeverCycle;
+}
+
+void
+Core::accountIdleCycles(std::uint64_t cycles)
+{
+    // The gap invariant guarantees the retire stage saw the same
+    // not-yet-done load head in every skipped cycle (any state change
+    // would have been an event); only that case increments a per-cycle
+    // counter in tick().
+    if (!rob_.empty() && rob_.front().is_mem && rob_.front().is_load)
+        stats_.load_stall_cycles += cycles;
 }
 
 } // namespace padc::core

@@ -21,8 +21,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/config.hh"
 #include "common/types.hh"
@@ -111,6 +112,26 @@ class Core
     /** Advance one processor cycle: retire, fetch, issue. */
     void tick(Cycle now);
 
+    /**
+     * Earliest cycle >= @p from at which a tick() of this core could
+     * make progress or have any side effect beyond the head-load stall
+     * counter (which accountIdleCycles() reproduces for skipped
+     * cycles): @p from itself when any pipeline stage can act this
+     * cycle, the head load's known completion time when the core is
+     * fully stalled on it, or kNeverCycle when the core can only be
+     * woken by a completeLoad() from the memory system (whose timing
+     * the controller's own next-event computation bounds).
+     */
+    Cycle nextEventCycle(Cycle from) const;
+
+    /**
+     * Account for skipped cycles during which this core was provably
+     * stalled: reproduces the per-cycle head-load stall increment the
+     * legacy loop would have made. @pre nextEventCycle(from) covered
+     * every skipped cycle, so the stall condition held throughout.
+     */
+    void accountIdleCycles(std::uint64_t cycles);
+
     /** Completion callback for Pending accesses. */
     void completeLoad(std::uint64_t tag, Cycle now);
 
@@ -160,8 +181,12 @@ class Core
     /** Mem entries fetched but not yet successfully issued. */
     std::deque<RobEntry *> issue_q_;
 
-    /** Pending-load lookup for completeLoad(). */
-    std::unordered_map<std::uint64_t, RobEntry *> pending_;
+    /**
+     * Pending-miss lookup for completeLoad(), keyed by tag. At most
+     * lsq_size (plus runahead) entries are ever in flight, so a flat
+     * vector with a linear scan beats a hash table here.
+     */
+    std::vector<std::pair<std::uint64_t, RobEntry *>> pending_;
 
     std::uint64_t next_tag_ = 1;
 

@@ -18,6 +18,7 @@
 #ifndef PADC_DRAM_CHANNEL_HH
 #define PADC_DRAM_CHANNEL_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
@@ -73,6 +74,62 @@ class Channel
 
     /** True when the command bus can accept a command at cycle now. */
     bool commandBusFree(Cycle now) const { return now >= cmd_bus_free_; }
+
+    /** True when periodic refresh is modelled at all. */
+    bool refreshEnabled() const { return timing_.refresh_enabled; }
+
+    /**
+     * Next refresh deadline (meaningful only when refreshEnabled()).
+     * Together with commandBusFreeAt() this bounds the next cycle a
+     * refresh can actually fire, which the event-driven main loop folds
+     * into its next-event computation.
+     */
+    Cycle nextRefreshDue() const { return next_refresh_due_; }
+
+    /** First cycle the command bus can accept another command. */
+    Cycle commandBusFreeAt() const { return cmd_bus_free_; }
+
+    /**
+     * Channel-global component of the first cycle a write column command
+     * can become legal (command bus, tCCD, read->write turnaround, data
+     * bus). Combined with the bank-local readyColumn() this is exact
+     * while no commands issue, which is what the event-driven main loop
+     * needs: inside a jump gap the channel state is frozen.
+     */
+    Cycle writeColumnGlobalReadyAt() const
+    {
+        const Cycle lead = timing_.toCpu(timing_.tCWL);
+        const Cycle data = data_bus_free_ > lead ? data_bus_free_ - lead : 0;
+        return std::max(std::max(cmd_bus_free_, next_column_ok_),
+                        std::max(write_col_ok_, data));
+    }
+
+    /**
+     * Channel-global component for a read column command (command bus,
+     * tCCD, write->read turnaround, data bus). Same exactness contract
+     * as writeColumnGlobalReadyAt().
+     */
+    Cycle readColumnGlobalReadyAt() const
+    {
+        const Cycle lead = timing_.toCpu(timing_.tCL);
+        const Cycle data = data_bus_free_ > lead ? data_bus_free_ - lead : 0;
+        return std::max(std::max(cmd_bus_free_, next_column_ok_),
+                        std::max(read_col_ok_, data));
+    }
+
+    /** Channel-global component for ACTIVATE (command bus, tRRD, tFAW). */
+    Cycle activateGlobalReadyAt() const
+    {
+        Cycle ready = cmd_bus_free_ > next_act_ok_ ? cmd_bus_free_
+                                                   : next_act_ok_;
+        if (acts_issued_ >= act_history_.size()) {
+            const Cycle faw = act_history_[act_history_pos_] +
+                              timing_.toCpu(timing_.tFAW);
+            if (faw > ready)
+                ready = faw;
+        }
+        return ready;
+    }
 
     /** Activate legality including tRRD/tFAW and refresh blackout. */
     bool canActivate(std::uint32_t bank, Cycle now) const;

@@ -516,6 +516,18 @@ recordProfile(ExperimentResult &result)
         "scheduler_sampled_cycles",
         static_cast<double>(
             snap.calls(telemetry::ProfilePhase::SchedulerSample)));
+    // Event-driven main loop: how much simulated time was jumped over
+    // rather than stepped. The caller sets wall_seconds before this
+    // runs, so the throughput figure tracks the same run.
+    result.profile.add("sim_cycles_per_sec",
+                       result.wall_seconds > 0.0
+                           ? static_cast<double>(result.simCycles()) /
+                                 result.wall_seconds
+                           : 0.0);
+    result.profile.add("skipped_cycles",
+                       static_cast<double>(snap.skipped_cycles));
+    result.profile.add("event_jumps",
+                       static_cast<double>(snap.event_jumps));
 }
 
 void

@@ -81,6 +81,13 @@ class AccuracyTracker
      */
     void tick(Cycle now);
 
+    /**
+     * The next interval boundary tick() will roll over at. PAR values
+     * change only at boundaries (or on explicit events), so the
+     * event-driven main loop must not jump simulated time past this.
+     */
+    Cycle nextBoundary() const { return next_boundary_; }
+
     /** Current PAR estimate for @p core, in [0, 1]. */
     double accuracy(CoreId core) const { return cores_[core].par; }
 

@@ -13,9 +13,11 @@ MemoryController::MemoryController(const SchedulerConfig &config,
                                    std::uint32_t num_cores)
     : config_(config), channel_(channel), tracker_(tracker),
       handler_(handler), num_cores_(num_cores),
-      context_(config_, tracker_), apd_(config_, tracker_)
+      context_(config_, tracker_), apd_(config_, tracker_),
+      pool_(config_.request_buffer_size)
 {
     assert(num_cores_ <= kMaxCores);
+    assert(channel_.numBanks() <= 64); // occupied_banks_ is one word
     shards_.resize(channel_.numBanks());
     for (auto &shard : shards_)
         shard.pref_by_core.assign(num_cores_, 0);
@@ -24,12 +26,13 @@ MemoryController::MemoryController(const SchedulerConfig &config,
 // --- incremental bookkeeping ------------------------------------------
 
 void
-MemoryController::trackEnqueued(Request &req)
+MemoryController::trackEnqueued(std::uint32_t slot)
 {
+    Request &req = pool_.at(slot);
     assert(req.core < num_cores_);
     BankShard &shard = shards_[req.coord.bank];
     req.bank_slot = static_cast<std::uint32_t>(shard.queued.size());
-    shard.queued.push_back(&req);
+    shard.queued.push_back(slot);
     if (req.is_prefetch) {
         if (shard.pref_by_core[req.core]++ == 0)
             shard.pref_core_mask |= 1ULL << req.core;
@@ -40,6 +43,7 @@ MemoryController::trackEnqueued(Request &req)
     }
     ++pending_rows_[rowKey(req.coord)];
     shard.wake = 0; // new arrival: rescan this bank
+    occupied_banks_ |= 1ULL << req.coord.bank;
 }
 
 void
@@ -47,10 +51,12 @@ MemoryController::untrackQueued(Request &req)
 {
     assert(req.state == RequestState::Queued);
     BankShard &shard = shards_[req.coord.bank];
-    Request *moved = shard.queued.back();
+    const std::uint32_t moved = shard.queued.back();
     shard.queued[req.bank_slot] = moved;
-    moved->bank_slot = req.bank_slot;
+    pool_.at(moved).bank_slot = req.bank_slot;
     shard.queued.pop_back();
+    if (shard.queued.empty())
+        occupied_banks_ &= ~(1ULL << req.coord.bank);
     if (req.is_prefetch) {
         if (--shard.pref_by_core[req.core] == 0)
             shard.pref_core_mask &= ~(1ULL << req.core);
@@ -131,19 +137,27 @@ MemoryController::enqueueRead(const dram::DramCoord &coord, Addr line_addr,
     // Duplicate of an outstanding read: coalesce with it instead of
     // corrupting read_index_ (formerly an assert, i.e. silent corruption
     // in NDEBUG builds). A demand duplicate promotes the in-flight
-    // prefetch, mirroring what the L2 does on a demand match.
-    auto dup = read_index_.find(line_addr);
-    if (dup != read_index_.end()) {
+    // prefetch, mirroring what the L2 does on a demand match. The
+    // speculative try_emplace doubles as the admission insert, so the
+    // hot paths (coalesce, fresh enqueue) pay a single hash probe; the
+    // rare forward/reject exits below undo it.
+    auto [index_it, inserted] = read_index_.try_emplace(line_addr, 0);
+    if (!inserted) {
+        const Request &existing = pool_.at(index_it->second);
         ++stats_.duplicate_reads;
-        traceRequest(telemetry::EventKind::Coalesce, *dup->second, now);
-        if (!is_prefetch && dup->second->is_prefetch)
+        traceRequest(telemetry::EventKind::Coalesce, existing, now);
+        if (!is_prefetch && existing.is_prefetch)
             promote(line_addr, now);
         return true;
     }
 
     // Forward from the write queue: the newest data for this line is
-    // sitting in the controller, so no DRAM access is needed.
-    if (write_index_.find(line_addr) != write_index_.end()) {
+    // sitting in the controller, so no DRAM access is needed. The index
+    // is empty exactly when the queue is, so the common empty-queue case
+    // skips the hash probe.
+    if (!write_q_.empty() &&
+        write_index_.find(line_addr) != write_index_.end()) {
+        read_index_.erase(index_it);
         Request req;
         req.line_addr = line_addr;
         req.coord = coord;
@@ -166,6 +180,7 @@ MemoryController::enqueueRead(const dram::DramCoord &coord, Addr line_addr,
     }
 
     if (readBufferFull()) {
+        read_index_.erase(index_it);
         if (is_prefetch)
             ++stats_.prefetches_rejected_full;
         else
@@ -191,10 +206,12 @@ MemoryController::enqueueRead(const dram::DramCoord &coord, Addr line_addr,
     req.was_prefetch = is_prefetch;
     req.arrival = now;
     req.seq = next_seq_++;
-    read_q_.push_back(req);
-    read_index_[line_addr] = std::prev(read_q_.end());
-    trackEnqueued(read_q_.back());
-    traceRequest(telemetry::EventKind::Enqueue, read_q_.back(), now);
+    const std::uint32_t slot = pool_.allocate();
+    pool_.at(slot) = req; // full overwrite: recycled slots hold stale data
+    pool_.syncHot(slot);
+    index_it->second = slot;
+    trackEnqueued(slot);
+    traceRequest(telemetry::EventKind::Enqueue, pool_.at(slot), now);
     if (is_prefetch)
         tracker_.onPrefetchSent(core);
     return true;
@@ -224,12 +241,16 @@ bool
 MemoryController::promote(Addr line_addr, Cycle now)
 {
     auto it = read_index_.find(line_addr);
-    if (it == read_index_.end() || !it->second->is_prefetch)
+    if (it == read_index_.end())
         return false;
-    trackPromoted(*it->second);
-    it->second->is_prefetch = false;
+    Request &req = pool_.at(it->second);
+    if (!req.is_prefetch)
+        return false;
+    trackPromoted(req);
+    req.is_prefetch = false;
+    pool_.syncHot(it->second); // the P-bit column feeds the scheduler
     ++stats_.promotions;
-    traceRequest(telemetry::EventKind::Promote, *it->second, now);
+    traceRequest(telemetry::EventKind::Promote, req, now);
     return true;
 }
 
@@ -269,7 +290,9 @@ MemoryController::pendingSameRow(const Request &req) const
 {
     if (config_.reference_scheduler) {
         // Golden model: the naive scans, independent of the counters.
-        for (const auto &other : read_q_) {
+        for (std::uint32_t slot = pool_.head(); slot != RequestPool::kNone;
+             slot = pool_.next(slot)) {
+            const Request &other = pool_.at(slot);
             if (&other != &req && other.state == RequestState::Queued &&
                 other.coord.bank == req.coord.bank &&
                 other.coord.row == req.coord.row) {
@@ -323,14 +346,15 @@ MemoryController::issueCommand(Request &req, NextCmd cmd, bool row_hit,
             // Queued -> Servicing: the read leaves its bank shard and
             // joins the (seq-sorted) in-flight set.
             untrackQueued(req);
-            const auto it = read_index_.find(req.line_addr)->second;
+            const std::uint32_t slot = read_index_.find(req.line_addr)->second;
             servicing_.insert(
-                std::lower_bound(servicing_.begin(), servicing_.end(), it,
-                                 [](const ReadList::iterator &a,
-                                    const ReadList::iterator &b) {
-                                     return a->seq < b->seq;
+                std::lower_bound(servicing_.begin(), servicing_.end(), slot,
+                                 [this](std::uint32_t a, std::uint32_t b) {
+                                     return pool_.seqOf(a) < pool_.seqOf(b);
                                  }),
-                it);
+                slot);
+            servicing_min_ready_ =
+                std::min(servicing_min_ready_, req.data_ready);
         }
         req.state = RequestState::Servicing;
         break;
@@ -360,9 +384,9 @@ MemoryController::issueCommand(Request &req, NextCmd cmd, bool row_hit,
 }
 
 void
-MemoryController::finishRead(ReadList::iterator it, Cycle now)
+MemoryController::finishRead(std::uint32_t slot, Cycle now)
 {
-    Request &req = *it;
+    Request &req = pool_.at(slot);
     req.state = RequestState::Done;
 
     if (req.isDemand()) {
@@ -390,36 +414,48 @@ MemoryController::finishRead(ReadList::iterator it, Cycle now)
 
     handler_.dramReadComplete(req, now);
     read_index_.erase(req.line_addr);
-    read_q_.erase(it);
+    pool_.release(slot);
 }
 
 void
 MemoryController::completeFinished(Cycle now)
 {
+    bool removed = false;
     if (config_.reference_scheduler) {
-        // Golden model: front-to-back queue walk.
-        for (auto it = read_q_.begin(); it != read_q_.end();) {
-            auto next = std::next(it);
-            if (it->state == RequestState::Servicing &&
-                it->data_ready <= now) {
+        // Golden model: front-to-back (enqueue-order) walk.
+        for (std::uint32_t slot = pool_.head();
+             slot != RequestPool::kNone;) {
+            const std::uint32_t next = pool_.next(slot);
+            const Request &req = pool_.at(slot);
+            if (req.state == RequestState::Servicing &&
+                req.data_ready <= now) {
                 servicing_.erase(std::find(servicing_.begin(),
-                                           servicing_.end(), it));
-                finishRead(it, now);
+                                           servicing_.end(), slot));
+                finishRead(slot, now);
+                removed = true;
             }
-            it = next;
+            slot = next;
         }
     } else {
         // servicing_ is seq-sorted, so same-cycle completions are
         // reported in queue (seq) order, exactly like the queue walk.
         for (std::size_t i = 0; i < servicing_.size();) {
-            const ReadList::iterator it = servicing_[i];
-            if (it->data_ready <= now) {
+            const std::uint32_t slot = servicing_[i];
+            if (pool_.at(slot).data_ready <= now) {
                 servicing_.erase(servicing_.begin() +
                                  static_cast<std::ptrdiff_t>(i));
-                finishRead(it, now);
+                finishRead(slot, now);
+                removed = true;
             } else {
                 ++i;
             }
+        }
+    }
+    if (removed) {
+        servicing_min_ready_ = kNeverCycle;
+        for (const std::uint32_t slot : servicing_) {
+            servicing_min_ready_ =
+                std::min(servicing_min_ready_, pool_.at(slot).data_ready);
         }
     }
     for (auto it = forwards_.begin(); it != forwards_.end();) {
@@ -437,20 +473,21 @@ MemoryController::completeFinished(Cycle now)
 void
 MemoryController::runApd(Cycle now)
 {
-    for (auto it = read_q_.begin(); it != read_q_.end();) {
-        auto next = std::next(it);
-        if (apd_.shouldDrop(*it, now)) {
-            untrackQueued(*it); // only Queued prefetches are droppable
-            --prefs_per_core_[it->core];
-            it->state = RequestState::Dropped;
+    for (std::uint32_t slot = pool_.head(); slot != RequestPool::kNone;) {
+        const std::uint32_t next = pool_.next(slot);
+        Request &req = pool_.at(slot);
+        if (apd_.shouldDrop(req, now)) {
+            untrackQueued(req); // only Queued prefetches are droppable
+            --prefs_per_core_[req.core];
+            req.state = RequestState::Dropped;
             ++stats_.prefetches_dropped;
-            traceRequest(telemetry::EventKind::Drop, *it, now, it->arrival);
-            tracker_.onPrefetchDropped(it->core);
-            handler_.dramPrefetchDropped(*it, now);
-            read_index_.erase(it->line_addr);
-            read_q_.erase(it);
+            traceRequest(telemetry::EventKind::Drop, req, now, req.arrival);
+            tracker_.onPrefetchDropped(req.core);
+            handler_.dramPrefetchDropped(req, now);
+            read_index_.erase(req.line_addr);
+            pool_.release(slot);
         }
-        it = next;
+        slot = next;
     }
 }
 
@@ -477,15 +514,16 @@ MemoryController::scheduleRead(Cycle now)
         context_.updateRanks(counts, num_cores_);
     }
 
-    Request *best = nullptr;
+    std::uint32_t best_slot = RequestPool::kNone;
     std::uint64_t best_key = 0;
     NextCmd best_cmd = NextCmd::None;
     bool best_hit = false;
 
     const Cycle retry = now + channel_.timing().cpu_per_dram_cycle;
-    for (std::uint32_t b = 0; b < shards_.size(); ++b) {
+    for (std::uint64_t mask = occupied_banks_; mask != 0; mask &= mask - 1) {
+        const auto b = static_cast<std::uint32_t>(__builtin_ctzll(mask));
         BankShard &shard = shards_[b];
-        if (shard.queued.empty() || now < shard.wake)
+        if (now < shard.wake)
             continue;
         const bool has_preferred = shardHasPreferred(shard, accurate_mask);
         Cycle wake = kNeverCycle;
@@ -495,14 +533,15 @@ MemoryController::scheduleRead(Cycle now)
         // commands (Column/Precharge against the open row, or Activate
         // when closed), and command legality does not depend on which
         // request wants it -- so resolve the bank state and each
-        // command's legality once per shard, not once per request.
+        // command's legality once per shard, not once per request. The
+        // scan itself reads only the pool's hot columns.
         const std::uint64_t open = channel_.openRow(b);
         const bool bank_open = open != dram::kNoOpenRow;
         int col_ok = -1; // lazy tri-state: -1 unknown, else 0/1
         int pre_ok = -1;
         int act_ok = -1;
 
-        for (Request *req : shard.queued) {
+        for (const std::uint32_t slot : shard.queued) {
             NextCmd cmd;
             bool row_hit = false;
             bool issuable;
@@ -511,7 +550,7 @@ MemoryController::scheduleRead(Cycle now)
                 if (act_ok < 0)
                     act_ok = channel_.canActivate(b, now) ? 1 : 0;
                 issuable = act_ok != 0;
-            } else if (req->coord.row == open) {
+            } else if (pool_.rowOf(slot) == open) {
                 cmd = NextCmd::Column;
                 row_hit = true;
                 if (col_ok < 0)
@@ -523,14 +562,16 @@ MemoryController::scheduleRead(Cycle now)
                     pre_ok = channel_.canPrecharge(b, now) ? 1 : 0;
                 issuable = pre_ok != 0;
             }
+            const bool is_pref = pool_.isPrefetch(slot);
+            const CoreId core = pool_.coreOf(slot);
             const bool blocked =
-                has_preferred && context_.requestClass(*req) == 0;
+                has_preferred && context_.requestClass(is_pref, core) == 0;
             if (!blocked && issuable) {
                 issuable_here = true;
-                const std::uint64_t key =
-                    context_.priorityKey(*req, row_hit);
-                if (best == nullptr || key > best_key) {
-                    best = req;
+                const std::uint64_t key = context_.priorityKey(
+                    is_pref, core, pool_.seqOf(slot), row_hit);
+                if (best_slot == RequestPool::kNone || key > best_key) {
+                    best_slot = slot;
                     best_key = key;
                     best_cmd = cmd;
                     best_hit = row_hit;
@@ -549,9 +590,9 @@ MemoryController::scheduleRead(Cycle now)
         // cycle; otherwise sleep until the earliest bank-local readiness.
         shard.wake = issuable_here ? now : wake;
     }
-    if (best == nullptr)
+    if (best_slot == RequestPool::kNone)
         return false;
-    issueCommand(*best, best_cmd, best_hit, now);
+    issueCommand(pool_.at(best_slot), best_cmd, best_hit, now);
     return true;
 }
 
@@ -560,7 +601,9 @@ MemoryController::scheduleReadReference(Cycle now)
 {
     if (config_.ranking_enabled) {
         std::array<std::uint32_t, kMaxCores> counts{};
-        for (const auto &req : read_q_) {
+        for (std::uint32_t slot = pool_.head(); slot != RequestPool::kNone;
+             slot = pool_.next(slot)) {
+            const Request &req = pool_.at(slot);
             if (req.core < kMaxCores && context_.isCritical(req))
                 ++counts[req.core];
         }
@@ -573,7 +616,9 @@ MemoryController::scheduleReadReference(Cycle now)
     // preferred-class request to the same bank is outstanding -- even if
     // the preferred request is not timing-ready this cycle.
     std::vector<std::uint8_t> bank_has_preferred(channel_.numBanks(), 0);
-    for (const auto &req : read_q_) {
+    for (std::uint32_t slot = pool_.head(); slot != RequestPool::kNone;
+         slot = pool_.next(slot)) {
+        const Request &req = pool_.at(slot);
         if (req.state == RequestState::Queued &&
             context_.requestClass(req) != 0) {
             bank_has_preferred[req.coord.bank] = 1;
@@ -585,7 +630,9 @@ MemoryController::scheduleReadReference(Cycle now)
     NextCmd best_cmd = NextCmd::None;
     bool best_hit = false;
 
-    for (auto &req : read_q_) {
+    for (std::uint32_t slot = pool_.head(); slot != RequestPool::kNone;
+         slot = pool_.next(slot)) {
+        Request &req = pool_.at(slot);
         if (req.state != RequestState::Queued)
             continue;
         if (context_.requestClass(req) == 0 &&
@@ -658,7 +705,7 @@ MemoryController::tick(Cycle now)
         return;
 
     ++stats_.dram_cycles;
-    stats_.read_queue_occupancy_sum += read_q_.size();
+    stats_.read_queue_occupancy_sum += pool_.size();
 
     completeFinished(now);
 
@@ -682,8 +729,245 @@ MemoryController::tick(Cycle now)
         if (!scheduleWrite(now))
             scheduleRead(now);
     } else {
-        if (!scheduleRead(now) && read_q_.empty())
+        if (!scheduleRead(now) && pool_.empty())
             scheduleWrite(now);
+    }
+}
+
+// --- event-driven skipping --------------------------------------------
+
+Cycle
+MemoryController::nextEventCycle(Cycle from) const
+{
+    const Cycle period = channel_.timing().cpu_per_dram_cycle;
+    const Cycle next_tick = (from + period - 1) / period * period;
+    // Memo for the skipTo() that follows a successful jump computation.
+    nec_from_ = from;
+    nec_next_tick_ = next_tick;
+    // Track the earliest *raw* event cycle and align once at the end:
+    // alignUp is monotonic, so it commutes with min and a single
+    // division suffices (this function runs once per jump attempt).
+    // raw <= next_tick is exactly alignUp(raw) == next_tick.
+    Cycle raw = kNeverCycle;
+    const auto fold = [&](Cycle c) {
+        raw = std::min(raw, std::max(c, from));
+    };
+
+    // (c) In-flight data first -- O(1) and the most common bound on a
+    // latency-bound workload: read completions and write forwards.
+    if (!servicing_.empty())
+        fold(servicing_min_ready_);
+    for (const PendingForward &fwd : forwards_)
+        fold(fwd.ready);
+    if (raw <= next_tick)
+        return next_tick;
+
+    // (a) Queued reads: with the channel frozen inside a gap, the first
+    // cycle a queued read can issue is exactly max(bank-local ready,
+    // channel-global ready) for the one command class its bank's open-row
+    // state dictates. The scheduler's cached wake hints are deliberately
+    // conservative (they assume an issued command can unblock a bank one
+    // DRAM cycle later) and would fragment a gap where nothing issues.
+    // Class-blocked requests are excluded: accuracy estimates and ranks
+    // only move on controller or core events, so a request blocked at
+    // `from` stays blocked for the whole gap.
+    if (occupied_banks_ != 0) {
+        const std::uint64_t accurate_mask =
+            (config_.kind == SchedPolicyKind::Aps || config_.ranking_enabled)
+                ? accurateCoreMask()
+                : 0;
+        const Cycle col_global = channel_.readColumnGlobalReadyAt();
+        const Cycle act_global = channel_.activateGlobalReadyAt();
+        const Cycle pre_global = channel_.commandBusFreeAt();
+        for (std::uint64_t mask = occupied_banks_; mask != 0;
+             mask &= mask - 1) {
+            const auto b = static_cast<std::uint32_t>(__builtin_ctzll(mask));
+            const BankShard &shard = shards_[b];
+            // A shard can hold a class-blocked request only when it mixes
+            // the preferred and deprioritized classes; the common pure
+            // shard skips the per-slot class checks entirely.
+            bool maybe_blocked = false;
+            switch (config_.kind) {
+              case SchedPolicyKind::FrFcfs:
+                break;
+              case SchedPolicyKind::DemandFirst:
+              case SchedPolicyKind::PrefetchFirst:
+                maybe_blocked = shard.pref_core_mask != 0 &&
+                                shard.queued_demands > 0;
+                break;
+              case SchedPolicyKind::Aps:
+                maybe_blocked =
+                    (shard.pref_core_mask & ~accurate_mask) != 0 &&
+                    shardHasPreferred(shard, accurate_mask);
+                break;
+            }
+            const std::uint64_t open = channel_.openRow(b);
+            const bool bank_open = open != dram::kNoOpenRow;
+            // Which command classes does some unblocked request want?
+            bool want_act = false;
+            bool want_col = false;
+            bool want_pre = false;
+            if (!bank_open && !maybe_blocked) {
+                want_act = true;
+            } else {
+                for (const std::uint32_t slot : shard.queued) {
+                    if (maybe_blocked &&
+                        context_.requestClass(pool_.isPrefetch(slot),
+                                              pool_.coreOf(slot)) == 0)
+                        continue;
+                    if (!bank_open) {
+                        want_act = true;
+                        break;
+                    }
+                    if (pool_.rowOf(slot) == open) {
+                        want_col = true;
+                        if (want_pre)
+                            break;
+                    } else {
+                        want_pre = true;
+                        if (want_col)
+                            break;
+                    }
+                }
+            }
+            if (want_act)
+                fold(std::max(channel_.bankReadyActivate(b), act_global));
+            if (want_col)
+                fold(std::max(channel_.bankReadyColumn(b), col_global));
+            if (want_pre)
+                fold(std::max(channel_.bankReadyPrecharge(b), pre_global));
+            if (raw <= next_tick)
+                return next_tick;
+        }
+    }
+
+    // (b) Writes: a tick attempts the write path iff drain mode is on
+    // (projected here with the gap-constant queue size, mirroring the
+    // hysteresis update in tick()) or the read buffer is empty. A failed
+    // scheduleWrite mutates nothing, so the event is not the attempt but
+    // the first cycle some pending write's next command becomes legal --
+    // and with the channel frozen inside the gap, that cycle is exactly
+    // max(bank-local ready, channel-global ready) per write.
+    if (!write_q_.empty()) {
+        bool drain = write_drain_mode_;
+        if (write_q_.size() >= config_.write_drain_high)
+            drain = true;
+        else if (write_q_.size() <= config_.write_drain_low)
+            drain = false;
+        if (drain || pool_.empty()) {
+            const Cycle col_global = channel_.writeColumnGlobalReadyAt();
+            const Cycle act_global = channel_.activateGlobalReadyAt();
+            const Cycle pre_global = channel_.commandBusFreeAt();
+            for (const Request &w : write_q_) {
+                bool row_hit = false;
+                const NextCmd cmd = nextCommand(w, &row_hit);
+                const std::uint32_t b = w.coord.bank;
+                Cycle ready = kNeverCycle;
+                switch (cmd) {
+                case NextCmd::Column:
+                    ready = std::max(channel_.bankReadyColumn(b),
+                                     col_global);
+                    break;
+                case NextCmd::Activate:
+                    ready = std::max(channel_.bankReadyActivate(b),
+                                     act_global);
+                    break;
+                case NextCmd::Precharge:
+                    ready = std::max(channel_.bankReadyPrecharge(b),
+                                     pre_global);
+                    break;
+                case NextCmd::None:
+                    break;
+                }
+                fold(ready);
+                if (raw <= next_tick)
+                    return next_tick;
+            }
+        }
+    }
+
+    // (d) Refresh fires at the first DRAM cycle at/after its deadline
+    // with a free command bus; due-but-bus-busy ticks do nothing (they
+    // return before the scheduling stage). The command bus state cannot
+    // change inside a gap (no commands issue), so this bound is exact.
+    if (channel_.refreshEnabled()) {
+        fold(std::max(channel_.nextRefreshDue(),
+                      channel_.commandBusFreeAt()));
+        if (raw <= next_tick)
+            return next_tick;
+    }
+
+    // (e) APD: a drop needs an APD scan at/after the request's drop
+    // deadline. Any aligned scan cycle earlier than
+    // alignUp(max(next_apd_scan_, min_deadline)) is earlier than the
+    // minimum deadline, so no drop can precede the folded cycle. The
+    // O(queue) deadline refinement only runs when the bare scan
+    // schedule would otherwise bound the jump.
+    if (config_.apd_enabled) {
+        bool any_pref = false;
+        for (std::uint64_t mask = occupied_banks_; mask != 0;
+             mask &= mask - 1) {
+            const auto b = static_cast<std::uint32_t>(__builtin_ctzll(mask));
+            if (shards_[b].pref_core_mask != 0) {
+                any_pref = true;
+                break;
+            }
+        }
+        if (any_pref) {
+            const Cycle scan_base = std::max(next_apd_scan_, from);
+            const Cycle bare_scan =
+                (scan_base + period - 1) / period * period;
+            if (bare_scan < raw) {
+                Cycle min_deadline = kNeverCycle;
+                for (std::uint32_t slot = pool_.head();
+                     slot != RequestPool::kNone; slot = pool_.next(slot)) {
+                    const Request &req = pool_.at(slot);
+                    if (req.is_prefetch && !req.is_write &&
+                        req.state == RequestState::Queued) {
+                        min_deadline =
+                            std::min(min_deadline, apd_.dropDeadline(req));
+                    }
+                }
+                if (min_deadline != kNeverCycle)
+                    fold(std::max(next_apd_scan_, min_deadline));
+            }
+        }
+    }
+
+    if (raw == kNeverCycle)
+        return kNeverCycle;
+    return (raw + period - 1) / period * period;
+}
+
+void
+MemoryController::skipTo(Cycle from, Cycle to)
+{
+    const Cycle period = channel_.timing().cpu_per_dram_cycle;
+    // The jump path always calls nextEventCycle(from) immediately before
+    // skipTo(from, to); reuse its alignUp(from) memo when it matches.
+    const Cycle first = from == nec_from_
+                            ? nec_next_tick_
+                            : (from + period - 1) / period * period;
+    if (first >= to)
+        return; // the gap contains no DRAM cycle
+    const std::uint64_t ticks = (to - 1 - first) / period + 1;
+    stats_.dram_cycles += ticks;
+    stats_.read_queue_occupancy_sum +=
+        ticks * static_cast<std::uint64_t>(pool_.size());
+    if (config_.apd_enabled) {
+        // Replay the APD scan schedule across the gap: a scan advances
+        // next_apd_scan_ even when it drops nothing, and the schedule
+        // (the age quantum is not a multiple of the DRAM clock) must
+        // stay bit-identical with the cycle-by-cycle loop. No scan in
+        // the gap can drop anything -- nextEventCycle() bounded the gap
+        // by the earliest possible drop.
+        while (true) {
+            Cycle scan = std::max(next_apd_scan_, first);
+            scan = (scan + period - 1) / period * period;
+            if (scan >= to)
+                break;
+            next_apd_scan_ = scan + config_.age_quantum;
+        }
     }
 }
 

@@ -33,6 +33,13 @@
  * The naive O(queue) scheduler is retained behind
  * SchedulerConfig::reference_scheduler as the golden model; both paths
  * are decision-identical (same command each cycle, same stats).
+ *
+ * Storage: request buffer entries live in an arena (RequestPool) with
+ * structure-of-arrays hot columns, so the scheduler scan reads dense
+ * arrays instead of chasing list nodes. The controller also exposes a
+ * next-event computation (nextEventCycle/skipTo) that lets the system
+ * loop jump over cycles in which provably nothing here can change; see
+ * DESIGN.md "Event-driven main loop".
  */
 
 #ifndef PADC_MEMCTRL_CONTROLLER_HH
@@ -51,6 +58,7 @@
 #include "memctrl/dropping.hh"
 #include "memctrl/policy.hh"
 #include "memctrl/request.hh"
+#include "memctrl/request_pool.hh"
 #include "telemetry/telemetry.hh"
 
 namespace padc::memctrl
@@ -120,10 +128,7 @@ class MemoryController
                      std::uint32_t num_cores);
 
     /** True when the memory request buffer has no free read entry. */
-    bool readBufferFull() const
-    {
-        return read_q_.size() >= config_.request_buffer_size;
-    }
+    bool readBufferFull() const { return pool_.full(); }
 
     /**
      * Enqueue a read for @p line_addr.
@@ -169,11 +174,29 @@ class MemoryController
     /** Advance the controller; call once per processor cycle. */
     void tick(Cycle now);
 
+    /**
+     * Earliest cycle >= @p from at which a tick() of this controller
+     * could do anything a skipped tick would not: issue a command,
+     * complete a read or forward, fire a refresh, or drop a prefetch.
+     * Conservative (waking early is always safe; the returned cycle is
+     * never later than the first such cycle). Returns kNeverCycle when
+     * the controller is completely idle.
+     */
+    Cycle nextEventCycle(Cycle from) const;
+
+    /**
+     * Account for the skipped cycles [@p from, @p to) as if tick() had
+     * run in each: advances the per-DRAM-cycle stat integrals and
+     * replays the APD scan schedule. @pre nextEventCycle(from) >= to,
+     * i.e. the gap provably contains no observable controller event.
+     */
+    void skipTo(Cycle from, Cycle to);
+
     const ControllerStats &stats() const { return stats_; }
 
     const SchedulerConfig &config() const { return config_; }
 
-    std::size_t readQueueSize() const { return read_q_.size(); }
+    std::size_t readQueueSize() const { return pool_.size(); }
     std::size_t writeQueueSize() const { return write_q_.size(); }
 
     /** One DRAM command issued by the scheduler (for equivalence tests). */
@@ -212,18 +235,17 @@ class MemoryController
     const ApdUnit &apd() const { return apd_; }
 
   private:
-    using ReadList = std::list<Request>;
-
     /** The next DRAM command a request needs, given current bank state. */
     enum class NextCmd : std::uint8_t { Precharge, Activate, Column, None };
 
     /** Scheduler shard for one DRAM bank. */
     struct BankShard
     {
-        /** Queued (not yet in-flight) reads to this bank; each request's
-            bank_slot is its index here, so removal is O(1) swap-remove.
-            Order carries no meaning: priority keys are a total order. */
-        std::vector<Request *> queued;
+        /** Pool slots of queued (not yet in-flight) reads to this bank;
+            each request's bank_slot is its index here, so removal is
+            O(1) swap-remove. Order carries no meaning: priority keys
+            are a total order. */
+        std::vector<std::uint32_t> queued;
 
         /** Lower bound on the next cycle any command to this bank could
             be bank-locally legal; the bank is skipped while now < wake.
@@ -249,7 +271,7 @@ class MemoryController
     bool scheduleRead(Cycle now);
     bool scheduleReadReference(Cycle now);
     bool scheduleWrite(Cycle now);
-    void finishRead(ReadList::iterator it, Cycle now);
+    void finishRead(std::uint32_t slot, Cycle now);
 
     /** True when another queued request targets the same bank and row. */
     bool pendingSameRow(const Request &req) const;
@@ -274,7 +296,7 @@ class MemoryController
     Cycle bankLocalReady(std::uint32_t bank, NextCmd cmd) const;
 
     /** Register a newly queued read with all incremental structures. */
-    void trackEnqueued(Request &req);
+    void trackEnqueued(std::uint32_t slot);
 
     /** Remove a still-queued read from all incremental structures. */
     void untrackQueued(Request &req);
@@ -316,17 +338,35 @@ class MemoryController
     SchedContext context_;
     ApdUnit apd_;
 
-    ReadList read_q_;
-    std::unordered_map<Addr, ReadList::iterator> read_index_;
+    /** Arena + SoA hot columns backing the memory request buffer. */
+    RequestPool pool_;
+    std::unordered_map<Addr, std::uint32_t> read_index_;
     std::list<Request> write_q_;
     std::unordered_map<Addr, std::list<Request>::iterator> write_index_;
 
     /** Per-bank scheduler shards, sized from channel_.numBanks(). */
     std::vector<BankShard> shards_;
 
-    /** In-flight (Servicing) reads, kept sorted by seq so same-cycle
-        completions fire in the same order as a full queue walk. */
-    std::vector<ReadList::iterator> servicing_;
+    /** Bit b set iff shards_[b].queued is non-empty; lets the scheduler
+        scan and the next-event computation visit only occupied banks
+        (banks per channel never exceed 64). */
+    std::uint64_t occupied_banks_ = 0;
+
+    /** alignUp(from) memo from the last nextEventCycle() call, so the
+        skipTo() that immediately follows it in the jump path does not
+        repeat the division. */
+    mutable Cycle nec_from_ = kNeverCycle;
+    mutable Cycle nec_next_tick_ = 0;
+
+    /** Pool slots of in-flight (Servicing) reads, kept sorted by seq so
+        same-cycle completions fire in the same order as a full queue
+        walk. */
+    std::vector<std::uint32_t> servicing_;
+
+    /** Earliest data_ready among servicing_ (kNeverCycle when empty);
+        min-updated at column issue, recomputed when completions remove
+        entries. Feeds nextEventCycle(). */
+    Cycle servicing_min_ready_ = kNeverCycle;
 
     /** Queued reads + pending writes per (bank,row); backs the closed-row
         policy's pendingSameRow() in O(1). */

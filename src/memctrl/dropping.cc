@@ -38,4 +38,13 @@ ApdUnit::shouldDrop(const Request &req, Cycle now) const
     return age > dropThreshold(req.core);
 }
 
+Cycle
+ApdUnit::dropDeadline(const Request &req) const
+{
+    // Quantized age first exceeds threshold T at age (T/q + 1)*q: the
+    // smallest multiple of the quantum that is strictly greater than T.
+    const Cycle q = config_.age_quantum;
+    return req.arrival + (dropThreshold(req.core) / q + 1) * q;
+}
+
 } // namespace padc::memctrl

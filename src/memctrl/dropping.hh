@@ -46,6 +46,15 @@ class ApdUnit
      */
     bool shouldDrop(const Request &req, Cycle now) const;
 
+    /**
+     * Earliest cycle at which shouldDrop(@p req, cycle) can turn true
+     * under the core's *current* threshold: the first cycle whose
+     * quantized age exceeds it. Exact, not a bound: shouldDrop is false
+     * strictly before the returned cycle and true at it (threshold and
+     * promotion state permitting). Feeds the next-event computation.
+     */
+    Cycle dropDeadline(const Request &req) const;
+
   private:
     const SchedulerConfig &config_;
     const AccuracyTracker &tracker_;

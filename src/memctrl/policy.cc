@@ -89,21 +89,34 @@ SchedContext::updateRanks(
 std::uint32_t
 SchedContext::requestClass(const Request &req) const
 {
+    return requestClass(req.is_prefetch, req.core);
+}
+
+std::uint32_t
+SchedContext::requestClass(bool is_prefetch, CoreId core) const
+{
     switch (config_.kind) {
       case SchedPolicyKind::FrFcfs:
         return 1;
       case SchedPolicyKind::DemandFirst:
-        return req.isDemand() ? 1 : 0;
+        return is_prefetch ? 0 : 1;
       case SchedPolicyKind::PrefetchFirst:
-        return req.is_prefetch ? 1 : 0;
+        return is_prefetch ? 1 : 0;
       case SchedPolicyKind::Aps:
-        return isCritical(req) ? 1 : 0;
+        return (!is_prefetch || coreAccurate(core)) ? 1 : 0;
     }
     return 1;
 }
 
 std::uint64_t
 SchedContext::priorityKey(const Request &req, bool row_hit) const
+{
+    return priorityKey(req.is_prefetch, req.core, req.seq, row_hit);
+}
+
+std::uint64_t
+SchedContext::priorityKey(bool is_prefetch, CoreId core,
+                          std::uint64_t seq, bool row_hit) const
 {
     std::uint64_t level0 = 0;
     std::uint64_t urgent = 0;
@@ -114,23 +127,23 @@ SchedContext::priorityKey(const Request &req, bool row_hit) const
         level0 = 1; // prefetch-blind: every request is in the same class
         break;
       case SchedPolicyKind::DemandFirst:
-        level0 = req.isDemand() ? 1 : 0;
+        level0 = is_prefetch ? 0 : 1;
         break;
       case SchedPolicyKind::PrefetchFirst:
-        level0 = req.is_prefetch ? 1 : 0;
+        level0 = is_prefetch ? 1 : 0;
         break;
       case SchedPolicyKind::Aps:
-        level0 = isCritical(req) ? 1 : 0;
+        level0 = (!is_prefetch || coreAccurate(core)) ? 1 : 0;
         if (config_.urgency_enabled)
-            urgent = isUrgent(req) ? 1 : 0;
+            urgent = (!is_prefetch && !coreAccurate(core)) ? 1 : 0;
         // Footnote 12: only critical requests are ranked; non-critical
         // requests keep the lowest rank value (0).
         if (config_.ranking_enabled && level0 != 0)
-            rank = rank_[req.core < kMaxCores ? req.core : 0];
+            rank = rank_[core < kMaxCores ? core : 0];
         break;
     }
 
-    const std::uint64_t inv_arrival = (~req.seq) & kArrivalMask;
+    const std::uint64_t inv_arrival = (~seq) & kArrivalMask;
     return (level0 << kLevel0Shift) | ((row_hit ? 1ULL : 0ULL)
            << kRowHitShift) | (urgent << kUrgentShift) |
            (rank << kRankShift) | inv_arrival;

@@ -141,6 +141,14 @@ class SchedContext
     std::uint64_t priorityKey(const Request &req, bool row_hit) const;
 
     /**
+     * Raw-field variant of priorityKey() for the structure-of-arrays
+     * scheduler scan: identical key, computed from the hot columns
+     * (prefetch bit, core, seq) without touching the Request record.
+     */
+    std::uint64_t priorityKey(bool is_prefetch, CoreId core,
+                              std::uint64_t seq, bool row_hit) const;
+
+    /**
      * Top-level scheduling class of @p req under the configured policy
      * (1 = preferred class, 0 = deprioritized class). The paper's rigid
      * policies are *strict* within a bank: a class-0 request to a bank
@@ -150,6 +158,9 @@ class SchedContext
      * controller enforces this with per-bank class masks.
      */
     std::uint32_t requestClass(const Request &req) const;
+
+    /** Raw-field variant of requestClass() for the SoA scan. */
+    std::uint32_t requestClass(bool is_prefetch, CoreId core) const;
 
     const SchedulerConfig &config() const { return config_; }
 

@@ -1,12 +1,46 @@
 #include "sim/system.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "telemetry/profiler.hh"
 
 namespace padc::sim
 {
+
+namespace
+{
+
+/**
+ * PADC_NO_EVENT_SKIP=1 forces the legacy cycle-by-cycle loop, for
+ * bisecting any future skip-on/skip-off divergence. Same strict parse
+ * as PADC_THREADS: reject trailing garbage and out-of-range values
+ * instead of silently misreading them.
+ */
+bool
+envNoEventSkip()
+{
+    const char *env = std::getenv("PADC_NO_EVENT_SKIP");
+    if (env == nullptr)
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE || parsed < 0) {
+        std::fprintf(stderr,
+                     "padc: warning: invalid PADC_NO_EVENT_SKIP=\"%s\" "
+                     "(want 0 or 1); event skipping stays enabled\n",
+                     env);
+        return false;
+    }
+    return parsed != 0;
+}
+
+} // namespace
 
 SystemConfig
 SystemConfig::baseline(std::uint32_t cores)
@@ -159,6 +193,7 @@ System::System(const SystemConfig &config,
     mem_.resize(config_.num_cores);
     results_.resize(config_.num_cores);
     next_interval_ = config_.sched.accuracy.interval;
+    event_skip_ = config_.event_skip && !envNoEventSkip();
 }
 
 System::~System() = default;
@@ -418,8 +453,10 @@ System::dramReadComplete(const memctrl::Request &req, Cycle now)
 
     if (!still_prefetch)
         fillL1(core, line_addr, entry->store_waiting, now);
-    for (const cache::LoadToken &waiter : entry->waiters)
+    for (const cache::LoadToken &waiter : entry->waiters) {
         cores_[waiter.core]->completeLoad(waiter.tag, now);
+        core_next_[waiter.core] = 0; // woken: cached bound is stale
+    }
     traceMshr(telemetry::EventKind::MshrRelease, core, line_addr,
               still_prefetch, now);
     mshr.release(line_addr);
@@ -435,6 +472,9 @@ System::dramPrefetchDropped(const memctrl::Request &req, Cycle now)
     traceMshr(telemetry::EventKind::MshrRelease, req.core, req.line_addr,
               true, now);
     mshr.release(req.line_addr);
+    // Freed MSHR capacity can unblock a retrying access; the retry loop
+    // keeps the core's own next-event at "now", but stay conservative.
+    core_next_[req.core] = 0;
 }
 
 StatSet
@@ -620,6 +660,9 @@ System::run(std::uint64_t instructions_per_core, std::uint64_t max_cycles,
             std::uint64_t warmup_instructions)
 {
     const Cycle end = now_ + max_cycles;
+    std::uint64_t jump_cycles = 0;
+    std::uint64_t jump_count = 0;
+    core_next_.assign(config_.num_cores, 0);
     while (now_ < end) {
         tracker_->tick(now_);
         if (now_ >= next_interval_)
@@ -640,7 +683,20 @@ System::run(std::uint64_t instructions_per_core, std::uint64_t max_cycles,
 
         bool all_done = true;
         for (CoreId i = 0; i < config_.num_cores; ++i) {
+            if (event_skip_ && core_next_[i] > now_) {
+                // Provably idle this cycle (nothing ticked the core and
+                // no completion touched it since its bound was taken):
+                // replay the exact 1-cycle idle accounting instead of a
+                // full no-op tick, just as the jump below does for gap
+                // cycles. A skipped core cannot have newly finished.
+                cores_[i]->accountIdleCycles(1);
+                if (!results_[i].done)
+                    all_done = false;
+                continue;
+            }
             cores_[i]->tick(now_);
+            if (event_skip_)
+                core_next_[i] = cores_[i]->nextEventCycle(now_ + 1);
             if (!results_[i].done) {
                 CoreResult &res = results_[i];
                 const std::uint64_t retired =
@@ -669,7 +725,59 @@ System::run(std::uint64_t instructions_per_core, std::uint64_t max_cycles,
         ++now_;
         if (all_done)
             break;
+
+        if (!event_skip_)
+            continue;
+
+        // Next-event jump: derive the earliest cycle >= now_ at which
+        // anything can change -- interval and accuracy-tracker
+        // boundaries (stat/telemetry sampling points must fire at their
+        // exact cycles), per-core retire/issue/wake-up events, and each
+        // controller's bank wakes, completions, refresh deadlines, and
+        // APD drop deadlines -- then advance simulated time in one step.
+        // Skipped cycles are provably no-ops apart from per-cycle stat
+        // integrals, which skipTo()/accountIdleCycles() replay exactly,
+        // so all results stay bit-identical with the legacy loop.
+        Cycle next = std::min(end, next_interval_);
+        next = std::min(next, tracker_->nextBoundary());
+        if (next <= now_)
+            continue;
+        bool can_skip = true;
+        for (CoreId i = 0; i < config_.num_cores; ++i) {
+            // Cached by the tick loop above (and reset to 0 by the
+            // completion handlers); a core that ticked this cycle has a
+            // fresh bound, a skipped core's frozen bound is still exact.
+            const Cycle c = core_next_[i];
+            if (c <= now_) {
+                can_skip = false; // a core acts this very cycle
+                break;
+            }
+            next = std::min(next, c);
+        }
+        if (!can_skip || next <= now_)
+            continue;
+        for (const auto &controller : controllers_) {
+            next = std::min(next, controller->nextEventCycle(now_));
+            if (next <= now_)
+                break;
+        }
+        if (next <= now_)
+            continue;
+        const std::uint64_t skipped = next - now_;
+        for (auto &controller : controllers_)
+            controller->skipTo(now_, next);
+        for (CoreId i = 0; i < config_.num_cores; ++i)
+            cores_[i]->accountIdleCycles(skipped);
+        jump_cycles += skipped;
+        ++jump_count;
+        now_ = next;
     }
+    // Per-jump profiler updates are two atomic RMWs each; batch them so
+    // the hot loop stays atomic-free (nothing observes the counters
+    // mid-run -- snapshots happen after run() returns).
+    if (jump_count > 0)
+        telemetry::WallProfiler::instance().addEventJumps(jump_cycles,
+                                                          jump_count);
 
     // Cycle cap reached: freeze whatever progress the remaining cores
     // made so metrics stay computable (done remains false), and report

@@ -78,6 +78,18 @@ struct SystemConfig
     telemetry::Collector *collector = nullptr;
 
     /**
+     * Event-driven main loop: when no component can act for a span of
+     * cycles, System::run() jumps simulated time to the next event
+     * instead of stepping every cycle. Results are bit-identical either
+     * way (the A/B equivalence suite and the PADC_NO_EVENT_SKIP runtime
+     * escape hatch exist to prove/bisect exactly that), so this knob --
+     * like collector above -- is an execution detail, not a simulated
+     * parameter: it is excluded from validate() and from sweep point
+     * keys.
+     */
+    bool event_skip = true;
+
+    /**
      * Baseline configuration for an n-core CMP following paper Tables
      * 3/4: 32KB L1, 512KB private L2 per core (1MB for single core),
      * MSHR/request buffer 64/64/128/256 entries for 1/2/4/8 cores,
@@ -325,12 +337,25 @@ class System : public core::MemoryPort, public memctrl::ResponseHandler
     std::vector<CoreMemStats> mem_;
     std::vector<CoreResult> results_;
 
+    /**
+     * Per-core cached next-event lower bound for the event-skip loop.
+     * While core_next_[i] > now_, core i's tick this cycle is provably
+     * a no-op (the same frozen-state invariant the next-event jump
+     * rests on), so run() substitutes the exact 1-cycle idle-stat
+     * replay for the tick. Reset to 0 ("must tick") whenever a DRAM
+     * completion or drop touches the core from outside its own tick.
+     */
+    std::vector<Cycle> core_next_;
+
     Histogram useful_hist_;
     Histogram useless_hist_;
     std::vector<std::pair<Cycle, double>> accuracy_timeline_;
     Cycle next_interval_ = 0;
 
     std::vector<Addr> candidate_buf_; ///< reused prefetch candidate list
+
+    /** config_.event_skip gated by the PADC_NO_EVENT_SKIP escape hatch. */
+    bool event_skip_ = true;
 
     telemetry::Collector *telem_ = nullptr; ///< nullptr = no telemetry
     /// Reused scratch for sampleTelemetry (avoids per-interval allocs).

@@ -20,6 +20,8 @@ WallProfiler::snapshot() const
         snap.entries[i].calls =
             cells_[i].calls.load(std::memory_order_relaxed);
     }
+    snap.skipped_cycles = skipped_cycles_.load(std::memory_order_relaxed);
+    snap.event_jumps = event_jumps_.load(std::memory_order_relaxed);
     return snap;
 }
 
@@ -30,6 +32,8 @@ WallProfiler::reset()
         cell.nanos.store(0, std::memory_order_relaxed);
         cell.calls.store(0, std::memory_order_relaxed);
     }
+    skipped_cycles_.store(0, std::memory_order_relaxed);
+    event_jumps_.store(0, std::memory_order_relaxed);
 }
 
 } // namespace padc::telemetry

@@ -63,6 +63,20 @@ class WallProfiler
         cell.calls.fetch_add(1, std::memory_order_relaxed);
     }
 
+    /** One next-event jump of @p skipped cycles in System::run. */
+    void addEventJump(std::uint64_t skipped)
+    {
+        skipped_cycles_.fetch_add(skipped, std::memory_order_relaxed);
+        event_jumps_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Batched form: @p jumps jumps totalling @p skipped cycles. */
+    void addEventJumps(std::uint64_t skipped, std::uint64_t jumps)
+    {
+        skipped_cycles_.fetch_add(skipped, std::memory_order_relaxed);
+        event_jumps_.fetch_add(jumps, std::memory_order_relaxed);
+    }
+
     /** Consistent-enough copy of the counters (relaxed reads). */
     struct Snapshot
     {
@@ -72,6 +86,11 @@ class WallProfiler
             std::uint64_t calls = 0;
         };
         std::array<Entry, kProfilePhases> entries;
+
+        /** Simulated cycles elided by next-event jumps. */
+        std::uint64_t skipped_cycles = 0;
+        /** Number of next-event jumps taken. */
+        std::uint64_t event_jumps = 0;
 
         double seconds(ProfilePhase phase) const
         {
@@ -137,6 +156,8 @@ class WallProfiler
     };
 
     std::array<Cell, kProfilePhases> cells_;
+    std::atomic<std::uint64_t> skipped_cycles_{0};
+    std::atomic<std::uint64_t> event_jumps_{0};
 };
 
 } // namespace padc::telemetry
