@@ -1,6 +1,7 @@
 #include "exp/driver.hh"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -10,11 +11,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <stdexcept>
 
 #include "exp/json.hh"
 #include "exp/registry.hh"
 #include "exp/report.hh"
+#include "sim/interrupt.hh"
+#include "sim/procpool.hh"
 #include "telemetry/export.hh"
 #include "telemetry/profiler.hh"
 #include "trace/corpus.hh"
@@ -119,12 +123,19 @@ driverUsage()
            "  trace <subcommand>       trace-corpus toolchain (capture,\n"
            "                           convert, info, verify; see\n"
            "                           'padc trace help')\n"
+           "  worker                   (internal) crash-isolated sweep\n"
+           "                           worker; spawned by --workers\n"
            "  help                     show this message\n"
            "\n"
            "options:\n"
            "  --threads N    worker threads for the sweep pool\n"
            "                 (default: PADC_THREADS or hardware "
            "concurrency)\n"
+           "  --workers N    run sweeps across N crash-isolated worker\n"
+           "                 subprocesses instead of in-process threads\n"
+           "                 (0 = off; knobs: PADC_WORKER_ATTEMPTS,\n"
+           "                 PADC_WORKER_TIMEOUT_MS, "
+           "PADC_RETRY_BACKOFF_MS)\n"
            "  --resume PATH  checkpoint/resume journal (default: "
            "$PADC_RESUME)\n"
            "  --seed N       override the random-mix seed of seeded "
@@ -189,6 +200,14 @@ parseDriverArgs(int argc, const char *const *argv, DriverOptions *out,
                 return false;
             }
             out->threads = static_cast<unsigned>(threads);
+        } else if (arg == "--workers") {
+            const char *text = value();
+            std::uint64_t workers = 0;
+            if (!parseUint64(text, &workers) || workers > 1024) {
+                *error = "--workers expects an integer in [0, 1024]";
+                return false;
+            }
+            out->workers = static_cast<unsigned>(workers);
         } else if (arg == "--resume") {
             const char *text = value();
             if (text == nullptr || *text == '\0') {
@@ -293,6 +312,7 @@ resultJson(const ExperimentInfo &info, const ExperimentResult &result)
     writer.member("config_hash", hex16(result.configHash()));
     writer.member("status", result.status);
     writer.member("detail", result.detail);
+    writer.member("interrupted", result.interrupted);
     writer.member("wall_seconds", result.wall_seconds);
     writer.member("sim_cycles", result.simCycles());
     writer.member("sim_cycles_per_sec",
@@ -307,6 +327,8 @@ resultJson(const ExperimentInfo &info, const ExperimentResult &result)
         writer.member("label", point.label);
         writer.member("status", point.status);
         writer.member("detail", point.detail);
+        writer.member("attempts", point.attempts);
+        writer.member("last_error", point.last_error);
         writer.member("cycles", static_cast<std::uint64_t>(point.cycles));
         writer.beginObject("metrics");
         for (const auto &[name, value] : point.metrics.entries())
@@ -530,13 +552,98 @@ recordProfile(ExperimentResult &result)
                        static_cast<double>(snap.event_jumps));
 }
 
+/**
+ * Entry point of the internal `padc worker` subcommand: the supervisor
+ * spawns `/proc/self/exe worker [--corpus DIR]` with the task/result
+ * pipes staged on fixed fds. The worker only needs the corpus
+ * registered (trace-backed profiles resolve by name inside shipped
+ * sweep points); everything else arrives over the wire.
+ */
+int
+workerEntry(int argc, const char *const *argv)
+{
+    std::string corpus_dir;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--corpus") == 0 && i + 1 < argc) {
+            corpus_dir = argv[++i];
+        } else {
+            std::fprintf(stderr, "padc worker: unknown argument '%s'\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+    if (!corpus_dir.empty()) {
+        trace::Corpus corpus;
+        std::string error;
+        if (!trace::loadCorpus(corpus_dir, &corpus, &error) ||
+            !trace::registerCorpus(corpus, &error)) {
+            std::fprintf(stderr, "padc worker: %s\n", error.c_str());
+            return 2;
+        }
+    }
+    return sim::ProcessPool::workerMain(sim::kWorkerTaskFd,
+                                        sim::kWorkerResultFd);
+}
+
+/**
+ * First SIGINT/SIGTERM requests a graceful stop (finish the in-flight
+ * points, flush the journal, write partial BENCH files); a second one
+ * exits immediately for operators who really mean it.
+ */
+volatile sig_atomic_t stop_signal_seen = 0;
+
+void
+onStopSignal(int)
+{
+    if (stop_signal_seen != 0)
+        _exit(130);
+    stop_signal_seen = 1;
+    sim::requestInterrupt();
+}
+
+/**
+ * Installs the graceful-stop handler on SIGINT/SIGTERM for the scope of
+ * a `run` invocation and restores the previous handlers on the way out
+ * (driverMain is a library function; tests call it repeatedly
+ * in-process).
+ */
+class StopSignalGuard
+{
+  public:
+    StopSignalGuard()
+    {
+        stop_signal_seen = 0;
+        struct sigaction action = {};
+        action.sa_handler = &onStopSignal;
+        sigemptyset(&action.sa_mask);
+        action.sa_flags = SA_RESTART;
+        ::sigaction(SIGINT, &action, &old_int_);
+        ::sigaction(SIGTERM, &action, &old_term_);
+    }
+
+    ~StopSignalGuard()
+    {
+        ::sigaction(SIGINT, &old_int_, nullptr);
+        ::sigaction(SIGTERM, &old_term_, nullptr);
+    }
+
+    StopSignalGuard(const StopSignalGuard &) = delete;
+    StopSignalGuard &operator=(const StopSignalGuard &) = delete;
+
+  private:
+    struct sigaction old_int_ = {};
+    struct sigaction old_term_ = {};
+};
+
 void
 printCsv(const std::vector<const Experiment *> &experiments,
          const std::vector<ExperimentResult> &results)
 {
     std::printf(
         "experiment,point,label,key,status,cycles,metric,value\n");
-    for (std::size_t e = 0; e < experiments.size(); ++e) {
+    // An interrupted run has results only for the experiments that
+    // started before the stop; never index experiments past that.
+    for (std::size_t e = 0; e < results.size(); ++e) {
         const std::string &name = experiments[e]->info.name;
         const ExperimentResult &result = results[e];
         for (std::size_t p = 0; p < result.points.size(); ++p) {
@@ -560,9 +667,12 @@ int
 driverMain(int argc, const char *const *argv)
 {
     // The trace toolchain has its own grammar; hand it the raw argv
-    // before the experiment-driver parse.
+    // before the experiment-driver parse. Same for the internal worker
+    // subcommand the process-pool supervisor spawns.
     if (argc >= 2 && std::strcmp(argv[1], "trace") == 0)
         return trace::traceToolMain(argc, argv);
+    if (argc >= 2 && std::strcmp(argv[1], "worker") == 0)
+        return workerEntry(argc, argv);
 
     DriverOptions options;
     std::string error;
@@ -645,10 +755,41 @@ driverMain(int argc, const char *const *argv)
     tcfg.trace = options.trace;
     tcfg.trace_limit = options.trace_limit;
 
+    // Graceful Ctrl-C: the first SIGINT/SIGTERM stops after the points
+    // already in flight, flushes the journal, and writes the partial
+    // BENCH JSON with "interrupted": true; a second one exits hard.
+    sim::resetInterruptState();
+    StopSignalGuard stop_signals;
+
+    std::unique_ptr<sim::ProcessPool> pool;
+    if (options.workers > 0 && tcfg.any()) {
+        std::fprintf(stderr,
+                     "padc: warning: --workers ignored (telemetry "
+                     "collectors cannot cross the process boundary); "
+                     "sweeps run in-thread\n");
+    } else if (options.workers > 0) {
+        std::vector<std::string> worker_argv = {"/proc/self/exe",
+                                                "worker"};
+        if (!options.corpus_dir.empty()) {
+            worker_argv.push_back("--corpus");
+            worker_argv.push_back(options.corpus_dir);
+        }
+        pool = std::make_unique<sim::ProcessPool>(
+            std::move(worker_argv),
+            sim::ProcPoolConfig::fromEnv(options.workers));
+        if (!pool->available()) {
+            std::fprintf(stderr,
+                         "padc: warning: no sweep worker process came "
+                         "up; sweeps run in-thread\n");
+        }
+    }
+
+    bool any_interrupted = false;
     for (const Experiment *experiment : experiments) {
         const ExperimentInfo &info = experiment->info;
         ExperimentContext context(info, sim::sharedRunner(),
-                                  sim::envJournal(), options.seed, tcfg);
+                                  sim::envJournal(), options.seed, tcfg,
+                                  pool.get());
         telemetry::WallProfiler::instance().reset();
         const auto start = std::chrono::steady_clock::now();
         {
@@ -715,6 +856,12 @@ driverMain(int argc, const char *const *argv)
         }
         documents.push_back(document);
         results.push_back(std::move(result));
+        // A graceful stop still wrote this experiment's (partial) BENCH
+        // file above; later experiments never start.
+        if (results.back().interrupted) {
+            any_interrupted = true;
+            break;
+        }
     }
 
     if (options.format == DriverOptions::Format::Json) {
@@ -729,6 +876,8 @@ driverMain(int argc, const char *const *argv)
     } else if (options.format == DriverOptions::Format::Csv) {
         printCsv(experiments, results);
     }
+    if (any_interrupted)
+        return 130;
     return any_failed ? 1 : 0;
 }
 

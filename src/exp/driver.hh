@@ -52,6 +52,7 @@ struct DriverOptions
     std::vector<std::string> selectors; ///< names / tags / globs, in order
     bool all = false;                   ///< run --all
     unsigned threads = 0;               ///< 0 = default pool size
+    unsigned workers = 0;               ///< --workers subprocesses (0 = off)
     std::string resume_path;            ///< empty = $PADC_RESUME
     std::optional<std::uint64_t> seed;  ///< --seed override
     Format format = Format::Text;

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "exp/report.hh"
+#include "sim/interrupt.hh"
 #include "sim/metrics.hh"
+#include "sim/procpool.hh"
 
 namespace padc::exp
 {
@@ -90,8 +92,8 @@ ExperimentResult::simCycles() const
 ExperimentContext::ExperimentContext(
     const ExperimentInfo &info, sim::ParallelExperimentRunner &runner,
     sim::SweepJournal *journal, std::optional<std::uint64_t> seed_override,
-    telemetry::TelemetryConfig telemetry)
-    : info_(info), runner_(runner), journal_(journal),
+    telemetry::TelemetryConfig telemetry, sim::ProcessPool *pool)
+    : info_(info), runner_(runner), journal_(journal), pool_(pool),
       seed_override_(seed_override), tcfg_(telemetry)
 {
 }
@@ -126,10 +128,15 @@ std::vector<sim::Result<sim::MixEvaluation>>
 ExperimentContext::evaluateSweep(const std::vector<sim::SweepPoint> &points,
                                  sim::AloneIpcCache &alone)
 {
+    // Telemetry collectors cannot cross the process boundary, so
+    // telemetry sweeps always run in-thread.
+    const bool pooled = pool_ != nullptr && !tcfg_.any();
     const auto results =
-        sim::evaluateSweep(attachCollectors(points), alone, runner_,
-                           journal_);
+        pooled ? pool_->evaluateSweep(points, alone, journal_)
+               : sim::evaluateSweep(attachCollectors(points), alone,
+                                    runner_, journal_);
     reportSweepFailures(points, results);
+    result_.interrupted = result_.interrupted || sim::interruptRequested();
 
     for (std::size_t i = 0; i < points.size(); ++i) {
         const sim::MixEvaluation &eval = results[i].value;
@@ -138,6 +145,8 @@ ExperimentContext::evaluateSweep(const std::vector<sim::SweepPoint> &points,
         record.label = sim::describePoint(points[i]);
         record.status = sim::toString(results[i].outcome.status);
         record.detail = results[i].outcome.detail;
+        record.attempts = results[i].outcome.attempts;
+        record.last_error = results[i].outcome.last_error;
         record.cycles = runCycles(eval.metrics);
         record.metrics.add("ws", eval.summary.ws);
         record.metrics.add("hs", eval.summary.hs);
@@ -154,9 +163,13 @@ ExperimentContext::evaluateSweep(const std::vector<sim::SweepPoint> &points,
 std::vector<sim::Result<sim::RunMetrics>>
 ExperimentContext::runSweep(const std::vector<sim::SweepPoint> &points)
 {
+    const bool pooled = pool_ != nullptr && !tcfg_.any();
     const auto results =
-        sim::runSweep(attachCollectors(points), runner_, journal_);
+        pooled ? pool_->runSweep(points, journal_)
+               : sim::runSweep(attachCollectors(points), runner_,
+                               journal_);
     reportSweepFailures(points, results);
+    result_.interrupted = result_.interrupted || sim::interruptRequested();
 
     for (std::size_t i = 0; i < points.size(); ++i) {
         const sim::RunMetrics &run = results[i].value;
@@ -165,6 +178,8 @@ ExperimentContext::runSweep(const std::vector<sim::SweepPoint> &points)
         record.label = sim::describePoint(points[i]);
         record.status = sim::toString(results[i].outcome.status);
         record.detail = results[i].outcome.detail;
+        record.attempts = results[i].outcome.attempts;
+        record.last_error = results[i].outcome.last_error;
         record.cycles = runCycles(run);
         for (std::size_t c = 0; c < run.cores.size(); ++c) {
             const std::string prefix = "core" + std::to_string(c) + ".";

@@ -30,6 +30,11 @@
 #include "telemetry/telemetry.hh"
 #include "workload/mixes.hh"
 
+namespace padc::sim
+{
+class ProcessPool;
+} // namespace padc::sim
+
 namespace padc::exp
 {
 
@@ -50,6 +55,8 @@ struct PointRecord
     std::string label;     ///< human identification of the point
     std::string status;    ///< "ok" / "truncated" / "failed"
     std::string detail;    ///< diagnostic for non-ok points
+    std::uint64_t attempts = 1; ///< executions (0 = replay/never ran)
+    std::string last_error;     ///< last failed attempt when retried
     Cycle cycles = 0;      ///< simulated cycles of the point
     StatSet metrics;       ///< per-point scalar metrics
 };
@@ -71,6 +78,13 @@ struct ExperimentResult
     std::vector<PointRecord> points;
     StatSet scalars;           ///< experiment-level summary metrics
     double wall_seconds = 0.0; ///< filled by the driver
+
+    /**
+     * True when a SIGINT/SIGTERM cut the run short: the recorded points
+     * are genuine, but unfinished points appear as failed "interrupted"
+     * and later sweeps of the experiment never ran.
+     */
+    bool interrupted = false;
 
     std::vector<SinkSummary> sinks; ///< telemetry files (driver-filled)
     StatSet profile; ///< host wall-clock phase profile (driver-filled)
@@ -104,12 +118,18 @@ class ExperimentContext
      *        default mix seeds when set
      * @param telemetry which telemetry sinks to attach to each executed
      *        point (all off by default)
+     * @param pool when non-null, sweeps run crash-isolated across its
+     *        worker subprocesses instead of in-process threads.
+     *        Telemetry wins over the pool: collectors cannot cross the
+     *        process boundary, so sweeps run in-thread when any
+     *        telemetry sink is enabled.
      */
     ExperimentContext(const ExperimentInfo &info,
                       sim::ParallelExperimentRunner &runner,
                       sim::SweepJournal *journal,
                       std::optional<std::uint64_t> seed_override,
-                      telemetry::TelemetryConfig telemetry = {});
+                      telemetry::TelemetryConfig telemetry = {},
+                      sim::ProcessPool *pool = nullptr);
 
     const ExperimentInfo &info() const { return info_; }
 
@@ -188,6 +208,7 @@ class ExperimentContext
     const ExperimentInfo &info_;
     sim::ParallelExperimentRunner &runner_;
     sim::SweepJournal *journal_;
+    sim::ProcessPool *pool_;
     std::optional<std::uint64_t> seed_override_;
     telemetry::TelemetryConfig tcfg_;
     std::vector<PointCapture> captures_;

@@ -165,6 +165,13 @@ JsonWriter::element(const std::string &value)
     out_ += jsonQuote(value);
 }
 
+void
+JsonWriter::element(double value)
+{
+    comma();
+    out_ += jsonNumber(value);
+}
+
 const JsonValue *
 JsonValue::find(const std::string &key) const
 {

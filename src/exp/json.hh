@@ -63,6 +63,9 @@ class JsonWriter
     /** String element of the innermost array. */
     void element(const std::string &value);
 
+    /** Number element of the innermost array (shortest round-trip). */
+    void element(double value);
+
     /** The document; valid once every begin* has been closed. */
     const std::string &str() const { return out_; }
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "sim/interrupt.hh"
 #include "sim/journal.hh"
 #include "telemetry/profiler.hh"
 #include "workload/generator.hh"
@@ -276,8 +277,19 @@ runPoint(SweepJournal *journal, const SweepPoint &point, Fn &&fn)
     std::uint64_t key = 0;
     if (journal != nullptr) {
         key = sweepPointKey(point);
-        if (journal->lookup(key, &result))
+        if (journal->lookup(key, &result)) {
+            result.outcome.attempts = 0; // replayed, never ran here
             return result;
+        }
+    }
+    // Graceful stop: points not yet started when the interrupt arrived
+    // complete as Failed "interrupted" and are NOT journaled, so a
+    // resumed run retries them.
+    if (interruptRequested()) {
+        result.outcome.status = PointStatus::Failed;
+        result.outcome.detail = kInterruptedDetail;
+        result.outcome.attempts = 0;
+        return result;
     }
     try {
         RunStatus status;
@@ -297,6 +309,7 @@ runPoint(SweepJournal *journal, const SweepPoint &point, Fn &&fn)
     }
     if (journal != nullptr)
         journal->record(key, result);
+    notePointCompleted();
     return result;
 }
 
@@ -336,6 +349,8 @@ evaluateSweep(const std::vector<SweepPoint> &points, AloneIpcCache &alone,
                 keys.push_back({point.mix, point.options.mix_seed});
         }
         runner.tryForEach(keys.size(), [&](std::size_t i) {
+            if (interruptRequested())
+                return; // the points will fail as "interrupted" anyway
             for (std::uint32_t c = 0; c < keys[i].mix.size(); ++c)
                 alone.ipcAlone(keys[i].mix[c], c, keys[i].seed);
         });

@@ -105,6 +105,12 @@ class AloneIpcCache
     void prewarm(const std::vector<workload::Mix> &mixes,
                  std::uint64_t base_seed, ParallelExperimentRunner &runner);
 
+    /** The CMP configuration the alone-runs execute under. */
+    const SystemConfig &base() const { return base_; }
+
+    /** The run options the alone-runs execute under. */
+    const RunOptions &options() const { return options_; }
+
   private:
     double computeAlone(const std::string &profile_name,
                         std::uint32_t core, std::uint64_t mix_seed) const;
@@ -159,6 +165,22 @@ struct PointOutcome
 {
     PointStatus status = PointStatus::Ok;
     std::string detail; ///< why, for Truncated/Failed; empty for Ok
+
+    /**
+     * Executions this point took: 1 for a normal run, >1 when the
+     * process pool retried it after worker deaths, 0 when it never ran
+     * in this process (journal replay, or interrupted before dispatch).
+     * Not persisted in the journal (it describes this run, not the
+     * result).
+     */
+    std::uint32_t attempts = 1;
+
+    /**
+     * Diagnostic of the last *failed* attempt when attempts were
+     * retried (e.g. "killed by signal 9 (Killed)"); distinguishes
+     * "failed once, succeeded on retry" from clean first-try results.
+     */
+    std::string last_error;
 
     bool ok() const { return status == PointStatus::Ok; }
 };

@@ -1,0 +1,78 @@
+#include "sim/interrupt.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+namespace padc::sim
+{
+
+namespace
+{
+
+/** The stop flag; sig_atomic_t so signal handlers may set it. */
+volatile std::sig_atomic_t g_interrupt = 0;
+
+/**
+ * Remaining PADC_TEST_INTERRUPT_AFTER budget; negative = hook disarmed.
+ * Only resetInterruptState() arms it, so worker subprocesses (which
+ * never call it) ignore the variable even though they inherit the
+ * environment.
+ */
+std::atomic<long> g_points_remaining{-1};
+
+} // namespace
+
+bool
+interruptRequested()
+{
+    return g_interrupt != 0;
+}
+
+void
+requestInterrupt()
+{
+    g_interrupt = 1;
+}
+
+void
+resetInterruptState()
+{
+    g_interrupt = 0;
+    g_points_remaining.store(-1, std::memory_order_relaxed);
+
+    const char *env = std::getenv("PADC_TEST_INTERRUPT_AFTER");
+    if (env == nullptr)
+        return;
+    char *end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE || parsed < 0) {
+        std::fprintf(stderr,
+                     "padc: warning: invalid PADC_TEST_INTERRUPT_AFTER="
+                     "\"%s\" (want a non-negative integer); ignored\n",
+                     env);
+        return;
+    }
+    if (parsed == 0) {
+        g_interrupt = 1;
+        return;
+    }
+    g_points_remaining.store(parsed, std::memory_order_relaxed);
+}
+
+void
+notePointCompleted()
+{
+    // fetch_sub on a disarmed counter would slowly walk it toward
+    // LONG_MIN; bail out first (the re-check after the decrement keeps
+    // the armed path race-free).
+    if (g_points_remaining.load(std::memory_order_relaxed) < 0)
+        return;
+    if (g_points_remaining.fetch_sub(1, std::memory_order_relaxed) <= 1)
+        requestInterrupt();
+}
+
+} // namespace padc::sim

@@ -1,5 +1,9 @@
 #include "sim/journal.hh"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -428,6 +432,7 @@ sweepPointKey(const SweepPoint &point)
 SweepJournal::SweepJournal(std::string path) : path_(std::move(path))
 {
     // Load whatever a previous (possibly killed) run managed to append.
+    bool torn_tail = false; // file ends without '\n' (killed mid-write)
     if (std::FILE *in = std::fopen(path_.c_str(), "rb")) {
         std::string line;
         int c = 0;
@@ -476,19 +481,35 @@ SweepJournal::SweepJournal(std::string path) : path_(std::move(path))
             }
         }
         consume(); // trailing line without '\n': dropped by `complete`
+        torn_tail = !line.empty();
         std::fclose(in);
     }
 
-    append_ = std::fopen(path_.c_str(), "ab");
-    if (append_ == nullptr)
+    // O_APPEND + one write(2) per record is what makes concurrent
+    // writers (other threads, other processes) line-atomic.
+    append_fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (append_fd_ < 0)
         throw std::runtime_error("SweepJournal: cannot open '" + path_ +
                                  "' for appending");
+
+    // Terminate a torn tail now; otherwise the next record would merge
+    // into the partial line and BOTH would be unparseable on reload.
+    if (torn_tail) {
+        const char nl = '\n';
+        while (::write(append_fd_, &nl, 1) < 0 && errno == EINTR) {
+        }
+    }
+
+    const char *fsync_env = std::getenv("PADC_JOURNAL_FSYNC");
+    fsync_each_ = fsync_env != nullptr &&
+                  (std::strcmp(fsync_env, "1") == 0 ||
+                   std::strcmp(fsync_env, "always") == 0);
 }
 
 SweepJournal::~SweepJournal()
 {
-    if (append_ != nullptr)
-        std::fclose(append_);
+    if (append_fd_ >= 0)
+        ::close(append_fd_);
 }
 
 std::size_t
@@ -517,10 +538,30 @@ SweepJournal::recordLine(char kind, std::uint64_t key,
     std::lock_guard<std::mutex> lock(mutex_);
     if (!entries_.emplace(EntryKey{kind, key}, body).second)
         return; // already recorded (e.g. duplicate point in one sweep)
-    std::fprintf(append_, "%s %c %llx%s\n", kLineTag, kind,
-                 static_cast<unsigned long long>(key),
-                 (" " + body).c_str());
-    std::fflush(append_);
+
+    char head[32];
+    std::snprintf(head, sizeof(head), "%s %c %llx ", kLineTag, kind,
+                  static_cast<unsigned long long>(key));
+    std::string line = head;
+    line += body;
+    line += '\n';
+
+    // The whole line in one write(2): with O_APPEND this is atomic with
+    // respect to other writers of the same file, and a kill mid-write
+    // can only tear THIS line (which the loader then drops).
+    std::size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n =
+            ::write(append_fd_, line.data() + off, line.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // journal is best-effort; the sweep must go on
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (fsync_each_)
+        ::fsync(append_fd_);
 }
 
 bool

@@ -15,9 +15,15 @@
  *    trips.
  *  - A journal truncated mid-append (process killed during a write)
  *    loses at most the final partial line; loading tolerates and
- *    discards it.
- *  - Recording is append + flush under a mutex, so concurrent sweep
- *    workers interleave whole lines only.
+ *    discards it, and opening for append first repairs the missing
+ *    newline so the next record cannot merge into the torn tail.
+ *  - Records are written with ONE write(2) each to an O_APPEND fd, so
+ *    concurrent writers -- threads in this process (serialized by a
+ *    mutex) or entirely separate processes sharing the journal file --
+ *    interleave whole lines only, never interleaved bytes.
+ *  - Durability is flush-to-kernel by default (enough to survive the
+ *    process being killed); set PADC_JOURNAL_FSYNC=1 to fsync(2) after
+ *    every record when the journal must also survive a machine crash.
  *
  * The key hashes every field that influences a point's result. Config
  * fields added in the future must be folded into sweepPointKey();
@@ -112,7 +118,8 @@ class SweepJournal
     std::map<EntryKey, std::string> entries_; ///< payload (line body)
     std::size_t loaded_ = 0;
     std::size_t hits_ = 0;
-    std::FILE *append_ = nullptr;
+    int append_fd_ = -1;      ///< O_APPEND; one write(2) per record
+    bool fsync_each_ = false; ///< PADC_JOURNAL_FSYNC policy
 };
 
 /**

@@ -250,6 +250,38 @@ TEST_F(JournalTest, PartialTrailingLineIsDropped)
     EXPECT_FALSE(reopened.lookup(0xdeadbeef, &missing));
 }
 
+TEST_F(JournalTest, AppendAfterTornTailDoesNotMergeLines)
+{
+    Result<MixEvaluation> first;
+    first.value.summary.ws = 1.25;
+    {
+        SweepJournal journal(path_);
+        journal.record(1, first);
+    }
+    // A supervisor killed mid-append leaves a torn final line. A later
+    // resume must not glue its first fresh record onto that tail: the
+    // journal terminates the tail at open so both stay separate lines.
+    {
+        std::ofstream out(path_, std::ios::binary | std::ios::app);
+        out << "padcj1 e deadbeef 0 - 1 3ff4";
+    }
+    Result<MixEvaluation> second;
+    second.value.summary.hs = 0.75;
+    {
+        SweepJournal resumed(path_);
+        EXPECT_EQ(resumed.loadedEntries(), 1u);
+        resumed.record(2, second);
+    }
+    SweepJournal reopened(path_);
+    EXPECT_EQ(reopened.loadedEntries(), 2u);
+    Result<MixEvaluation> loaded;
+    ASSERT_TRUE(reopened.lookup(1, &loaded));
+    EXPECT_EQ(loaded.value.summary.ws, 1.25);
+    ASSERT_TRUE(reopened.lookup(2, &loaded));
+    EXPECT_EQ(loaded.value.summary.hs, 0.75);
+    EXPECT_FALSE(reopened.lookup(0xdeadbeef, &loaded));
+}
+
 TEST_F(JournalTest, CorruptCompleteLinesAreSkippedNotFatal)
 {
     {
