@@ -227,7 +227,10 @@ struct SchedulerLoad
             const Addr addr = lineToAddr(line % 4096);
             ctrl.enqueueRead(map.map(addr), lineAlign(addr),
                              static_cast<CoreId>(n % kCores), 0x400,
-                             (n & 1) != 0, now);
+                             (n & 1) != 0
+                                 ? RequestClass::Prefetch
+                                 : RequestClass::DemandRead,
+                             now);
             ++n;
         }
     }

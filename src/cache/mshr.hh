@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/config.hh"
 #include "common/types.hh"
 
 namespace padc::cache
@@ -39,11 +40,18 @@ struct MshrEntry
     CoreId core = 0; ///< core that created the entry
     Addr pc = 0;
 
-    /** True while the miss is still a pure prefetch (unpromoted). */
-    bool prefetch = false;
+    /**
+     * Request class of the miss (the class its memory request carries).
+     * Prefetch while the miss is still a pure (unpromoted) prefetch;
+     * rewritten to DemandRead on promotion.
+     */
+    RequestClass cls = RequestClass::DemandRead;
 
     /** True if the miss was created by the prefetcher. */
     bool was_prefetch = false;
+
+    /** True while the miss is still a pure prefetch (unpromoted). */
+    bool isPrefetch() const { return cls == RequestClass::Prefetch; }
 
     /** A store is among the waiters: the line fills dirty. */
     bool store_waiting = false;

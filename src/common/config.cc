@@ -87,6 +87,15 @@ constexpr EnumName<RowPolicy> kRowPolicyNames[] = {
     {RowPolicy::Closed, "closed-row"},
 };
 
+constexpr EnumName<RequestClass> kRequestClassNames[] = {
+    {RequestClass::DemandRead, "demand-read"},
+    {RequestClass::DemandRead, "demand"},
+    {RequestClass::Prefetch, "prefetch"},
+    {RequestClass::Writeback, "writeback"},
+    {RequestClass::PtwRead, "ptw-read"},
+    {RequestClass::DramCacheFill, "dram-cache-fill"},
+};
+
 } // namespace
 
 std::string
@@ -107,6 +116,12 @@ toString(RowPolicy policy)
     return nameOf(kRowPolicyNames, policy);
 }
 
+std::string
+toString(RequestClass cls)
+{
+    return nameOf(kRequestClassNames, cls);
+}
+
 bool
 parseSchedPolicy(const std::string &name, SchedPolicyKind *out)
 {
@@ -123,6 +138,12 @@ bool
 parseRowPolicy(const std::string &name, RowPolicy *out)
 {
     return parseName(kRowPolicyNames, name, out);
+}
+
+bool
+parseRequestClass(const std::string &name, RequestClass *out)
+{
+    return parseName(kRequestClassNames, name, out);
 }
 
 } // namespace padc

@@ -11,6 +11,7 @@
 #ifndef PADC_COMMON_CONFIG_HH
 #define PADC_COMMON_CONFIG_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -90,6 +91,34 @@ enum class RowPolicy : std::uint8_t
     Closed,
 };
 
+/**
+ * First-class memory request class: the unit the priority lattice ranks.
+ *
+ * The paper's policies distinguish demands from prefetches (with
+ * prefetches further split by per-core measured accuracy at lookup
+ * time); writebacks go through the separate write queue. PtwRead and
+ * DramCacheFill are reserved slots for the two-tier memory scenario
+ * (page-table-walk reads and DRAM-cache fill traffic, ROADMAP): they
+ * already have lattice rows in every policy table so wiring a new
+ * traffic source is a producer-side change only.
+ *
+ * Enumerator values are a wire/stat-index contract: they index
+ * per-class stat arrays and are serialized by the telemetry trace and
+ * the worker wire codec. Append new classes at the end and bump
+ * kRequestClassCount; never renumber.
+ */
+enum class RequestClass : std::uint8_t
+{
+    DemandRead = 0,
+    Prefetch = 1,
+    Writeback = 2,
+    PtwRead = 3,
+    DramCacheFill = 4,
+};
+
+/** Number of RequestClass enumerators (bound for per-class arrays). */
+inline constexpr std::size_t kRequestClassCount = 5;
+
 /** Human-readable policy name matching the paper's figures. */
 std::string toString(SchedPolicyKind kind);
 
@@ -98,6 +127,9 @@ std::string toString(PrefetcherKind kind);
 
 /** Human-readable row policy name. */
 std::string toString(RowPolicy policy);
+
+/** Stable lowercase request-class name ("demand-read", "prefetch", ...). */
+std::string toString(RequestClass cls);
 
 /**
  * Parse a policy name ("demand-first", "demand-pref-equal", "frfcfs",
@@ -111,6 +143,13 @@ bool parsePrefetcher(const std::string &name, PrefetcherKind *out);
 
 /** Parse a row-buffer policy name ("open-row", "closed-row"). */
 bool parseRowPolicy(const std::string &name, RowPolicy *out);
+
+/**
+ * Parse a request-class name ("demand-read", "prefetch", "writeback",
+ * "ptw-read", "dram-cache-fill"; alias "demand").
+ * @return true on success; *out unchanged on failure.
+ */
+bool parseRequestClass(const std::string &name, RequestClass *out);
 
 } // namespace padc
 

@@ -1,6 +1,7 @@
 #include "exp/experiment.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "exp/report.hh"
 #include "sim/interrupt.hh"
@@ -55,6 +56,25 @@ addTrafficMetrics(StatSet &metrics, const sim::RunMetrics &run)
                 static_cast<double>(run.trafficPrefUseless()));
     metrics.add("traffic_writeback",
                 static_cast<double>(run.trafficWriteback()));
+
+    // Controller-side per-class serviced counts, opt-in so default BENCH
+    // documents stay byte-stable across releases (the baselines are
+    // compared bit-exactly). The schema lists these as optional members.
+    static const bool class_metrics = [] {
+        const char *env = std::getenv("PADC_CLASS_METRICS");
+        return env != nullptr && env[0] == '1';
+    }();
+    if (class_metrics) {
+        for (std::size_t c = 0; c < kRequestClassCount; ++c) {
+            std::string name = toString(static_cast<RequestClass>(c));
+            for (char &ch : name) {
+                if (ch == '-')
+                    ch = '_';
+            }
+            metrics.add("class_serviced_" + name,
+                        static_cast<double>(run.class_serviced[c]));
+        }
+    }
 }
 
 /** Rank of a point status for worst-status aggregation. */

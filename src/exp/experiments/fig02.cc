@@ -30,7 +30,7 @@ class Collector : public memctrl::ResponseHandler
     void
     dramReadComplete(const memctrl::Request &req, Cycle now) override
     {
-        completions.push_back({req.line_addr, now, req.is_prefetch});
+        completions.push_back({req.line_addr, now, req.isPrefetch()});
     }
 
     void
@@ -77,7 +77,7 @@ runScenario(SchedPolicyKind kind)
         return map.unmap(c);
     };
     const Addr warm = addrOf(/*row A=*/1, 0);
-    ctrl.enqueueRead(map.map(warm), warm, 0, 0, false, 0);
+    ctrl.enqueueRead(map.map(warm), warm, 0, 0, RequestClass::DemandRead, 0);
     Cycle t = 0;
     while (handler.completions.empty())
         ctrl.tick(t++);
@@ -87,9 +87,9 @@ runScenario(SchedPolicyKind kind)
     const Addr x = addrOf(1, 1);
     const Addr y = addrOf(2, 0);
     const Addr z = addrOf(1, 2);
-    ctrl.enqueueRead(map.map(x), x, 0, 0, /*prefetch=*/true, t);
-    ctrl.enqueueRead(map.map(y), y, 0, 0, /*prefetch=*/false, t);
-    ctrl.enqueueRead(map.map(z), z, 0, 0, /*prefetch=*/true, t);
+    ctrl.enqueueRead(map.map(x), x, 0, 0, RequestClass::Prefetch, t);
+    ctrl.enqueueRead(map.map(y), y, 0, 0, RequestClass::DemandRead, t);
+    ctrl.enqueueRead(map.map(z), z, 0, 0, RequestClass::Prefetch, t);
 
     const Cycle start = t;
     Outcome result;

@@ -33,13 +33,23 @@ MemoryController::trackEnqueued(std::uint32_t slot)
     BankShard &shard = shards_[req.coord.bank];
     req.bank_slot = static_cast<std::uint32_t>(shard.queued.size());
     shard.queued.push_back(slot);
-    if (req.is_prefetch) {
+    switch (req.cls) {
+      case RequestClass::Prefetch:
         if (shard.pref_by_core[req.core]++ == 0)
             shard.pref_core_mask |= 1ULL << req.core;
         ++prefs_per_core_[req.core];
-    } else {
+        break;
+      case RequestClass::DemandRead:
         ++shard.queued_demands;
         ++demands_per_core_[req.core];
+        break;
+      case RequestClass::Writeback:
+      case RequestClass::PtwRead:
+      case RequestClass::DramCacheFill:
+        // Reserved classes have no read-path producer yet; when one
+        // lands it must pick (or add) shard counters here.
+        assert(false && "unsupported class in the read buffer");
+        break;
     }
     ++pending_rows_[rowKey(req.coord)];
     shard.wake = 0; // new arrival: rescan this bank
@@ -57,11 +67,19 @@ MemoryController::untrackQueued(Request &req)
     shard.queued.pop_back();
     if (shard.queued.empty())
         occupied_banks_ &= ~(1ULL << req.coord.bank);
-    if (req.is_prefetch) {
+    switch (req.cls) {
+      case RequestClass::Prefetch:
         if (--shard.pref_by_core[req.core] == 0)
             shard.pref_core_mask &= ~(1ULL << req.core);
-    } else {
+        break;
+      case RequestClass::DemandRead:
         --shard.queued_demands;
+        break;
+      case RequestClass::Writeback:
+      case RequestClass::PtwRead:
+      case RequestClass::DramCacheFill:
+        assert(false && "unsupported class in the read buffer");
+        break;
     }
     auto it = pending_rows_.find(rowKey(req.coord));
     if (--it->second == 0)
@@ -71,7 +89,7 @@ MemoryController::untrackQueued(Request &req)
 void
 MemoryController::trackPromoted(Request &req)
 {
-    assert(req.is_prefetch);
+    assert(req.isPrefetch());
     --prefs_per_core_[req.core];
     ++demands_per_core_[req.core];
     if (req.state == RequestState::Queued) {
@@ -97,18 +115,8 @@ bool
 MemoryController::shardHasPreferred(const BankShard &shard,
                                     std::uint64_t accurate_mask) const
 {
-    switch (config_.kind) {
-      case SchedPolicyKind::FrFcfs:
-        return !shard.queued.empty(); // every request is class 1
-      case SchedPolicyKind::DemandFirst:
-        return shard.queued_demands > 0;
-      case SchedPolicyKind::PrefetchFirst:
-        return shard.pref_core_mask != 0;
-      case SchedPolicyKind::Aps:
-        return shard.queued_demands > 0 ||
-               (shard.pref_core_mask & accurate_mask) != 0;
-    }
-    return false;
+    return context_.shardHasPreferred(shard.queued_demands,
+                                      shard.pref_core_mask, accurate_mask);
 }
 
 Cycle
@@ -131,9 +139,12 @@ MemoryController::bankLocalReady(std::uint32_t bank, NextCmd cmd) const
 
 bool
 MemoryController::enqueueRead(const dram::DramCoord &coord, Addr line_addr,
-                              CoreId core, Addr pc, bool is_prefetch,
+                              CoreId core, Addr pc, RequestClass cls,
                               Cycle now)
 {
+    assert(cls == RequestClass::DemandRead ||
+           cls == RequestClass::Prefetch);
+    const bool is_prefetch = cls == RequestClass::Prefetch;
     // Duplicate of an outstanding read: coalesce with it instead of
     // corrupting read_index_ (formerly an assert, i.e. silent corruption
     // in NDEBUG builds). A demand duplicate promotes the in-flight
@@ -146,7 +157,7 @@ MemoryController::enqueueRead(const dram::DramCoord &coord, Addr line_addr,
         const Request &existing = pool_.at(index_it->second);
         ++stats_.duplicate_reads;
         traceRequest(telemetry::EventKind::Coalesce, existing, now);
-        if (!is_prefetch && existing.is_prefetch)
+        if (cls == RequestClass::DemandRead && existing.isPrefetch())
             promote(line_addr, now);
         return true;
     }
@@ -163,7 +174,7 @@ MemoryController::enqueueRead(const dram::DramCoord &coord, Addr line_addr,
         req.coord = coord;
         req.core = core;
         req.pc = pc;
-        req.is_prefetch = is_prefetch;
+        req.cls = cls;
         req.was_prefetch = is_prefetch;
         req.arrival = now;
         req.seq = next_seq_++;
@@ -190,7 +201,7 @@ MemoryController::enqueueRead(const dram::DramCoord &coord, Addr line_addr,
             rejected.line_addr = line_addr;
             rejected.coord = coord;
             rejected.core = core;
-            rejected.is_prefetch = is_prefetch;
+            rejected.cls = cls;
             rejected.was_prefetch = is_prefetch;
             traceRequest(telemetry::EventKind::RejectFull, rejected, now);
         }
@@ -202,7 +213,7 @@ MemoryController::enqueueRead(const dram::DramCoord &coord, Addr line_addr,
     req.coord = coord;
     req.core = core;
     req.pc = pc;
-    req.is_prefetch = is_prefetch;
+    req.cls = cls;
     req.was_prefetch = is_prefetch;
     req.arrival = now;
     req.seq = next_seq_++;
@@ -228,7 +239,7 @@ MemoryController::enqueueWrite(const dram::DramCoord &coord, Addr line_addr,
     req.line_addr = line_addr;
     req.coord = coord;
     req.core = core;
-    req.is_write = true;
+    req.cls = RequestClass::Writeback;
     req.arrival = now;
     req.seq = next_seq_++;
     write_q_.push_back(req);
@@ -244,11 +255,11 @@ MemoryController::promote(Addr line_addr, Cycle now)
     if (it == read_index_.end())
         return false;
     Request &req = pool_.at(it->second);
-    if (!req.is_prefetch)
+    if (!req.isPrefetch())
         return false;
     trackPromoted(req);
-    req.is_prefetch = false;
-    pool_.syncHot(it->second); // the P-bit column feeds the scheduler
+    req.cls = RequestClass::DemandRead;
+    pool_.syncHot(it->second); // the class column feeds the scheduler
     ++stats_.promotions;
     traceRequest(telemetry::EventKind::Promote, req, now);
     return true;
@@ -278,7 +289,7 @@ MemoryController::commandIssuable(const Request &req, NextCmd cmd,
       case NextCmd::Activate:
         return channel_.canActivate(req.coord.bank, now);
       case NextCmd::Column:
-        return channel_.canColumn(req.coord.bank, req.is_write, now);
+        return channel_.canColumn(req.coord.bank, req.isWrite(), now);
       case NextCmd::None:
         break;
     }
@@ -320,7 +331,7 @@ MemoryController::issueCommand(Request &req, NextCmd cmd, bool row_hit,
 {
     if (issue_log_ != nullptr) {
         issue_log_->push_back({now, static_cast<std::uint8_t>(cmd),
-                               req.is_write, req.coord.bank, req.coord.row,
+                               req.isWrite(), req.coord.bank, req.coord.row,
                                req.seq});
     }
     switch (cmd) {
@@ -337,12 +348,12 @@ MemoryController::issueCommand(Request &req, NextCmd cmd, bool row_hit,
         const bool auto_pre = config_.row_policy == RowPolicy::Closed &&
                               !pendingSameRow(req);
         req.data_ready =
-            channel_.column(req.coord.bank, req.is_write, auto_pre, now);
+            channel_.column(req.coord.bank, req.isWrite(), auto_pre, now);
         if (req.row_outcome == Request::RowOutcome::Unknown) {
             req.row_outcome = row_hit ? Request::RowOutcome::Hit
                                       : Request::RowOutcome::Conflict;
         }
-        if (!req.is_write) {
+        if (!req.isWrite()) {
             // Queued -> Servicing: the read leaves its bank shard and
             // joins the (seq-sorted) in-flight set.
             untrackQueued(req);
@@ -371,9 +382,10 @@ MemoryController::issueCommand(Request &req, NextCmd cmd, bool row_hit,
           case NextCmd::Activate:
             kind = telemetry::EventKind::CmdActivate;
             break;
-          default:
-            kind = req.is_write ? telemetry::EventKind::CmdWrite
-                                : telemetry::EventKind::CmdRead;
+          case NextCmd::Column:
+          case NextCmd::None:
+            kind = req.isWrite() ? telemetry::EventKind::CmdWrite
+                                 : telemetry::EventKind::CmdRead;
             break;
         }
         traceRequest(kind, req, now);
@@ -389,6 +401,7 @@ MemoryController::finishRead(std::uint32_t slot, Cycle now)
     Request &req = pool_.at(slot);
     req.state = RequestState::Done;
 
+    ++stats_.serviced_by_class[static_cast<std::size_t>(req.cls)];
     if (req.isDemand()) {
         ++stats_.demand_reads;
         if (req.row_outcome == Request::RowOutcome::Hit)
@@ -407,7 +420,7 @@ MemoryController::finishRead(std::uint32_t slot, Cycle now)
     stats_.read_service_cycles_sum += now - req.arrival;
     traceRequest(telemetry::EventKind::Complete, req, now, req.arrival);
 
-    if (req.is_prefetch)
+    if (req.isPrefetch())
         --prefs_per_core_[req.core];
     else
         --demands_per_core_[req.core];
@@ -500,7 +513,7 @@ MemoryController::scheduleRead(Cycle now)
         return scheduleReadReference(now);
 
     const std::uint64_t accurate_mask =
-        (config_.kind == SchedPolicyKind::Aps || config_.ranking_enabled)
+        (context_.latticeAccuracyDependent() || config_.ranking_enabled)
             ? accurateCoreMask()
             : 0;
 
@@ -562,14 +575,14 @@ MemoryController::scheduleRead(Cycle now)
                     pre_ok = channel_.canPrecharge(b, now) ? 1 : 0;
                 issuable = pre_ok != 0;
             }
-            const bool is_pref = pool_.isPrefetch(slot);
+            const RequestClass cls = pool_.classOf(slot);
             const CoreId core = pool_.coreOf(slot);
             const bool blocked =
-                has_preferred && context_.requestClass(is_pref, core) == 0;
+                has_preferred && context_.latticeLevel(cls, core) == 0;
             if (!blocked && issuable) {
                 issuable_here = true;
                 const std::uint64_t key = context_.priorityKey(
-                    is_pref, core, pool_.seqOf(slot), row_hit);
+                    cls, core, pool_.seqOf(slot), row_hit);
                 if (best_slot == RequestPool::kNone || key > best_key) {
                     best_slot = slot;
                     best_key = key;
@@ -620,7 +633,7 @@ MemoryController::scheduleReadReference(Cycle now)
          slot = pool_.next(slot)) {
         const Request &req = pool_.at(slot);
         if (req.state == RequestState::Queued &&
-            context_.requestClass(req) != 0) {
+            context_.latticeLevel(req.cls, req.core) != 0) {
             bank_has_preferred[req.coord.bank] = 1;
         }
     }
@@ -635,7 +648,7 @@ MemoryController::scheduleReadReference(Cycle now)
         Request &req = pool_.at(slot);
         if (req.state != RequestState::Queued)
             continue;
-        if (context_.requestClass(req) == 0 &&
+        if (context_.latticeLevel(req.cls, req.core) == 0 &&
             bank_has_preferred[req.coord.bank]) {
             continue;
         }
@@ -686,6 +699,8 @@ MemoryController::scheduleWrite(Cycle now)
     if (best->state == RequestState::Servicing) {
         // Nothing waits on a writeback; retire it at column issue.
         ++stats_.writes;
+        ++stats_.serviced_by_class[static_cast<std::size_t>(
+            RequestClass::Writeback)];
         traceRequest(telemetry::EventKind::WriteRetire, *best, now,
                      best->arrival);
         auto pending = pending_rows_.find(rowKey(best->coord));
@@ -773,7 +788,7 @@ MemoryController::nextEventCycle(Cycle from) const
     // `from` stays blocked for the whole gap.
     if (occupied_banks_ != 0) {
         const std::uint64_t accurate_mask =
-            (config_.kind == SchedPolicyKind::Aps || config_.ranking_enabled)
+            (context_.latticeAccuracyDependent() || config_.ranking_enabled)
                 ? accurateCoreMask()
                 : 0;
         const Cycle col_global = channel_.readColumnGlobalReadyAt();
@@ -784,23 +799,15 @@ MemoryController::nextEventCycle(Cycle from) const
             const auto b = static_cast<std::uint32_t>(__builtin_ctzll(mask));
             const BankShard &shard = shards_[b];
             // A shard can hold a class-blocked request only when it mixes
-            // the preferred and deprioritized classes; the common pure
-            // shard skips the per-slot class checks entirely.
-            bool maybe_blocked = false;
-            switch (config_.kind) {
-              case SchedPolicyKind::FrFcfs:
-                break;
-              case SchedPolicyKind::DemandFirst:
-              case SchedPolicyKind::PrefetchFirst:
-                maybe_blocked = shard.pref_core_mask != 0 &&
-                                shard.queued_demands > 0;
-                break;
-              case SchedPolicyKind::Aps:
-                maybe_blocked =
-                    (shard.pref_core_mask & ~accurate_mask) != 0 &&
-                    shardHasPreferred(shard, accurate_mask);
-                break;
-            }
+            // the preferred and deprioritized lattice levels; the common
+            // pure shard skips the per-slot class checks entirely.
+            const bool maybe_blocked =
+                context_.shardHasLevelZero(shard.queued_demands,
+                                           shard.pref_core_mask,
+                                           accurate_mask) &&
+                context_.shardHasPreferred(shard.queued_demands,
+                                           shard.pref_core_mask,
+                                           accurate_mask);
             const std::uint64_t open = channel_.openRow(b);
             const bool bank_open = open != dram::kNoOpenRow;
             // Which command classes does some unblocked request want?
@@ -812,7 +819,7 @@ MemoryController::nextEventCycle(Cycle from) const
             } else {
                 for (const std::uint32_t slot : shard.queued) {
                     if (maybe_blocked &&
-                        context_.requestClass(pool_.isPrefetch(slot),
+                        context_.latticeLevel(pool_.classOf(slot),
                                               pool_.coreOf(slot)) == 0)
                         continue;
                     if (!bank_open) {
@@ -922,7 +929,7 @@ MemoryController::nextEventCycle(Cycle from) const
                 for (std::uint32_t slot = pool_.head();
                      slot != RequestPool::kNone; slot = pool_.next(slot)) {
                     const Request &req = pool_.at(slot);
-                    if (req.is_prefetch && !req.is_write &&
+                    if (req.isPrefetch() &&
                         req.state == RequestState::Queued) {
                         min_deadline =
                             std::min(min_deadline, apd_.dropDeadline(req));

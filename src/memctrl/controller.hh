@@ -108,6 +108,15 @@ struct ControllerStats
 
     /** Sum over serviced reads of (completion - arrival), for Fig. 4(a). */
     std::uint64_t read_service_cycles_sum = 0;
+
+    /**
+     * Serviced requests decomposed by RequestClass (class at service
+     * time, so a promoted prefetch counts as DemandRead, matching
+     * demand_reads). Indexed by RequestClass enumerator value; reserved
+     * classes hold zero until a producer exists. Serialized by the
+     * worker wire codec and the sweep journal; see sim/metrics.hh.
+     */
+    std::array<std::uint64_t, kRequestClassCount> serviced_by_class{};
 };
 
 /**
@@ -147,9 +156,13 @@ class MemoryController
      * success.
      *
      * @return true if accepted (or forwarded, or coalesced).
+     *
+     * @param cls DemandRead or Prefetch (writebacks go through
+     *            enqueueWrite; reserved classes have no producer yet
+     *            and are rejected by assertion)
      */
     bool enqueueRead(const dram::DramCoord &coord, Addr line_addr,
-                     CoreId core, Addr pc, bool is_prefetch, Cycle now);
+                     CoreId core, Addr pc, RequestClass cls, Cycle now);
 
     /** Enqueue (or coalesce) a dirty-line writeback. Always accepted. */
     void enqueueWrite(const dram::DramCoord &coord, Addr line_addr,
@@ -319,13 +332,14 @@ class MemoryController
         event.core = static_cast<std::uint8_t>(req.core);
         event.channel = trace_channel_;
         event.bank = static_cast<std::uint16_t>(req.coord.bank);
+        event.cls = static_cast<std::uint8_t>(req.cls);
         event.flags = static_cast<std::uint8_t>(
-            (req.is_prefetch ? telemetry::TraceEvent::kPrefetch : 0) |
+            (req.isPrefetch() ? telemetry::TraceEvent::kPrefetch : 0) |
             (req.was_prefetch ? telemetry::TraceEvent::kWasPrefetch : 0) |
             (req.row_outcome == Request::RowOutcome::Hit
                  ? telemetry::TraceEvent::kRowHit
                  : 0) |
-            (req.is_write ? telemetry::TraceEvent::kWrite : 0));
+            (req.isWrite() ? telemetry::TraceEvent::kWrite : 0));
         trace_->record(event);
     }
 

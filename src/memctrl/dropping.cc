@@ -27,7 +27,7 @@ ApdUnit::dropThreshold(CoreId core) const
 bool
 ApdUnit::shouldDrop(const Request &req, Cycle now) const
 {
-    if (!req.is_prefetch || req.is_write)
+    if (!req.isPrefetch())
         return false;
     if (req.state != RequestState::Queued)
         return false;

@@ -1,6 +1,7 @@
 #include "memctrl/policy.hh"
 
 #include <algorithm>
+#include <cassert>
 
 namespace padc::memctrl
 {
@@ -17,7 +18,124 @@ constexpr std::uint32_t kUrgentShift = kRankShift + 8;    // 1 bit
 constexpr std::uint32_t kRowHitShift = kUrgentShift + 1;  // 1 bit
 constexpr std::uint32_t kLevel0Shift = kRowHitShift + 1;  // 1 bit
 
+// Lattice-slot shorthand: {level, urgent}.
+constexpr LatticeSlot kLo{0, false};   // deprioritized
+constexpr LatticeSlot kHi{1, false};   // preferred
+constexpr LatticeSlot kHiU{1, true};   // preferred + urgency-boosted
+
+/**
+ * Per-policy lattice tables, indexed by SchedPolicyKind enumerator
+ * value. Row order within each table is the RequestClass enumerator
+ * order: DemandRead, Prefetch, Writeback, PtwRead, DramCacheFill; the
+ * two columns per row are {inaccurate core, accurate core}.
+ *
+ * Writeback rows are reserved (write queue schedules FR-FCFS without
+ * consulting the lattice); they carry the level the class *would* have
+ * so a future lattice-scheduled writeback path starts from sensible
+ * defaults. PtwRead mirrors DemandRead (translation stalls retire
+ * instructions exactly like demand misses); DramCacheFill mirrors
+ * Prefetch (speculative fill traffic, accuracy-gated under APS).
+ */
+constexpr PolicyLattice kLattices[] = {
+    // FrFcfs: prefetch-blind, every class level 1.
+    {{{
+         {{kHi, kHi}},   // DemandRead
+         {{kHi, kHi}},   // Prefetch
+         {{kHi, kHi}},   // Writeback (reserved)
+         {{kHi, kHi}},   // PtwRead (reserved)
+         {{kHi, kHi}},   // DramCacheFill (reserved)
+     }},
+     /*ranked=*/false},
+    // DemandFirst: demand-like classes over prefetch-like classes.
+    {{{
+         {{kHi, kHi}},   // DemandRead
+         {{kLo, kLo}},   // Prefetch
+         {{kHi, kHi}},   // Writeback (reserved)
+         {{kHi, kHi}},   // PtwRead (reserved)
+         {{kLo, kLo}},   // DramCacheFill (reserved)
+     }},
+     /*ranked=*/false},
+    // PrefetchFirst: prefetch-like classes over demand-like classes
+    // (footnote 2 of the paper).
+    {{{
+         {{kLo, kLo}},   // DemandRead
+         {{kHi, kHi}},   // Prefetch
+         {{kHi, kHi}},   // Writeback (reserved)
+         {{kLo, kLo}},   // PtwRead (reserved)
+         {{kHi, kHi}},   // DramCacheFill (reserved)
+     }},
+     /*ranked=*/false},
+    // Aps: critical (demand, or prefetch from an accurate core) over
+    // non-critical; demands from inaccurate cores are urgency-boosted
+    // (Rule 1 step 3); critical requests are ranked (Rule 2).
+    {{{
+         {{kHiU, kHi}},  // DemandRead
+         {{kLo, kHi}},   // Prefetch
+         {{kHi, kHi}},   // Writeback (reserved)
+         {{kHiU, kHi}},  // PtwRead (reserved)
+         {{kLo, kHi}},   // DramCacheFill (reserved)
+     }},
+     /*ranked=*/true},
+};
+
+static_assert(static_cast<std::size_t>(SchedPolicyKind::FrFcfs) == 0 &&
+                  static_cast<std::size_t>(SchedPolicyKind::DemandFirst) ==
+                      1 &&
+                  static_cast<std::size_t>(
+                      SchedPolicyKind::PrefetchFirst) == 2 &&
+                  static_cast<std::size_t>(SchedPolicyKind::Aps) == 3,
+              "kLattices[] rows are indexed by SchedPolicyKind value");
+static_assert(sizeof(kLattices) / sizeof(kLattices[0]) == 4,
+              "one lattice table per SchedPolicyKind");
+static_assert(static_cast<std::size_t>(RequestClass::DemandRead) == 0 &&
+                  static_cast<std::size_t>(RequestClass::Prefetch) == 1 &&
+                  static_cast<std::size_t>(RequestClass::Writeback) == 2 &&
+                  static_cast<std::size_t>(RequestClass::PtwRead) == 3 &&
+                  static_cast<std::size_t>(RequestClass::DramCacheFill) ==
+                      4,
+              "lattice rows are indexed by RequestClass value");
+
+/**
+ * The shard aggregate checks (shardHasPreferred/shardHasLevelZero)
+ * summarize demands with a single count, so a demand's lattice level
+ * must not depend on per-core accuracy. Every current policy satisfies
+ * this; a policy that wants accuracy-dependent demand levels must add
+ * a per-core demand mask to BankShard first.
+ */
+constexpr bool
+demandLevelsAccuracyIndependent()
+{
+    for (const PolicyLattice &lattice : kLattices) {
+        const auto &demand =
+            lattice.slots[static_cast<std::size_t>(
+                RequestClass::DemandRead)];
+        if (demand[0].level != demand[1].level)
+            return false;
+    }
+    return true;
+}
+
+static_assert(demandLevelsAccuracyIndependent(),
+              "shard demand counters assume accuracy-independent "
+              "demand levels");
+
+bool
+accuracyDependent(const PolicyLattice &lattice)
+{
+    for (const auto &row : lattice.slots) {
+        if (row[0].level != row[1].level || row[0].urgent != row[1].urgent)
+            return true;
+    }
+    return false;
+}
+
 } // namespace
+
+const PolicyLattice &
+policyLattice(SchedPolicyKind kind)
+{
+    return kLattices[static_cast<std::size_t>(kind)];
+}
 
 void
 SchedulerConfig::validate(ConfigErrors &errors,
@@ -64,9 +182,24 @@ SchedulerConfig::validate(ConfigErrors &errors,
     }
 }
 
+void
+validateCoreCount(std::uint32_t num_cores, ConfigErrors &errors,
+                  const std::string &field)
+{
+    if (num_cores == 0)
+        errors.add(field, "must be >= 1");
+    if (num_cores > kMaxCores) {
+        errors.add(field, "must be <= " + std::to_string(kMaxCores) +
+                              " (packed rank field width); got " +
+                              std::to_string(num_cores));
+    }
+}
+
 SchedContext::SchedContext(const SchedulerConfig &config,
                            const AccuracyTracker &tracker)
-    : config_(config), tracker_(tracker)
+    : config_(config), tracker_(tracker),
+      lattice_(policyLattice(config.kind)),
+      accuracy_dependent_(accuracyDependent(lattice_))
 {
 }
 
@@ -87,61 +220,72 @@ SchedContext::updateRanks(
 }
 
 std::uint32_t
-SchedContext::requestClass(const Request &req) const
+SchedContext::latticeLevel(RequestClass cls, CoreId core) const
 {
-    return requestClass(req.is_prefetch, req.core);
+    return lattice_.of(cls)[coreAccurate(core) ? 1 : 0].level;
 }
 
-std::uint32_t
-SchedContext::requestClass(bool is_prefetch, CoreId core) const
+bool
+SchedContext::shardHasPreferred(std::uint32_t queued_demands,
+                                std::uint64_t pref_core_mask,
+                                std::uint64_t accurate_mask) const
 {
-    switch (config_.kind) {
-      case SchedPolicyKind::FrFcfs:
-        return 1;
-      case SchedPolicyKind::DemandFirst:
-        return is_prefetch ? 0 : 1;
-      case SchedPolicyKind::PrefetchFirst:
-        return is_prefetch ? 1 : 0;
-      case SchedPolicyKind::Aps:
-        return (!is_prefetch || coreAccurate(core)) ? 1 : 0;
-    }
-    return 1;
+    const auto &demand = lattice_.of(RequestClass::DemandRead);
+    const auto &pref = lattice_.of(RequestClass::Prefetch);
+    if (queued_demands > 0 && demand[0].level > 0)
+        return true;
+    const bool pref_inacc = pref[0].level > 0;
+    const bool pref_acc = pref[1].level > 0;
+    if (pref_acc && pref_inacc)
+        return pref_core_mask != 0;
+    if (pref_acc)
+        return (pref_core_mask & accurate_mask) != 0;
+    if (pref_inacc)
+        return (pref_core_mask & ~accurate_mask) != 0;
+    return false;
+}
+
+bool
+SchedContext::shardHasLevelZero(std::uint32_t queued_demands,
+                                std::uint64_t pref_core_mask,
+                                std::uint64_t accurate_mask) const
+{
+    const auto &demand = lattice_.of(RequestClass::DemandRead);
+    const auto &pref = lattice_.of(RequestClass::Prefetch);
+    if (queued_demands > 0 && demand[0].level == 0)
+        return true;
+    const bool pref_inacc = pref[0].level > 0;
+    const bool pref_acc = pref[1].level > 0;
+    if (!pref_acc && !pref_inacc)
+        return pref_core_mask != 0;
+    if (!pref_acc)
+        return (pref_core_mask & accurate_mask) != 0;
+    if (!pref_inacc)
+        return (pref_core_mask & ~accurate_mask) != 0;
+    return false;
 }
 
 std::uint64_t
 SchedContext::priorityKey(const Request &req, bool row_hit) const
 {
-    return priorityKey(req.is_prefetch, req.core, req.seq, row_hit);
+    return priorityKey(req.cls, req.core, req.seq, row_hit);
 }
 
 std::uint64_t
-SchedContext::priorityKey(bool is_prefetch, CoreId core,
+SchedContext::priorityKey(RequestClass cls, CoreId core,
                           std::uint64_t seq, bool row_hit) const
 {
-    std::uint64_t level0 = 0;
-    std::uint64_t urgent = 0;
-    std::uint64_t rank = 0;
+    assert(core < kMaxCores);
+    const LatticeSlot slot = lattice_.of(cls)[coreAccurate(core) ? 1 : 0];
 
-    switch (config_.kind) {
-      case SchedPolicyKind::FrFcfs:
-        level0 = 1; // prefetch-blind: every request is in the same class
-        break;
-      case SchedPolicyKind::DemandFirst:
-        level0 = is_prefetch ? 0 : 1;
-        break;
-      case SchedPolicyKind::PrefetchFirst:
-        level0 = is_prefetch ? 1 : 0;
-        break;
-      case SchedPolicyKind::Aps:
-        level0 = (!is_prefetch || coreAccurate(core)) ? 1 : 0;
-        if (config_.urgency_enabled)
-            urgent = (!is_prefetch && !coreAccurate(core)) ? 1 : 0;
-        // Footnote 12: only critical requests are ranked; non-critical
-        // requests keep the lowest rank value (0).
-        if (config_.ranking_enabled && level0 != 0)
-            rank = rank_[core < kMaxCores ? core : 0];
-        break;
-    }
+    const std::uint64_t level0 = slot.level;
+    const std::uint64_t urgent =
+        (slot.urgent && config_.urgency_enabled) ? 1 : 0;
+    // Footnote 12: only critical (level-1) requests are ranked;
+    // level-0 requests keep the lowest rank value (0).
+    std::uint64_t rank = 0;
+    if (lattice_.ranked && config_.ranking_enabled && slot.level != 0)
+        rank = rank_[core];
 
     const std::uint64_t inv_arrival = (~seq) & kArrivalMask;
     return (level0 << kLevel0Shift) | ((row_hit ? 1ULL : 0ULL)

@@ -8,20 +8,28 @@
  *
  *   [ level-0 class ][ row-hit ][ urgent ][ rank ][ inverted arrival ]
  *
- * where level-0 is the policy-specific top rule:
- *   - demand-prefetch-equal (FR-FCFS): constant (prefetch-blind)
- *   - demand-first:   demand over prefetch
- *   - prefetch-first: prefetch over demand
- *   - APS:            critical (demand or accurate-core prefetch) over
- *                     non-critical
- * and urgent/rank participate only for APS with the corresponding
- * features enabled (Rule 1 / Rule 2 of the paper).
+ * The level-0 class and the urgent bit are *data*, not code: each
+ * SchedPolicyKind owns a PolicyLattice table mapping
+ * (RequestClass, per-core accuracy state) -> lattice level + urgency,
+ * so the paper's policies fall out as table rows:
+ *   - demand-prefetch-equal (FR-FCFS): every class level 1
+ *     (prefetch-blind)
+ *   - demand-first:   demand-like classes level 1, prefetch-like 0
+ *   - prefetch-first: prefetch-like classes level 1, demand-like 0
+ *   - APS:            critical (demand, or prefetch from an accurate
+ *                     core) level 1, inaccurate prefetch level 0;
+ *                     urgency marks demands from inaccurate cores
+ * and urgent/rank participate only where the table says they do (APS
+ * with the corresponding features enabled; Rule 1 / Rule 2 of the
+ * paper). Adding a policy or a request class is a table edit, not a
+ * switch edit across the controller.
  */
 
 #ifndef PADC_MEMCTRL_POLICY_HH
 #define PADC_MEMCTRL_POLICY_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "common/config.hh"
@@ -34,6 +42,45 @@ namespace padc::memctrl
 
 /** Maximum cores supported by the packed rank field. */
 inline constexpr std::uint32_t kMaxCores = 64;
+
+/**
+ * One cell of a policy's lattice table: the level-0 class (1 =
+ * preferred, 0 = deprioritized) and whether requests in this cell are
+ * urgency-boosted (consulted only when urgency is enabled).
+ */
+struct LatticeSlot
+{
+    std::uint8_t level;
+    bool urgent;
+};
+
+/**
+ * The full priority lattice of one scheduling policy: for every
+ * RequestClass, one slot per per-core accuracy state
+ * (slots[cls][0] = inaccurate core, slots[cls][1] = accurate core),
+ * plus whether Rule-2 ranking participates in this policy's keys.
+ *
+ * Writeback rows are reserved: the write scheduler is plain FR-FCFS
+ * over the separate write queue and never consults the lattice.
+ * PtwRead and DramCacheFill rows are reserved for the two-tier memory
+ * scenario (ROADMAP) so wiring those traffic sources needs no lattice
+ * surgery: PtwRead ranks with demands, DramCacheFill with prefetches.
+ */
+struct PolicyLattice
+{
+    std::array<std::array<LatticeSlot, 2>, kRequestClassCount> slots;
+
+    /** Rule-2 RANK participates in keys (APS only; footnote 12). */
+    bool ranked;
+
+    const std::array<LatticeSlot, 2> &of(RequestClass cls) const
+    {
+        return slots[static_cast<std::size_t>(cls)];
+    }
+};
+
+/** The lattice table of @p kind (static storage, never fails). */
+const PolicyLattice &policyLattice(SchedPolicyKind kind);
 
 /** Complete scheduler + buffer-management configuration. */
 struct SchedulerConfig
@@ -93,9 +140,18 @@ struct SchedulerConfig
 };
 
 /**
+ * Reject core counts the packed rank field (and every per-core mask in
+ * the controller) cannot represent. Part of the accumulated-ConfigError
+ * validation path: construction-time code may assume
+ * num_cores <= kMaxCores once validation passed.
+ */
+void validateCoreCount(std::uint32_t num_cores, ConfigErrors &errors,
+                       const std::string &field);
+
+/**
  * Per-scheduling-round context shared by all key computations:
- * the accuracy tracker (for criticality/urgency) and per-core ranks
- * (for Rule 2).
+ * the policy's lattice table, the accuracy tracker (which selects the
+ * per-core accuracy column), and per-core ranks (for Rule 2).
  */
 class SchedContext
 {
@@ -134,6 +190,46 @@ class SchedContext
                      std::uint32_t num_cores);
 
     /**
+     * Lattice level of a @p cls request from @p core under the
+     * configured policy (1 = preferred class, 0 = deprioritized). The
+     * paper's rigid policies are *strict* within a bank: a level-0
+     * request to a bank may not be scheduled while any level-1 request
+     * to the same bank is outstanding ("prefetch requests to a bank are
+     * not scheduled until all the demand requests to the same bank are
+     * serviced"). The controller enforces this with per-bank class
+     * masks.
+     */
+    std::uint32_t latticeLevel(RequestClass cls, CoreId core) const;
+
+    /**
+     * True when some class's lattice slot differs between the accurate
+     * and inaccurate columns, i.e. scheduling decisions depend on
+     * per-core accuracy (APS). Callers use this to decide whether the
+     * accurate-core mask must be computed each round.
+     */
+    bool latticeAccuracyDependent() const { return accuracy_dependent_; }
+
+    /**
+     * Whole-bank level-1 occupancy check over the shard's aggregate
+     * counters: true when the bank holds at least one request whose
+     * lattice level is 1 (a "preferred" request that blocks level-0
+     * requests to the same bank).
+     *
+     * @param queued_demands number of queued demand reads in the bank
+     * @param pref_core_mask or-mask of cores with queued prefetches
+     * @param accurate_mask or-mask of currently accurate cores (only
+     *        consulted when latticeAccuracyDependent())
+     */
+    bool shardHasPreferred(std::uint32_t queued_demands,
+                           std::uint64_t pref_core_mask,
+                           std::uint64_t accurate_mask) const;
+
+    /** Companion of shardHasPreferred(): any level-0 request queued? */
+    bool shardHasLevelZero(std::uint32_t queued_demands,
+                           std::uint64_t pref_core_mask,
+                           std::uint64_t accurate_mask) const;
+
+    /**
      * Priority key for @p req given current @p row_hit status; larger is
      * higher priority. Deterministic total order (ties broken by
      * arrival, which the controller guarantees unique per channel).
@@ -143,30 +239,20 @@ class SchedContext
     /**
      * Raw-field variant of priorityKey() for the structure-of-arrays
      * scheduler scan: identical key, computed from the hot columns
-     * (prefetch bit, core, seq) without touching the Request record.
+     * (request class, core, seq) without touching the Request record.
      */
-    std::uint64_t priorityKey(bool is_prefetch, CoreId core,
+    std::uint64_t priorityKey(RequestClass cls, CoreId core,
                               std::uint64_t seq, bool row_hit) const;
 
-    /**
-     * Top-level scheduling class of @p req under the configured policy
-     * (1 = preferred class, 0 = deprioritized class). The paper's rigid
-     * policies are *strict* within a bank: a class-0 request to a bank
-     * may not be scheduled while any class-1 request to the same bank is
-     * outstanding ("prefetch requests to a bank are not scheduled until
-     * all the demand requests to the same bank are serviced"). The
-     * controller enforces this with per-bank class masks.
-     */
-    std::uint32_t requestClass(const Request &req) const;
-
-    /** Raw-field variant of requestClass() for the SoA scan. */
-    std::uint32_t requestClass(bool is_prefetch, CoreId core) const;
-
     const SchedulerConfig &config() const { return config_; }
+
+    const PolicyLattice &lattice() const { return lattice_; }
 
   private:
     const SchedulerConfig &config_;
     const AccuracyTracker &tracker_;
+    const PolicyLattice &lattice_;
+    bool accuracy_dependent_;
     std::array<std::uint8_t, kMaxCores> rank_{}; ///< higher = better
 };
 

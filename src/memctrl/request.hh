@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "common/config.hh"
 #include "common/types.hh"
 #include "dram/address_map.hh"
 
@@ -44,11 +45,13 @@ struct Request
     Addr pc = 0;                   ///< PC of the triggering instruction
 
     /**
-     * P bit. True while the request is a prefetch; cleared when a demand
-     * from the processor matches the request in the buffer (the request
-     * is thereby promoted to a demand).
+     * Request class (the lattice row this request is ranked under).
+     * Generalizes the paper's P bit: Prefetch while the request is a
+     * live prefetch; rewritten to DemandRead when a demand from the
+     * processor matches the request in the buffer (the request is
+     * thereby promoted to a demand).
      */
-    bool is_prefetch = false;
+    RequestClass cls = RequestClass::DemandRead;
 
     /**
      * True if the request was *generated* by the prefetcher, regardless
@@ -56,8 +59,6 @@ struct Request
      * counts promoted prefetches as useful prefetches.
      */
     bool was_prefetch = false;
-
-    bool is_write = false; ///< dirty-line writeback (never a prefetch)
 
     Cycle arrival = 0; ///< entry cycle into the buffer (drives AGE)
 
@@ -84,8 +85,14 @@ struct Request
     /** Cycle at which the data transfer completes (valid in Servicing). */
     Cycle data_ready = kNeverCycle;
 
+    /** P bit: true while the request is a live (unpromoted) prefetch. */
+    bool isPrefetch() const { return cls == RequestClass::Prefetch; }
+
+    /** True for dirty-line writebacks (never a prefetch). */
+    bool isWrite() const { return cls == RequestClass::Writeback; }
+
     /** True for demand requests and promoted prefetches. */
-    bool isDemand() const { return !is_prefetch; }
+    bool isDemand() const { return cls == RequestClass::DemandRead; }
 
     /**
      * AGE field: quantized residence time in the request buffer.

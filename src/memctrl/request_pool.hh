@@ -4,7 +4,7 @@
  * buffer.
  *
  * The controller's scheduler scan is the per-cycle hot loop; storing the
- * fields it reads (row, seq, core, prefetch bit) as dense parallel
+ * fields it reads (row, seq, core, request class) as dense parallel
  * columns keeps the scan cache-linear, while the full Request records
  * live in stable arena slots (slot indices never move, so bank shards
  * and the address index hold plain uint32 slot numbers instead of list
@@ -44,7 +44,7 @@ class RequestPool
     explicit RequestPool(std::uint32_t capacity)
         : slots_(capacity), next_(capacity, kNone), prev_(capacity, kNone),
           row_(capacity, 0), seq_(capacity, 0), core_(capacity, 0),
-          pref_(capacity, 0)
+          cls_(capacity, RequestClass::DemandRead)
     {
         free_.reserve(capacity);
         for (std::uint32_t i = capacity; i > 0; --i)
@@ -115,7 +115,7 @@ class RequestPool
     std::uint64_t rowOf(std::uint32_t slot) const { return row_[slot]; }
     std::uint64_t seqOf(std::uint32_t slot) const { return seq_[slot]; }
     CoreId coreOf(std::uint32_t slot) const { return core_[slot]; }
-    bool isPrefetch(std::uint32_t slot) const { return pref_[slot] != 0; }
+    RequestClass classOf(std::uint32_t slot) const { return cls_[slot]; }
 
     /**
      * Re-derive the hot columns from the stored record. Call after any
@@ -127,7 +127,7 @@ class RequestPool
         row_[slot] = req.coord.row;
         seq_[slot] = req.seq;
         core_[slot] = req.core;
-        pref_[slot] = req.is_prefetch ? 1 : 0;
+        cls_[slot] = req.cls;
     }
 
   private:
@@ -138,7 +138,7 @@ class RequestPool
     std::vector<std::uint64_t> row_;  ///< DRAM row (hot column)
     std::vector<std::uint64_t> seq_;  ///< FCFS sequence (hot column)
     std::vector<CoreId> core_;        ///< owning core (hot column)
-    std::vector<std::uint8_t> pref_;  ///< current P bit (hot column)
+    std::vector<RequestClass> cls_;   ///< request class (hot column)
 
     std::vector<std::uint32_t> free_; ///< LIFO free list
     std::uint32_t head_ = kNone;

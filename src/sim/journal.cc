@@ -230,6 +230,8 @@ writeMetrics(TokenWriter &w, const RunMetrics &metrics)
         w.u64(core.instructions);
         w.u64(core.cycles);
     }
+    for (const std::uint64_t serviced : metrics.class_serviced)
+        w.u64(serviced);
 }
 
 bool
@@ -250,6 +252,10 @@ readMetrics(TokenReader &r, RunMetrics *metrics)
             !r.u64(&core.instructions) || !r.u64(&core.cycles)) {
             return false;
         }
+    }
+    for (std::uint64_t &serviced : metrics->class_serviced) {
+        if (!r.u64(&serviced))
+            return false;
     }
     return true;
 }
@@ -316,7 +322,7 @@ deserialize(const std::string &body, Result<MixEvaluation> *result)
            readSummary(r, &result->value.summary) && r.done();
 }
 
-constexpr char kLineTag[] = "padcj1";
+constexpr char kLineTag[] = "padcj2";
 
 } // namespace
 

@@ -55,6 +55,7 @@ RunMetrics
 collectMetrics(const System &system)
 {
     RunMetrics run;
+    run.class_serviced = system.classServiced();
     const std::uint32_t cores = system.config().num_cores;
     run.cores.resize(cores);
 

@@ -8,6 +8,7 @@
 #ifndef PADC_SIM_METRICS_HH
 #define PADC_SIM_METRICS_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -41,6 +42,13 @@ struct CoreMetrics
 struct RunMetrics
 {
     std::vector<CoreMetrics> cores;
+
+    /**
+     * Requests serviced by the controllers over the whole run, indexed
+     * by RequestClass enumerator value (channel-summed, lifetime -- the
+     * warm-up window does not apply to controller-side counters).
+     */
+    std::array<std::uint64_t, kRequestClassCount> class_serviced{};
 
     /** Total bus traffic (fills + writebacks), in cache lines. */
     std::uint64_t totalTraffic() const;

@@ -84,12 +84,7 @@ ConfigErrors
 SystemConfig::validate() const
 {
     ConfigErrors errors;
-    if (num_cores < 1 || num_cores > memctrl::kMaxCores) {
-        errors.add("num_cores",
-                   "must be within [1, " +
-                       std::to_string(memctrl::kMaxCores) + "]; got " +
-                       std::to_string(num_cores));
-    }
+    memctrl::validateCoreCount(num_cores, errors, "num_cores");
     if (mshr_per_l2 == 0)
         errors.add("mshr_per_l2", "must be >= 1");
     core.validate(errors, "core");
@@ -273,18 +268,19 @@ System::issuePrefetch(CoreId core, Addr addr, Addr pc, Cycle now)
     }
     const dram::DramCoord coord = dram_->map(line_addr);
     if (!controllerFor(coord).enqueueRead(coord, line_addr, core, pc,
-                                          /*is_prefetch=*/true, now)) {
+                                          RequestClass::Prefetch, now)) {
         ++ms.prefetches_no_room;
         return;
     }
     cache::MshrEntry &entry = mshr.alloc(line_addr);
     entry.core = core;
     entry.pc = pc;
-    entry.prefetch = true;
+    entry.cls = RequestClass::Prefetch;
     entry.was_prefetch = true;
     entry.issue_cycle = now;
     ++ms.prefetches_issued;
-    traceMshr(telemetry::EventKind::MshrAlloc, core, line_addr, true, now);
+    traceMshr(telemetry::EventKind::MshrAlloc, core, line_addr,
+              RequestClass::Prefetch, now);
     if (config_.fdp_enabled)
         ++fdp_[core].counts.prefetches_sent;
 }
@@ -328,12 +324,12 @@ System::access(CoreId core, Addr addr, Addr pc, bool is_load,
 
         cache::MshrFile &mshr = mshrFor(core);
         if (cache::MshrEntry *entry = mshr.find(line_addr)) {
-            if (entry->prefetch) {
+            if (entry->isPrefetch()) {
                 // Demand matched an in-flight prefetch: promote it.
                 // This is a primary miss for MPKI purposes; coalescing
                 // onto an existing demand miss is not.
                 ++ms.l2_demand_misses;
-                entry->prefetch = false;
+                entry->cls = RequestClass::DemandRead;
                 const dram::DramCoord coord = dram_->map(line_addr);
                 controllerFor(coord).promote(line_addr, now);
                 tracker_->onPrefetchUsed(entry->core);
@@ -349,27 +345,28 @@ System::access(CoreId core, Addr addr, Addr pc, bool is_load,
             if (!is_load)
                 entry->store_waiting = true;
             traceMshr(telemetry::EventKind::MshrCoalesce, core, line_addr,
-                      entry->prefetch, now);
+                      entry->cls, now);
             reply = {core::AccessStatus::Pending, 0};
         } else {
             const dram::DramCoord coord = dram_->map(line_addr);
             if (mshr.full() ||
-                !controllerFor(coord).enqueueRead(coord, line_addr, core,
-                                                  pc, false, now)) {
+                !controllerFor(coord).enqueueRead(
+                    coord, line_addr, core, pc, RequestClass::DemandRead,
+                    now)) {
                 reply = {core::AccessStatus::Retry, 0};
             } else {
                 ++ms.l2_demand_misses;
                 cache::MshrEntry &entry = mshr.alloc(line_addr);
                 entry.core = core;
                 entry.pc = pc;
-                entry.prefetch = false;
+                entry.cls = RequestClass::DemandRead;
                 entry.was_prefetch = false;
                 entry.issue_cycle = now;
                 entry.waiters.push_back({core, token_tag});
                 if (!is_load)
                     entry.store_waiting = true;
                 traceMshr(telemetry::EventKind::MshrAlloc, core, line_addr,
-                          false, now);
+                          RequestClass::DemandRead, now);
                 reply = {core::AccessStatus::Pending, 0};
             }
         }
@@ -401,7 +398,7 @@ System::dramReadComplete(const memctrl::Request &req, Cycle now)
     // The MSHR is the source of truth for promotion status: a read
     // forwarded from the write queue can be promoted while its request
     // copy is already out of the buffer.
-    const bool still_prefetch = entry->prefetch;
+    const bool still_prefetch = entry->isPrefetch();
     const bool was_prefetch = entry->was_prefetch;
     const bool row_hit =
         req.row_outcome == memctrl::Request::RowOutcome::Hit;
@@ -458,7 +455,7 @@ System::dramReadComplete(const memctrl::Request &req, Cycle now)
         core_next_[waiter.core] = 0; // woken: cached bound is stale
     }
     traceMshr(telemetry::EventKind::MshrRelease, core, line_addr,
-              still_prefetch, now);
+              entry->cls, now);
     mshr.release(line_addr);
 }
 
@@ -467,14 +464,27 @@ System::dramPrefetchDropped(const memctrl::Request &req, Cycle now)
 {
     cache::MshrFile &mshr = mshrFor(req.core);
     [[maybe_unused]] cache::MshrEntry *entry = mshr.find(req.line_addr);
-    assert(entry != nullptr && entry->prefetch && entry->waiters.empty() &&
+    assert(entry != nullptr && entry->isPrefetch() &&
+           entry->waiters.empty() &&
            "APD must only drop unpromoted prefetches");
     traceMshr(telemetry::EventKind::MshrRelease, req.core, req.line_addr,
-              true, now);
+              RequestClass::Prefetch, now);
     mshr.release(req.line_addr);
     // Freed MSHR capacity can unblock a retrying access; the retry loop
     // keeps the core's own next-event at "now", but stay conservative.
     core_next_[req.core] = 0;
+}
+
+std::array<std::uint64_t, kRequestClassCount>
+System::classServiced() const
+{
+    std::array<std::uint64_t, kRequestClassCount> total{};
+    for (const auto &controller : controllers_) {
+        const auto &per_class = controller->stats().serviced_by_class;
+        for (std::size_t c = 0; c < kRequestClassCount; ++c)
+            total[c] += per_class[c];
+    }
+    return total;
 }
 
 StatSet
@@ -557,6 +567,11 @@ System::exportStats() const
                       ? static_cast<double>(cs.read_queue_occupancy_sum) /
                             static_cast<double>(cs.dram_cycles)
                       : 0.0);
+        for (std::size_t c = 0; c < kRequestClassCount; ++c) {
+            stats.add(prefix + "serviced." +
+                          toString(static_cast<RequestClass>(c)),
+                      static_cast<double>(cs.serviced_by_class[c]));
+        }
     }
 
     const dram::ChannelStats ds = dram_->totalStats();
@@ -611,6 +626,7 @@ System::sampleTelemetry(Cycle now)
         s.occupancy_sum = cs.read_queue_occupancy_sum;
         s.dram_cycles = cs.dram_cycles;
         s.write_queue = controllers_[ch]->writeQueueSize();
+        s.serviced_by_class = cs.serviced_by_class;
     }
 
     const dram::TimingParams &timing = dram_->channel(0).timing();
@@ -620,7 +636,7 @@ System::sampleTelemetry(Cycle now)
 
 void
 System::traceMshr(telemetry::EventKind kind, CoreId core, Addr line_addr,
-                  bool is_prefetch, Cycle now)
+                  RequestClass cls, Cycle now)
 {
     if (telem_ == nullptr || telem_->trace() == nullptr)
         return;
@@ -633,7 +649,10 @@ System::traceMshr(telemetry::EventKind kind, CoreId core, Addr line_addr,
     event.core = static_cast<std::uint8_t>(core);
     event.channel = static_cast<std::uint8_t>(coord.channel);
     event.bank = static_cast<std::uint16_t>(coord.bank);
-    event.flags = is_prefetch ? telemetry::TraceEvent::kPrefetch : 0;
+    event.cls = static_cast<std::uint8_t>(cls);
+    event.flags = cls == RequestClass::Prefetch
+                      ? telemetry::TraceEvent::kPrefetch
+                      : 0;
     telem_->trace()->record(event);
 }
 

@@ -18,6 +18,7 @@
 #ifndef PADC_SIM_SYSTEM_HH
 #define PADC_SIM_SYSTEM_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -274,6 +275,13 @@ class System : public core::MemoryPort, public memctrl::ResponseHandler
      */
     StatSet exportStats() const;
 
+    /**
+     * Serviced requests per RequestClass, summed over all controllers
+     * (indexed by enumerator value; reserved classes stay zero). Feeds
+     * the per-class block of RunMetrics and the wire/journal codecs.
+     */
+    std::array<std::uint64_t, kRequestClassCount> classServiced() const;
+
   private:
     struct FdpState
     {
@@ -315,7 +323,7 @@ class System : public core::MemoryPort, public memctrl::ResponseHandler
 
     /** Record an MSHR lifecycle event (no-op when untraced). */
     void traceMshr(telemetry::EventKind kind, CoreId core, Addr line_addr,
-                   bool is_prefetch, Cycle now);
+                   RequestClass cls, Cycle now);
 
     SystemConfig config_;
 

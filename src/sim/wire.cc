@@ -550,6 +550,12 @@ encodeMetrics(exp::JsonWriter &w, const std::string &key,
         w.endObject();
     }
     w.endArray();
+    w.beginObject("class_serviced");
+    for (std::size_t c = 0; c < kRequestClassCount; ++c) {
+        w.member(toString(static_cast<RequestClass>(c)),
+                 u64s(metrics.class_serviced[c]));
+    }
+    w.endObject();
     w.endObject();
 }
 
@@ -584,6 +590,15 @@ decodeMetrics(const exp::JsonValue &value, RunMetrics *out,
                       error) ||
             !u64Field(v, "instructions", &core.instructions, error) ||
             !u64Field(v, "cycles", &core.cycles, error)) {
+            return false;
+        }
+    }
+    const exp::JsonValue *by_class = value.find("class_serviced");
+    if (by_class == nullptr)
+        return fail(error, "missing member 'class_serviced'");
+    for (std::size_t c = 0; c < kRequestClassCount; ++c) {
+        if (!u64Field(*by_class, toString(static_cast<RequestClass>(c)),
+                      &out->class_serviced[c], error)) {
             return false;
         }
     }

@@ -136,7 +136,18 @@ timeseriesCsv(const std::vector<LabeledSeries> &points)
     std::string out =
         "point,label,cycle,core,par,psc,puc,drop_threshold,"
         "sent,used,dropped,bus_util,row_hit_rate,read_queue,"
-        "write_queue\n";
+        "write_queue";
+    // Per-class column group: one svc_<class> column per RequestClass,
+    // in enumerator order ('-' swapped for '_' to keep bare CSV names).
+    for (std::size_t c = 0; c < kRequestClassCount; ++c) {
+        std::string name = toString(static_cast<RequestClass>(c));
+        for (char &ch : name) {
+            if (ch == '-')
+                ch = '_';
+        }
+        out += ",svc_" + name;
+    }
+    out += '\n';
     for (std::size_t p = 0; p < points.size(); ++p) {
         if (points[p].sampler == nullptr)
             continue;
@@ -171,6 +182,10 @@ timeseriesCsv(const std::vector<LabeledSeries> &points)
             append(out, row.read_queue);
             out += ',';
             append(out, row.write_queue);
+            for (const std::uint64_t serviced : row.serviced_by_class) {
+                out += ',';
+                append(out, serviced);
+            }
             out += '\n';
         }
     }

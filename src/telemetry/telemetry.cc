@@ -63,12 +63,17 @@ IntervalSampler::sample(Cycle now, const std::vector<CoreSample> &cores,
     std::uint64_t row_reads = 0;
     double read_queue = 0.0;
     std::uint64_t write_queue = 0;
+    std::array<std::uint64_t, kRequestClassCount> serviced_by_class{};
     for (std::size_t ch = 0; ch < channels.size(); ++ch) {
         const ChannelSample &cur = channels[ch];
         const ChannelSample &prev = prev_channels_[ch];
         bursts += (cur.reads - prev.reads) + (cur.writes - prev.writes);
         row_hits += cur.row_hits - prev.row_hits;
         row_reads += cur.row_reads - prev.row_reads;
+        for (std::size_t cls = 0; cls < kRequestClassCount; ++cls) {
+            serviced_by_class[cls] += cur.serviced_by_class[cls] -
+                                      prev.serviced_by_class[cls];
+        }
         const std::uint64_t dram_cycles =
             cur.dram_cycles - prev.dram_cycles;
         if (dram_cycles > 0) {
@@ -112,6 +117,7 @@ IntervalSampler::sample(Cycle now, const std::vector<CoreSample> &cores,
         row.row_hit_rate = row_hit_rate;
         row.read_queue = read_queue;
         row.write_queue = write_queue;
+        row.serviced_by_class = serviced_by_class;
         push(row);
     }
 

@@ -32,11 +32,13 @@
 #ifndef PADC_TELEMETRY_TELEMETRY_HH
 #define PADC_TELEMETRY_TELEMETRY_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/config.hh"
 #include "common/types.hh"
 
 namespace padc::telemetry
@@ -107,7 +109,14 @@ struct TraceEvent
     std::uint8_t core = 0;
     std::uint8_t channel = 0;
     std::uint8_t flags = 0;  ///< kPrefetch | kWasPrefetch | kRowHit | kWrite
+    /** RequestClass enumerator value of the request (if any). */
+    std::uint8_t cls = 0;
     std::uint16_t bank = 0;
+
+    RequestClass requestClass() const
+    {
+        return static_cast<RequestClass>(cls);
+    }
 };
 
 /**
@@ -161,6 +170,10 @@ struct IntervalRow
     double row_hit_rate = 0.0; ///< row-hit fraction of reads serviced
     double read_queue = 0.0;   ///< mean read-buffer occupancy
     std::uint64_t write_queue = 0; ///< write-queue depth at the boundary
+
+    /** Requests serviced this interval per RequestClass, summed over
+        channels (same value on every core's row, like bus_util). */
+    std::array<std::uint64_t, kRequestClassCount> serviced_by_class{};
 };
 
 /**
@@ -193,6 +206,9 @@ class IntervalSampler
         std::uint64_t occupancy_sum = 0;  ///< read-queue depth integral
         std::uint64_t dram_cycles = 0;    ///< DRAM cycles elapsed
         std::uint64_t write_queue = 0;    ///< instantaneous depth
+
+        /** Lifetime serviced requests per RequestClass. */
+        std::array<std::uint64_t, kRequestClassCount> serviced_by_class{};
     };
 
     explicit IntervalSampler(std::size_t max_rows);

@@ -18,10 +18,10 @@ TEST(MshrTest, AllocFindRelease)
     EXPECT_EQ(mshr.find(0x1000), nullptr);
     MshrEntry &e = mshr.alloc(0x1000);
     e.core = 2;
-    e.prefetch = true;
+    e.cls = RequestClass::Prefetch;
     ASSERT_NE(mshr.find(0x1000), nullptr);
     EXPECT_EQ(mshr.find(0x1000)->core, 2u);
-    EXPECT_TRUE(mshr.find(0x1000)->prefetch);
+    EXPECT_TRUE(mshr.find(0x1000)->isPrefetch());
     mshr.release(0x1000);
     EXPECT_EQ(mshr.find(0x1000), nullptr);
 }
@@ -55,7 +55,7 @@ TEST(MshrTest, EntryInitializedWithLineAddress)
     MshrFile mshr(2);
     MshrEntry &e = mshr.alloc(0x2040);
     EXPECT_EQ(e.line_addr, 0x2040u);
-    EXPECT_FALSE(e.prefetch);
+    EXPECT_FALSE(e.isPrefetch());
     EXPECT_FALSE(e.store_waiting);
     EXPECT_TRUE(e.waiters.empty());
 }

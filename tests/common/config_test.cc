@@ -64,6 +64,47 @@ TEST(ConfigTest, PrefetcherNamesRoundTrip)
     EXPECT_FALSE(parsePrefetcher("quantum", &parsed));
 }
 
+TEST(ConfigTest, RequestClassNames)
+{
+    EXPECT_EQ(toString(RequestClass::DemandRead), "demand-read");
+    EXPECT_EQ(toString(RequestClass::Prefetch), "prefetch");
+    EXPECT_EQ(toString(RequestClass::Writeback), "writeback");
+    EXPECT_EQ(toString(RequestClass::PtwRead), "ptw-read");
+    EXPECT_EQ(toString(RequestClass::DramCacheFill), "dram-cache-fill");
+}
+
+TEST(ConfigTest, RequestClassRoundTrip)
+{
+    for (std::size_t c = 0; c < kRequestClassCount; ++c) {
+        const auto cls = static_cast<RequestClass>(c);
+        RequestClass parsed{};
+        ASSERT_TRUE(parseRequestClass(toString(cls), &parsed));
+        EXPECT_EQ(parsed, cls);
+    }
+    // The "demand" alias maps to the canonical DemandRead.
+    RequestClass parsed{};
+    EXPECT_TRUE(parseRequestClass("demand", &parsed));
+    EXPECT_EQ(parsed, RequestClass::DemandRead);
+    parsed = RequestClass::Writeback;
+    EXPECT_FALSE(parseRequestClass("speculative-store", &parsed));
+    EXPECT_EQ(parsed, RequestClass::Writeback);
+}
+
+/**
+ * The enumerator values are a wire and stat-index contract (request
+ * pools, telemetry events, per-class counter arrays): append-only,
+ * never renumbered.
+ */
+TEST(ConfigTest, RequestClassValuesAreStable)
+{
+    EXPECT_EQ(static_cast<std::size_t>(RequestClass::DemandRead), 0u);
+    EXPECT_EQ(static_cast<std::size_t>(RequestClass::Prefetch), 1u);
+    EXPECT_EQ(static_cast<std::size_t>(RequestClass::Writeback), 2u);
+    EXPECT_EQ(static_cast<std::size_t>(RequestClass::PtwRead), 3u);
+    EXPECT_EQ(static_cast<std::size_t>(RequestClass::DramCacheFill), 4u);
+    EXPECT_EQ(kRequestClassCount, 5u);
+}
+
 TEST(ConfigTest, RowPolicyNames)
 {
     EXPECT_EQ(toString(RowPolicy::Open), "open-row");
@@ -109,6 +150,13 @@ TEST(ConfigTest, EveryEnumValueRoundTrips)
         RowPolicy parsed{};
         ASSERT_TRUE(parseRowPolicy(toString(policy), &parsed));
         EXPECT_EQ(parsed, policy);
+    }
+    for (std::size_t c = 0; c < kRequestClassCount; ++c) {
+        const auto cls = static_cast<RequestClass>(c);
+        ASSERT_NE(toString(cls), "unknown");
+        RequestClass parsed{};
+        ASSERT_TRUE(parseRequestClass(toString(cls), &parsed));
+        EXPECT_EQ(parsed, cls);
     }
 }
 

@@ -19,6 +19,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include "exp/json.hh"
 #include "exp/registry.hh"
 
@@ -46,8 +48,11 @@ runDriver(const std::vector<std::string> &args, std::string *out,
 std::filesystem::path
 freshOutDir(const std::string &name)
 {
+    // Unique per process: ctest runs this suite both as individual
+    // cases and as one whole-binary smoke test, concurrently.
     const auto dir = std::filesystem::temp_directory_path() /
-                     ("padc_driver_test_" + name);
+                     ("padc_driver_test_" + name + "." +
+                      std::to_string(::getpid()));
     std::filesystem::remove_all(dir);
     return dir;
 }

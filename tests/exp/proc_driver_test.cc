@@ -38,8 +38,11 @@ namespace
 std::filesystem::path
 freshDir(const std::string &name)
 {
+    // Unique per process: ctest runs this suite both as individual
+    // cases and as one whole-binary smoke test, concurrently.
     const auto dir = std::filesystem::temp_directory_path() /
-                     ("padc_proc_driver_" + name);
+                     ("padc_proc_driver_" + name + "." +
+                      std::to_string(::getpid()));
     std::filesystem::remove_all(dir);
     std::filesystem::create_directories(dir);
     return dir;

@@ -35,14 +35,14 @@ class RecordingHandler : public ResponseHandler
     dramReadComplete(const Request &req, Cycle now) override
     {
         completions.push_back({req.line_addr, req.was_prefetch,
-                               req.is_prefetch, now, req.row_outcome});
+                               req.isPrefetch(), now, req.row_outcome});
     }
 
     void
     dramPrefetchDropped(const Request &req, Cycle now) override
     {
-        drops.push_back({req.line_addr, req.was_prefetch, req.is_prefetch,
-                         now, req.row_outcome});
+        drops.push_back({req.line_addr, req.was_prefetch,
+                         req.isPrefetch(), now, req.row_outcome});
     }
 
     std::vector<Event> completions;
@@ -90,7 +90,10 @@ class ControllerTest : public ::testing::Test
             CoreId core = 0)
     {
         return ctrl.enqueueRead(map_.map(addr), lineAlign(addr), core,
-                                0x400, prefetch, now);
+                                0x400,
+                                prefetch ? RequestClass::Prefetch
+                                         : RequestClass::DemandRead,
+                                now);
     }
 
     /**
@@ -266,11 +269,11 @@ TEST_F(ControllerTest, ApdDropsStalePrefetch)
     for (std::uint32_t col = 0; col < 8; ++col) {
         ASSERT_TRUE(ctrl2.enqueueRead(map_.map(addrFor(0, 1, col)),
                                       lineAlign(addrFor(0, 1, col)), 1,
-                                      0, false, 0));
+                                      0, RequestClass::DemandRead, 0));
     }
     const Addr pf = addrFor(0, 2, 0);
     ASSERT_TRUE(ctrl2.enqueueRead(map_.map(pf), lineAlign(pf), 0, 0,
-                                  true, 0));
+                                  RequestClass::Prefetch, 0));
     for (Cycle t = 0; t < 5000; ++t)
         ctrl2.tick(t);
     ASSERT_EQ(handler_.drops.size(), 1u);
@@ -346,11 +349,11 @@ TEST_F(ControllerTest, PromotionPreventsDrop)
     for (std::uint32_t col = 0; col < 8; ++col) {
         ASSERT_TRUE(ctrl.enqueueRead(map_.map(addrFor(0, 1, col)),
                                      lineAlign(addrFor(0, 1, col)), 1, 0,
-                                     false, 0));
+                                     RequestClass::DemandRead, 0));
     }
     const Addr pf = addrFor(0, 2, 0);
-    ASSERT_TRUE(
-        ctrl.enqueueRead(map_.map(pf), lineAlign(pf), 0, 0, true, 0));
+    ASSERT_TRUE(ctrl.enqueueRead(map_.map(pf), lineAlign(pf), 0, 0,
+                                 RequestClass::Prefetch, 0));
     ASSERT_TRUE(ctrl.promote(lineAlign(pf), 1));
     for (Cycle t = 0; t < 20000; ++t)
         ctrl.tick(t);

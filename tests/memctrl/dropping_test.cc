@@ -43,7 +43,7 @@ class DroppingTest : public ::testing::Test
     {
         Request r;
         r.core = 0;
-        r.is_prefetch = true;
+        r.cls = RequestClass::Prefetch;
         r.was_prefetch = true;
         r.arrival = 0;
         now_ = age;
@@ -113,7 +113,7 @@ TEST_F(DroppingTest, NeverDropsDemands)
     ApdUnit apd(config_, tracker_);
     setAccuracy(0.0);
     Request r = prefetchAged(100000);
-    r.is_prefetch = false; // promoted or plain demand
+    r.cls = RequestClass::DemandRead; // promoted or plain demand
     EXPECT_FALSE(apd.shouldDrop(r, now_));
 }
 
@@ -122,7 +122,7 @@ TEST_F(DroppingTest, NeverDropsWrites)
     ApdUnit apd(config_, tracker_);
     setAccuracy(0.0);
     Request r = prefetchAged(100000);
-    r.is_write = true;
+    r.cls = RequestClass::Writeback;
     EXPECT_FALSE(apd.shouldDrop(r, now_));
 }
 
@@ -169,7 +169,7 @@ TEST_P(DropMonotonicity, OlderNeverLessDroppable)
     for (Cycle age = 0; age <= 200000; age += 500) {
         Request r;
         r.core = 0;
-        r.is_prefetch = true;
+        r.cls = RequestClass::Prefetch;
         r.arrival = 0;
         const bool drop = apd.shouldDrop(r, age);
         if (dropped_before)

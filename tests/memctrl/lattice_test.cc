@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Exhaustive lattice-equivalence suite: the table-driven priorityKey
+ * must reproduce, bit for bit, the hardcoded per-policy switch it
+ * replaced, for every (policy, class, per-core accuracy, row_hit,
+ * urgency flag, ranking flag) combination -- plus total-order sanity
+ * checks and structural invariants of the reserved lattice rows.
+ *
+ * The frozen model below is a verbatim transcription of the retired
+ * switch (policy.cc before the lattice refactor). It is deliberately
+ * NOT shared with production code: the whole point is an independent
+ * second implementation to diff against.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "memctrl/policy.hh"
+
+namespace padc::memctrl
+{
+namespace
+{
+
+// ---- Frozen copy of the pre-lattice switch (do not "fix") -----------
+
+constexpr std::uint32_t kFrozenArrivalBits = 52;
+constexpr std::uint64_t kFrozenArrivalMask =
+    (1ULL << kFrozenArrivalBits) - 1;
+constexpr std::uint32_t kFrozenRankShift = kFrozenArrivalBits;
+constexpr std::uint32_t kFrozenUrgentShift = kFrozenRankShift + 8;
+constexpr std::uint32_t kFrozenRowHitShift = kFrozenUrgentShift + 1;
+constexpr std::uint32_t kFrozenLevel0Shift = kFrozenRowHitShift + 1;
+
+struct FrozenInputs
+{
+    SchedPolicyKind kind;
+    bool urgency_enabled;
+    bool ranking_enabled;
+    bool is_prefetch;
+    bool core_accurate;
+    std::uint8_t rank; ///< rank_[core] at key time
+};
+
+/** The old switch: only demand reads and prefetches ever existed. */
+std::uint64_t
+frozenPriorityKey(const FrozenInputs &in, std::uint64_t seq,
+                  bool row_hit)
+{
+    std::uint64_t level0 = 0;
+    std::uint64_t urgent = 0;
+    std::uint64_t rank = 0;
+    switch (in.kind) {
+      case SchedPolicyKind::FrFcfs:
+        level0 = 1;
+        break;
+      case SchedPolicyKind::DemandFirst:
+        level0 = in.is_prefetch ? 0 : 1;
+        break;
+      case SchedPolicyKind::PrefetchFirst:
+        level0 = in.is_prefetch ? 1 : 0;
+        break;
+      case SchedPolicyKind::Aps:
+        level0 = (!in.is_prefetch || in.core_accurate) ? 1 : 0;
+        if (in.urgency_enabled && !in.is_prefetch && !in.core_accurate)
+            urgent = 1;
+        if (in.ranking_enabled && level0 != 0)
+            rank = in.rank;
+        break;
+    }
+    const std::uint64_t inv_arrival = (~seq) & kFrozenArrivalMask;
+    return (level0 << kFrozenLevel0Shift) |
+           ((row_hit ? 1ULL : 0ULL) << kFrozenRowHitShift) |
+           (urgent << kFrozenUrgentShift) | (rank << kFrozenRankShift) |
+           inv_arrival;
+}
+
+// ---- Shared fixture: 2 cores, core 0 accurate, core 1 inaccurate ----
+
+constexpr CoreId kAccurateCore = 0;
+constexpr CoreId kInaccurateCore = 1;
+
+class LatticeEquivalence : public ::testing::Test
+{
+  protected:
+    LatticeEquivalence() : tracker_(2, trackerConfig())
+    {
+        // One interval of synthetic events pins the accuracy estimates
+        // on either side of the 0.85 promotion threshold.
+        for (int i = 0; i < 100; ++i) {
+            tracker_.onPrefetchSent(kAccurateCore);
+            tracker_.onPrefetchSent(kInaccurateCore);
+        }
+        for (int i = 0; i < 95; ++i)
+            tracker_.onPrefetchUsed(kAccurateCore);
+        for (int i = 0; i < 10; ++i)
+            tracker_.onPrefetchUsed(kInaccurateCore);
+        tracker_.tick(100);
+    }
+
+    static AccuracyConfig
+    trackerConfig()
+    {
+        AccuracyConfig c;
+        c.interval = 100;
+        c.min_samples = 1;
+        return c;
+    }
+
+    AccuracyTracker tracker_;
+};
+
+/**
+ * The full cross product the satellite demands: every policy x class x
+ * per-core accuracy state x row_hit x urgency flag x ranking flag, over
+ * a seq sample covering both arrival-field extremes, must produce a key
+ * identical to the frozen switch. Classes beyond the original two are
+ * checked against the frozen model of the legacy class they mirror
+ * (PtwRead -> demand, DramCacheFill -> prefetch), which is exactly the
+ * contract the reserved rows advertise.
+ */
+TEST_F(LatticeEquivalence, TableMatchesFrozenSwitchExhaustively)
+{
+    constexpr SchedPolicyKind kKinds[] = {
+        SchedPolicyKind::FrFcfs, SchedPolicyKind::DemandFirst,
+        SchedPolicyKind::PrefetchFirst, SchedPolicyKind::Aps};
+    // (class, is_prefetch equivalent in the old model)
+    constexpr struct
+    {
+        RequestClass cls;
+        bool is_prefetch;
+    } kClasses[] = {
+        {RequestClass::DemandRead, false},
+        {RequestClass::Prefetch, true},
+        {RequestClass::PtwRead, false},
+        {RequestClass::DramCacheFill, true},
+    };
+    constexpr std::uint64_t kSeqs[] = {0, 1, 52, (1ULL << 52) - 1,
+                                       ~0ULL};
+
+    std::array<std::uint32_t, kMaxCores> counts{};
+    counts[kAccurateCore] = 30;  // rank 255 - 30 = 225
+    counts[kInaccurateCore] = 2; // rank 255 - 2 = 253
+    const std::array<std::uint8_t, 2> ranks = {225, 253};
+
+    std::size_t combos = 0;
+    for (const SchedPolicyKind kind : kKinds) {
+        for (const bool urgency : {false, true}) {
+            for (const bool ranking : {false, true}) {
+                SchedulerConfig config;
+                config.kind = kind;
+                config.urgency_enabled = urgency;
+                config.ranking_enabled = ranking;
+                SchedContext ctx(config, tracker_);
+                ctx.updateRanks(counts, 2);
+                for (const auto &cls : kClasses) {
+                    for (const CoreId core :
+                         {kAccurateCore, kInaccurateCore}) {
+                        const FrozenInputs in{
+                            kind,
+                            urgency,
+                            ranking,
+                            cls.is_prefetch,
+                            core == kAccurateCore,
+                            ranking ? ranks[core]
+                                    : static_cast<std::uint8_t>(0)};
+                        for (const bool row_hit : {false, true}) {
+                            for (const std::uint64_t seq : kSeqs) {
+                                ASSERT_EQ(
+                                    ctx.priorityKey(cls.cls, core, seq,
+                                                    row_hit),
+                                    frozenPriorityKey(in, seq, row_hit))
+                                    << toString(kind) << " "
+                                    << toString(cls.cls) << " core "
+                                    << core << " urg " << urgency
+                                    << " rank " << ranking << " hit "
+                                    << row_hit << " seq " << seq;
+                                ++combos;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // 4 kinds x 2 urg x 2 rank x 4 classes x 2 cores x 2 hit x 5 seqs.
+    EXPECT_EQ(combos, 4u * 2 * 2 * 4 * 2 * 2 * 5);
+}
+
+/** Request-object and raw-field key variants agree. */
+TEST_F(LatticeEquivalence, RequestAndRawKeyVariantsAgree)
+{
+    SchedulerConfig config;
+    config.kind = SchedPolicyKind::Aps;
+    SchedContext ctx(config, tracker_);
+    for (const RequestClass cls :
+         {RequestClass::DemandRead, RequestClass::Prefetch}) {
+        for (const CoreId core : {kAccurateCore, kInaccurateCore}) {
+            Request req;
+            req.cls = cls;
+            req.core = core;
+            req.seq = 41;
+            EXPECT_EQ(ctx.priorityKey(req, true),
+                      ctx.priorityKey(cls, core, 41, true));
+        }
+    }
+}
+
+// ---- Structural invariants of the lattice tables --------------------
+
+TEST(LatticeTables, ReservedRowsMirrorTheirLegacyClass)
+{
+    for (const SchedPolicyKind kind :
+         {SchedPolicyKind::FrFcfs, SchedPolicyKind::DemandFirst,
+          SchedPolicyKind::PrefetchFirst, SchedPolicyKind::Aps}) {
+        const PolicyLattice &lattice = policyLattice(kind);
+        for (int acc = 0; acc < 2; ++acc) {
+            // PTW reads rank with demands, DRAM-cache fills with
+            // prefetches (the documented reserved-row contract).
+            EXPECT_EQ(lattice.of(RequestClass::PtwRead)[acc].level,
+                      lattice.of(RequestClass::DemandRead)[acc].level)
+                << toString(kind);
+            EXPECT_EQ(lattice.of(RequestClass::PtwRead)[acc].urgent,
+                      lattice.of(RequestClass::DemandRead)[acc].urgent)
+                << toString(kind);
+            EXPECT_EQ(lattice.of(RequestClass::DramCacheFill)[acc].level,
+                      lattice.of(RequestClass::Prefetch)[acc].level)
+                << toString(kind);
+            EXPECT_EQ(
+                lattice.of(RequestClass::DramCacheFill)[acc].urgent,
+                lattice.of(RequestClass::Prefetch)[acc].urgent)
+                << toString(kind);
+            // Writebacks are reserved: always preferred, never urgent.
+            EXPECT_EQ(lattice.of(RequestClass::Writeback)[acc].level, 1);
+            EXPECT_FALSE(lattice.of(RequestClass::Writeback)[acc].urgent);
+        }
+    }
+}
+
+TEST(LatticeTables, OnlyApsIsRankedOrAccuracyDependent)
+{
+    EXPECT_FALSE(policyLattice(SchedPolicyKind::FrFcfs).ranked);
+    EXPECT_FALSE(policyLattice(SchedPolicyKind::DemandFirst).ranked);
+    EXPECT_FALSE(policyLattice(SchedPolicyKind::PrefetchFirst).ranked);
+    EXPECT_TRUE(policyLattice(SchedPolicyKind::Aps).ranked);
+}
+
+// ---- Total-order sanity (paper semantics spot checks) ---------------
+
+class LatticeOrder : public LatticeEquivalence
+{
+};
+
+TEST_F(LatticeOrder, DemandFirstDemandBeatsAnyPrefetch)
+{
+    SchedulerConfig config;
+    config.kind = SchedPolicyKind::DemandFirst;
+    SchedContext ctx(config, tracker_);
+    // Row-conflict old demand still beats a row-hit young prefetch,
+    // regardless of which core sent the prefetch.
+    for (const CoreId core : {kAccurateCore, kInaccurateCore})
+        EXPECT_GT(ctx.priorityKey(RequestClass::DemandRead, core, 9,
+                                  false),
+                  ctx.priorityKey(RequestClass::Prefetch, core, 1, true));
+}
+
+TEST_F(LatticeOrder, ApsDemandOutranksInaccuratePrefetch)
+{
+    SchedulerConfig config;
+    config.kind = SchedPolicyKind::Aps;
+    SchedContext ctx(config, tracker_);
+    EXPECT_GT(
+        ctx.priorityKey(RequestClass::DemandRead, kAccurateCore, 9,
+                        false),
+        ctx.priorityKey(RequestClass::Prefetch, kInaccurateCore, 1,
+                        true));
+}
+
+TEST_F(LatticeOrder, ApsAccuratePrefetchTiesDemandLevel)
+{
+    SchedulerConfig config;
+    config.kind = SchedPolicyKind::Aps;
+    config.urgency_enabled = false;
+    SchedContext ctx(config, tracker_);
+    // Same level, same row-hit: FCFS decides between an accurate-core
+    // prefetch and an accurate-core demand.
+    EXPECT_GT(ctx.priorityKey(RequestClass::Prefetch, kAccurateCore, 1,
+                              true),
+              ctx.priorityKey(RequestClass::DemandRead, kAccurateCore, 2,
+                              true));
+}
+
+TEST_F(LatticeOrder, FrFcfsIsClassBlind)
+{
+    SchedulerConfig config;
+    config.kind = SchedPolicyKind::FrFcfs;
+    SchedContext ctx(config, tracker_);
+    for (std::size_t c = 0; c < kRequestClassCount; ++c) {
+        EXPECT_EQ(ctx.priorityKey(static_cast<RequestClass>(c),
+                                  kInaccurateCore, 7, true),
+                  ctx.priorityKey(RequestClass::DemandRead,
+                                  kAccurateCore, 7, true));
+    }
+}
+
+TEST_F(LatticeOrder, UrgencyRespectsRowHitPrecedence)
+{
+    SchedulerConfig config;
+    config.kind = SchedPolicyKind::Aps;
+    SchedContext ctx(config, tracker_);
+    // Urgent demand beats a same-row-hit non-urgent demand ...
+    EXPECT_GT(ctx.priorityKey(RequestClass::DemandRead, kInaccurateCore,
+                              9, true),
+              ctx.priorityKey(RequestClass::DemandRead, kAccurateCore, 1,
+                              true));
+    // ... but cannot leapfrog the row-hit level above it (Rule 1).
+    EXPECT_LT(ctx.priorityKey(RequestClass::DemandRead, kInaccurateCore,
+                              9, false),
+              ctx.priorityKey(RequestClass::DemandRead, kAccurateCore, 1,
+                              true));
+}
+
+} // namespace
+} // namespace padc::memctrl

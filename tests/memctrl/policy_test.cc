@@ -53,7 +53,8 @@ class PolicyTest : public ::testing::Test
     {
         Request r;
         r.core = core;
-        r.is_prefetch = prefetch;
+        r.cls = prefetch ? RequestClass::Prefetch
+                         : RequestClass::DemandRead;
         r.was_prefetch = prefetch;
         r.seq = seq;
         return r;

@@ -47,15 +47,15 @@ class LoggingHandler : public ResponseHandler
     void
     dramReadComplete(const Request &req, Cycle now) override
     {
-        events.push_back(
-            {req.line_addr, false, req.was_prefetch, req.is_prefetch, now});
+        events.push_back({req.line_addr, false, req.was_prefetch,
+                          req.isPrefetch(), now});
     }
 
     void
     dramPrefetchDropped(const Request &req, Cycle now) override
     {
-        events.push_back(
-            {req.line_addr, true, req.was_prefetch, req.is_prefetch, now});
+        events.push_back({req.line_addr, true, req.was_prefetch,
+                          req.isPrefetch(), now});
     }
 
     std::vector<Event> events;
@@ -101,6 +101,10 @@ expectStatsEqual(const ControllerStats &a, const ControllerStats &b)
     EXPECT_EQ(a.read_queue_occupancy_sum, b.read_queue_occupancy_sum);
     EXPECT_EQ(a.dram_cycles, b.dram_cycles);
     EXPECT_EQ(a.read_service_cycles_sum, b.read_service_cycles_sum);
+    for (std::size_t c = 0; c < kRequestClassCount; ++c)
+        EXPECT_EQ(a.serviced_by_class[c], b.serviced_by_class[c])
+            << "serviced count differs for class "
+            << toString(static_cast<RequestClass>(c));
 }
 
 /**
@@ -138,13 +142,15 @@ runEquivalence(SchedulerConfig config, std::uint64_t seed)
         if (rng.chance(0.30)) {
             const Addr addr = randomLine();
             const auto core = static_cast<CoreId>(rng.nextBelow(kCores));
-            const bool prefetch = rng.chance(0.5);
+            const RequestClass cls = rng.chance(0.5)
+                                         ? RequestClass::Prefetch
+                                         : RequestClass::DemandRead;
             const bool a = ref.ctrl.enqueueRead(ref.map.map(addr),
                                                 lineAlign(addr), core,
-                                                0x400, prefetch, now);
+                                                0x400, cls, now);
             const bool b = opt.ctrl.enqueueRead(opt.map.map(addr),
                                                 lineAlign(addr), core,
-                                                0x400, prefetch, now);
+                                                0x400, cls, now);
             ASSERT_EQ(a, b) << "enqueue disagreement at cycle " << now;
         }
         if (rng.chance(0.05)) {
@@ -286,19 +292,22 @@ TEST(DuplicateEnqueue, CoalescesInsteadOfCorrupting)
 
     const Addr addr = lineToAddr(5);
     EXPECT_TRUE(stack.ctrl.enqueueRead(stack.map.map(addr),
-                                       lineAlign(addr), 0, 0x400, true, 0));
+                                       lineAlign(addr), 0, 0x400,
+                                       RequestClass::Prefetch, 0));
     EXPECT_EQ(stack.ctrl.readQueueSize(), 1u);
     EXPECT_EQ(stack.ctrl.stats().duplicate_reads, 0u);
 
     // A duplicate prefetch is absorbed.
     EXPECT_TRUE(stack.ctrl.enqueueRead(stack.map.map(addr),
-                                       lineAlign(addr), 0, 0x400, true, 1));
+                                       lineAlign(addr), 0, 0x400,
+                                       RequestClass::Prefetch, 1));
     EXPECT_EQ(stack.ctrl.readQueueSize(), 1u);
     EXPECT_EQ(stack.ctrl.stats().duplicate_reads, 1u);
 
     // A duplicate demand promotes the outstanding prefetch.
     EXPECT_TRUE(stack.ctrl.enqueueRead(stack.map.map(addr),
-                                       lineAlign(addr), 0, 0x400, false, 2));
+                                       lineAlign(addr), 0, 0x400,
+                                       RequestClass::DemandRead, 2));
     EXPECT_EQ(stack.ctrl.readQueueSize(), 1u);
     EXPECT_EQ(stack.ctrl.stats().duplicate_reads, 2u);
     EXPECT_EQ(stack.ctrl.stats().promotions, 1u);

@@ -81,7 +81,7 @@ TEST_F(WriteQueueTest, WritesWaitWhileReadsPending)
     for (std::uint32_t col = 0; col < 16; ++col) {
         const Addr a = addrFor(0, 9, col);
         ASSERT_TRUE(ctrl.enqueueRead(map_.map(a), lineAlign(a), 0, 0,
-                                     false, 0));
+                                     RequestClass::DemandRead, 0));
     }
     Cycle t = 0;
     while (handler_.reads_done < 16 && t < 100000)
@@ -111,8 +111,8 @@ TEST_F(WriteQueueTest, HighWatermarkForcesDrain)
         if (t % 500 == 0 && next_col < 64) {
             const Addr a = addrFor(0, 9, next_col++);
             if (!ctrl.hasRead(lineAlign(a)))
-                ctrl.enqueueRead(map_.map(a), lineAlign(a), 0, 0, false,
-                                 t);
+                ctrl.enqueueRead(map_.map(a), lineAlign(a), 0, 0,
+                                 RequestClass::DemandRead, t);
         }
         ctrl.tick(t);
         if (ctrl.writeQueueSize() <= cfg.write_drain_low)
@@ -131,7 +131,8 @@ TEST_F(WriteQueueTest, WritesPreferRowHitsAmongThemselves)
     // Open row 5 in bank 0 via a read.
     const Addr warm = addrFor(0, 5, 0);
     ASSERT_TRUE(
-        ctrl.enqueueRead(map_.map(warm), lineAlign(warm), 0, 0, false, 0));
+        ctrl.enqueueRead(map_.map(warm), lineAlign(warm), 0, 0,
+                         RequestClass::DemandRead, 0));
     Cycle t = 0;
     while (handler_.reads_done < 1 && t < 50000)
         ctrl.tick(t++);
@@ -157,7 +158,8 @@ TEST_F(WriteQueueTest, ForwardedReadCompletesQuickly)
     const Addr a = addrFor(2, 7, 3);
     ctrl.enqueueWrite(map_.map(a), lineAlign(a), 0, 0);
     ASSERT_TRUE(
-        ctrl.enqueueRead(map_.map(a), lineAlign(a), 0, 0, false, 0));
+        ctrl.enqueueRead(map_.map(a), lineAlign(a), 0, 0,
+                         RequestClass::DemandRead, 0));
     Cycle t = 0;
     while (handler_.reads_done < 1 && t < 1000)
         ctrl.tick(t++);
@@ -174,7 +176,8 @@ TEST_F(WriteQueueTest, OccupancyStatsAdvance)
     MemoryController ctrl(cfg, channel_, tracker_, handler_, 1);
     const Addr a = addrFor(0, 1, 0);
     ASSERT_TRUE(
-        ctrl.enqueueRead(map_.map(a), lineAlign(a), 0, 0, false, 0));
+        ctrl.enqueueRead(map_.map(a), lineAlign(a), 0, 0,
+                         RequestClass::DemandRead, 0));
     for (Cycle t = 0; t < 600; ++t)
         ctrl.tick(t);
     EXPECT_GT(ctrl.stats().dram_cycles, 0u);

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -27,7 +29,8 @@ class JournalTest : public ::testing::Test
     void
     SetUp() override
     {
-        path_ = ::testing::TempDir() + "padc_journal_test.padcjournal";
+        path_ = ::testing::TempDir() + "padc_journal_test." +
+                std::to_string(::getpid()) + ".padcjournal";
         std::remove(path_.c_str());
     }
 

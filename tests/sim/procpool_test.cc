@@ -17,6 +17,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include "sim/experiment.hh"
 #include "sim/interrupt.hh"
 #include "sim/journal.hh"
@@ -196,7 +198,8 @@ TEST(ProcPool, PoisonPointIsQuarantinedOthersSurvive)
 {
     const auto points = fourPoints();
     const std::string journal_path =
-        ::testing::TempDir() + "padc_procpool_poison.padcjournal";
+        ::testing::TempDir() + "padc_procpool_poison." +
+        std::to_string(::getpid()) + ".padcjournal";
     std::remove(journal_path.c_str());
 
     ScopedEnv fault("PADC_FAULT_INJECT", "poison:1");
@@ -247,7 +250,8 @@ TEST(ProcPool, JournaledPointsReplayWithoutWorkers)
 {
     const auto points = fourPoints();
     const std::string journal_path =
-        ::testing::TempDir() + "padc_procpool_journal.padcjournal";
+        ::testing::TempDir() + "padc_procpool_journal." +
+        std::to_string(::getpid()) + ".padcjournal";
     std::remove(journal_path.c_str());
 
     std::vector<Result<RunMetrics>> first;

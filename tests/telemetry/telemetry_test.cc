@@ -220,7 +220,9 @@ TEST(TelemetryGolden, CsvParColumnRoundTrips)
     ASSERT_TRUE(std::getline(lines, header));
     EXPECT_EQ(header,
               "point,label,cycle,core,par,psc,puc,drop_threshold,sent,"
-              "used,dropped,bus_util,row_hit_rate,read_queue,write_queue");
+              "used,dropped,bus_util,row_hit_rate,read_queue,write_queue,"
+              "svc_demand_read,svc_prefetch,svc_writeback,svc_ptw_read,"
+              "svc_dram_cache_fill");
 
     // The label "golden" needs no CSV quoting, so plain comma-splitting
     // is exact. Collect the last row per core and count data lines.
@@ -236,7 +238,7 @@ TEST(TelemetryGolden, CsvParColumnRoundTrips)
         std::string field;
         while (std::getline(split, field, ','))
             fields.push_back(field);
-        ASSERT_EQ(fields.size(), 15u) << line;
+        ASSERT_EQ(fields.size(), 15u + kRequestClassCount) << line;
         EXPECT_EQ(fields[0], "0");        // single point
         EXPECT_EQ(fields[1], "golden");
         last_row_for_core[fields[3]] = fields;
@@ -312,6 +314,35 @@ TEST(TelemetryGolden, ChromeTraceJsonIsValidAndMonotonic)
         }
     }
     EXPECT_GT(duration_events, 0u); // reads completed during the run
+}
+
+TEST(TelemetryGolden, TraceEventClassAgreesWithFlagsAndNameTable)
+{
+    const GoldenRun run = runGolden(true);
+    ASSERT_NE(run.collector->trace(), nullptr);
+    const auto &events = run.collector->trace()->events();
+    ASSERT_FALSE(events.empty());
+
+    std::size_t prefetch_events = 0;
+    for (const TraceEvent &event : events) {
+        if (event.kind == EventKind::Refresh)
+            continue; // channel-wide, no request attached
+        // The class byte decodes to a real enumerator whose name-table
+        // entry resolves (round-trip through the name table).
+        const RequestClass cls = event.requestClass();
+        ASSERT_LT(event.cls, kRequestClassCount);
+        ASSERT_NE(toString(cls), "unknown");
+        RequestClass parsed{};
+        ASSERT_TRUE(parseRequestClass(toString(cls), &parsed));
+        EXPECT_EQ(parsed, cls);
+        // The class column and the legacy flag bits tell one story.
+        EXPECT_EQ((event.flags & TraceEvent::kPrefetch) != 0,
+                  cls == RequestClass::Prefetch);
+        EXPECT_EQ((event.flags & TraceEvent::kWrite) != 0,
+                  cls == RequestClass::Writeback);
+        prefetch_events += cls == RequestClass::Prefetch ? 1 : 0;
+    }
+    EXPECT_GT(prefetch_events, 0u); // the golden mixes do prefetch
 }
 
 TEST(TelemetryGolden, AttachedTelemetryDoesNotPerturbSimulation)

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
 #include <filesystem>
 #include <fstream>
 
@@ -27,7 +28,8 @@ class CorpusTest : public ::testing::Test
     void
     SetUp() override
     {
-        dir_ = ::testing::TempDir() + "padc_corpus_test";
+        dir_ = ::testing::TempDir() + "padc_corpus_test." +
+               std::to_string(::getpid());
         std::filesystem::remove_all(dir_);
         std::filesystem::create_directories(dir_);
         workload::clearTraceProfiles();

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -28,7 +30,10 @@ class CorruptTest : public ::testing::Test
     void
     SetUp() override
     {
-        path_ = ::testing::TempDir() + "padc_corrupt_test.trc";
+        // Unique per process: ctest runs this suite both as individual
+        // cases and as one whole-binary smoke test, concurrently.
+        path_ = ::testing::TempDir() + "padc_corrupt_test." +
+                std::to_string(::getpid()) + ".trc";
         std::string error;
         ASSERT_TRUE(writeTraceFileV2(path_, sampleOps(), &error, 4))
             << error;

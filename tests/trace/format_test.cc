@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -26,8 +27,10 @@ class FormatTest : public ::testing::Test
     void
     SetUp() override
     {
-        path_ = ::testing::TempDir() + "padc_format_test.trc";
-        v1_path_ = ::testing::TempDir() + "padc_format_test_v1.trc";
+        path_ = ::testing::TempDir() + "padc_format_test." +
+                std::to_string(::getpid()) + ".trc";
+        v1_path_ = ::testing::TempDir() + "padc_format_test_v1." +
+                   std::to_string(::getpid()) + ".trc";
     }
 
     void
@@ -184,7 +187,8 @@ TEST_F(FormatTest, IncrementalWriterMatchesOneShot)
     std::string error;
     ASSERT_TRUE(writeTraceFileV2(path_, ops, &error, 512)) << error;
 
-    const std::string streamed = ::testing::TempDir() + "padc_streamed.trc";
+    const std::string streamed = ::testing::TempDir() + "padc_streamed." +
+                                 std::to_string(::getpid()) + ".trc";
     TraceWriter writer(streamed, 512);
     ASSERT_TRUE(writer.ok()) << writer.error();
     for (const core::TraceOp &op : ops)

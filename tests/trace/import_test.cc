@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
 #include <cstdio>
 #include <fstream>
 
@@ -23,7 +24,8 @@ class ImportTest : public ::testing::Test
     void
     SetUp() override
     {
-        path_ = ::testing::TempDir() + "padc_import_test.in";
+        path_ = ::testing::TempDir() + "padc_import_test." +
+                std::to_string(::getpid()) + ".in";
     }
 
     void

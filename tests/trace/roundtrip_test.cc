@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
 #include <filesystem>
 #include <memory>
 
@@ -30,7 +31,8 @@ class RoundtripTest : public ::testing::Test
     void
     SetUp() override
     {
-        dir_ = ::testing::TempDir() + "padc_roundtrip_test";
+        dir_ = ::testing::TempDir() + "padc_roundtrip_test." +
+               std::to_string(::getpid());
         std::filesystem::remove_all(dir_);
         std::filesystem::create_directories(dir_);
         workload::clearTraceProfiles();

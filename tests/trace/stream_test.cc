@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
 #include <cstdio>
 
 #include "core/trace_file.hh"
@@ -25,7 +26,8 @@ class StreamTest : public ::testing::Test
     void
     SetUp() override
     {
-        path_ = ::testing::TempDir() + "padc_stream_test.trc";
+        path_ = ::testing::TempDir() + "padc_stream_test." +
+                std::to_string(::getpid()) + ".trc";
     }
 
     void

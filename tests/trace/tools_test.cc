@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -30,7 +31,8 @@ class ToolsTest : public ::testing::Test
     void
     SetUp() override
     {
-        dir_ = ::testing::TempDir() + "padc_tools_test";
+        dir_ = ::testing::TempDir() + "padc_tools_test." +
+               std::to_string(::getpid());
         std::filesystem::remove_all(dir_);
         std::filesystem::create_directories(dir_);
         workload::clearTraceProfiles();
