@@ -17,6 +17,8 @@
 #include "exp/json.hh"
 #include "exp/registry.hh"
 #include "exp/report.hh"
+#include "obs/monitor.hh"
+#include "obs/status.hh"
 #include "sim/interrupt.hh"
 #include "sim/procpool.hh"
 #include "telemetry/export.hh"
@@ -120,6 +122,9 @@ driverUsage()
            "  list                     list every registered experiment\n"
            "  run <name|tag|glob>...   run the selected experiments\n"
            "  run --all                run every registered experiment\n"
+           "  status <dir>             render the live status.json a\n"
+           "                           `run --progress` sweep keeps in\n"
+           "                           its --out directory\n"
            "  trace <subcommand>       trace-corpus toolchain (capture,\n"
            "                           convert, info, verify; see\n"
            "                           'padc trace help')\n"
@@ -147,6 +152,10 @@ driverUsage()
            "(corpus.json)\n"
            "                 as trace-backed workload profiles before "
            "running\n"
+           "  --progress     live sweep observability: a stderr progress\n"
+           "                 line (done/total, rate, ETA, retries) plus\n"
+           "                 <out>/status.json and <out>/events.jsonl;\n"
+           "                 stdout output is unchanged\n"
            "  --timeseries[=PATH]\n"
            "                 record per-interval telemetry (PAR, drop\n"
            "                 threshold, bus util, queues) to a CSV\n"
@@ -178,6 +187,8 @@ parseDriverArgs(int argc, const char *const *argv, DriverOptions *out,
         out->command = DriverOptions::Command::List;
     } else if (command == "run") {
         out->command = DriverOptions::Command::Run;
+    } else if (command == "status") {
+        out->command = DriverOptions::Command::Status;
     } else {
         *error = "unknown command '" + command + "' (try 'padc help')";
         return false;
@@ -249,6 +260,8 @@ parseDriverArgs(int argc, const char *const *argv, DriverOptions *out,
                 return false;
             }
             out->corpus_dir = text;
+        } else if (arg == "--progress") {
+            out->progress = true;
         } else if (arg == "--timeseries") {
             out->timeseries = true;
         } else if (arg.rfind("--timeseries=", 0) == 0) {
@@ -282,6 +295,9 @@ parseDriverArgs(int argc, const char *const *argv, DriverOptions *out,
             return false;
         } else if (out->command == DriverOptions::Command::Run) {
             out->selectors.push_back(arg);
+        } else if (out->command == DriverOptions::Command::Status &&
+                   out->status_dir.empty()) {
+            out->status_dir = arg;
         } else {
             *error = "unexpected argument '" + arg + "'";
             return false;
@@ -291,6 +307,11 @@ parseDriverArgs(int argc, const char *const *argv, DriverOptions *out,
     if (out->command == DriverOptions::Command::Run &&
         out->selectors.empty() && !out->all) {
         *error = "run expects experiment names, tags, globs, or --all";
+        return false;
+    }
+    if (out->command == DriverOptions::Command::Status &&
+        out->status_dir.empty()) {
+        *error = "status expects the --out directory of a running sweep";
         return false;
     }
     return true;
@@ -553,6 +574,117 @@ recordProfile(ExperimentResult &result)
 }
 
 /**
+ * Drain the process pool's per-experiment profile window into the
+ * BENCH JSON `profile` block. Every member is additive — the schema's
+ * profile object is open, and default (no --workers) documents do not
+ * contain any of these, so pre-extension BENCH files stay byte-stable.
+ */
+void
+recordPoolProfile(sim::ProcessPool &pool, ExperimentResult &result)
+{
+    const sim::ProcessPool::PoolProfile profile = pool.drainProfile();
+    result.profile.add("pool_workers",
+                       static_cast<double>(profile.workers.size()));
+    result.profile.add("pool_tasks", static_cast<double>(profile.tasks));
+    result.profile.add("pool_replayed",
+                       static_cast<double>(profile.replayed));
+    result.profile.add("pool_retries",
+                       static_cast<double>(profile.retries));
+    result.profile.add("pool_respawns",
+                       static_cast<double>(profile.respawns));
+    result.profile.add("pool_quarantined",
+                       static_cast<double>(profile.quarantined));
+    result.profile.add("pool_timeout_kills",
+                       static_cast<double>(profile.timeout_kills));
+    result.profile.add("pool_exec_seconds", profile.exec_seconds);
+    result.profile.add("pool_sim_cycles_per_sec",
+                       profile.exec_seconds > 0.0
+                           ? static_cast<double>(profile.sim_cycles) /
+                                 profile.exec_seconds
+                           : 0.0);
+    const StatSet task_ms = profile.task_ms.toStatSet("pool_task_ms");
+    for (const auto &[name, value] : task_ms.entries())
+        result.profile.add(name, value);
+    for (std::size_t slot = 0; slot < profile.workers.size(); ++slot) {
+        const sim::ProcessPool::WorkerSlotProfile &worker =
+            profile.workers[slot];
+        const std::string prefix =
+            "pool_worker" + std::to_string(slot) + "_";
+        result.profile.add(prefix + "tasks",
+                           static_cast<double>(worker.tasks));
+        result.profile.add(prefix + "dispatches",
+                           static_cast<double>(worker.dispatches));
+        result.profile.add(prefix + "kills",
+                           static_cast<double>(worker.kills));
+        result.profile.add(prefix + "sim_cycles",
+                           static_cast<double>(worker.sim_cycles));
+        result.profile.add(prefix + "exec_seconds", worker.exec_seconds);
+    }
+}
+
+/**
+ * `padc status <dir>`: render the status.json a `run --progress` sweep
+ * maintains. Works mid-sweep (the writer atomic-renames complete
+ * snapshots, so this never sees a torn document) and after the sweep —
+ * or its supervisor — died, where the last snapshot is exactly what an
+ * operator wants to see.
+ */
+int
+statusCommand(const DriverOptions &options)
+{
+    const std::filesystem::path path =
+        std::filesystem::is_directory(options.status_dir)
+            ? std::filesystem::path(options.status_dir) / "status.json"
+            : std::filesystem::path(options.status_dir);
+    obs::SweepStatus status;
+    std::string error;
+    if (!obs::loadStatusFile(path.string(), &status, &error)) {
+        std::fprintf(stderr, "padc: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("%s", obs::renderStatusReport(status).c_str());
+    return 0;
+}
+
+/**
+ * Owns the --progress FleetMonitor for the scope of a run: installs it
+ * as the process-global observer and clears the global before the
+ * monitor is destroyed (driverMain is a library function; tests call it
+ * repeatedly in-process).
+ */
+class MonitorGuard
+{
+  public:
+    MonitorGuard(const DriverOptions &options)
+    {
+        if (!options.progress)
+            return;
+        obs::MonitorConfig config;
+        config.events_path =
+            (std::filesystem::path(options.out_dir) / "events.jsonl")
+                .string();
+        config.status_path =
+            (std::filesystem::path(options.out_dir) / "status.json")
+                .string();
+        config.progress = true;
+        monitor_ = std::make_unique<obs::FleetMonitor>(config);
+        obs::setActiveMonitor(monitor_.get());
+    }
+
+    ~MonitorGuard()
+    {
+        if (monitor_ != nullptr)
+            obs::setActiveMonitor(nullptr);
+    }
+
+    MonitorGuard(const MonitorGuard &) = delete;
+    MonitorGuard &operator=(const MonitorGuard &) = delete;
+
+  private:
+    std::unique_ptr<obs::FleetMonitor> monitor_;
+};
+
+/**
  * Entry point of the internal `padc worker` subcommand: the supervisor
  * spawns `/proc/self/exe worker [--corpus DIR]` with the task/result
  * pipes staged on fixed fds. The worker only needs the corpus
@@ -688,6 +820,8 @@ driverMain(int argc, const char *const *argv)
         return 0;
       case DriverOptions::Command::List:
         return listExperiments(options);
+      case DriverOptions::Command::Status:
+        return statusCommand(options);
       case DriverOptions::Command::Run:
         break;
     }
@@ -761,6 +895,11 @@ driverMain(int argc, const char *const *argv)
     sim::resetInterruptState();
     StopSignalGuard stop_signals;
 
+    // --progress observability: events.jsonl + status.json in --out and
+    // a stderr progress line. Everything stays on stderr / in files so
+    // the stdout streams above are byte-identical with the flag off.
+    MonitorGuard monitor_guard(options);
+
     std::unique_ptr<sim::ProcessPool> pool;
     if (options.workers > 0 && tcfg.any()) {
         std::fprintf(stderr,
@@ -808,6 +947,8 @@ driverMain(int argc, const char *const *argv)
         ExperimentResult &result = context.result();
         result.wall_seconds = wall.count();
         recordProfile(result);
+        if (pool != nullptr && pool->available())
+            recordPoolProfile(*pool, result);
         writeSinks(options, info, context, result, &any_failed);
         if (options.format == DriverOptions::Format::Text) {
             std::printf(

@@ -39,6 +39,7 @@ struct DriverOptions
         Help,
         List,
         Run,
+        Status,
     };
 
     enum class Format
@@ -58,6 +59,9 @@ struct DriverOptions
     Format format = Format::Text;
     std::string out_dir = ".";          ///< BENCH_<name>.json directory
     std::string corpus_dir;             ///< --corpus trace-profile dir
+
+    bool progress = false;       ///< --progress live sweep status
+    std::string status_dir;      ///< `padc status <dir>` argument
 
     bool timeseries = false;     ///< --timeseries[=PATH]
     bool trace = false;          ///< --trace[=PATH]

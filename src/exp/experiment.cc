@@ -4,7 +4,9 @@
 #include <cstdlib>
 
 #include "exp/report.hh"
+#include "obs/monitor.hh"
 #include "sim/interrupt.hh"
+#include "sim/journal.hh"
 #include "sim/metrics.hh"
 #include "sim/procpool.hh"
 
@@ -151,12 +153,20 @@ ExperimentContext::evaluateSweep(const std::vector<sim::SweepPoint> &points,
     // Telemetry collectors cannot cross the process boundary, so
     // telemetry sweeps always run in-thread.
     const bool pooled = pool_ != nullptr && !tcfg_.any();
+    if (obs::FleetMonitor *monitor = obs::activeMonitor()) {
+        monitor->sweepStarted(info_.name, points.size(),
+                              journal_ != nullptr
+                                  ? journal_->loadedEntries()
+                                  : 0);
+    }
     const auto results =
         pooled ? pool_->evaluateSweep(points, alone, journal_)
                : sim::evaluateSweep(attachCollectors(points), alone,
                                     runner_, journal_);
     reportSweepFailures(points, results);
     result_.interrupted = result_.interrupted || sim::interruptRequested();
+    if (obs::FleetMonitor *monitor = obs::activeMonitor())
+        monitor->sweepFinished(result_.interrupted);
 
     for (std::size_t i = 0; i < points.size(); ++i) {
         const sim::MixEvaluation &eval = results[i].value;
@@ -184,12 +194,20 @@ std::vector<sim::Result<sim::RunMetrics>>
 ExperimentContext::runSweep(const std::vector<sim::SweepPoint> &points)
 {
     const bool pooled = pool_ != nullptr && !tcfg_.any();
+    if (obs::FleetMonitor *monitor = obs::activeMonitor()) {
+        monitor->sweepStarted(info_.name, points.size(),
+                              journal_ != nullptr
+                                  ? journal_->loadedEntries()
+                                  : 0);
+    }
     const auto results =
         pooled ? pool_->runSweep(points, journal_)
                : sim::runSweep(attachCollectors(points), runner_,
                                journal_);
     reportSweepFailures(points, results);
     result_.interrupted = result_.interrupted || sim::interruptRequested();
+    if (obs::FleetMonitor *monitor = obs::activeMonitor())
+        monitor->sweepFinished(result_.interrupted);
 
     for (std::size_t i = 0; i < points.size(); ++i) {
         const sim::RunMetrics &run = results[i].value;

@@ -56,21 +56,27 @@ reportSweepFailuresImpl(const std::vector<sim::SweepPoint> &points,
     // Points that recovered: the pool retried them after a worker death
     // and a later attempt produced a clean result. Worth a note (the
     // crash diagnostics would otherwise vanish), but not a warning.
+    // Diagnostics go to stderr: with --format json the experiments'
+    // human-readable stdout is silenced (and must stay clean JSON), and
+    // retry/quarantine reports are exactly what an operator should see
+    // either way.
     std::size_t retried = 0;
     for (const auto &result : results)
         retried += (result.ok() && result.outcome.attempts > 1) ? 1 : 0;
     if (retried > 0) {
-        std::printf("NOTE: %zu sweep point(s) succeeded after worker "
-                    "retries:\n",
-                    retried);
+        std::fprintf(stderr,
+                     "NOTE: %zu sweep point(s) succeeded after worker "
+                     "retries:\n",
+                     retried);
         for (std::size_t i = 0; i < results.size(); ++i) {
             if (!results[i].ok() || results[i].outcome.attempts <= 1)
                 continue;
-            std::printf("  point %zu (%s): attempt %u succeeded; "
-                        "previous worker %s\n",
-                        i, sim::describePoint(points[i]).c_str(),
-                        results[i].outcome.attempts,
-                        results[i].outcome.last_error.c_str());
+            std::fprintf(stderr,
+                         "  point %zu (%s): attempt %u succeeded; "
+                         "previous worker %s\n",
+                         i, sim::describePoint(points[i]).c_str(),
+                         results[i].outcome.attempts,
+                         results[i].outcome.last_error.c_str());
         }
     }
 
@@ -79,9 +85,10 @@ reportSweepFailuresImpl(const std::vector<sim::SweepPoint> &points,
         bad += result.ok() ? 0 : 1;
     if (bad == 0)
         return 0;
-    std::printf("WARNING: %zu of %zu sweep points did not produce a "
-                "converged result:\n",
-                bad, results.size());
+    std::fprintf(stderr,
+                 "WARNING: %zu of %zu sweep points did not produce a "
+                 "converged result:\n",
+                 bad, results.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
         if (results[i].ok())
             continue;
@@ -94,11 +101,11 @@ reportSweepFailuresImpl(const std::vector<sim::SweepPoint> &points,
                             std::to_string(results[i].outcome.attempts) +
                             " attempts]";
         }
-        std::printf("  point %zu (%s): %s: %s%s\n", i,
-                    sim::describePoint(points[i]).c_str(),
-                    sim::toString(results[i].outcome.status),
-                    results[i].outcome.detail.c_str(),
-                    attempts_note.c_str());
+        std::fprintf(stderr, "  point %zu (%s): %s: %s%s\n", i,
+                     sim::describePoint(points[i]).c_str(),
+                     sim::toString(results[i].outcome.status),
+                     results[i].outcome.detail.c_str(),
+                     attempts_note.c_str());
     }
     return bad;
 }

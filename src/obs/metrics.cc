@@ -1,0 +1,201 @@
+#include "obs/metrics.hh"
+
+#include "exp/json.hh"
+
+namespace padc::obs
+{
+
+AtomicHistogram::AtomicHistogram(std::uint64_t bucket_width,
+                                 std::uint32_t buckets)
+    : width_(bucket_width), counts_(buckets + 1)
+{
+    for (auto &c : counts_)
+        c.store(0, std::memory_order_relaxed);
+}
+
+void
+AtomicHistogram::sample(std::uint64_t value)
+{
+    std::uint64_t idx = value / width_;
+    if (idx >= buckets())
+        idx = buckets(); // overflow bucket
+    counts_[idx].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+        // seen reloaded by the failed CAS; retry while still larger.
+    }
+}
+
+Histogram
+AtomicHistogram::snapshot() const
+{
+    std::vector<std::uint64_t> counts(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts[i] = counts_[i].load(std::memory_order_relaxed);
+    return Histogram::fromCounts(
+        width_, counts,
+        static_cast<double>(sum_.load(std::memory_order_relaxed)),
+        max_.load(std::memory_order_relaxed));
+}
+
+void
+AtomicHistogram::reset()
+{
+    for (auto &c : counts_)
+        c.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+template <typename Entry, typename... Args>
+typename Entry::element_type &
+MetricsRegistry::findOrCreate(std::vector<Entry> &entries,
+                              const std::string &name,
+                              const std::string &help, Args &&...args)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &entry : entries) {
+        if (entry.name == name)
+            return *entry.instrument;
+    }
+    entries.push_back(Entry{
+        name, help,
+        std::make_unique<typename Entry::element_type>(
+            std::forward<Args>(args)...)});
+    return *entries.back().instrument;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name, const std::string &help)
+{
+    return findOrCreate(counters_, name, help);
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, const std::string &help)
+{
+    return findOrCreate(gauges_, name, help);
+}
+
+AtomicHistogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::uint64_t bucket_width, std::uint32_t buckets,
+                           const std::string &help)
+{
+    return findOrCreate(histograms_, name, help, bucket_width, buckets);
+}
+
+namespace
+{
+
+void
+appendHeader(std::string *out, const std::string &name,
+             const std::string &help, const char *type)
+{
+    if (!help.empty())
+        *out += "# HELP " + name + " " + help + "\n";
+    *out += "# TYPE " + name + " " + std::string(type) + "\n";
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::prometheusText() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    for (const auto &entry : counters_) {
+        appendHeader(&out, entry.name, entry.help, "counter");
+        out += entry.name + " " +
+               std::to_string(entry.instrument->value()) + "\n";
+    }
+    for (const auto &entry : gauges_) {
+        appendHeader(&out, entry.name, entry.help, "gauge");
+        out += entry.name + " " +
+               std::to_string(entry.instrument->value()) + "\n";
+    }
+    for (const auto &entry : histograms_) {
+        appendHeader(&out, entry.name, entry.help, "histogram");
+        const Histogram h = entry.instrument->snapshot();
+        std::uint64_t cumulative = 0;
+        for (std::uint32_t i = 0; i < h.buckets(); ++i) {
+            cumulative += h.count(i);
+            out += entry.name + "_bucket{le=\"" +
+                   std::to_string((i + 1) * h.bucketWidth()) + "\"} " +
+                   std::to_string(cumulative) + "\n";
+        }
+        cumulative += h.count(h.buckets());
+        out += entry.name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(cumulative) + "\n";
+        out += entry.name + "_sum " +
+               exp::jsonNumber(h.mean() * static_cast<double>(h.total())) +
+               "\n";
+        out += entry.name + "_count " + std::to_string(h.total()) + "\n";
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::jsonText() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    exp::JsonWriter writer;
+    writer.beginObject();
+    writer.member("schema", "padc-metrics-v1");
+    writer.beginObject("counters");
+    for (const auto &entry : counters_)
+        writer.member(entry.name, entry.instrument->value());
+    writer.endObject();
+    writer.beginObject("gauges");
+    for (const auto &entry : gauges_) {
+        writer.member(entry.name,
+                      static_cast<double>(entry.instrument->value()));
+    }
+    writer.endObject();
+    writer.beginObject("histograms");
+    for (const auto &entry : histograms_) {
+        const Histogram h = entry.instrument->snapshot();
+        writer.beginObject(entry.name);
+        writer.member("count", h.total());
+        writer.member("mean", h.mean());
+        writer.member("p50", h.percentile(50.0));
+        writer.member("p90", h.percentile(90.0));
+        writer.member("p99", h.percentile(99.0));
+        writer.member("max", h.max());
+        writer.beginObject("buckets");
+        for (std::uint32_t i = 0; i < h.buckets(); ++i) {
+            writer.member(std::to_string((i + 1) * h.bucketWidth()),
+                          h.count(i));
+        }
+        writer.endObject();
+        writer.member("overflow", h.count(h.buckets()));
+        writer.endObject();
+    }
+    writer.endObject();
+    writer.endObject();
+    return writer.str();
+}
+
+void
+MetricsRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &entry : counters_)
+        entry.instrument->reset();
+    for (auto &entry : gauges_)
+        entry.instrument->reset();
+    for (auto &entry : histograms_)
+        entry.instrument->reset();
+}
+
+} // namespace padc::obs

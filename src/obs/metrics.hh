@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Process-wide metrics registry for fleet observability (DESIGN.md
+ * section 14).
+ *
+ * The simulated machine is covered by src/telemetry (ring-buffered
+ * traces and interval samples of the paper's BPMRS/APS/APD internals);
+ * this registry covers the *experiment fleet*: sweep points done,
+ * worker retries/respawns/quarantines, task round-trip latency.
+ *
+ * Design contract, mirrored from telemetry: registration is slow-path
+ * (mutex + name lookup, done once per call site), but every update on
+ * a registered instrument is a single relaxed atomic operation --
+ * cheap enough to live on hot loops, proven within measurement noise
+ * by `bench_micro_simspeed --obs-overhead-check` exactly like the
+ * telemetry_overhead gate. Snapshots (Prometheus text / JSON) are
+ * advisory reads: they do not pause writers, so a snapshot taken while
+ * counters move is internally consistent per instrument, not across
+ * instruments -- fine for progress reporting.
+ */
+
+#ifndef PADC_OBS_METRICS_HH
+#define PADC_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hh"
+
+namespace padc::obs
+{
+
+/** Monotonically increasing counter; relaxed-atomic increments. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Instantaneous signed level (e.g. active workers); relaxed atomics. */
+class Gauge
+{
+  public:
+    void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+
+    void add(std::int64_t n)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/**
+ * Lock-free fixed-bucket histogram: the atomic twin of the shared
+ * padc::Histogram. sample() is a handful of relaxed atomic adds (bucket
+ * count, total sum, CAS-maintained max); snapshot() rebuilds a plain
+ * Histogram via Histogram::fromCounts so percentile/toStatSet semantics
+ * are literally the shared implementation.
+ */
+class AtomicHistogram
+{
+  public:
+    AtomicHistogram(std::uint64_t bucket_width, std::uint32_t buckets);
+
+    void sample(std::uint64_t value);
+
+    std::uint64_t bucketWidth() const { return width_; }
+    std::uint32_t buckets() const
+    {
+        return static_cast<std::uint32_t>(counts_.size() - 1);
+    }
+
+    /** Consistent-enough copy for reporting (advisory, not a barrier). */
+    Histogram snapshot() const;
+
+    void reset();
+
+  private:
+    std::uint64_t width_;
+    std::vector<std::atomic<std::uint64_t>> counts_; // last = overflow
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+/**
+ * Process-wide registry. instance() is a Meyers singleton; counter()/
+ * gauge()/histogram() return a stable reference for the lifetime of
+ * the process (entries are never removed), so call sites look the name
+ * up once and keep the reference for hot-path updates.
+ */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &instance();
+
+    /** Find-or-create by name. @p help is kept from the first call. */
+    Counter &counter(const std::string &name, const std::string &help = "");
+    Gauge &gauge(const std::string &name, const std::string &help = "");
+    AtomicHistogram &histogram(const std::string &name,
+                               std::uint64_t bucket_width,
+                               std::uint32_t buckets,
+                               const std::string &help = "");
+
+    /**
+     * Prometheus text exposition format: # HELP / # TYPE headers,
+     * histograms as cumulative <name>_bucket{le="..."} series plus
+     * _sum/_count, in registration order.
+     */
+    std::string prometheusText() const;
+
+    /** JSON snapshot (schema padc-metrics-v1), registration order. */
+    std::string jsonText() const;
+
+    /** Zero every instrument (tests; instruments stay registered). */
+    void resetAll();
+
+  private:
+    MetricsRegistry() = default;
+
+    template <typename Entry, typename... Args>
+    typename Entry::element_type &findOrCreate(std::vector<Entry> &entries,
+                                               const std::string &name,
+                                               const std::string &help,
+                                               Args &&...args);
+
+    struct CounterEntry
+    {
+        std::string name;
+        std::string help;
+        std::unique_ptr<Counter> instrument;
+        using element_type = Counter;
+    };
+    struct GaugeEntry
+    {
+        std::string name;
+        std::string help;
+        std::unique_ptr<Gauge> instrument;
+        using element_type = Gauge;
+    };
+    struct HistogramEntry
+    {
+        std::string name;
+        std::string help;
+        std::unique_ptr<AtomicHistogram> instrument;
+        using element_type = AtomicHistogram;
+    };
+
+    mutable std::mutex mutex_; ///< guards the entry vectors, not updates
+    std::vector<CounterEntry> counters_;
+    std::vector<GaugeEntry> gauges_;
+    std::vector<HistogramEntry> histograms_;
+};
+
+} // namespace padc::obs
+
+#endif // PADC_OBS_METRICS_HH

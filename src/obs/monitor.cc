@@ -1,0 +1,325 @@
+#include "obs/monitor.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+
+#include "obs/metrics.hh"
+
+namespace padc::obs
+{
+
+namespace
+{
+
+std::atomic<FleetMonitor *> active_monitor{nullptr};
+
+} // namespace
+
+FleetMonitor *
+activeMonitor()
+{
+    return active_monitor.load(std::memory_order_acquire);
+}
+
+void
+setActiveMonitor(FleetMonitor *monitor)
+{
+    active_monitor.store(monitor, std::memory_order_release);
+}
+
+FleetMonitor::FleetMonitor(MonitorConfig config)
+    : config_(std::move(config))
+{
+    if (!config_.events_path.empty()) {
+        events_ = std::make_unique<EventLog>(config_.events_path);
+        if (!events_->ok()) {
+            std::fprintf(stderr, "padc: %s\n", events_->error().c_str());
+            events_.reset();
+        }
+    }
+    stderr_tty_ = ::isatty(STDERR_FILENO) == 1;
+    sweep_start_ms_ = steadyNowMs();
+}
+
+FleetMonitor::~FleetMonitor()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (progress_line_open_) {
+        std::fputc('\n', stderr);
+        progress_line_open_ = false;
+    }
+}
+
+void
+FleetMonitor::emitEvent(const std::string &type, std::int64_t point,
+                        std::int64_t worker, std::uint64_t attempt,
+                        const std::string &detail)
+{
+    if (events_ == nullptr)
+        return;
+    Event event;
+    event.type = type;
+    event.t_ms = steadyNowMs();
+    event.point = point;
+    event.worker = worker;
+    event.attempt = attempt;
+    event.detail = detail;
+    events_->record(event);
+}
+
+WorkerStatus &
+FleetMonitor::slotRef(std::size_t slot)
+{
+    if (live_.workers.size() <= slot)
+        live_.workers.resize(slot + 1);
+    return live_.workers[slot];
+}
+
+SweepStatus
+FleetMonitor::buildStatus(std::uint64_t now_ms) const
+{
+    SweepStatus status = live_;
+    status.elapsed_seconds =
+        static_cast<double>(now_ms - sweep_start_ms_) / 1000.0;
+    status.rate_per_sec = rate_.ratePerSec(now_ms);
+    const std::uint64_t remaining =
+        live_.total > live_.done ? live_.total - live_.done : 0;
+    status.eta_seconds = rate_.etaSeconds(now_ms, remaining);
+    status.active_workers = 0;
+    for (const WorkerStatus &worker : live_.workers) {
+        if (worker.pid >= 0)
+            ++status.active_workers;
+    }
+    return status;
+}
+
+void
+FleetMonitor::publish(bool force)
+{
+    const std::uint64_t now_ms = steadyNowMs();
+    const bool want_status =
+        !config_.status_path.empty() &&
+        (force || now_ms - last_status_ms_ >= config_.status_interval_ms);
+    const bool want_progress =
+        config_.progress &&
+        (force ||
+         now_ms - last_progress_ms_ >= config_.progress_interval_ms);
+    if (!want_status && !want_progress)
+        return;
+    const SweepStatus status = buildStatus(now_ms);
+    if (want_status) {
+        writeStatusFile(config_.status_path, status);
+        last_status_ms_ = now_ms;
+    }
+    if (want_progress) {
+        const std::string line = renderProgressLine(status);
+        if (stderr_tty_) {
+            std::fprintf(stderr, "\r%s\033[K", line.c_str());
+            progress_line_open_ = true;
+        } else {
+            std::fprintf(stderr, "%s\n", line.c_str());
+        }
+        std::fflush(stderr);
+        last_progress_ms_ = now_ms;
+    }
+}
+
+void
+FleetMonitor::sweepStarted(const std::string &experiment,
+                           std::uint64_t total, std::uint64_t journaled)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Per-sweep counters restart; worker slots persist (the pool
+    // outlives individual experiments).
+    live_.experiment = experiment;
+    live_.state = "running";
+    live_.total = total;
+    live_.done = 0;
+    live_.executed = 0;
+    live_.replayed = 0;
+    live_.failed = 0;
+    live_.retries = 0;
+    live_.quarantined = 0;
+    rate_ = RateEstimator();
+    sweep_start_ms_ = steadyNowMs();
+    MetricsRegistry::instance()
+        .counter("padc_sweeps_started_total", "Sweeps begun")
+        .inc();
+    emitEvent(journaled > 0 ? "sweep_resume" : "sweep_start", -1, -1,
+              journaled, experiment);
+    publish(true);
+}
+
+void
+FleetMonitor::sweepFinished(bool interrupted)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_.state = interrupted ? "interrupted" : "finished";
+    emitEvent(interrupted ? "sweep_interrupted" : "sweep_finish", -1, -1,
+              0, live_.experiment);
+    publish(true);
+    if (progress_line_open_) {
+        std::fputc('\n', stderr);
+        std::fflush(stderr);
+        progress_line_open_ = false;
+    }
+}
+
+void
+FleetMonitor::pointDispatched(std::uint64_t index, std::size_t slot,
+                              std::int64_t pid)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    slotRef(slot).busy = true;
+    MetricsRegistry::instance()
+        .counter("padc_points_dispatched_total",
+                 "Points handed to pool workers")
+        .inc();
+    emitEvent("point_dispatch", static_cast<std::int64_t>(index), pid, 0,
+              "");
+    publish(false);
+}
+
+void
+FleetMonitor::pointFinished(std::uint64_t index, const std::string &status,
+                            std::uint32_t attempts,
+                            const std::string &detail, std::int64_t slot,
+                            std::int64_t pid)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &registry = MetricsRegistry::instance();
+    const std::uint64_t now_ms = steadyNowMs();
+    const bool interrupted = attempts == 0 && detail == "interrupted";
+    const bool replayed = attempts == 0 && !interrupted;
+    ++live_.done;
+    if (replayed) {
+        ++live_.replayed;
+        registry
+            .counter("padc_points_replayed_total",
+                     "Points satisfied from the resume journal")
+            .inc();
+    } else if (!interrupted) {
+        ++live_.executed;
+        // Only genuinely executed points feed the rate estimator:
+        // journal replays are near-instant and would wreck the ETA.
+        rate_.notePoint(now_ms);
+        registry
+            .counter("padc_points_executed_total",
+                     "Points simulated to completion")
+            .inc();
+    }
+    if (status != "ok" && !interrupted)
+        ++live_.failed;
+    if (slot >= 0) {
+        WorkerStatus &worker = slotRef(static_cast<std::size_t>(slot));
+        worker.busy = false;
+        ++worker.tasks;
+    }
+    emitEvent(replayed ? "point_replay"
+                       : (interrupted ? "point_interrupted"
+                                      : "point_complete"),
+              static_cast<std::int64_t>(index), pid, attempts,
+              status == "ok" ? status : status + ": " + detail);
+    publish(false);
+}
+
+void
+FleetMonitor::pointRetried(std::uint64_t index, std::uint32_t attempt,
+                           std::int64_t pid, const std::string &fate)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++live_.retries;
+    MetricsRegistry::instance()
+        .counter("padc_point_retries_total",
+                 "Point attempts restarted after a worker death")
+        .inc();
+    emitEvent("point_retry", static_cast<std::int64_t>(index), pid,
+              attempt, fate);
+    // Forced: a retry burst must be visible even inside the throttle
+    // window (the crash:3 acceptance scenario).
+    publish(true);
+}
+
+void
+FleetMonitor::pointQuarantined(std::uint64_t index, std::int64_t pid,
+                               const std::string &fate)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++live_.quarantined;
+    ++live_.done;
+    ++live_.failed;
+    MetricsRegistry::instance()
+        .counter("padc_points_quarantined_total",
+                 "Points that exhausted their worker attempts")
+        .inc();
+    emitEvent("point_quarantine", static_cast<std::int64_t>(index), pid,
+              0, fate);
+    publish(true);
+}
+
+void
+FleetMonitor::workerSpawned(std::size_t slot, std::int64_t pid)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    WorkerStatus &worker = slotRef(slot);
+    worker.pid = pid;
+    worker.busy = false;
+    MetricsRegistry::instance()
+        .counter("padc_worker_spawns_total", "Worker processes spawned")
+        .inc();
+    emitEvent("worker_spawn", -1, pid, 0,
+              "slot " + std::to_string(slot));
+    publish(false);
+}
+
+void
+FleetMonitor::workerExited(std::size_t slot, std::int64_t pid,
+                           const std::string &fate)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    WorkerStatus &worker = slotRef(slot);
+    worker.pid = -1;
+    worker.busy = false;
+    MetricsRegistry::instance()
+        .counter("padc_worker_exits_total", "Worker processes reaped")
+        .inc();
+    emitEvent("worker_exit", -1, pid, 0, fate);
+    publish(false);
+}
+
+void
+FleetMonitor::workerTimedOut(std::size_t slot, std::int64_t pid,
+                             std::int64_t index)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++slotRef(slot).kills;
+    MetricsRegistry::instance()
+        .counter("padc_worker_timeouts_total",
+                 "Workers SIGKILLed by the heartbeat watchdog")
+        .inc();
+    emitEvent("worker_timeout", index, pid, 0, "heartbeat timeout");
+    publish(true);
+}
+
+void
+FleetMonitor::interruptDrain()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsRegistry::instance()
+        .counter("padc_interrupts_total", "SIGINT/SIGTERM drains")
+        .inc();
+    emitEvent("interrupt_drain", -1, -1, 0,
+              "draining in-flight points");
+    publish(true);
+}
+
+SweepStatus
+FleetMonitor::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return buildStatus(steadyNowMs());
+}
+
+} // namespace padc::obs

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Live sweep status for external observers (DESIGN.md section 14):
+ * a rolling-window rate/ETA estimator, the `padc-sweep-status-v1`
+ * snapshot document periodically atomic-renamed to `status.json`
+ * (so a poller — `padc status <dir>` — never reads a torn file), and
+ * the stderr progress-line renderer.
+ *
+ * All timestamps are std::chrono::steady_clock milliseconds: wall
+ * clocks step under NTP and would corrupt rates/ETAs mid-sweep. The
+ * estimator takes `now_ms` as a parameter rather than reading a clock
+ * so tests drive it deterministically.
+ */
+
+#ifndef PADC_OBS_STATUS_HH
+#define PADC_OBS_STATUS_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace padc::obs
+{
+
+/** Schema tag carried by every status.json snapshot. */
+inline constexpr char kStatusSchema[] = "padc-sweep-status-v1";
+
+/** Steady-clock now in milliseconds (the only clock obs code uses). */
+std::uint64_t steadyNowMs();
+
+/**
+ * Rolling-window completion-rate estimator.
+ *
+ * Only *executed* points are noted: on resume, journal-replayed points
+ * complete thousands of times faster than real ones and must not
+ * inflate the rate (they are excluded by the caller not noting them,
+ * and the ETA math only counts remaining unfinished work).
+ *
+ * The window is the most recent `window` completions; the rate is
+ * window-size over the time span back to the oldest windowed sample,
+ * so it adapts to recent speed and decays toward zero while progress
+ * stalls (the span keeps growing with `now`).
+ */
+class RateEstimator
+{
+  public:
+    explicit RateEstimator(std::size_t window = 32);
+
+    /** Record one executed-point completion at steady time @p now_ms. */
+    void notePoint(std::uint64_t now_ms);
+
+    /** Completions recorded so far (all, not just the window). */
+    std::uint64_t noted() const { return noted_; }
+
+    /**
+     * Estimated completions per second at @p now_ms; 0.0 until two
+     * samples exist (no span to divide by).
+     */
+    double ratePerSec(std::uint64_t now_ms) const;
+
+    /**
+     * Seconds to finish @p remaining points at the current rate;
+     * negative when the rate is still unknown.
+     */
+    double etaSeconds(std::uint64_t now_ms, std::uint64_t remaining) const;
+
+  private:
+    std::size_t window_;
+    std::uint64_t noted_ = 0;
+    std::deque<std::uint64_t> times_; ///< newest at back
+};
+
+/** Per-worker-slot snapshot inside SweepStatus. */
+struct WorkerStatus
+{
+    std::int64_t pid = -1; ///< -1 when the slot is not running
+    std::uint64_t tasks = 0;
+    std::uint64_t kills = 0;
+    bool busy = false;
+};
+
+/** The padc-sweep-status-v1 document. */
+struct SweepStatus
+{
+    std::string state = "running"; ///< running | finished | interrupted
+    std::string experiment;
+    std::uint64_t total = 0;
+    std::uint64_t done = 0;     ///< executed + replayed + failed
+    std::uint64_t executed = 0; ///< really simulated this run
+    std::uint64_t replayed = 0; ///< satisfied from the resume journal
+    std::uint64_t failed = 0;   ///< quarantined / permanently failed
+    std::uint64_t retries = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t active_workers = 0;
+    double elapsed_seconds = 0.0;
+    double rate_per_sec = 0.0;
+    double eta_seconds = -1.0; ///< negative = unknown
+    std::vector<WorkerStatus> workers;
+};
+
+/** Serialize @p status as the padc-sweep-status-v1 JSON document. */
+std::string formatStatus(const SweepStatus &status);
+
+/**
+ * Atomically replace @p path with the serialized @p status via
+ * common/atomic_file (write temp sibling, rename): a poller or a
+ * post-mortem reader always sees a complete schema-valid snapshot,
+ * even when the writer is SIGKILLed mid-write.
+ */
+bool writeStatusFile(const std::string &path, const SweepStatus &status,
+                     std::string *error = nullptr);
+
+/** Parse a status.json document; false + @p error on any mismatch. */
+bool loadStatusFile(const std::string &path, SweepStatus *out,
+                    std::string *error = nullptr);
+
+/** One-line progress summary for the stderr --progress stream. */
+std::string renderProgressLine(const SweepStatus &status);
+
+/** Multi-line human rendering for `padc status <dir>`. */
+std::string renderStatusReport(const SweepStatus &status);
+
+} // namespace padc::obs
+
+#endif // PADC_OBS_STATUS_HH

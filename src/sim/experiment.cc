@@ -5,6 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/monitor.hh"
 #include "sim/interrupt.hh"
 #include "sim/journal.hh"
 #include "telemetry/profiler.hh"
@@ -357,11 +358,17 @@ evaluateSweep(const std::vector<SweepPoint> &points, AloneIpcCache &alone,
     }
     return runner.map<Result<MixEvaluation>>(
         points.size(), [&](std::size_t i) {
-            return runPoint<MixEvaluation>(
+            Result<MixEvaluation> result = runPoint<MixEvaluation>(
                 journal, points[i], [&](RunStatus *status) {
                     return evaluateMix(points[i].config, points[i].mix,
                                        points[i].options, alone, status);
                 });
+            if (obs::FleetMonitor *monitor = obs::activeMonitor()) {
+                monitor->pointFinished(i, toString(result.outcome.status),
+                                       result.outcome.attempts,
+                                       result.outcome.detail);
+            }
+            return result;
         });
 }
 
@@ -371,11 +378,17 @@ runSweep(const std::vector<SweepPoint> &points,
 {
     return runner.map<Result<RunMetrics>>(
         points.size(), [&](std::size_t i) {
-            return runPoint<RunMetrics>(
+            Result<RunMetrics> result = runPoint<RunMetrics>(
                 journal, points[i], [&](RunStatus *status) {
                     return runMix(points[i].config, points[i].mix,
                                   points[i].options, status);
                 });
+            if (obs::FleetMonitor *monitor = obs::activeMonitor()) {
+                monitor->pointFinished(i, toString(result.outcome.status),
+                                       result.outcome.attempts,
+                                       result.outcome.detail);
+            }
+            return result;
         });
 }
 

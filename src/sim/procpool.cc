@@ -17,6 +17,8 @@
 #include <utility>
 
 #include "exp/json.hh"
+#include "obs/metrics.hh"
+#include "obs/monitor.hh"
 #include "sim/interrupt.hh"
 #include "sim/journal.hh"
 
@@ -65,6 +67,16 @@ envU64(const char *name, std::uint64_t fallback, std::uint64_t min_value,
     if (parsed > max_value)
         return max_value;
     return parsed;
+}
+
+/** Simulated cycles of one run: the slowest core defines the point. */
+std::uint64_t
+runCyclesOf(const RunMetrics &metrics)
+{
+    std::uint64_t cycles = 0;
+    for (const CoreMetrics &core : metrics.cores)
+        cycles = std::max<std::uint64_t>(cycles, core.cycles);
+    return cycles;
 }
 
 /** Close both supervisor-side pipe ends of @p worker. */
@@ -235,7 +247,40 @@ ProcessPool::spawnWorker(Worker *worker)
     worker->timed_out = false;
     worker->task = -1;
     worker->deadline_ms = nowMs() + config_.heartbeat_timeout_ms;
+    slotProfile(*worker).pid = pid;
+    if (obs::FleetMonitor *monitor = obs::activeMonitor())
+        monitor->workerSpawned(slotOf(*worker), pid);
     return true;
+}
+
+std::size_t
+ProcessPool::slotOf(const Worker &worker) const
+{
+    return static_cast<std::size_t>(&worker - workers_.data());
+}
+
+ProcessPool::WorkerSlotProfile &
+ProcessPool::slotProfile(const Worker &worker)
+{
+    const std::size_t slot = slotOf(worker);
+    if (profile_.workers.size() <= slot)
+        profile_.workers.resize(slot + 1);
+    return profile_.workers[slot];
+}
+
+ProcessPool::PoolProfile
+ProcessPool::drainProfile()
+{
+    PoolProfile drained = std::move(profile_);
+    profile_ = PoolProfile{};
+    // Keep the live pids visible in the fresh window so a sweep that
+    // replays everything still reports its idle workers.
+    profile_.workers.resize(workers_.size());
+    for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+        profile_.workers[slot].pid =
+            workers_[slot].alive() ? workers_[slot].pid : -1;
+    }
+    return drained;
 }
 
 std::string
@@ -247,6 +292,7 @@ ProcessPool::reapWorker(Worker *worker)
         rc = ::waitpid(worker->pid, &status, 0);
     } while (rc < 0 && errno == EINTR);
 
+    const pid_t pid = worker->pid;
     std::string fate;
     if (worker->timed_out) {
         fate = "timed out after " +
@@ -267,6 +313,8 @@ ProcessPool::reapWorker(Worker *worker)
     worker->pid = -1;
     worker->ready = false;
     worker->timed_out = false;
+    if (obs::FleetMonitor *monitor = obs::activeMonitor())
+        monitor->workerExited(slotOf(*worker), pid, fate);
     return fate;
 }
 
@@ -419,6 +467,12 @@ ProcessPool::execute(const std::vector<SweepPoint> &points,
             state[i].state = PState::Done;
             ++done;
             ++stats_.replayed;
+            ++profile_.replayed;
+            if (obs::FleetMonitor *monitor = obs::activeMonitor()) {
+                monitor->pointFinished(
+                    i, toString(results[i].outcome.status), 0,
+                    results[i].outcome.detail);
+            }
         }
     }
 
@@ -444,9 +498,12 @@ ProcessPool::execute(const std::vector<SweepPoint> &points,
         state[i].last_error = fate;
         if (state[i].attempts >= config_.max_attempts) {
             ++stats_.quarantined;
+            ++profile_.quarantined;
             finishFailed(i, "quarantined after " +
                                 std::to_string(state[i].attempts) +
                                 " attempts; last worker " + fate);
+            if (obs::FleetMonitor *monitor = obs::activeMonitor())
+                monitor->pointQuarantined(i, -1, fate);
             return;
         }
         std::uint64_t delay = config_.backoff_initial_ms;
@@ -457,6 +514,9 @@ ProcessPool::execute(const std::vector<SweepPoint> &points,
         state[i].state = PState::Pending;
         state[i].ready_ms = nowMs() + delay;
         ++stats_.retries;
+        ++profile_.retries;
+        if (obs::FleetMonitor *monitor = obs::activeMonitor())
+            monitor->pointRetried(i, state[i].attempts, -1, fate);
     };
 
     // Protocol violations are handled like deaths: the worker cannot be
@@ -487,6 +547,30 @@ ProcessPool::execute(const std::vector<SweepPoint> &points,
         const auto i = static_cast<std::size_t>(worker.task);
         worker.task = -1;
         worker.deadline_ms = 0;
+
+        // Profile window: round-trip latency, per-slot credit, and the
+        // worker's optional self-report (per-task deltas; see wire.hh).
+        const std::uint64_t latency_ms =
+            worker.task_started_ms > 0 ? nowMs() - worker.task_started_ms
+                                       : 0;
+        profile_.task_ms.sample(latency_ms);
+        ++profile_.tasks;
+        WorkerSlotProfile &slot = slotProfile(worker);
+        ++slot.tasks;
+        slot.pid = worker.pid;
+        if (result.worker.present) {
+            slot.sim_cycles += result.worker.sim_cycles;
+            slot.exec_seconds += result.worker.exec_seconds;
+            profile_.sim_cycles += result.worker.sim_cycles;
+            profile_.exec_seconds += result.worker.exec_seconds;
+        }
+        // Registry hot-path instrument (overhead proven within noise
+        // by bench_micro_simspeed --obs-overhead-check).
+        obs::MetricsRegistry::instance()
+            .histogram("padc_task_ms", 250, 10,
+                       "Pool task round-trip latency, ms")
+            .sample(latency_ms);
+
         Result<T> merged;
         if constexpr (std::is_same_v<T, RunMetrics>)
             merged = std::move(result.run);
@@ -496,6 +580,12 @@ ProcessPool::execute(const std::vector<SweepPoint> &points,
         merged.outcome.last_error = state[i].last_error;
         if (journal != nullptr)
             journal->record(keys[i], merged);
+        if (obs::FleetMonitor *monitor = obs::activeMonitor()) {
+            monitor->pointFinished(
+                i, toString(merged.outcome.status),
+                state[i].attempts, merged.outcome.detail,
+                static_cast<std::int64_t>(slotOf(worker)), worker.pid);
+        }
         results[i] = std::move(merged);
         state[i].state = PState::Done;
         ++done;
@@ -510,6 +600,8 @@ ProcessPool::execute(const std::vector<SweepPoint> &points,
         // workers for shutdownWorkers().
         if (interruptRequested()) {
             stats_.interrupted = true;
+            if (obs::FleetMonitor *monitor = obs::activeMonitor())
+                monitor->interruptDrain();
             for (Worker &worker : workers_) {
                 if (worker.alive() && worker.task >= 0) {
                     ::kill(worker.pid, SIGKILL);
@@ -532,10 +624,12 @@ ProcessPool::execute(const std::vector<SweepPoint> &points,
         for (Worker &worker : workers_) {
             if (worker.alive() || worker.retired)
                 continue;
-            if (spawnWorker(&worker))
+            if (spawnWorker(&worker)) {
                 ++stats_.respawns;
-            else
+                ++profile_.respawns;
+            } else {
                 worker.retired = true;
+            }
         }
 
         bool any_alive = false;
@@ -589,8 +683,12 @@ ProcessPool::execute(const std::vector<SweepPoint> &points,
             }
             worker.task = pick;
             worker.deadline_ms = now + config_.heartbeat_timeout_ms;
+            worker.task_started_ms = now;
             state[i].state = PState::InFlight;
             ++state[i].attempts;
+            ++slotProfile(worker).dispatches;
+            if (obs::FleetMonitor *monitor = obs::activeMonitor())
+                monitor->pointDispatched(i, slotOf(worker), worker.pid);
         }
 
         // Wait for results, deaths, handshake/heartbeat deadlines, or
@@ -655,6 +753,12 @@ ProcessPool::execute(const std::vector<SweepPoint> &points,
                 (worker.task >= 0 || !worker.ready) &&
                 worker.deadline_ms <= after && !worker.timed_out) {
                 worker.timed_out = true;
+                ++profile_.timeout_kills;
+                ++slotProfile(worker).kills;
+                if (obs::FleetMonitor *monitor = obs::activeMonitor()) {
+                    monitor->workerTimedOut(slotOf(worker), worker.pid,
+                                            worker.task);
+                }
                 ::kill(worker.pid, SIGKILL);
             }
         }
@@ -698,6 +802,7 @@ ProcessPool::workerMain(int task_fd, int result_fd)
         return 1;
 
     std::map<std::string, std::unique_ptr<AloneIpcCache>> alone_caches;
+    std::uint64_t tasks_done = 0;
     std::string payload;
     while (wire::readFrame(task_fd, &payload)) {
         wire::WireTask task;
@@ -741,6 +846,7 @@ ProcessPool::workerMain(int task_fd, int result_fd)
         wire::WireResult result;
         result.kind = task.kind;
         result.index = task.index;
+        const std::uint64_t started_ms = nowMs();
         if (task.kind == wire::WireTask::Kind::Run) {
             result.run = executePoint<RunMetrics>([&](RunStatus *status) {
                 return runMix(task.point.config, task.point.mix,
@@ -754,6 +860,18 @@ ProcessPool::workerMain(int task_fd, int result_fd)
                                        task.point.options, alone, status);
                 });
         }
+        // Self-report (append-only wire extension): per-THIS-task
+        // execution time and simulated cycles, so the supervisor's
+        // profile aggregation is a plain sum.
+        result.worker.present = true;
+        result.worker.pid = static_cast<std::uint64_t>(::getpid());
+        result.worker.tasks = ++tasks_done;
+        result.worker.exec_seconds =
+            static_cast<double>(nowMs() - started_ms) / 1000.0;
+        result.worker.sim_cycles =
+            task.kind == wire::WireTask::Kind::Run
+                ? runCyclesOf(result.run.value)
+                : runCyclesOf(result.eval.value.metrics);
         if (!wire::writeFrame(result_fd, wire::encodeResult(result)))
             return 1; // supervisor is gone
     }

@@ -45,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.hh"
 #include "sim/experiment.hh"
 #include "sim/wire.hh"
 
@@ -104,6 +105,41 @@ class ProcessPool
         bool interrupted = false;      ///< a sweep was cut short
     };
 
+    /** Per-slot lifetime accounting inside a PoolProfile window. */
+    struct WorkerSlotProfile
+    {
+        std::int64_t pid = -1;        ///< last pid seen in this slot
+        std::uint64_t tasks = 0;      ///< results received
+        std::uint64_t dispatches = 0; ///< tasks handed out (>= tasks)
+        std::uint64_t kills = 0;      ///< heartbeat SIGKILLs
+        std::uint64_t sim_cycles = 0; ///< worker-reported, summed
+        double exec_seconds = 0.0;    ///< worker-reported busy time
+    };
+
+    /**
+     * Observability counters accumulated since the last drain — the
+     * additive per-worker members of the BENCH JSON `profile` block.
+     * Unlike Stats (pool lifetime, monotonic), a profile window is
+     * drained per experiment so each BENCH document describes only its
+     * own sweep. sim_cycles / exec_seconds come from the workers' wire
+     * self-reports (WireWorkerReport) and are zero against pre-
+     * extension workers.
+     */
+    struct PoolProfile
+    {
+        std::uint64_t tasks = 0;
+        std::uint64_t replayed = 0;
+        std::uint64_t retries = 0;
+        std::uint64_t respawns = 0;
+        std::uint64_t quarantined = 0;
+        std::uint64_t timeout_kills = 0;
+        std::uint64_t sim_cycles = 0;
+        double exec_seconds = 0.0;
+        /** Dispatch->result round trip, ms (heartbeat latency). */
+        Histogram task_ms{250, 10};
+        std::vector<WorkerSlotProfile> workers; ///< by slot
+    };
+
     /**
      * @param worker_argv argv (argv[0] = executable path) that execs
      *        into worker mode, e.g. {"/proc/self/exe", "worker", ...}
@@ -145,6 +181,9 @@ class ProcessPool
 
     const Stats &stats() const { return stats_; }
 
+    /** Return the profile window accumulated so far and start a new one. */
+    PoolProfile drainProfile();
+
     /**
      * Worker-process entry point: handshake, then serve task frames
      * from @p task_fd until EOF (the supervisor's shutdown signal),
@@ -168,6 +207,7 @@ class ProcessPool
         bool timed_out = false;       ///< killed by the heartbeat
         std::int64_t task = -1;       ///< in-flight point index; -1 idle
         std::uint64_t deadline_ms = 0; ///< heartbeat / handshake deadline
+        std::uint64_t task_started_ms = 0; ///< dispatch time (profile)
 
         bool alive() const { return pid > 0; }
     };
@@ -181,11 +221,14 @@ class ProcessPool
     bool spawnWorker(Worker *worker);
     std::string reapWorker(Worker *worker); ///< waitpid + close; fate text
     void shutdownWorkers();                 ///< EOF + reap every worker
+    std::size_t slotOf(const Worker &worker) const;
+    WorkerSlotProfile &slotProfile(const Worker &worker);
 
     std::vector<std::string> argv_;
     ProcPoolConfig config_;
     std::vector<Worker> workers_;
     Stats stats_;
+    PoolProfile profile_;
     bool spawned_ = false;
     bool usable_ = false;
     bool sigpipe_saved_ = false;

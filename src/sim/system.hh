@@ -26,6 +26,7 @@
 
 #include "cache/cache.hh"
 #include "cache/mshr.hh"
+#include "common/histogram.hh"
 #include "common/stats.hh"
 #include "core/core.hh"
 #include "dram/dram_system.hh"

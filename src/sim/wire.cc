@@ -795,6 +795,16 @@ encodeResult(const WireResult &result)
         encodeOutcome(writer, result.run.outcome);
         encodeMetrics(writer, "metrics", result.run.value);
     }
+    // Append-only extension (see WireWorkerReport): old supervisors
+    // decode by member name and skip this object entirely.
+    if (result.worker.present) {
+        writer.beginObject("worker");
+        writer.member("pid", u64s(result.worker.pid));
+        writer.member("tasks", u64s(result.worker.tasks));
+        writer.member("sim_cycles", u64s(result.worker.sim_cycles));
+        writer.member("exec_seconds", result.worker.exec_seconds);
+        writer.endObject();
+    }
     writer.endObject();
     return writer.str();
 }
@@ -881,6 +891,24 @@ decodeResult(const std::string &payload, WireResult *out,
     if (!decodeKind(root, &out->kind, error) ||
         !getU64(root, "index", &out->index, error))
         return false;
+    // Optional worker self-report: absent from old workers, and a
+    // malformed one is dropped rather than failing the whole result
+    // (it is advisory observability data, not the payload).
+    out->worker = WireWorkerReport{};
+    if (const exp::JsonValue *worker = root.find("worker");
+        worker != nullptr && worker->isObject()) {
+        WireWorkerReport report;
+        std::string ignored;
+        if (getU64(*worker, "pid", &report.pid, &ignored) &&
+            getU64(*worker, "tasks", &report.tasks, &ignored) &&
+            getU64(*worker, "sim_cycles", &report.sim_cycles,
+                   &ignored) &&
+            getDouble(*worker, "exec_seconds", &report.exec_seconds,
+                      &ignored)) {
+            report.present = true;
+            out->worker = report;
+        }
+    }
     const exp::JsonValue *metrics = nullptr;
     if (out->kind == WireTask::Kind::Eval) {
         const exp::JsonValue *summary = nullptr;

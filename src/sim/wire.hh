@@ -107,6 +107,25 @@ struct WireTask
     RunOptions alone_options;   ///< Eval only: AloneIpcCache options
 };
 
+/**
+ * Optional per-task worker self-report riding on a result frame.
+ *
+ * Appended as the named member "worker" — an append-only protocol
+ * extension: decodeResult looks members up by name and ignores unknown
+ * ones, so old supervisors skip it and old workers simply never send
+ * it (present stays false). Values are per-THIS-task deltas, not
+ * worker-lifetime totals, so the supervisor aggregates without delta
+ * bookkeeping across retries/respawns.
+ */
+struct WireWorkerReport
+{
+    bool present = false;       ///< member was on the wire
+    std::uint64_t pid = 0;      ///< reporting worker process
+    std::uint64_t tasks = 0;    ///< tasks this worker has completed
+    std::uint64_t sim_cycles = 0; ///< simulated cycles of this task
+    double exec_seconds = 0.0;  ///< wall seconds executing this task
+};
+
 /** One worker->supervisor result (or the initial hello when hello). */
 struct WireResult
 {
@@ -115,6 +134,7 @@ struct WireResult
     std::uint64_t index = 0;
     Result<RunMetrics> run;      ///< Kind::Run payload
     Result<MixEvaluation> eval;  ///< Kind::Eval payload
+    WireWorkerReport worker;     ///< optional self-report extension
 };
 
 std::string encodeHello();

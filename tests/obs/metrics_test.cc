@@ -1,0 +1,186 @@
+/**
+ * @file
+ * MetricsRegistry unit tests: instrument semantics (counter, gauge,
+ * atomic histogram vs the plain shared Histogram), find-or-create
+ * stability, and both export formats.
+ *
+ * The registry is a process-wide singleton, so every test uses its own
+ * uniquely named instruments and never asserts on the full export
+ * (other tests -- and the library under test -- may have registered
+ * instruments of their own).
+ */
+
+#include "obs/metrics.hh"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "exp/json.hh"
+
+namespace padc
+{
+namespace
+{
+
+using exp::JsonValue;
+using exp::parseJson;
+
+TEST(ObsCounterTest, IncrementAndReset)
+{
+    obs::Counter counter;
+    EXPECT_EQ(counter.value(), 0u);
+    counter.inc();
+    counter.inc(41);
+    EXPECT_EQ(counter.value(), 42u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(ObsGaugeTest, SetAddAndNegative)
+{
+    obs::Gauge gauge;
+    gauge.set(5);
+    gauge.add(-8);
+    EXPECT_EQ(gauge.value(), -3);
+    gauge.reset();
+    EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(ObsAtomicHistogramTest, SnapshotMatchesPlainHistogram)
+{
+    // The atomic histogram must agree with the shared implementation
+    // it mirrors, bucket for bucket, including overflow and max.
+    obs::AtomicHistogram atomic(10, 4);
+    Histogram plain(10, 4);
+    const std::uint64_t samples[] = {0, 3, 9, 10, 25, 39, 40, 1000};
+    for (const std::uint64_t v : samples) {
+        atomic.sample(v);
+        plain.sample(v);
+    }
+    const Histogram snap = atomic.snapshot();
+    EXPECT_EQ(snap.total(), plain.total());
+    EXPECT_DOUBLE_EQ(snap.mean(), plain.mean());
+    EXPECT_EQ(snap.max(), plain.max());
+    for (const double p : {50.0, 90.0, 99.0})
+        EXPECT_DOUBLE_EQ(snap.percentile(p), plain.percentile(p));
+}
+
+TEST(ObsAtomicHistogramTest, ConcurrentSamplesAllLand)
+{
+    obs::AtomicHistogram histogram(100, 8);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&histogram] {
+            for (int i = 0; i < kPerThread; ++i)
+                histogram.sample(static_cast<std::uint64_t>(i));
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    const Histogram snap = histogram.snapshot();
+    EXPECT_EQ(snap.total(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(snap.max(), static_cast<std::uint64_t>(kPerThread - 1));
+}
+
+TEST(ObsRegistryTest, FindOrCreateReturnsStableReference)
+{
+    obs::MetricsRegistry &registry = obs::MetricsRegistry::instance();
+    obs::Counter &first =
+        registry.counter("test_stable_total", "first help");
+    first.inc(7);
+    obs::Counter &second =
+        registry.counter("test_stable_total", "ignored help");
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(second.value(), 7u);
+}
+
+TEST(ObsRegistryTest, PrometheusTextContainsSeries)
+{
+    obs::MetricsRegistry &registry = obs::MetricsRegistry::instance();
+    registry.counter("test_prom_total", "a test counter").inc(3);
+    registry.gauge("test_prom_level", "a test gauge").set(-2);
+    obs::AtomicHistogram &histogram =
+        registry.histogram("test_prom_ms", 10, 2, "a test histogram");
+    histogram.sample(5);
+    histogram.sample(15);
+    histogram.sample(99);
+
+    const std::string text = registry.prometheusText();
+    EXPECT_NE(text.find("# TYPE test_prom_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("# HELP test_prom_total a test counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_prom_total 3"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE test_prom_level gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_prom_level -2"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE test_prom_ms histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_prom_ms_bucket{le=\"10\"} 1"),
+              std::string::npos);
+    // Cumulative buckets: le="20" includes the le="10" sample.
+    EXPECT_NE(text.find("test_prom_ms_bucket{le=\"20\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_prom_ms_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_prom_ms_count 3"), std::string::npos);
+}
+
+TEST(ObsRegistryTest, JsonTextParsesAndCarriesValues)
+{
+    obs::MetricsRegistry &registry = obs::MetricsRegistry::instance();
+    registry.counter("test_json_total").inc(11);
+    registry.gauge("test_json_level").set(4);
+    registry.histogram("test_json_ms", 10, 2).sample(12);
+
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(parseJson(registry.jsonText(), &root, &error)) << error;
+    const JsonValue *schema = root.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->string, "padc-metrics-v1");
+
+    const JsonValue *counters = root.find("counters");
+    ASSERT_NE(counters, nullptr);
+    const JsonValue *counter = counters->find("test_json_total");
+    ASSERT_NE(counter, nullptr);
+    EXPECT_DOUBLE_EQ(counter->number, 11.0);
+
+    const JsonValue *gauges = root.find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    const JsonValue *gauge = gauges->find("test_json_level");
+    ASSERT_NE(gauge, nullptr);
+    EXPECT_DOUBLE_EQ(gauge->number, 4.0);
+
+    const JsonValue *histograms = root.find("histograms");
+    ASSERT_NE(histograms, nullptr);
+    const JsonValue *histogram = histograms->find("test_json_ms");
+    ASSERT_NE(histogram, nullptr);
+    const JsonValue *count = histogram->find("count");
+    ASSERT_NE(count, nullptr);
+    EXPECT_DOUBLE_EQ(count->number, 1.0);
+}
+
+TEST(ObsRegistryTest, ResetAllZeroesButKeepsInstruments)
+{
+    obs::MetricsRegistry &registry = obs::MetricsRegistry::instance();
+    obs::Counter &counter = registry.counter("test_reset_total");
+    obs::AtomicHistogram &histogram =
+        registry.histogram("test_reset_ms", 10, 2);
+    counter.inc(5);
+    histogram.sample(3);
+    registry.resetAll();
+    EXPECT_EQ(counter.value(), 0u);
+    EXPECT_EQ(histogram.snapshot().total(), 0u);
+    // Same reference after the reset: entries are never removed.
+    EXPECT_EQ(&registry.counter("test_reset_total"), &counter);
+}
+
+} // namespace
+} // namespace padc
