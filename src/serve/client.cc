@@ -1,0 +1,147 @@
+#include "serve/client.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "sim/wire.hh"
+
+namespace padc::serve
+{
+
+ServeClient::~ServeClient()
+{
+    close();
+}
+
+void
+ServeClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+ServeClient::connect(const std::string &state_dir)
+{
+    close();
+    const std::string path = socketPath(state_dir);
+    struct sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        error_ = "socket path '" + path + "' exceeds sun_path";
+        return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        error_ = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        error_ = "cannot connect to '" + path +
+                 "': " + std::strerror(errno) +
+                 " (is a `padc serve` daemon running there?)";
+        ::close(fd);
+        return false;
+    }
+    fd_ = fd;
+    error_.clear();
+    return true;
+}
+
+bool
+ServeClient::request(const ServeRequest &request, ServeResponse *response)
+{
+    if (fd_ < 0) {
+        error_ = "not connected";
+        return false;
+    }
+    if (!sim::wire::writeFrame(fd_, encodeRequest(request))) {
+        error_ = "daemon closed the connection mid-request";
+        close();
+        return false;
+    }
+    std::string payload;
+    if (!sim::wire::readFrame(fd_, &payload)) {
+        error_ = "daemon closed the connection before responding";
+        close();
+        return false;
+    }
+    std::string decode_error;
+    if (!decodeResponse(payload, response, &decode_error)) {
+        error_ = "malformed response: " + decode_error;
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+requestOnce(const std::string &state_dir, const ServeRequest &request,
+            ServeResponse *response, std::string *error)
+{
+    ServeClient client;
+    if (!client.connect(state_dir) ||
+        !client.request(request, response)) {
+        if (error != nullptr)
+            *error = client.error();
+        return false;
+    }
+    return true;
+}
+
+std::optional<std::vector<JobView>>
+awaitJobs(const std::string &state_dir,
+          const std::vector<std::uint64_t> &ids, std::uint64_t timeout_ms,
+          std::uint64_t poll_ms, std::string *error)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        ServeRequest request;
+        request.op = ServeRequest::Op::Jobs;
+        ServeResponse response;
+        if (!requestOnce(state_dir, request, &response, error))
+            return std::nullopt;
+        if (!response.ok) {
+            if (error != nullptr)
+                *error = response.errors.empty() ? "jobs query rejected"
+                                                 : response.errors[0];
+            return std::nullopt;
+        }
+
+        std::vector<JobView> terminal;
+        for (const std::uint64_t id : ids) {
+            for (const JobView &job : response.jobs) {
+                if (job.id != id)
+                    continue;
+                if (job.state == kJobDone || job.state == kJobFailed ||
+                    job.state == kJobCancelled)
+                    terminal.push_back(job);
+                break;
+            }
+        }
+        if (terminal.size() == ids.size())
+            return terminal;
+
+        if (std::chrono::steady_clock::now() >= deadline) {
+            if (error != nullptr)
+                *error = "timed out waiting for " +
+                         std::to_string(ids.size()) + " job(s)";
+            return std::nullopt;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    }
+}
+
+} // namespace padc::serve

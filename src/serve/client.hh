@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Client side of the `padc serve` protocol: connect to a state
+ * directory's Unix socket, send request frames, read response frames.
+ * The `padc submit` / `jobs` / `cancel` / `metrics` subcommands and
+ * the integration tests all go through this one library, so the CLI
+ * and the tests cannot drift from the daemon's protocol.
+ */
+
+#ifndef PADC_SERVE_CLIENT_HH
+#define PADC_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace padc::serve
+{
+
+/**
+ * One connection to a serve daemon. Any number of requests may be
+ * issued over it; the daemon answers them in order.
+ */
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /**
+     * Connect to the daemon owning @p state_dir.
+     * @return false with a diagnostic in error() when no daemon is
+     *         listening there (socket absent or connection refused).
+     */
+    bool connect(const std::string &state_dir);
+
+    bool connected() const { return fd_ >= 0; }
+
+    const std::string &error() const { return error_; }
+
+    /**
+     * Send @p request and block for the matching response.
+     * @return false on I/O or protocol errors (daemon died mid-call);
+     *         a response with ok == false is still `true` here -- the
+     *         transport worked, the daemon rejected the request.
+     */
+    bool request(const ServeRequest &request, ServeResponse *response);
+
+    /** Close the connection (idempotent). */
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string error_;
+};
+
+/**
+ * Convenience: connect, issue one request, disconnect.
+ * @return false with a diagnostic when the daemon is unreachable or
+ *         the exchange failed; the response's ok/errors members carry
+ *         daemon-side rejections.
+ */
+bool requestOnce(const std::string &state_dir, const ServeRequest &request,
+                 ServeResponse *response, std::string *error);
+
+/**
+ * Poll the daemon until every job in @p ids is terminal (done, failed,
+ * or cancelled), at @p poll_ms intervals.
+ * @return the terminal JobViews (id order of @p ids); nullopt with a
+ *         diagnostic when the daemon becomes unreachable or
+ *         @p timeout_ms expires.
+ */
+std::optional<std::vector<JobView>>
+awaitJobs(const std::string &state_dir,
+          const std::vector<std::uint64_t> &ids, std::uint64_t timeout_ms,
+          std::uint64_t poll_ms, std::string *error);
+
+} // namespace padc::serve
+
+#endif // PADC_SERVE_CLIENT_HH

@@ -1,0 +1,966 @@
+#include "serve/daemon.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exp/driver.hh"
+#include "exp/json.hh"
+#include "exp/registry.hh"
+#include "exp/report.hh"
+#include "obs/metrics.hh"
+#include "obs/monitor.hh"
+#include "serve/jobstore.hh"
+#include "serve/protocol.hh"
+#include "sim/interrupt.hh"
+#include "sim/journal.hh"
+#include "sim/procpool.hh"
+#include "sim/wire.hh"
+#include "telemetry/profiler.hh"
+#include "trace/corpus.hh"
+
+namespace padc::serve
+{
+
+bool
+pidAlive(std::int64_t pid)
+{
+    if (pid <= 0)
+        return false;
+    if (::kill(static_cast<pid_t>(pid), 0) == 0)
+        return true;
+    // EPERM: the process exists but belongs to someone else.
+    return errno == EPERM;
+}
+
+namespace
+{
+
+/** Wall-clock milliseconds since the epoch (journal timestamps). */
+std::uint64_t
+nowMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+bool
+parseEnvU64(const char *name, std::uint64_t *out)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr || *text == '\0' || text[0] == '-' ||
+        text[0] == '+')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0')
+        return false;
+    *out = value;
+    return true;
+}
+
+/**
+ * First SIGINT/SIGTERM asks for a graceful drain (finish the in-flight
+ * points, journal, leave the running job resumable); a second one exits
+ * immediately. The handler only touches lock-free atomics (the kernel
+ * may deliver the signal on either thread while the other reads the
+ * flag, so sig_atomic_t alone is not enough), calls the
+ * async-signal-safe sim::requestInterrupt(), and pokes the self-pipe so
+ * the poll() loop wakes without a timeout race.
+ */
+std::atomic<int> serve_stop_seen{0};
+int serve_signal_fd = -1;
+
+void
+onServeSignal(int)
+{
+    if (serve_stop_seen.exchange(1, std::memory_order_relaxed) != 0)
+        _exit(130);
+    sim::requestInterrupt();
+    if (serve_signal_fd >= 0) {
+        const char byte = 0;
+        while (::write(serve_signal_fd, &byte, 1) < 0 && errno == EINTR) {
+        }
+    }
+}
+
+/**
+ * Redirect stdout into the job's log.txt for the scope of one job: the
+ * experiments print their human-readable rows through printf, and a
+ * daemon has no terminal to show them on. O_APPEND so a resumed job
+ * extends its log instead of truncating the first attempt's output.
+ */
+class StdoutRedirect
+{
+  public:
+    explicit StdoutRedirect(const std::string &path)
+    {
+        std::fflush(stdout);
+        saved_ = ::dup(::fileno(stdout));
+        const int fd =
+            ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+        if (fd >= 0) {
+            ::dup2(fd, ::fileno(stdout));
+            ::close(fd);
+        }
+    }
+
+    ~StdoutRedirect()
+    {
+        if (saved_ < 0)
+            return;
+        std::fflush(stdout);
+        ::dup2(saved_, ::fileno(stdout));
+        ::close(saved_);
+    }
+
+    StdoutRedirect(const StdoutRedirect &) = delete;
+    StdoutRedirect &operator=(const StdoutRedirect &) = delete;
+
+  private:
+    int saved_ = -1;
+};
+
+JobView
+viewOf(const Job &job)
+{
+    JobView view;
+    view.id = job.id;
+    view.experiment = job.experiment;
+    view.state = toString(job.state);
+    view.status = job.status;
+    view.detail = job.detail;
+    view.attempts = job.attempts;
+    view.seed = job.seed;
+    view.submitted_t_ms = job.submitted_t_ms;
+    view.dir = "jobs/" + std::to_string(job.id);
+    return view;
+}
+
+/** One connected client of the poll loop. */
+struct ClientConn
+{
+    int fd = -1;
+    sim::wire::FrameBuffer frames;
+};
+
+class Daemon
+{
+  public:
+    explicit Daemon(ServeConfig config) : config_(std::move(config)) {}
+
+    int run();
+
+  private:
+    bool acquireLock();
+    void releaseLock();
+    bool bindSocket();
+    void serveLoop();
+    bool serviceClient(ClientConn &client);
+    ServeResponse handle(const ServeRequest &request, bool *shutdown);
+    ServeResponse handleSubmit(const ServeRequest &request);
+    ServeResponse handleCancel(const ServeRequest &request);
+    std::string statusDocument();
+    void requestStop();
+    bool stopRequested();
+    void executorLoop();
+    void runJob(std::uint64_t id, exp::ExperimentResult *result_out,
+                std::string *bench_error);
+    void finishJob(std::uint64_t id, const exp::ExperimentResult &result,
+                   const std::string &bench_error);
+    void noteTerminal();
+    void publishQueueMetrics();
+
+    ServeConfig config_;
+    std::unique_ptr<JobStore> store_;
+    std::unique_ptr<sim::ProcessPool> pool_;
+    int lock_fd_ = -1;
+    int listen_fd_ = -1;
+    int sig_pipe_[2] = {-1, -1};
+    std::uint64_t kill_after_ = 0; ///< PADC_SERVE_TEST_KILL_AFTER
+    std::uint64_t terminal_seen_ = 0;
+    std::chrono::steady_clock::time_point started_;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::uint64_t current_job_ = 0; ///< 0 = executor idle
+    bool cancel_current_ = false;
+};
+
+bool
+Daemon::acquireLock()
+{
+    const std::string path = lockPath(config_.state_dir);
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        const int fd = ::open(path.c_str(),
+                              O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC,
+                              0644);
+        if (fd >= 0) {
+            std::string line = std::to_string(::getpid());
+            line += '\n';
+            std::size_t off = 0;
+            while (off < line.size()) {
+                const ssize_t n =
+                    ::write(fd, line.data() + off, line.size() - off);
+                if (n < 0) {
+                    if (errno == EINTR)
+                        continue;
+                    break;
+                }
+                off += static_cast<std::size_t>(n);
+            }
+            lock_fd_ = fd;
+            return true;
+        }
+        if (errno != EEXIST) {
+            std::fprintf(stderr, "padc serve: cannot create '%s': %s\n",
+                         path.c_str(), std::strerror(errno));
+            return false;
+        }
+
+        // A lock already exists: stale (SIGKILLed daemon) or live?
+        std::int64_t pid = 0;
+        if (std::FILE *in = std::fopen(path.c_str(), "rb")) {
+            long long parsed = 0;
+            if (std::fscanf(in, "%lld", &parsed) == 1)
+                pid = parsed;
+            std::fclose(in);
+        }
+        if (pid > 0 && pid != ::getpid() && pidAlive(pid)) {
+            std::fprintf(stderr,
+                         "padc serve: state dir '%s' is owned by a live "
+                         "daemon (pid %lld); refusing to start a second "
+                         "one\n",
+                         config_.state_dir.c_str(),
+                         static_cast<long long>(pid));
+            return false;
+        }
+        std::fprintf(stderr,
+                     "padc serve: reclaiming stale lock '%s' (owner pid "
+                     "%lld is gone)\n",
+                     path.c_str(), static_cast<long long>(pid));
+        ::unlink(path.c_str());
+    }
+    std::fprintf(stderr,
+                 "padc serve: could not acquire '%s' (another daemon is "
+                 "racing for it)\n",
+                 path.c_str());
+    return false;
+}
+
+void
+Daemon::releaseLock()
+{
+    if (lock_fd_ < 0)
+        return;
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    ::unlink(lockPath(config_.state_dir).c_str());
+}
+
+bool
+Daemon::bindSocket()
+{
+    const std::string path = socketPath(config_.state_dir);
+    struct sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr,
+                     "padc serve: socket path '%s' exceeds sun_path\n",
+                     path.c_str());
+        return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    // We hold the lock, so any existing socket file is a stale leftover
+    // of a killed daemon; reclaim it.
+    ::unlink(path.c_str());
+
+    const int fd = ::socket(
+        AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        std::fprintf(stderr, "padc serve: socket: %s\n",
+                     std::strerror(errno));
+        return false;
+    }
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+        std::fprintf(stderr, "padc serve: cannot listen on '%s': %s\n",
+                     path.c_str(), std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    listen_fd_ = fd;
+    return true;
+}
+
+void
+Daemon::requestStop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    sim::requestInterrupt();
+    cv_.notify_all();
+}
+
+bool
+Daemon::stopRequested()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stop_;
+}
+
+void
+Daemon::publishQueueMetrics()
+{
+    obs::MetricsRegistry &registry = obs::MetricsRegistry::instance();
+    registry
+        .gauge("padc_serve_queue_depth", "jobs waiting for the executor")
+        .set(static_cast<std::int64_t>(store_->pendingCount()));
+    std::lock_guard<std::mutex> lock(mutex_);
+    registry.gauge("padc_serve_running", "1 while a job is executing")
+        .set(current_job_ != 0 ? 1 : 0);
+}
+
+ServeResponse
+Daemon::handleSubmit(const ServeRequest &request)
+{
+    ServeResponse response;
+    if (stopRequested()) {
+        response.errors.push_back(
+            "daemon is draining; submissions are disabled");
+        obs::MetricsRegistry::instance()
+            .counter("padc_serve_rejected_total",
+                     "submit requests rejected at admission")
+            .inc();
+        return response;
+    }
+
+    // Admission: accumulate EVERY problem before rejecting, so one
+    // round trip reports the full damage (the ConfigError convention).
+    const exp::ExperimentRegistry &registry =
+        exp::ExperimentRegistry::instance();
+    std::vector<const exp::Experiment *> selected;
+    if (request.selectors.empty())
+        response.errors.push_back(
+            "submit expects at least one experiment name, tag, or glob");
+    for (const std::string &selector : request.selectors) {
+        const auto matches = registry.match(selector);
+        if (matches.empty()) {
+            std::string error = "unknown experiment '" + selector + "'";
+            const std::string suggestion = registry.closestName(selector);
+            if (!suggestion.empty())
+                error += " (did you mean '" + suggestion + "'?)";
+            response.errors.push_back(error);
+            continue;
+        }
+        for (const exp::Experiment *match : matches) {
+            if (std::find(selected.begin(), selected.end(), match) ==
+                selected.end())
+                selected.push_back(match);
+        }
+    }
+
+    // Bounded queue: reject the whole batch rather than admit a prefix
+    // (partial admission would make retries double-submit).
+    const std::size_t pending = store_->pendingCount();
+    if (!selected.empty() &&
+        pending + selected.size() > config_.queue_cap) {
+        response.errors.push_back(
+            "queue is full (" + std::to_string(pending) + " pending, cap " +
+            std::to_string(config_.queue_cap) + ", batch of " +
+            std::to_string(selected.size()) + "); retry later");
+    }
+    if (!response.errors.empty()) {
+        obs::MetricsRegistry::instance()
+            .counter("padc_serve_rejected_total",
+                     "submit requests rejected at admission")
+            .inc();
+        return response;
+    }
+
+    for (const exp::Experiment *experiment : selected) {
+        const std::uint64_t id = store_->submit(experiment->info.name,
+                                                request.seed, nowMs());
+        response.job_ids.push_back(id);
+        if (const auto job = store_->job(id))
+            response.jobs.push_back(viewOf(*job));
+    }
+    obs::MetricsRegistry::instance()
+        .counter("padc_serve_jobs_submitted_total", "jobs admitted")
+        .inc(selected.size());
+    publishQueueMetrics();
+    response.ok = true;
+    cv_.notify_all();
+    return response;
+}
+
+ServeResponse
+Daemon::handleCancel(const ServeRequest &request)
+{
+    ServeResponse response;
+    const std::uint64_t id = request.job_id;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto job = store_->job(id);
+    if (!job.has_value()) {
+        response.errors.push_back("unknown job '" + std::to_string(id) +
+                                  "'");
+        return response;
+    }
+    switch (job->state) {
+      case JobState::Pending:
+        store_->cancel(id, "cancelled by client", nowMs());
+        obs::MetricsRegistry::instance()
+            .counter("padc_serve_jobs_cancelled_total", "jobs cancelled")
+            .inc();
+        noteTerminal();
+        response.ok = true;
+        break;
+      case JobState::Running:
+        // The executor owns the job; ask it to drain. It appends the
+        // cancelled record once the sweep has stopped.
+        cancel_current_ = true;
+        sim::requestInterrupt();
+        response.ok = true;
+        break;
+      case JobState::Done:
+      case JobState::Failed:
+      case JobState::Cancelled:
+        response.errors.push_back("job '" + std::to_string(id) +
+                                  "' is already " + toString(job->state));
+        break;
+    }
+    if (const auto updated = store_->job(id))
+        response.jobs.push_back(viewOf(*updated));
+    return response;
+}
+
+std::string
+Daemon::statusDocument()
+{
+    std::vector<Job> jobs = store_->jobs();
+    std::uint64_t pending = 0;
+    std::uint64_t done = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    for (const Job &job : jobs) {
+        pending += job.state == JobState::Pending ? 1 : 0;
+        done += job.state == JobState::Done ? 1 : 0;
+        failed += job.state == JobState::Failed ? 1 : 0;
+        cancelled += job.state == JobState::Cancelled ? 1 : 0;
+    }
+    std::uint64_t running = 0;
+    bool draining = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        running = current_job_;
+        draining = stop_;
+    }
+    const std::chrono::duration<double> uptime =
+        std::chrono::steady_clock::now() - started_;
+
+    exp::JsonWriter writer;
+    writer.beginObject();
+    writer.member("schema", kServeStatusSchema);
+    writer.member("state", draining ? "draining" : "running");
+    writer.member("pid", std::to_string(::getpid()));
+    writer.member("uptime_seconds", uptime.count());
+    writer.member("workers", static_cast<std::uint64_t>(config_.workers));
+    writer.member("queue_cap",
+                  static_cast<std::uint64_t>(config_.queue_cap));
+    writer.member("jobs_total",
+                  static_cast<std::uint64_t>(jobs.size()));
+    writer.member("pending", pending);
+    writer.member("running_job", std::to_string(running));
+    writer.member("done", done);
+    writer.member("failed", failed);
+    writer.member("cancelled", cancelled);
+    writer.endObject();
+    return writer.str();
+}
+
+ServeResponse
+Daemon::handle(const ServeRequest &request, bool *shutdown)
+{
+    obs::MetricsRegistry::instance()
+        .counter("padc_serve_requests_total", "serve requests handled")
+        .inc();
+    ServeResponse response;
+    switch (request.op) {
+      case ServeRequest::Op::Ping:
+        response.ok = true;
+        return response;
+      case ServeRequest::Op::Submit:
+        return handleSubmit(request);
+      case ServeRequest::Op::Jobs:
+        response.ok = true;
+        for (const Job &job : store_->jobs())
+            response.jobs.push_back(viewOf(job));
+        return response;
+      case ServeRequest::Op::Cancel:
+        return handleCancel(request);
+      case ServeRequest::Op::Metrics:
+        response.ok = true;
+        response.text =
+            request.metrics_json
+                ? obs::MetricsRegistry::instance().jsonText()
+                : obs::MetricsRegistry::instance().prometheusText();
+        return response;
+      case ServeRequest::Op::Status:
+        response.ok = true;
+        response.text = statusDocument();
+        return response;
+      case ServeRequest::Op::Shutdown:
+        // Acknowledge first; the drain starts after the response frame
+        // is on the wire (serviceClient sets *shutdown for us).
+        response.ok = true;
+        *shutdown = true;
+        return response;
+    }
+    response.errors.push_back("unhandled op");
+    return response;
+}
+
+/**
+ * Drain whatever the client delivered: feed the frame buffer, answer
+ * every complete request.
+ * @return false when the connection should close (EOF, error, corrupt
+ *         framing, or a failed response write).
+ */
+bool
+Daemon::serviceClient(ClientConn &client)
+{
+    char buf[4096];
+    const ssize_t n = ::read(client.fd, buf, sizeof(buf));
+    if (n == 0)
+        return false; // client hung up
+    if (n < 0)
+        return errno == EINTR || errno == EAGAIN;
+    client.frames.feed(buf, static_cast<std::size_t>(n));
+    if (client.frames.corrupt())
+        return false;
+
+    std::string payload;
+    while (client.frames.next(&payload)) {
+        ServeRequest request;
+        std::string error;
+        ServeResponse response;
+        bool shutdown = false;
+        if (!decodeRequest(payload, &request, &error)) {
+            response.ok = false;
+            response.errors.push_back("malformed request: " + error);
+        } else {
+            response = handle(request, &shutdown);
+        }
+        if (!sim::wire::writeFrame(client.fd, encodeResponse(response)))
+            return false;
+        if (shutdown) {
+            requestStop();
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+Daemon::serveLoop()
+{
+    std::vector<std::unique_ptr<ClientConn>> clients;
+    while (!stopRequested()) {
+        if (serve_stop_seen != 0)
+            requestStop();
+
+        // Clients accepted below this point join fds[] next round:
+        // only the first `polled` entries of clients have revents.
+        const std::size_t polled = clients.size();
+        std::vector<struct pollfd> fds;
+        fds.push_back({sig_pipe_[0], POLLIN, 0});
+        fds.push_back({listen_fd_, POLLIN, 0});
+        for (const auto &client : clients)
+            fds.push_back({client->fd, POLLIN, 0});
+
+        const int n = ::poll(fds.data(), fds.size(), 200);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+
+        if ((fds[0].revents & POLLIN) != 0) {
+            char drain[64];
+            while (::read(sig_pipe_[0], drain, sizeof(drain)) > 0) {
+            }
+            requestStop();
+            break;
+        }
+
+        if ((fds[1].revents & POLLIN) != 0) {
+            for (;;) {
+                const int fd =
+                    ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+                if (fd < 0)
+                    break;
+                auto client = std::make_unique<ClientConn>();
+                client->fd = fd;
+                clients.push_back(std::move(client));
+            }
+        }
+
+        for (std::size_t i = 0; i < polled;) {
+            const short revents = fds[2 + i].revents;
+            bool keep = true;
+            if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+                keep = serviceClient(*clients[i]);
+            if (stopRequested())
+                keep = keep && false;
+            if (keep) {
+                ++i;
+            } else {
+                ::close(clients[i]->fd);
+                clients.erase(clients.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+                // fds[] is stale past this point; rebuild next round.
+                break;
+            }
+        }
+    }
+    for (const auto &client : clients)
+        ::close(client->fd);
+}
+
+void
+Daemon::noteTerminal()
+{
+    // Deterministic kill-matrix hook: after n jobs reach a terminal
+    // record, die like a SIGKILLed service would (no cleanup at all).
+    ++terminal_seen_;
+    if (kill_after_ != 0 && terminal_seen_ >= kill_after_) {
+        std::fflush(nullptr);
+        ::raise(SIGKILL);
+    }
+}
+
+void
+Daemon::runJob(std::uint64_t id, exp::ExperimentResult *result_out,
+               std::string *bench_error)
+{
+    const auto snapshot = store_->job(id);
+    if (!snapshot.has_value()) {
+        *bench_error = "job vanished from the store";
+        return;
+    }
+    const exp::Experiment *experiment =
+        exp::ExperimentRegistry::instance().find(snapshot->experiment);
+    if (experiment == nullptr) {
+        *bench_error = "experiment '" + snapshot->experiment +
+                       "' is not registered in this binary";
+        return;
+    }
+    const std::string dir = jobDir(config_.state_dir, id);
+    std::error_code dir_error;
+    std::filesystem::create_directories(dir, dir_error);
+    if (dir_error) {
+        *bench_error =
+            "cannot create '" + dir + "': " + dir_error.message();
+        return;
+    }
+
+    std::unique_ptr<sim::SweepJournal> journal;
+    try {
+        journal = std::make_unique<sim::SweepJournal>(
+            dir + "/sweep.padcjournal");
+    } catch (const std::exception &e) {
+        *bench_error = e.what();
+        return;
+    }
+
+    // Fresh workers for a fresh job: respawn any that died during the
+    // previous job so one crashy sweep cannot shrink the pool forever.
+    if (pool_ != nullptr)
+        pool_->refresh();
+
+    obs::MonitorConfig monitor_config;
+    monitor_config.events_path = dir + "/events.jsonl";
+    monitor_config.status_path = dir + "/status.json";
+    monitor_config.progress = false;
+    obs::FleetMonitor monitor(monitor_config);
+    obs::setActiveMonitor(&monitor);
+
+    const exp::ExperimentInfo &info = experiment->info;
+    exp::ExperimentContext context(info, sim::sharedRunner(),
+                                   journal.get(), snapshot->seed, {},
+                                   pool_.get());
+    telemetry::WallProfiler::instance().reset();
+    const auto start = std::chrono::steady_clock::now();
+    {
+        StdoutRedirect log(dir + "/log.txt");
+        exp::banner(info.anchor, info.title, info.paper_shape);
+        try {
+            experiment->run(context);
+        } catch (const std::exception &e) {
+            context.result().status = "failed";
+            context.result().detail = e.what();
+        }
+    }
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+    obs::setActiveMonitor(nullptr);
+
+    exp::ExperimentResult &result = context.result();
+    result.wall_seconds = wall.count();
+    exp::recordRunProfile(result);
+    if (pool_ != nullptr && pool_->available())
+        exp::recordPoolProfile(*pool_, result);
+
+    // The BENCH document is written even for interrupted runs (partial
+    // results are honest results); a resumed job overwrites it with the
+    // completed one.
+    const std::string document = exp::resultJson(info, result);
+    const std::string bench_path = dir + "/BENCH_" + info.name + ".json";
+    if (std::FILE *file = std::fopen(bench_path.c_str(), "w")) {
+        std::fputs(document.c_str(), file);
+        std::fputc('\n', file);
+        std::fclose(file);
+    } else if (!result.interrupted) {
+        *bench_error = "cannot write '" + bench_path + "'";
+    }
+    *result_out = std::move(result);
+}
+
+void
+Daemon::finishJob(std::uint64_t id, const exp::ExperimentResult &result,
+                  const std::string &bench_error)
+{
+    obs::MetricsRegistry &metrics = obs::MetricsRegistry::instance();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!bench_error.empty()) {
+        store_->finish(id, "failed", bench_error, nowMs());
+        metrics.counter("padc_serve_jobs_failed_total", "jobs failed")
+            .inc();
+        noteTerminal();
+    } else if (result.interrupted && cancel_current_) {
+        store_->cancel(id, "cancelled by client", nowMs());
+        metrics
+            .counter("padc_serve_jobs_cancelled_total", "jobs cancelled")
+            .inc();
+        noteTerminal();
+    } else if (result.interrupted) {
+        // Graceful drain: no terminal record -- the absent `finished`
+        // line IS the durable resumable marker a restart picks up.
+        store_->requeue(id);
+    } else {
+        store_->finish(id, result.status, result.detail, nowMs());
+        metrics
+            .counter(result.status == "ok" ? "padc_serve_jobs_done_total"
+                                           : "padc_serve_jobs_failed_total",
+                     result.status == "ok" ? "jobs finished ok"
+                                           : "jobs failed")
+            .inc();
+        noteTerminal();
+    }
+    current_job_ = 0;
+    // A cancel drain must not leak its interrupt into the next job; a
+    // shutdown drain must keep it (the executor exits right after).
+    const bool was_cancel = cancel_current_;
+    cancel_current_ = false;
+    if (was_cancel && !stop_)
+        sim::resetInterruptState();
+}
+
+void
+Daemon::executorLoop()
+{
+    for (;;) {
+        std::uint64_t id = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait_for(lock, std::chrono::milliseconds(200), [&] {
+                return stop_ || store_->nextPending().has_value();
+            });
+            if (stop_)
+                return;
+            const auto next = store_->nextPending();
+            if (!next.has_value())
+                continue;
+            id = *next;
+            store_->start(id, nowMs());
+            current_job_ = id;
+            cancel_current_ = false;
+        }
+        publishQueueMetrics();
+
+        exp::ExperimentResult result;
+        std::string bench_error;
+        runJob(id, &result, &bench_error);
+        finishJob(id, result, bench_error);
+        publishQueueMetrics();
+    }
+}
+
+int
+Daemon::run()
+{
+    started_ = std::chrono::steady_clock::now();
+
+    std::error_code dir_error;
+    std::filesystem::create_directories(
+        std::filesystem::path(config_.state_dir) / "jobs", dir_error);
+    if (dir_error) {
+        std::fprintf(stderr,
+                     "padc serve: cannot create state dir '%s': %s\n",
+                     config_.state_dir.c_str(),
+                     dir_error.message().c_str());
+        return 2;
+    }
+
+    if (!acquireLock())
+        return 2;
+
+    store_ = std::make_unique<JobStore>(jobsLogPath(config_.state_dir));
+    if (!store_->ok()) {
+        std::fprintf(stderr, "padc serve: %s\n", store_->error().c_str());
+        releaseLock();
+        return 2;
+    }
+
+    if (!config_.corpus_dir.empty()) {
+        trace::Corpus corpus;
+        std::string error;
+        if (!trace::loadCorpus(config_.corpus_dir, &corpus, &error) ||
+            !trace::registerCorpus(corpus, &error)) {
+            std::fprintf(stderr, "padc serve: %s\n", error.c_str());
+            releaseLock();
+            return 2;
+        }
+    }
+
+    if (!bindSocket()) {
+        releaseLock();
+        return 2;
+    }
+
+    if (config_.workers > 0) {
+        std::vector<std::string> worker_argv = {"/proc/self/exe",
+                                                "worker"};
+        if (!config_.corpus_dir.empty()) {
+            worker_argv.push_back("--corpus");
+            worker_argv.push_back(config_.corpus_dir);
+        }
+        pool_ = std::make_unique<sim::ProcessPool>(
+            std::move(worker_argv),
+            sim::ProcPoolConfig::fromEnv(config_.workers));
+        if (!pool_->available()) {
+            std::fprintf(stderr,
+                         "padc serve: warning: no sweep worker process "
+                         "came up; sweeps run in-thread\n");
+        }
+    }
+
+    parseEnvU64("PADC_SERVE_TEST_KILL_AFTER", &kill_after_);
+
+    if (::pipe2(sig_pipe_, O_CLOEXEC | O_NONBLOCK) != 0) {
+        std::fprintf(stderr, "padc serve: pipe2: %s\n",
+                     std::strerror(errno));
+        releaseLock();
+        return 2;
+    }
+
+    sim::resetInterruptState();
+    serve_stop_seen = 0;
+    serve_signal_fd = sig_pipe_[1];
+    struct sigaction action = {};
+    action.sa_handler = &onServeSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    struct sigaction old_int = {};
+    struct sigaction old_term = {};
+    ::sigaction(SIGINT, &action, &old_int);
+    ::sigaction(SIGTERM, &action, &old_term);
+    // Responses to a vanished client must fail with EPIPE, not kill us.
+    struct sigaction ignore = {};
+    ignore.sa_handler = SIG_IGN;
+    sigemptyset(&ignore.sa_mask);
+    struct sigaction old_pipe = {};
+    ::sigaction(SIGPIPE, &ignore, &old_pipe);
+
+    std::fprintf(stderr,
+                 "padc serve: listening on '%s' (pid %lld, %u workers, "
+                 "queue cap %zu, %zu jobs loaded, %zu resumed)\n",
+                 socketPath(config_.state_dir).c_str(),
+                 static_cast<long long>(::getpid()), config_.workers,
+                 config_.queue_cap, store_->loadedJobs(),
+                 store_->resumedJobs());
+    publishQueueMetrics();
+
+    std::thread executor(&Daemon::executorLoop, this);
+    serveLoop();
+
+    // Drain: stop accepting, let the executor finish its interrupt
+    // drain (in-flight points complete and journal; the job itself is
+    // requeued as resumable), then exit 0.
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(socketPath(config_.state_dir).c_str());
+    cv_.notify_all();
+    executor.join();
+
+    ::sigaction(SIGINT, &old_int, nullptr);
+    ::sigaction(SIGTERM, &old_term, nullptr);
+    ::sigaction(SIGPIPE, &old_pipe, nullptr);
+    serve_signal_fd = -1;
+    ::close(sig_pipe_[0]);
+    ::close(sig_pipe_[1]);
+    sig_pipe_[0] = sig_pipe_[1] = -1;
+
+    std::size_t pending = store_->pendingCount();
+    std::fprintf(stderr,
+                 "padc serve: drained; %zu job(s) left resumable in "
+                 "'%s'\n",
+                 pending, store_->path().c_str());
+    store_.reset();
+    releaseLock();
+    return 0;
+}
+
+} // namespace
+
+int
+serveMain(const ServeConfig &config)
+{
+    ServeConfig effective = config;
+    if (effective.queue_cap == 0) {
+        std::uint64_t cap = 0;
+        effective.queue_cap =
+            parseEnvU64("PADC_SERVE_QUEUE_CAP", &cap) && cap > 0
+                ? static_cast<std::size_t>(cap)
+                : kDefaultQueueCap;
+    }
+    Daemon daemon(std::move(effective));
+    return daemon.run();
+}
+
+} // namespace padc::serve

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The `padc serve <state-dir>` daemon: a long-running sweep service on
+ * top of the crash-isolated process pool.
+ *
+ * Architecture (DESIGN.md section 15):
+ *
+ *  - The *socket thread* (run()) owns a Unix-domain listening socket
+ *    in the state directory and serves any number of concurrent
+ *    clients with a poll(2) loop; each client sends request frames and
+ *    receives one response frame per request (serve/protocol.hh).
+ *  - The *executor thread* drains the durable FIFO job queue
+ *    (serve/jobstore.hh): one job = one registered experiment run,
+ *    executed through the shared ProcessPool (constructed once at
+ *    startup and reused across every job, so worker processes and
+ *    their warm alone-IPC caches persist) with a per-job sweep journal
+ *    for exactly-once point resume.
+ *  - Every job gets its own directory `<state>/jobs/<id>/` holding the
+ *    sweep journal, the BENCH_<name>.json result, the experiment's
+ *    text output (log.txt), and live status.json + events.jsonl
+ *    written by an obs::FleetMonitor -- `padc status <state>/jobs/<id>`
+ *    works mid-job and post-mortem.
+ *
+ * Crash story:
+ *  - Daemon SIGKILLed mid-job: jobs.jsonl shows started-without-
+ *    finished, so a restarted daemon re-queues the job; its sweep
+ *    journal replays every completed point, so the re-run is
+ *    exactly-once. The stale serve.sock/serve.lock are reclaimed after
+ *    a pid liveness check; a second daemon against a LIVE lock exits 2.
+ *  - Graceful SIGTERM/SIGINT (or a shutdown request): stop accepting
+ *    requests, interrupt the in-flight sweep (in-flight points drain
+ *    per the sim/interrupt.hh contract, journaled work is kept),
+ *    leave the running job resumable, and exit 0.
+ *
+ * Admission control: submit requests are validated against the
+ * experiment registry with accumulated errors (unknown selectors get
+ * did-you-mean suggestions) and rejected wholesale when the pending
+ * queue would exceed the bounded capacity (backpressure;
+ * PADC_SERVE_QUEUE_CAP overrides the default of 256).
+ *
+ * Test hook (PADC_FAULT_INJECT style, deterministic):
+ * PADC_SERVE_TEST_KILL_AFTER=<n> SIGKILLs the daemon after n jobs have
+ * reached a terminal record, standing in for a machine reaping the
+ * service between jobs.
+ */
+
+#ifndef PADC_SERVE_DAEMON_HH
+#define PADC_SERVE_DAEMON_HH
+
+#include <cstdint>
+#include <string>
+
+namespace padc::serve
+{
+
+/** Startup configuration of one daemon (from `padc serve` flags). */
+struct ServeConfig
+{
+    std::string state_dir;
+    unsigned workers = 0;   ///< process-pool size; 0 = in-thread sweeps
+    /** Max pending jobs (backpressure); 0 = PADC_SERVE_QUEUE_CAP or
+     *  kDefaultQueueCap. */
+    std::size_t queue_cap = 0;
+    std::string corpus_dir; ///< trace corpus registered at startup
+};
+
+/** Default pending-queue bound (PADC_SERVE_QUEUE_CAP overrides). */
+inline constexpr std::size_t kDefaultQueueCap = 256;
+
+/**
+ * Run a daemon until a graceful stop.
+ * @return 0 after a clean drain; 2 when the state directory cannot be
+ *         set up or another live daemon owns it.
+ */
+int serveMain(const ServeConfig &config);
+
+/**
+ * True when @p pid names a live process (the stale-lock liveness
+ * probe: kill(pid, 0), with EPERM counting as alive). Exposed for
+ * tests.
+ */
+bool pidAlive(std::int64_t pid);
+
+} // namespace padc::serve
+
+#endif // PADC_SERVE_DAEMON_HH

@@ -1,0 +1,379 @@
+#include "serve/jobstore.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "exp/json.hh"
+
+namespace padc::serve
+{
+
+namespace
+{
+
+bool
+parseU64(const exp::JsonValue *value, std::uint64_t *out)
+{
+    if (value == nullptr || !value->isString() || value->string.empty())
+        return false;
+    const char *text = value->string.c_str();
+    if (*text == '-' || *text == '+')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0')
+        return false;
+    *out = parsed;
+    return true;
+}
+
+/**
+ * Single-line record, hand-rolled like obs::formatEvent: JsonWriter
+ * pretty-prints across lines and JSONL needs exactly one line.
+ */
+std::string
+formatRecord(const char *ev, std::uint64_t job, std::uint64_t t_ms,
+             const std::string &extra)
+{
+    std::string out = "{\"padc\":";
+    out += exp::jsonQuote(kJobSchema);
+    out += ",\"ev\":\"";
+    out += ev;
+    out += "\",\"job\":";
+    out += exp::jsonQuote(std::to_string(job));
+    out += ",\"t_ms\":";
+    out += exp::jsonQuote(std::to_string(t_ms));
+    out += extra;
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+const char *
+toString(JobState state)
+{
+    switch (state) {
+      case JobState::Pending:
+        return "pending";
+      case JobState::Running:
+        return "running";
+      case JobState::Done:
+        return "done";
+      case JobState::Failed:
+        return "failed";
+      case JobState::Cancelled:
+        return "cancelled";
+    }
+    return "pending";
+}
+
+JobStore::JobStore(std::string path) : path_(std::move(path))
+{
+    // Torn-tail detection before opening for append: a non-empty file
+    // whose last byte is not '\n' was cut mid-record by a kill.
+    bool torn_tail = false;
+    if (std::FILE *in = std::fopen(path_.c_str(), "rb")) {
+        int c = 0;
+        int last = '\n';
+        while ((c = std::fgetc(in)) != EOF)
+            last = c;
+        torn_tail = last != '\n';
+        std::fclose(in);
+    }
+
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0) {
+        error_ = "JobStore: cannot open '" + path_ +
+                 "' for appending: " + std::strerror(errno);
+        return;
+    }
+    // Terminate the torn tail so the next record cannot merge into it;
+    // the fragment then fails to parse and load() skips it.
+    if (torn_tail) {
+        const char nl = '\n';
+        while (::write(fd_, &nl, 1) < 0 && errno == EINTR) {
+        }
+    }
+    load();
+}
+
+JobStore::~JobStore()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+JobStore::ok() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fd_ >= 0 && error_.empty();
+}
+
+std::string
+JobStore::error() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return error_;
+}
+
+void
+JobStore::load()
+{
+    std::FILE *in = std::fopen(path_.c_str(), "rb");
+    if (in == nullptr)
+        return; // freshly created: nothing to replay
+    std::string line;
+    int c = 0;
+    bool complete = false;
+    auto consume = [&] {
+        // Torn or malformed lines are skipped (journal-replay contract).
+        if (!complete || line.empty())
+            return;
+        exp::JsonValue doc;
+        if (!exp::parseJson(line, &doc, nullptr) || !doc.isObject())
+            return;
+        const exp::JsonValue *tag = doc.find("padc");
+        if (tag == nullptr || !tag->isString() ||
+            tag->string != kJobSchema)
+            return;
+        const exp::JsonValue *ev = doc.find("ev");
+        std::uint64_t id = 0;
+        if (ev == nullptr || !ev->isString() ||
+            !parseU64(doc.find("job"), &id))
+            return;
+        std::uint64_t t_ms = 0;
+        parseU64(doc.find("t_ms"), &t_ms);
+
+        if (ev->string == "submitted") {
+            Job job;
+            job.id = id;
+            job.submitted_t_ms = t_ms;
+            if (const exp::JsonValue *v = doc.find("experiment");
+                v != nullptr && v->isString())
+                job.experiment = v->string;
+            std::uint64_t seed = 0;
+            if (parseU64(doc.find("seed"), &seed))
+                job.seed = seed;
+            if (find(id) == nullptr) {
+                jobs_.push_back(std::move(job));
+                next_id_ = std::max(next_id_, id + 1);
+            }
+            return;
+        }
+        Job *job = find(id);
+        if (job == nullptr)
+            return; // records for a job whose submit line was torn
+        if (ev->string == "started") {
+            job->state = JobState::Running;
+            ++job->attempts;
+        } else if (ev->string == "finished") {
+            std::string status;
+            if (const exp::JsonValue *v = doc.find("status");
+                v != nullptr && v->isString())
+                status = v->string;
+            job->status = status;
+            job->state =
+                status == "ok" ? JobState::Done : JobState::Failed;
+            if (const exp::JsonValue *v = doc.find("detail");
+                v != nullptr && v->isString())
+                job->detail = v->string;
+        } else if (ev->string == "cancelled") {
+            job->state = JobState::Cancelled;
+            job->status = "cancelled";
+            if (const exp::JsonValue *v = doc.find("detail");
+                v != nullptr && v->isString())
+                job->detail = v->string;
+        }
+    };
+    while ((c = std::fgetc(in)) != EOF) {
+        if (c == '\n') {
+            complete = true;
+            consume();
+            line.clear();
+            complete = false;
+        } else {
+            line.push_back(static_cast<char>(c));
+        }
+    }
+    consume(); // unterminated tail: dropped by `complete`
+    std::fclose(in);
+
+    loaded_ = jobs_.size();
+    // A job left Running by a killed daemon returns to the queue; its
+    // per-job sweep journal makes the re-run exactly-once.
+    for (Job &job : jobs_) {
+        if (job.state == JobState::Running) {
+            job.state = JobState::Pending;
+            job.resumed = true;
+            ++resumed_;
+        }
+    }
+}
+
+void
+JobStore::appendLine(const std::string &record)
+{
+    if (fd_ < 0)
+        return;
+    std::string line = record;
+    line += '\n';
+    // One write(2) per record: atomic w.r.t. concurrent O_APPEND
+    // writers; a kill mid-write tears only THIS line.
+    std::size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n =
+            ::write(fd_, line.data() + off, line.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error_.empty())
+                error_ = "JobStore: append to '" + path_ +
+                         "' failed: " + std::strerror(errno);
+            return;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+Job *
+JobStore::find(std::uint64_t id)
+{
+    for (Job &job : jobs_) {
+        if (job.id == id)
+            return &job;
+    }
+    return nullptr;
+}
+
+const Job *
+JobStore::find(std::uint64_t id) const
+{
+    return const_cast<JobStore *>(this)->find(id);
+}
+
+std::uint64_t
+JobStore::submit(const std::string &experiment,
+                 std::optional<std::uint64_t> seed, std::uint64_t t_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Job job;
+    job.id = next_id_++;
+    job.experiment = experiment;
+    job.seed = seed;
+    job.submitted_t_ms = t_ms;
+    std::string extra = ",\"experiment\":" + exp::jsonQuote(experiment);
+    if (seed.has_value())
+        extra += ",\"seed\":" + exp::jsonQuote(std::to_string(*seed));
+    appendLine(formatRecord("submitted", job.id, t_ms, extra));
+    const std::uint64_t id = job.id;
+    jobs_.push_back(std::move(job));
+    return id;
+}
+
+bool
+JobStore::start(std::uint64_t id, std::uint64_t t_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Job *job = find(id);
+    if (job == nullptr || job->state != JobState::Pending)
+        return false;
+    job->state = JobState::Running;
+    ++job->attempts;
+    appendLine(formatRecord("started", id, t_ms, ""));
+    return true;
+}
+
+bool
+JobStore::finish(std::uint64_t id, const std::string &status,
+                 const std::string &detail, std::uint64_t t_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Job *job = find(id);
+    if (job == nullptr || job->state != JobState::Running)
+        return false;
+    job->status = status;
+    job->detail = detail;
+    job->state = status == "ok" ? JobState::Done : JobState::Failed;
+    appendLine(formatRecord("finished", id, t_ms,
+                            ",\"status\":" + exp::jsonQuote(status) +
+                                ",\"detail\":" + exp::jsonQuote(detail)));
+    return true;
+}
+
+bool
+JobStore::cancel(std::uint64_t id, const std::string &detail,
+                 std::uint64_t t_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Job *job = find(id);
+    if (job == nullptr || (job->state != JobState::Pending &&
+                           job->state != JobState::Running))
+        return false;
+    job->state = JobState::Cancelled;
+    job->status = "cancelled";
+    job->detail = detail;
+    appendLine(formatRecord("cancelled", id, t_ms,
+                            ",\"detail\":" + exp::jsonQuote(detail)));
+    return true;
+}
+
+bool
+JobStore::requeue(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Job *job = find(id);
+    if (job == nullptr || job->state != JobState::Running)
+        return false;
+    job->state = JobState::Pending;
+    job->resumed = true;
+    return true;
+}
+
+std::optional<std::uint64_t>
+JobStore::nextPending() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Job &job : jobs_) {
+        if (job.state == JobState::Pending)
+            return job.id;
+    }
+    return std::nullopt;
+}
+
+std::optional<Job>
+JobStore::job(std::uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Job *found = find(id);
+    if (found == nullptr)
+        return std::nullopt;
+    return *found;
+}
+
+std::vector<Job>
+JobStore::jobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return jobs_;
+}
+
+std::size_t
+JobStore::pendingCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t count = 0;
+    for (const Job &job : jobs_)
+        count += job.state == JobState::Pending ? 1 : 0;
+    return count;
+}
+
+} // namespace padc::serve

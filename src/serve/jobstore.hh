@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Durable FIFO job queue of the `padc serve` daemon.
+ *
+ * Every queue transition is appended to `<state>/jobs.jsonl` as one
+ * single-line JSON record (schema padc-serve-job-v1), using the sweep
+ * journal's durability idiom (sim/journal.cc): an O_APPEND fd, one
+ * write(2) per record, and torn-tail repair on reopen -- a daemon
+ * killed mid-append loses at most the trailing partial line, which
+ * load() then skips.
+ *
+ * Record kinds:
+ *
+ *   {"padc":"padc-serve-job-v1","ev":"submitted","job":"1",
+ *    "experiment":"fig09","seed":"7","t_ms":"..."}
+ *   {"padc":"padc-serve-job-v1","ev":"started","job":"1","t_ms":"..."}
+ *   {"padc":"padc-serve-job-v1","ev":"finished","job":"1",
+ *    "status":"ok","detail":"","t_ms":"..."}
+ *   {"padc":"padc-serve-job-v1","ev":"cancelled","job":"1","t_ms":"..."}
+ *
+ * Replaying the log reconstructs the queue exactly-once: a job whose
+ * last record is `submitted` is pending; `started` without a later
+ * terminal record means the daemon died mid-job, so the job returns to
+ * pending (resumable -- its per-job sweep journal replays the points
+ * that completed); `finished`/`cancelled` are terminal. Job ids are
+ * monotonically increasing and survive restarts (next id = max + 1).
+ *
+ * Thread-safe: the daemon's socket thread submits/cancels while the
+ * executor thread starts/finishes; every public method locks.
+ */
+
+#ifndef PADC_SERVE_JOBSTORE_HH
+#define PADC_SERVE_JOBSTORE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace padc::serve
+{
+
+/** Line schema tag each job record carries. */
+inline constexpr char kJobSchema[] = "padc-serve-job-v1";
+
+/** Lifecycle state of one job (names shared with the protocol). */
+enum class JobState : std::uint8_t
+{
+    Pending,   ///< submitted, waiting for the executor
+    Running,   ///< the executor is on it right now
+    Done,      ///< finished with a BENCH result (status "ok"/...)
+    Failed,    ///< finished unsuccessfully (experiment threw / failed)
+    Cancelled, ///< cancelled before or during execution
+};
+
+const char *toString(JobState state);
+
+/** One job as reconstructed from (and appended to) jobs.jsonl. */
+struct Job
+{
+    std::uint64_t id = 0;
+    std::string experiment; ///< exact registered experiment name
+    std::optional<std::uint64_t> seed; ///< submit-time --seed override
+    JobState state = JobState::Pending;
+    std::string status;  ///< BENCH-level status once terminal
+    std::string detail;  ///< failure / cancellation diagnostic
+    std::uint64_t attempts = 0;       ///< `started` records seen
+    std::uint64_t submitted_t_ms = 0; ///< steady-clock submission stamp
+    bool resumed = false; ///< went back to pending after a daemon death
+};
+
+/**
+ * The durable queue; see file comment. All appends latch an internal
+ * error instead of throwing -- a full disk must not kill the daemon --
+ * and ok()/error() report the first failure.
+ */
+class JobStore
+{
+  public:
+    /**
+     * Open (creating if needed) the jobs.jsonl at @p path, repair a
+     * torn tail, and replay every record into memory. Check ok().
+     */
+    explicit JobStore(std::string path);
+
+    ~JobStore();
+
+    JobStore(const JobStore &) = delete;
+    JobStore &operator=(const JobStore &) = delete;
+
+    bool ok() const;
+    std::string error() const;
+    const std::string &path() const { return path_; }
+
+    /**
+     * Append a `submitted` record and add the pending job.
+     * @return the assigned job id (monotonic, restart-stable).
+     */
+    std::uint64_t submit(const std::string &experiment,
+                         std::optional<std::uint64_t> seed,
+                         std::uint64_t t_ms);
+
+    /**
+     * Mark @p id running (appends `started`).
+     * @return false when the job is not pending.
+     */
+    bool start(std::uint64_t id, std::uint64_t t_ms);
+
+    /**
+     * Mark @p id terminal with BENCH-level @p status ("ok" maps to
+     * Done, anything else to Failed). Appends `finished`.
+     */
+    bool finish(std::uint64_t id, const std::string &status,
+                const std::string &detail, std::uint64_t t_ms);
+
+    /**
+     * Cancel @p id (pending or running; the caller interrupts a
+     * running job's sweep first). Appends `cancelled`.
+     * @return false when the job is unknown or already terminal.
+     */
+    bool cancel(std::uint64_t id, const std::string &detail,
+                std::uint64_t t_ms);
+
+    /**
+     * A running job's daemon is going down without a result: return it
+     * to pending WITHOUT appending (the absent terminal record IS the
+     * durable "resumable" marker, exactly like an unjournaled sweep
+     * point).
+     */
+    bool requeue(std::uint64_t id);
+
+    /** Oldest pending job id, FIFO; nullopt when none. */
+    std::optional<std::uint64_t> nextPending() const;
+
+    /** Snapshot of one job; nullopt when unknown. */
+    std::optional<Job> job(std::uint64_t id) const;
+
+    /** Snapshot of every job, id order. */
+    std::vector<Job> jobs() const;
+
+    /** Jobs currently pending (queue depth, for backpressure). */
+    std::size_t pendingCount() const;
+
+    /** Jobs loaded from an existing log (restart diagnostics). */
+    std::size_t loadedJobs() const { return loaded_; }
+
+    /** Jobs that load() returned from Running to Pending (resumed). */
+    std::size_t resumedJobs() const { return resumed_; }
+
+  private:
+    void appendLine(const std::string &line);
+    Job *find(std::uint64_t id);
+    const Job *find(std::uint64_t id) const;
+    void load();
+
+    mutable std::mutex mutex_;
+    std::string path_;
+    int fd_ = -1;
+    std::string error_;
+    std::vector<Job> jobs_; ///< id order (append-only)
+    std::uint64_t next_id_ = 1;
+    std::size_t loaded_ = 0;
+    std::size_t resumed_ = 0;
+};
+
+} // namespace padc::serve
+
+#endif // PADC_SERVE_JOBSTORE_HH

@@ -1,0 +1,314 @@
+#include "serve/protocol.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "exp/json.hh"
+
+namespace padc::serve
+{
+
+namespace
+{
+
+std::string
+joinPath(const std::string &dir, const std::string &leaf)
+{
+    if (dir.empty() || dir.back() == '/')
+        return dir + leaf;
+    return dir + "/" + leaf;
+}
+
+/** Wire convention: u64s travel as decimal strings (see wire.hh). */
+std::string
+u64String(std::uint64_t value)
+{
+    return std::to_string(value);
+}
+
+bool
+parseU64String(const exp::JsonValue &value, std::uint64_t *out)
+{
+    if (!value.isString() || value.string.empty())
+        return false;
+    const char *text = value.string.c_str();
+    if (*text == '-' || *text == '+')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0')
+        return false;
+    *out = parsed;
+    return true;
+}
+
+const char *
+opName(ServeRequest::Op op)
+{
+    switch (op) {
+      case ServeRequest::Op::Ping:
+        return "ping";
+      case ServeRequest::Op::Submit:
+        return "submit";
+      case ServeRequest::Op::Jobs:
+        return "jobs";
+      case ServeRequest::Op::Cancel:
+        return "cancel";
+      case ServeRequest::Op::Metrics:
+        return "metrics";
+      case ServeRequest::Op::Status:
+        return "status";
+      case ServeRequest::Op::Shutdown:
+        return "shutdown";
+    }
+    return "ping";
+}
+
+bool
+opFromName(const std::string &name, ServeRequest::Op *out)
+{
+    for (const ServeRequest::Op op :
+         {ServeRequest::Op::Ping, ServeRequest::Op::Submit,
+          ServeRequest::Op::Jobs, ServeRequest::Op::Cancel,
+          ServeRequest::Op::Metrics, ServeRequest::Op::Status,
+          ServeRequest::Op::Shutdown}) {
+        if (name == opName(op)) {
+            *out = op;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+socketPath(const std::string &state_dir)
+{
+    return joinPath(state_dir, "serve.sock");
+}
+
+std::string
+lockPath(const std::string &state_dir)
+{
+    return joinPath(state_dir, "serve.lock");
+}
+
+std::string
+jobsLogPath(const std::string &state_dir)
+{
+    return joinPath(state_dir, "jobs.jsonl");
+}
+
+std::string
+jobDir(const std::string &state_dir, std::uint64_t job_id)
+{
+    return joinPath(state_dir, "jobs/" + std::to_string(job_id));
+}
+
+std::string
+encodeRequest(const ServeRequest &request)
+{
+    exp::JsonWriter writer;
+    writer.beginObject();
+    writer.member("padc", kRequestSchema);
+    writer.member("op", opName(request.op));
+    writer.beginArray("selectors");
+    for (const std::string &selector : request.selectors)
+        writer.element(selector);
+    writer.endArray();
+    if (request.seed.has_value())
+        writer.member("seed", u64String(*request.seed));
+    writer.member("job", u64String(request.job_id));
+    writer.member("metrics_json", request.metrics_json);
+    writer.endObject();
+    return writer.str();
+}
+
+bool
+decodeRequest(const std::string &payload, ServeRequest *out,
+              std::string *error)
+{
+    *out = ServeRequest{};
+    exp::JsonValue doc;
+    if (!exp::parseJson(payload, &doc, error))
+        return false;
+    if (!doc.isObject()) {
+        *error = "request payload is not an object";
+        return false;
+    }
+    const exp::JsonValue *tag = doc.find("padc");
+    if (tag == nullptr || !tag->isString() ||
+        tag->string != kRequestSchema) {
+        *error = "request payload is not a " +
+                 std::string(kRequestSchema) + " document";
+        return false;
+    }
+    const exp::JsonValue *op = doc.find("op");
+    if (op == nullptr || !op->isString() ||
+        !opFromName(op->string, &out->op)) {
+        *error = "request has an unknown op";
+        return false;
+    }
+    if (const exp::JsonValue *selectors = doc.find("selectors")) {
+        if (!selectors->isArray()) {
+            *error = "request 'selectors' is not an array";
+            return false;
+        }
+        for (const exp::JsonValue &element : selectors->array) {
+            if (!element.isString()) {
+                *error = "request 'selectors' holds a non-string";
+                return false;
+            }
+            out->selectors.push_back(element.string);
+        }
+    }
+    if (const exp::JsonValue *seed = doc.find("seed")) {
+        std::uint64_t value = 0;
+        if (!parseU64String(*seed, &value)) {
+            *error = "request 'seed' is not a decimal u64 string";
+            return false;
+        }
+        out->seed = value;
+    }
+    if (const exp::JsonValue *job = doc.find("job")) {
+        if (!parseU64String(*job, &out->job_id)) {
+            *error = "request 'job' is not a decimal u64 string";
+            return false;
+        }
+    }
+    if (const exp::JsonValue *flag = doc.find("metrics_json");
+        flag != nullptr && flag->kind == exp::JsonValue::Kind::Bool) {
+        out->metrics_json = flag->boolean;
+    }
+    return true;
+}
+
+std::string
+encodeResponse(const ServeResponse &response)
+{
+    exp::JsonWriter writer;
+    writer.beginObject();
+    writer.member("padc", kResponseSchema);
+    writer.member("ok", response.ok);
+    writer.beginArray("errors");
+    for (const std::string &message : response.errors)
+        writer.element(message);
+    writer.endArray();
+    writer.beginArray("job_ids");
+    for (const std::uint64_t id : response.job_ids)
+        writer.element(u64String(id));
+    writer.endArray();
+    writer.beginArray("jobs");
+    for (const JobView &job : response.jobs) {
+        writer.beginObject();
+        writer.member("job", u64String(job.id));
+        writer.member("experiment", job.experiment);
+        writer.member("state", job.state);
+        writer.member("status", job.status);
+        writer.member("detail", job.detail);
+        writer.member("attempts", u64String(job.attempts));
+        if (job.seed.has_value())
+            writer.member("seed", u64String(*job.seed));
+        writer.member("t_submit_ms", u64String(job.submitted_t_ms));
+        writer.member("dir", job.dir);
+        writer.endObject();
+    }
+    writer.endArray();
+    writer.member("text", response.text);
+    writer.endObject();
+    return writer.str();
+}
+
+bool
+decodeResponse(const std::string &payload, ServeResponse *out,
+               std::string *error)
+{
+    *out = ServeResponse{};
+    exp::JsonValue doc;
+    if (!exp::parseJson(payload, &doc, error))
+        return false;
+    if (!doc.isObject()) {
+        *error = "response payload is not an object";
+        return false;
+    }
+    const exp::JsonValue *tag = doc.find("padc");
+    if (tag == nullptr || !tag->isString() ||
+        tag->string != kResponseSchema) {
+        *error = "response payload is not a " +
+                 std::string(kResponseSchema) + " document";
+        return false;
+    }
+    const exp::JsonValue *ok = doc.find("ok");
+    if (ok == nullptr || ok->kind != exp::JsonValue::Kind::Bool) {
+        *error = "response has no boolean 'ok'";
+        return false;
+    }
+    out->ok = ok->boolean;
+    if (const exp::JsonValue *errors = doc.find("errors");
+        errors != nullptr && errors->isArray()) {
+        for (const exp::JsonValue &element : errors->array) {
+            if (element.isString())
+                out->errors.push_back(element.string);
+        }
+    }
+    if (const exp::JsonValue *ids = doc.find("job_ids");
+        ids != nullptr && ids->isArray()) {
+        for (const exp::JsonValue &element : ids->array) {
+            std::uint64_t id = 0;
+            if (!parseU64String(element, &id)) {
+                *error = "response 'job_ids' holds a malformed id";
+                return false;
+            }
+            out->job_ids.push_back(id);
+        }
+    }
+    if (const exp::JsonValue *jobs = doc.find("jobs");
+        jobs != nullptr && jobs->isArray()) {
+        for (const exp::JsonValue &element : jobs->array) {
+            if (!element.isObject()) {
+                *error = "response 'jobs' holds a non-object";
+                return false;
+            }
+            JobView job;
+            if (const exp::JsonValue *v = element.find("job")) {
+                if (!parseU64String(*v, &job.id)) {
+                    *error = "response job has a malformed id";
+                    return false;
+                }
+            }
+            if (const exp::JsonValue *v = element.find("experiment");
+                v != nullptr && v->isString())
+                job.experiment = v->string;
+            if (const exp::JsonValue *v = element.find("state");
+                v != nullptr && v->isString())
+                job.state = v->string;
+            if (const exp::JsonValue *v = element.find("status");
+                v != nullptr && v->isString())
+                job.status = v->string;
+            if (const exp::JsonValue *v = element.find("detail");
+                v != nullptr && v->isString())
+                job.detail = v->string;
+            if (const exp::JsonValue *v = element.find("attempts"))
+                parseU64String(*v, &job.attempts);
+            if (const exp::JsonValue *v = element.find("seed")) {
+                std::uint64_t seed = 0;
+                if (parseU64String(*v, &seed))
+                    job.seed = seed;
+            }
+            if (const exp::JsonValue *v = element.find("t_submit_ms"))
+                parseU64String(*v, &job.submitted_t_ms);
+            if (const exp::JsonValue *v = element.find("dir");
+                v != nullptr && v->isString())
+                job.dir = v->string;
+            out->jobs.push_back(std::move(job));
+        }
+    }
+    if (const exp::JsonValue *text = doc.find("text");
+        text != nullptr && text->isString())
+        out->text = text->string;
+    return true;
+}
+
+} // namespace padc::serve

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Client/daemon protocol of the `padc serve` sweep service.
+ *
+ * A daemon owns one *state directory* and listens on a Unix-domain
+ * stream socket inside it. Clients connect, send any number of
+ * request frames, and read one response frame per request; frames are
+ * the process-pool wire format (sim/wire.hh): a u32 little-endian
+ * length prefix followed by one JSON document.
+ *
+ * Encoding follows the wire-protocol conventions exactly: doubles as
+ * shortest-round-trip JSON numbers, 64-bit integers as decimal
+ * strings (the JSON parser stores numbers as double, which silently
+ * loses precision past 2^53 -- job ids are small today, seeds are
+ * not).
+ *
+ * State-directory layout (all paths derived here so daemon, client,
+ * and tests agree):
+ *
+ *   <state>/serve.sock        the listening socket
+ *   <state>/serve.lock        lock file holding the daemon's pid
+ *   <state>/jobs.jsonl        durable job journal (serve/jobstore.hh)
+ *   <state>/jobs/<id>/        one directory per job: sweep journal,
+ *                             status.json + events.jsonl, BENCH JSON,
+ *                             log.txt
+ */
+
+#ifndef PADC_SERVE_PROTOCOL_HH
+#define PADC_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace padc::serve
+{
+
+/** Schema tags of the two frame payload shapes. */
+inline constexpr char kRequestSchema[] = "padc-serve-request-v1";
+inline constexpr char kResponseSchema[] = "padc-serve-response-v1";
+
+/** Schema tag of the daemon-status document inside a Status response. */
+inline constexpr char kServeStatusSchema[] = "padc-serve-status-v1";
+
+// --- state-directory layout -------------------------------------------
+
+std::string socketPath(const std::string &state_dir);
+std::string lockPath(const std::string &state_dir);
+std::string jobsLogPath(const std::string &state_dir);
+std::string jobDir(const std::string &state_dir, std::uint64_t job_id);
+
+// --- requests ---------------------------------------------------------
+
+/** One client->daemon request. */
+struct ServeRequest
+{
+    enum class Op : std::uint8_t
+    {
+        Ping,     ///< liveness probe; empty ok response
+        Submit,   ///< enqueue jobs for experiment selectors
+        Jobs,     ///< list every job the daemon knows about
+        Cancel,   ///< cancel one job (pending or running)
+        Metrics,  ///< obs::MetricsRegistry snapshot (the GET /metrics)
+        Status,   ///< daemon status document (queue, running job, ...)
+        Shutdown, ///< graceful drain + exit, acknowledged first
+    };
+
+    Op op = Op::Ping;
+
+    /** Submit: experiment names / tags / globs, expanded server-side. */
+    std::vector<std::string> selectors;
+
+    /** Submit: optional --seed override shipped with every job. */
+    std::optional<std::uint64_t> seed;
+
+    /** Cancel: the job to cancel. */
+    std::uint64_t job_id = 0;
+
+    /** Metrics: emit the JSON snapshot instead of Prometheus text. */
+    bool metrics_json = false;
+};
+
+// --- responses --------------------------------------------------------
+
+/** Job states a response can report (serve/jobstore.hh mirrors these). */
+inline constexpr char kJobPending[] = "pending";
+inline constexpr char kJobRunning[] = "running";
+inline constexpr char kJobDone[] = "done";
+inline constexpr char kJobFailed[] = "failed";
+inline constexpr char kJobCancelled[] = "cancelled";
+
+/** One job row of a Jobs (or Submit) response. */
+struct JobView
+{
+    std::uint64_t id = 0;
+    std::string experiment;
+    std::string state;   ///< kJob* above
+    std::string status;  ///< BENCH-level status once finished ("ok"/...)
+    std::string detail;  ///< failure / cancellation diagnostic
+    std::uint64_t attempts = 0; ///< times the job was started
+    std::optional<std::uint64_t> seed;
+    std::uint64_t submitted_t_ms = 0; ///< steady-clock ms of submission
+    std::string dir; ///< job directory, relative to the state dir
+};
+
+/** One daemon->client response. */
+struct ServeResponse
+{
+    bool ok = false;
+    std::vector<std::string> errors; ///< accumulated admission errors
+
+    std::vector<std::uint64_t> job_ids; ///< Submit: assigned ids
+    std::vector<JobView> jobs;          ///< Jobs (and Submit echo)
+    std::string text; ///< Metrics exposition / Status document
+};
+
+// --- codec ------------------------------------------------------------
+
+std::string encodeRequest(const ServeRequest &request);
+std::string encodeResponse(const ServeResponse &response);
+
+/** @return false with a diagnostic in @p error on malformed payloads. */
+bool decodeRequest(const std::string &payload, ServeRequest *out,
+                   std::string *error);
+bool decodeResponse(const std::string &payload, ServeResponse *out,
+                    std::string *error);
+
+} // namespace padc::serve
+
+#endif // PADC_SERVE_PROTOCOL_HH

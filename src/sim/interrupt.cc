@@ -12,8 +12,16 @@ namespace padc::sim
 namespace
 {
 
-/** The stop flag; sig_atomic_t so signal handlers may set it. */
-volatile std::sig_atomic_t g_interrupt = 0;
+/**
+ * The stop flag. std::atomic<int> rather than volatile sig_atomic_t:
+ * lock-free atomics are async-signal-safe, and the serve daemon reads
+ * the flag from its executor thread while the socket thread's signal
+ * handler (or a cancel request) writes it, so plain volatile would be
+ * a cross-thread data race.
+ */
+std::atomic<int> g_interrupt{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handlers require a lock-free stop flag");
 
 /**
  * Remaining PADC_TEST_INTERRUPT_AFTER budget; negative = hook disarmed.
@@ -28,19 +36,19 @@ std::atomic<long> g_points_remaining{-1};
 bool
 interruptRequested()
 {
-    return g_interrupt != 0;
+    return g_interrupt.load(std::memory_order_relaxed) != 0;
 }
 
 void
 requestInterrupt()
 {
-    g_interrupt = 1;
+    g_interrupt.store(1, std::memory_order_relaxed);
 }
 
 void
 resetInterruptState()
 {
-    g_interrupt = 0;
+    g_interrupt.store(0, std::memory_order_relaxed);
     g_points_remaining.store(-1, std::memory_order_relaxed);
 
     const char *env = std::getenv("PADC_TEST_INTERRUPT_AFTER");
@@ -57,7 +65,7 @@ resetInterruptState()
         return;
     }
     if (parsed == 0) {
-        g_interrupt = 1;
+        requestInterrupt();
         return;
     }
     g_points_remaining.store(parsed, std::memory_order_relaxed);

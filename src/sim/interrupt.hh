@@ -29,8 +29,11 @@ inline constexpr char kInterruptedDetail[] = "interrupted";
 bool interruptRequested();
 
 /**
- * Request a graceful stop. Async-signal-safe: only writes a
- * sig_atomic_t flag, so SIGINT/SIGTERM handlers may call it directly.
+ * Request a graceful stop. Async-signal-safe: only writes a lock-free
+ * atomic flag, so SIGINT/SIGTERM handlers may call it directly; the
+ * atomic (not plain sig_atomic_t) also makes it safe for another
+ * thread -- the serve daemon's executor -- to poll interruptRequested()
+ * while a handler fires.
  */
 void requestInterrupt();
 

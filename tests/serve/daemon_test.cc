@@ -1,0 +1,836 @@
+/**
+ * @file
+ * Kill-matrix integration tests of `padc serve`, driving the real
+ * driver binary (PADC_DRIVER_BIN) as the daemon and mixing the CLI
+ * subcommands (submit/jobs/cancel/metrics/status) with direct protocol
+ * clients (serve::ServeClient). The matrix: daemon round-trips must be
+ * bit-identical to direct `padc run --workers N`; a SIGKILLed daemon
+ * must resume every in-flight job exactly-once on restart; SIGTERM must
+ * drain gracefully (exit 0, job left resumable); a second daemon on a
+ * live state dir must refuse; stale locks/sockets reclaim; admission
+ * accumulates errors; and concurrent submit/cancel clients must not
+ * corrupt the queue (asan/tsan fodder).
+ */
+
+#include <fcntl.h>
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/json.hh"
+#include "serve/client.hh"
+#include "serve/daemon.hh"
+#include "serve/protocol.hh"
+
+extern char **environ;
+
+namespace padc::serve
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+fs::path
+freshDir(const std::string &name)
+{
+    // Unique per process (ctest runs cases concurrently) and short:
+    // <dir>/serve.sock must fit in sun_path.
+    const auto dir = fs::temp_directory_path() /
+                     ("padc_serve_" + name + "." +
+                      std::to_string(::getpid()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+/**
+ * Spawn PADC_DRIVER_BIN with extra environment entries, stdout/stderr
+ * redirected to @p log. Returns the child pid (or -1).
+ */
+pid_t
+spawnDriver(const std::vector<std::string> &args,
+            const std::vector<std::string> &env_extra,
+            const std::string &log)
+{
+    std::vector<std::string> argv_store = {PADC_DRIVER_BIN};
+    argv_store.insert(argv_store.end(), args.begin(), args.end());
+    std::vector<char *> argv;
+    for (auto &arg : argv_store)
+        argv.push_back(arg.data());
+    argv.push_back(nullptr);
+
+    std::vector<std::string> env_store;
+    for (char **e = environ; *e != nullptr; ++e)
+        env_store.push_back(*e);
+    env_store.insert(env_store.end(), env_extra.begin(),
+                     env_extra.end());
+    std::vector<char *> envp;
+    for (auto &entry : env_store)
+        envp.push_back(entry.data());
+    envp.push_back(nullptr);
+
+    posix_spawn_file_actions_t actions;
+    posix_spawn_file_actions_init(&actions);
+    posix_spawn_file_actions_addopen(&actions, STDOUT_FILENO,
+                                     log.c_str(),
+                                     O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    posix_spawn_file_actions_adddup2(&actions, STDOUT_FILENO,
+                                     STDERR_FILENO);
+    pid_t pid = -1;
+    const int rc = ::posix_spawn(&pid, PADC_DRIVER_BIN, &actions,
+                                 nullptr, argv.data(), envp.data());
+    posix_spawn_file_actions_destroy(&actions);
+    return rc == 0 ? pid : -1;
+}
+
+/** Wait for @p pid; exit status, or 128+signal when killed. */
+int
+waitDriver(pid_t pid)
+{
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    if (WIFEXITED(status))
+        return WEXITSTATUS(status);
+    if (WIFSIGNALED(status))
+        return 128 + WTERMSIG(status);
+    return -1;
+}
+
+int
+runDriver(const std::vector<std::string> &args,
+          const std::vector<std::string> &env_extra,
+          const std::string &log)
+{
+    const pid_t pid = spawnDriver(args, env_extra, log);
+    EXPECT_GT(pid, 0);
+    return pid > 0 ? waitDriver(pid) : -1;
+}
+
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::size_t
+countOccurrences(const std::string &text, const std::string &needle)
+{
+    std::size_t count = 0;
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size()))
+        ++count;
+    return count;
+}
+
+exp::JsonValue
+loadBench(const fs::path &dir, const std::string &file)
+{
+    exp::JsonValue doc;
+    std::string error;
+    const auto path = dir / file;
+    EXPECT_TRUE(exp::parseJson(slurp(path), &doc, &error))
+        << path << ": " << error;
+    return doc;
+}
+
+/** Journal lines on disk (complete, newline-terminated ones). */
+std::size_t
+journalLines(const std::string &path)
+{
+    const std::string text = slurp(path);
+    std::size_t lines = 0;
+    for (const char c : text)
+        lines += c == '\n' ? 1 : 0;
+    return lines;
+}
+
+/** Poll until the journal holds @p want lines (worker progress gate). */
+bool
+awaitJournalLines(const std::string &path, std::size_t want)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (journalLines(path) >= want)
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+}
+
+/**
+ * Poll until the daemon on @p state_dir answers a ping. Daemon startup
+ * includes spawning the worker pool, which can take seconds on a
+ * loaded machine -- never use a fixed sleep for readiness.
+ */
+bool
+awaitDaemon(const std::string &state_dir)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (std::chrono::steady_clock::now() < deadline) {
+        ServeRequest request;
+        request.op = ServeRequest::Op::Ping;
+        ServeResponse response;
+        std::string error;
+        if (requestOnce(state_dir, request, &response, &error) &&
+            response.ok)
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return false;
+}
+
+/** Submit @p selectors over the protocol; returns the response. */
+ServeResponse
+submitJobs(const std::string &state_dir,
+           const std::vector<std::string> &selectors)
+{
+    ServeRequest request;
+    request.op = ServeRequest::Op::Submit;
+    request.selectors = selectors;
+    ServeResponse response;
+    std::string error;
+    EXPECT_TRUE(requestOnce(state_dir, request, &response, &error))
+        << error;
+    return response;
+}
+
+std::vector<JobView>
+listJobs(const std::string &state_dir)
+{
+    ServeRequest request;
+    request.op = ServeRequest::Op::Jobs;
+    ServeResponse response;
+    std::string error;
+    EXPECT_TRUE(requestOnce(state_dir, request, &response, &error))
+        << error;
+    return response.jobs;
+}
+
+/**
+ * Compare the simulation-outcome half of two BENCH documents: key,
+ * label, status, detail, cycles, and every metric value of every
+ * point. Deliberately ignores attempts (execution history, which
+ * kills and resumes legitimately change) and wall-clock/profile.
+ */
+void
+expectSamePoints(const exp::JsonValue &a, const exp::JsonValue &b)
+{
+    const exp::JsonValue *pa = a.find("points");
+    const exp::JsonValue *pb = b.find("points");
+    ASSERT_NE(pa, nullptr);
+    ASSERT_NE(pb, nullptr);
+    ASSERT_EQ(pa->array.size(), pb->array.size());
+    for (std::size_t i = 0; i < pa->array.size(); ++i) {
+        const exp::JsonValue &x = pa->array[i];
+        const exp::JsonValue &y = pb->array[i];
+        EXPECT_EQ(x.find("key")->string, y.find("key")->string) << i;
+        EXPECT_EQ(x.find("label")->string, y.find("label")->string) << i;
+        EXPECT_EQ(x.find("status")->string, y.find("status")->string)
+            << i;
+        EXPECT_EQ(x.find("detail")->string, y.find("detail")->string)
+            << i;
+        EXPECT_EQ(x.find("cycles")->number, y.find("cycles")->number)
+            << i;
+        const exp::JsonValue *ma = x.find("metrics");
+        const exp::JsonValue *mb = y.find("metrics");
+        ASSERT_EQ(ma->object.size(), mb->object.size()) << i;
+        for (const auto &[name, value] : ma->object) {
+            const exp::JsonValue *other = mb->find(name);
+            ASSERT_NE(other, nullptr) << i << "." << name;
+            EXPECT_EQ(value.number, other->number) << i << "." << name;
+        }
+    }
+}
+
+TEST(ServeDaemon, RoundTripJobsMatchDirectRunBitIdentically)
+{
+    const auto ref_dir = freshDir("rt_ref");
+    const auto state = freshDir("rt");
+    ASSERT_EQ(runDriver({"run", "smoke_grid", "--workers", "2", "--out",
+                         ref_dir.string()},
+                        {}, (ref_dir / "log.txt").string()),
+              0);
+
+    const pid_t daemon =
+        spawnDriver({"serve", state.string(), "--workers", "2"}, {},
+                    (state / "daemon.log").string());
+    ASSERT_GT(daemon, 0);
+    ASSERT_TRUE(awaitDaemon(state.string()));
+
+    // Submit through the CLI, jobs 1..2, and block until terminal.
+    ASSERT_EQ(runDriver({"submit", state.string(), "smoke", "smoke_grid",
+                         "--wait"},
+                        {}, (state / "submit.log").string()),
+              0);
+
+    const auto jobs = listJobs(state.string());
+    ASSERT_EQ(jobs.size(), 2u);
+    for (const JobView &job : jobs) {
+        EXPECT_EQ(job.state, kJobDone) << job.id;
+        EXPECT_EQ(job.attempts, 1u) << job.id;
+    }
+    EXPECT_EQ(jobs[0].experiment, "smoke");
+    EXPECT_EQ(jobs[1].experiment, "smoke_grid");
+
+    // The daemon job's BENCH must be point-identical to the direct run.
+    expectSamePoints(loadBench(ref_dir, "BENCH_smoke_grid.json"),
+                     loadBench(state / "jobs" / "2",
+                               "BENCH_smoke_grid.json"));
+    EXPECT_TRUE(fs::exists(state / "jobs" / "1" / "BENCH_smoke.json"));
+
+    // `padc jobs --json` emits the machine-readable listing.
+    ASSERT_EQ(runDriver({"jobs", state.string(), "--json"}, {},
+                        (state / "jobs.log").string()),
+              0);
+    exp::JsonValue listing;
+    std::string error;
+    ASSERT_TRUE(
+        exp::parseJson(slurp(state / "jobs.log"), &listing, &error))
+        << error;
+    EXPECT_EQ(listing.find("schema")->string, "padc-serve-jobs-v1");
+    EXPECT_EQ(listing.find("jobs")->array.size(), 2u);
+
+    // `padc metrics` surfaces the daemon's registry, including the
+    // pool counters that prove the jobs ran on worker processes.
+    ASSERT_EQ(runDriver({"metrics", state.string()}, {},
+                        (state / "metrics.log").string()),
+              0);
+    const std::string metrics = slurp(state / "metrics.log");
+    EXPECT_NE(metrics.find("padc_serve_jobs_submitted_total"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("padc_serve_jobs_done_total"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("padc_points_dispatched_total"),
+              std::string::npos);
+
+    // The daemon's own status document.
+    ServeRequest status_request;
+    status_request.op = ServeRequest::Op::Status;
+    ServeResponse status_response;
+    ASSERT_TRUE(requestOnce(state.string(), status_request,
+                            &status_response, &error))
+        << error;
+    ASSERT_TRUE(status_response.ok);
+    EXPECT_NE(status_response.text.find(kServeStatusSchema),
+              std::string::npos);
+    EXPECT_NE(status_response.text.find("\"running\""),
+              std::string::npos);
+
+    // Per-job sweep status: the daemon maintains a status.json each
+    // `padc status` can render, text and JSON.
+    ASSERT_EQ(runDriver({"status", (state / "jobs" / "2").string(),
+                         "--json"},
+                        {}, (state / "status.log").string()),
+              0);
+    exp::JsonValue status_doc;
+    ASSERT_TRUE(
+        exp::parseJson(slurp(state / "status.log"), &status_doc, &error))
+        << error;
+    EXPECT_EQ(status_doc.find("schema")->string, "padc-sweep-status-v1");
+
+    ASSERT_EQ(::kill(daemon, SIGTERM), 0);
+    EXPECT_EQ(waitDriver(daemon), 0);
+    EXPECT_NE(slurp(state / "daemon.log")
+                  .find("drained; 0 job(s) left resumable"),
+              std::string::npos);
+    EXPECT_FALSE(fs::exists(socketPath(state.string())));
+    EXPECT_FALSE(fs::exists(lockPath(state.string())));
+
+    fs::remove_all(ref_dir);
+    fs::remove_all(state);
+}
+
+TEST(ServeDaemon, SigkilledDaemonResumesEveryJobExactlyOnce)
+{
+    const auto ref_dir = freshDir("kill_ref");
+    const auto state = freshDir("kill");
+    ASSERT_EQ(runDriver({"run", "smoke_grid", "--workers", "0", "--out",
+                         ref_dir.string()},
+                        {}, (ref_dir / "log.txt").string()),
+              0);
+
+    // hang:9 wedges a worker on smoke_grid's last point (index 8)
+    // while the first eight complete and hit the per-job journal;
+    // SIGKILL the daemon mid-hang, exactly like an OOM kill.
+    const pid_t first =
+        spawnDriver({"serve", state.string(), "--workers", "2"},
+                    {"PADC_FAULT_INJECT=hang:9",
+                     "PADC_WORKER_TIMEOUT_MS=600000"},
+                    (state / "daemon1.log").string());
+    ASSERT_GT(first, 0);
+    ASSERT_TRUE(awaitDaemon(state.string()));
+
+    const ServeResponse submitted =
+        submitJobs(state.string(), {"smoke_grid", "smoke"});
+    ASSERT_TRUE(submitted.ok);
+    ASSERT_EQ(submitted.job_ids, (std::vector<std::uint64_t>{1, 2}));
+
+    const std::string journal =
+        (state / "jobs" / "1" / "sweep.padcjournal").string();
+    ASSERT_TRUE(awaitJournalLines(journal, 8));
+    ASSERT_EQ(::kill(first, SIGKILL), 0);
+    EXPECT_EQ(waitDriver(first), 128 + SIGKILL);
+
+    // Restart fault-free on the same state dir: job 1 must resume
+    // (replaying its eight journaled points), job 2 was still pending
+    // and must simply run.
+    const pid_t second =
+        spawnDriver({"serve", state.string(), "--workers", "2"}, {},
+                    (state / "daemon2.log").string());
+    ASSERT_GT(second, 0);
+    ASSERT_TRUE(awaitDaemon(state.string()));
+    EXPECT_NE(slurp(state / "daemon2.log").find("1 resumed"),
+              std::string::npos);
+
+    std::string error;
+    const auto done =
+        awaitJobs(state.string(), {1, 2}, 120'000, 50, &error);
+    ASSERT_TRUE(done.has_value()) << error;
+    EXPECT_EQ((*done)[0].state, kJobDone);
+    EXPECT_EQ((*done)[1].state, kJobDone);
+    EXPECT_EQ((*done)[0].attempts, 2u); // killed attempt + resumed one
+    EXPECT_EQ((*done)[1].attempts, 1u);
+
+    // Exactly-once: eight points replayed from the journal (attempts
+    // 0), one executed, and the merged BENCH is point-identical to the
+    // direct fault-free run.
+    EXPECT_EQ(journalLines(journal), 9u);
+    const exp::JsonValue resumed =
+        loadBench(state / "jobs" / "1", "BENCH_smoke_grid.json");
+    expectSamePoints(loadBench(ref_dir, "BENCH_smoke_grid.json"),
+                     resumed);
+    std::size_t replayed = 0;
+    std::size_t executed = 0;
+    for (const exp::JsonValue &point : resumed.find("points")->array) {
+        if (point.find("attempts")->number == 0.0)
+            ++replayed;
+        else
+            ++executed;
+    }
+    EXPECT_EQ(replayed, 8u);
+    EXPECT_EQ(executed, 1u);
+
+    // The queue log agrees: job 1 was started twice (the kill lost the
+    // first) but finished exactly once.
+    const std::string log = slurp(jobsLogPath(state.string()));
+    EXPECT_EQ(countOccurrences(log, "\"ev\":\"started\",\"job\":\"1\""),
+              2u);
+    EXPECT_EQ(countOccurrences(log, "\"ev\":\"finished\",\"job\":\"1\""),
+              1u);
+    EXPECT_EQ(countOccurrences(log, "\"ev\":\"started\",\"job\":\"2\""),
+              1u);
+
+    ASSERT_EQ(::kill(second, SIGTERM), 0);
+    EXPECT_EQ(waitDriver(second), 0);
+    fs::remove_all(ref_dir);
+    fs::remove_all(state);
+}
+
+TEST(ServeDaemon, SigtermDrainExitsZeroAndLeavesJobResumable)
+{
+    const auto state = freshDir("drain");
+    const pid_t first =
+        spawnDriver({"serve", state.string(), "--workers", "2"},
+                    {"PADC_FAULT_INJECT=hang:9",
+                     "PADC_WORKER_TIMEOUT_MS=600000"},
+                    (state / "daemon1.log").string());
+    ASSERT_GT(first, 0);
+    ASSERT_TRUE(awaitDaemon(state.string()));
+    ASSERT_TRUE(submitJobs(state.string(), {"smoke_grid"}).ok);
+
+    const std::string journal =
+        (state / "jobs" / "1" / "sweep.padcjournal").string();
+    ASSERT_TRUE(awaitJournalLines(journal, 8));
+
+    // Graceful drain: the daemon kills the wedged worker rather than
+    // waiting out its timeout, journals what completed, and exits 0 --
+    // this is the clean-shutdown half of the kill matrix.
+    ASSERT_EQ(::kill(first, SIGTERM), 0);
+    EXPECT_EQ(waitDriver(first), 0);
+    const std::string log1 = slurp(state / "daemon1.log");
+    EXPECT_NE(log1.find("1 job(s) left resumable"), std::string::npos);
+    EXPECT_FALSE(fs::exists(socketPath(state.string())));
+    EXPECT_FALSE(fs::exists(lockPath(state.string())));
+
+    // No terminal record: the absent `finished` IS the resumable mark.
+    const std::string queue_log = slurp(jobsLogPath(state.string()));
+    EXPECT_EQ(
+        countOccurrences(queue_log, "\"ev\":\"started\",\"job\":\"1\""),
+        1u);
+    EXPECT_EQ(
+        countOccurrences(queue_log, "\"ev\":\"finished\",\"job\":\"1\""),
+        0u);
+
+    const pid_t second =
+        spawnDriver({"serve", state.string(), "--workers", "2"}, {},
+                    (state / "daemon2.log").string());
+    ASSERT_GT(second, 0);
+    ASSERT_TRUE(awaitDaemon(state.string()));
+    std::string error;
+    const auto done = awaitJobs(state.string(), {1}, 120'000, 50, &error);
+    ASSERT_TRUE(done.has_value()) << error;
+    EXPECT_EQ((*done)[0].state, kJobDone);
+
+    const exp::JsonValue resumed =
+        loadBench(state / "jobs" / "1", "BENCH_smoke_grid.json");
+    std::size_t replayed = 0;
+    for (const exp::JsonValue &point : resumed.find("points")->array)
+        replayed += point.find("attempts")->number == 0.0 ? 1 : 0;
+    EXPECT_EQ(replayed, 8u);
+
+    ASSERT_EQ(::kill(second, SIGTERM), 0);
+    EXPECT_EQ(waitDriver(second), 0);
+    fs::remove_all(state);
+}
+
+TEST(ServeDaemon, TestKillHookDiesDeterministicallyAfterTerminalRecord)
+{
+    const auto state = freshDir("killhook");
+    // PADC_SERVE_TEST_KILL_AFTER=1: SIGKILL ourselves right after the
+    // first terminal record lands -- a deterministic stand-in for the
+    // "daemon dies between two jobs" window the timing-based tests
+    // cannot pin down.
+    const pid_t first =
+        spawnDriver({"serve", state.string(), "--workers", "0"},
+                    {"PADC_SERVE_TEST_KILL_AFTER=1"},
+                    (state / "daemon1.log").string());
+    ASSERT_GT(first, 0);
+    ASSERT_TRUE(awaitDaemon(state.string()));
+    ASSERT_TRUE(submitJobs(state.string(), {"smoke", "smoke_grid"}).ok);
+    EXPECT_EQ(waitDriver(first), 128 + SIGKILL);
+
+    const std::string after_kill = slurp(jobsLogPath(state.string()));
+    EXPECT_EQ(
+        countOccurrences(after_kill, "\"ev\":\"finished\",\"job\":\"1\""),
+        1u);
+
+    const pid_t second =
+        spawnDriver({"serve", state.string(), "--workers", "0"}, {},
+                    (state / "daemon2.log").string());
+    ASSERT_GT(second, 0);
+    ASSERT_TRUE(awaitDaemon(state.string()));
+    std::string error;
+    const auto done =
+        awaitJobs(state.string(), {1, 2}, 120'000, 50, &error);
+    ASSERT_TRUE(done.has_value()) << error;
+    // Job 1 finished before the kill and must NOT re-run; job 2 runs.
+    EXPECT_EQ((*done)[0].state, kJobDone);
+    EXPECT_EQ((*done)[0].attempts, 1u);
+    EXPECT_EQ((*done)[1].state, kJobDone);
+
+    const std::string log = slurp(jobsLogPath(state.string()));
+    EXPECT_EQ(countOccurrences(log, "\"ev\":\"started\",\"job\":\"1\""),
+              1u);
+
+    ASSERT_EQ(::kill(second, SIGTERM), 0);
+    EXPECT_EQ(waitDriver(second), 0);
+    fs::remove_all(state);
+}
+
+TEST(ServeDaemon, SecondDaemonOnLiveStateDirIsRefused)
+{
+    const auto state = freshDir("second");
+    const pid_t daemon =
+        spawnDriver({"serve", state.string(), "--workers", "0"}, {},
+                    (state / "daemon.log").string());
+    ASSERT_GT(daemon, 0);
+    ASSERT_TRUE(awaitDaemon(state.string()));
+
+    EXPECT_EQ(runDriver({"serve", state.string(), "--workers", "0"}, {},
+                        (state / "second.log").string()),
+              2);
+    EXPECT_NE(slurp(state / "second.log").find("live daemon"),
+              std::string::npos);
+
+    // The loser must not have damaged the winner.
+    EXPECT_TRUE(awaitDaemon(state.string()));
+    ASSERT_EQ(::kill(daemon, SIGTERM), 0);
+    EXPECT_EQ(waitDriver(daemon), 0);
+    fs::remove_all(state);
+}
+
+TEST(ServeDaemon, StaleLockAndSocketAreReclaimed)
+{
+    const auto state = freshDir("stale");
+
+    // Manufacture the post-SIGKILL debris: a lock naming a pid that is
+    // certainly dead (a reaped child of ours) and a leftover socket.
+    const pid_t dead =
+        spawnDriver({"help"}, {}, (state / "help.log").string());
+    ASSERT_GT(dead, 0);
+    EXPECT_EQ(waitDriver(dead), 0);
+    ASSERT_FALSE(pidAlive(dead));
+    {
+        std::ofstream lock(lockPath(state.string()));
+        lock << dead << "\n";
+    }
+    { std::ofstream sock(socketPath(state.string())); }
+
+    const pid_t daemon =
+        spawnDriver({"serve", state.string(), "--workers", "0"}, {},
+                    (state / "daemon.log").string());
+    ASSERT_GT(daemon, 0);
+    ASSERT_TRUE(awaitDaemon(state.string()));
+    EXPECT_NE(slurp(state / "daemon.log").find("reclaiming stale lock"),
+              std::string::npos);
+
+    ASSERT_EQ(::kill(daemon, SIGTERM), 0);
+    EXPECT_EQ(waitDriver(daemon), 0);
+    fs::remove_all(state);
+}
+
+TEST(ServeDaemon, CancelStopsPendingAndRunningJobs)
+{
+    const auto state = freshDir("cancel");
+    const pid_t daemon =
+        spawnDriver({"serve", state.string(), "--workers", "2"},
+                    {"PADC_FAULT_INJECT=hang:9",
+                     "PADC_WORKER_TIMEOUT_MS=600000"},
+                    (state / "daemon.log").string());
+    ASSERT_GT(daemon, 0);
+    ASSERT_TRUE(awaitDaemon(state.string()));
+    ASSERT_TRUE(submitJobs(state.string(), {"smoke_grid", "smoke"}).ok);
+
+    // Job 1 wedges on its ninth point; job 2 sits pending behind it.
+    const std::string journal =
+        (state / "jobs" / "1" / "sweep.padcjournal").string();
+    ASSERT_TRUE(awaitJournalLines(journal, 8));
+
+    // Cancel the pending job through the CLI: immediate.
+    ASSERT_EQ(runDriver({"cancel", state.string(), "2"}, {},
+                        (state / "cancel2.log").string()),
+              0);
+    std::string error;
+    auto done = awaitJobs(state.string(), {2}, 60'000, 50, &error);
+    ASSERT_TRUE(done.has_value()) << error;
+    EXPECT_EQ((*done)[0].state, kJobCancelled);
+
+    // Cancel the running job: the daemon interrupts the sweep (killing
+    // the wedged worker) and appends the cancelled record after drain.
+    ServeRequest request;
+    request.op = ServeRequest::Op::Cancel;
+    request.job_id = 1;
+    ServeResponse response;
+    ASSERT_TRUE(
+        requestOnce(state.string(), request, &response, &error))
+        << error;
+    EXPECT_TRUE(response.ok);
+    done = awaitJobs(state.string(), {1}, 120'000, 50, &error);
+    ASSERT_TRUE(done.has_value()) << error;
+    EXPECT_EQ((*done)[0].state, kJobCancelled);
+
+    // Cancelling a terminal job is a clean rejection...
+    ASSERT_TRUE(
+        requestOnce(state.string(), request, &response, &error))
+        << error;
+    EXPECT_FALSE(response.ok);
+    ASSERT_EQ(response.errors.size(), 1u);
+    EXPECT_NE(response.errors[0].find("already cancelled"),
+              std::string::npos);
+    // ...and so is an unknown id.
+    EXPECT_EQ(runDriver({"cancel", state.string(), "99"}, {},
+                        (state / "cancel99.log").string()),
+              1);
+    EXPECT_NE(slurp(state / "cancel99.log").find("unknown job '99'"),
+              std::string::npos);
+
+    // The daemon must be fully healthy after the interrupt drain: a
+    // fresh job runs to completion on the respawned pool.
+    ASSERT_EQ(runDriver({"submit", state.string(), "smoke", "--wait"},
+                        {}, (state / "submit3.log").string()),
+              0);
+
+    ASSERT_EQ(::kill(daemon, SIGTERM), 0);
+    EXPECT_EQ(waitDriver(daemon), 0);
+    fs::remove_all(state);
+}
+
+TEST(ServeDaemon, AdmissionAccumulatesErrorsAndBoundsTheQueue)
+{
+    const auto state = freshDir("admit");
+    const pid_t daemon = spawnDriver({"serve", state.string(),
+                                      "--workers", "0", "--queue-cap",
+                                      "2"},
+                                     {},
+                                     (state / "daemon.log").string());
+    ASSERT_GT(daemon, 0);
+    ASSERT_TRUE(awaitDaemon(state.string()));
+
+    // Every problem in the batch is reported in one round trip, with
+    // did-you-mean suggestions, and nothing is admitted.
+    const ServeResponse rejected =
+        submitJobs(state.string(), {"smoke_grd", "no_such_exp"});
+    EXPECT_FALSE(rejected.ok);
+    ASSERT_EQ(rejected.errors.size(), 2u);
+    EXPECT_NE(rejected.errors[0].find("unknown experiment 'smoke_grd'"),
+              std::string::npos);
+    EXPECT_NE(rejected.errors[0].find("did you mean 'smoke_grid'?"),
+              std::string::npos);
+    EXPECT_TRUE(rejected.job_ids.empty());
+
+    // Same through the CLI: exit 2 and the errors on stderr.
+    EXPECT_EQ(runDriver({"submit", state.string(), "smoke_grd"}, {},
+                        (state / "submit_bad.log").string()),
+              2);
+    EXPECT_NE(slurp(state / "submit_bad.log").find("did you mean"),
+              std::string::npos);
+
+    // Backpressure rejects the WHOLE batch (no partial admission).
+    const ServeResponse full = submitJobs(
+        state.string(), {"smoke", "smoke_grid", "fig01"});
+    EXPECT_FALSE(full.ok);
+    bool saw_full = false;
+    for (const std::string &error : full.errors)
+        saw_full = saw_full ||
+                   error.find("queue is full (0 pending, cap 2, "
+                              "batch of 3)") != std::string::npos;
+    EXPECT_TRUE(saw_full) << "errors: "
+                          << (full.errors.empty() ? "" : full.errors[0]);
+    EXPECT_TRUE(listJobs(state.string()).empty());
+
+    // Within the cap, jobs flow normally.
+    EXPECT_EQ(runDriver({"submit", state.string(), "smoke", "--wait"},
+                        {}, (state / "submit_ok.log").string()),
+              0);
+
+    ASSERT_EQ(::kill(daemon, SIGTERM), 0);
+    EXPECT_EQ(waitDriver(daemon), 0);
+    fs::remove_all(state);
+}
+
+TEST(ServeDaemon, ClientDiagnosticsWithoutADaemonAreHelpful)
+{
+    const auto dir = freshDir("nodaemon");
+    EXPECT_EQ(runDriver({"jobs", dir.string()}, {},
+                        (dir / "jobs.log").string()),
+              2);
+    EXPECT_NE(
+        slurp(dir / "jobs.log").find("daemon running"),
+        std::string::npos);
+
+    // The status satellite: a dir nothing ever ran in explains itself
+    // instead of dumping a raw open(2) failure.
+    EXPECT_EQ(runDriver({"status", dir.string()}, {},
+                        (dir / "status.log").string()),
+              1);
+    EXPECT_NE(slurp(dir / "status.log").find("no sweep has run here"),
+              std::string::npos);
+    EXPECT_EQ(runDriver({"status", dir.string(), "--json"}, {},
+                        (dir / "status_json.log").string()),
+              1);
+    fs::remove_all(dir);
+}
+
+TEST(ServeDaemon, ConcurrentSubmitCancelClientsKeepTheQueueConsistent)
+{
+    const auto state = freshDir("races");
+    const pid_t daemon =
+        spawnDriver({"serve", state.string(), "--workers", "0"}, {},
+                    (state / "daemon.log").string());
+    ASSERT_GT(daemon, 0);
+    ASSERT_TRUE(awaitDaemon(state.string()));
+
+    constexpr std::size_t kSubmitters = 4;
+    constexpr std::size_t kSubmitsEach = 3;
+    std::mutex ids_mutex;
+    std::vector<std::uint64_t> ids;
+    std::vector<std::thread> threads;
+
+    for (std::size_t t = 0; t < kSubmitters; ++t) {
+        threads.emplace_back([&] {
+            ServeClient client;
+            ASSERT_TRUE(client.connect(state.string()))
+                << client.error();
+            for (std::size_t i = 0; i < kSubmitsEach; ++i) {
+                ServeRequest request;
+                request.op = ServeRequest::Op::Submit;
+                request.selectors = {"smoke"};
+                ServeResponse response;
+                ASSERT_TRUE(client.request(request, &response))
+                    << client.error();
+                ASSERT_TRUE(response.ok);
+                ASSERT_EQ(response.job_ids.size(), 1u);
+                std::lock_guard<std::mutex> lock(ids_mutex);
+                ids.push_back(response.job_ids[0]);
+            }
+        });
+    }
+    // Cancellers race the submitters and the executor over the same
+    // ids; every outcome (cancelled, already running, already done,
+    // not yet submitted) is legal -- only transport failures and
+    // daemon corruption are not.
+    for (std::size_t t = 0; t < 2; ++t) {
+        threads.emplace_back([&, t] {
+            ServeClient client;
+            ASSERT_TRUE(client.connect(state.string()))
+                << client.error();
+            const std::size_t total = kSubmitters * kSubmitsEach;
+            for (std::size_t i = 0; i < total; ++i) {
+                ServeRequest request;
+                request.op = ServeRequest::Op::Cancel;
+                request.job_id = (t + i) % total + 1;
+                ServeResponse response;
+                ASSERT_TRUE(client.request(request, &response))
+                    << client.error();
+            }
+        });
+    }
+    threads.emplace_back([&] {
+        ServeClient client;
+        ASSERT_TRUE(client.connect(state.string())) << client.error();
+        for (std::size_t i = 0; i < 10; ++i) {
+            ServeRequest request;
+            request.op = ServeRequest::Op::Jobs;
+            ServeResponse response;
+            ASSERT_TRUE(client.request(request, &response))
+                << client.error();
+            ASSERT_TRUE(response.ok);
+        }
+    });
+    for (std::thread &thread : threads)
+        thread.join();
+
+    // Every submit was admitted exactly once, with unique ids.
+    ASSERT_EQ(ids.size(), kSubmitters * kSubmitsEach);
+    const std::set<std::uint64_t> unique(ids.begin(), ids.end());
+    EXPECT_EQ(unique.size(), ids.size());
+
+    // And every job reaches a terminal state (done or cancelled).
+    std::string error;
+    const auto done = awaitJobs(state.string(), ids, 300'000, 50, &error);
+    ASSERT_TRUE(done.has_value()) << error;
+    for (const JobView &job : *done)
+        EXPECT_TRUE(job.state == kJobDone || job.state == kJobCancelled)
+            << job.id << ": " << job.state;
+    EXPECT_EQ(listJobs(state.string()).size(), ids.size());
+
+    ASSERT_EQ(::kill(daemon, SIGTERM), 0);
+    EXPECT_EQ(waitDriver(daemon), 0);
+    fs::remove_all(state);
+}
+
+} // namespace
+} // namespace padc::serve

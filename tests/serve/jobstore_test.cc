@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Durability tests of the serve daemon's jobs.jsonl queue: lifecycle
+ * transitions, exactly-once reconstruction on reopen (including the
+ * started-without-terminal => pending+resumed rule that makes a killed
+ * daemon's in-flight job resumable), torn-tail repair, foreign-line
+ * tolerance, and restart-stable id allocation.
+ */
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/jobstore.hh"
+
+namespace padc::serve
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** A per-test jobs.jsonl path under the system temp dir. */
+class ServeJobStore : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = (fs::temp_directory_path() /
+                 ("padc_jobstore_test." + std::to_string(::getpid()) +
+                  "." +
+                  ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name()))
+                    .string();
+        fs::remove(path_);
+    }
+
+    void TearDown() override { fs::remove(path_); }
+
+    void appendRaw(const std::string &bytes) const
+    {
+        std::ofstream out(path_, std::ios::app | std::ios::binary);
+        out << bytes;
+    }
+
+    std::string path_;
+};
+
+TEST_F(ServeJobStore, LifecycleTransitionsAndSnapshots)
+{
+    JobStore store(path_);
+    ASSERT_TRUE(store.ok()) << store.error();
+
+    const std::uint64_t a = store.submit("smoke", std::nullopt, 100);
+    const std::uint64_t b = store.submit("smoke_grid", 42, 101);
+    EXPECT_EQ(a, 1u);
+    EXPECT_EQ(b, 2u);
+    EXPECT_EQ(store.pendingCount(), 2u);
+    ASSERT_TRUE(store.nextPending().has_value());
+    EXPECT_EQ(*store.nextPending(), a); // FIFO: oldest first
+
+    ASSERT_TRUE(store.start(a, 102));
+    EXPECT_FALSE(store.start(a, 103)); // already running
+    EXPECT_EQ(store.pendingCount(), 1u);
+    EXPECT_EQ(*store.nextPending(), b);
+
+    ASSERT_TRUE(store.finish(a, "ok", "", 104));
+    ASSERT_TRUE(store.start(b, 105));
+    ASSERT_TRUE(store.finish(b, "truncated", "fault", 106));
+
+    const auto ja = store.job(a);
+    const auto jb = store.job(b);
+    ASSERT_TRUE(ja && jb);
+    EXPECT_EQ(ja->state, JobState::Done); // "ok" maps to Done
+    EXPECT_EQ(ja->attempts, 1u);
+    EXPECT_EQ(jb->state, JobState::Failed); // anything else -> Failed
+    EXPECT_EQ(jb->status, "truncated");
+    EXPECT_EQ(jb->detail, "fault");
+    ASSERT_TRUE(jb->seed.has_value());
+    EXPECT_EQ(*jb->seed, 42u);
+
+    // Terminal jobs reject further transitions.
+    EXPECT_FALSE(store.start(a, 107));
+    EXPECT_FALSE(store.cancel(a, "late", 108));
+    EXPECT_FALSE(store.finish(b, "ok", "", 109));
+    EXPECT_FALSE(store.cancel(999, "unknown", 110));
+}
+
+TEST_F(ServeJobStore, ReloadReconstructsTerminalAndPendingStates)
+{
+    {
+        JobStore store(path_);
+        ASSERT_TRUE(store.ok()) << store.error();
+        store.submit("smoke", std::nullopt, 1);
+        store.submit("smoke_grid", 7, 2);
+        store.submit("fig09", std::nullopt, 3);
+        ASSERT_TRUE(store.start(1, 4));
+        ASSERT_TRUE(store.finish(1, "ok", "", 5));
+        ASSERT_TRUE(store.cancel(3, "operator request", 6));
+    }
+    JobStore store(path_);
+    ASSERT_TRUE(store.ok()) << store.error();
+    EXPECT_EQ(store.loadedJobs(), 3u);
+    EXPECT_EQ(store.resumedJobs(), 0u);
+    const auto jobs = store.jobs();
+    ASSERT_EQ(jobs.size(), 3u);
+    EXPECT_EQ(jobs[0].state, JobState::Done);
+    EXPECT_EQ(jobs[1].state, JobState::Pending);
+    EXPECT_EQ(jobs[1].experiment, "smoke_grid");
+    ASSERT_TRUE(jobs[1].seed.has_value());
+    EXPECT_EQ(*jobs[1].seed, 7u);
+    EXPECT_EQ(jobs[1].submitted_t_ms, 2u);
+    EXPECT_EQ(jobs[2].state, JobState::Cancelled);
+    EXPECT_EQ(jobs[2].detail, "operator request");
+    // Only the untouched submit is still runnable.
+    EXPECT_EQ(store.pendingCount(), 1u);
+    EXPECT_EQ(*store.nextPending(), 2u);
+}
+
+TEST_F(ServeJobStore, StartedWithoutTerminalResumesAsPending)
+{
+    {
+        JobStore store(path_);
+        ASSERT_TRUE(store.ok()) << store.error();
+        store.submit("smoke_grid", std::nullopt, 1);
+        ASSERT_TRUE(store.start(1, 2));
+        // Daemon dies here: no finished/cancelled record ever lands.
+    }
+    JobStore store(path_);
+    ASSERT_TRUE(store.ok()) << store.error();
+    EXPECT_EQ(store.resumedJobs(), 1u);
+    const auto job = store.job(1);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->state, JobState::Pending);
+    EXPECT_TRUE(job->resumed);
+    EXPECT_EQ(job->attempts, 1u); // the lost attempt still counts
+    EXPECT_EQ(*store.nextPending(), 1u);
+}
+
+TEST_F(ServeJobStore, RequeueAppendsNothing)
+{
+    std::uintmax_t after_start = 0;
+    {
+        JobStore store(path_);
+        ASSERT_TRUE(store.ok()) << store.error();
+        store.submit("smoke", std::nullopt, 1);
+        ASSERT_TRUE(store.start(1, 2));
+        after_start = fs::file_size(path_);
+        ASSERT_TRUE(store.requeue(1));
+        EXPECT_FALSE(store.requeue(1)); // only Running jobs requeue
+        const auto job = store.job(1);
+        ASSERT_TRUE(job.has_value());
+        EXPECT_EQ(job->state, JobState::Pending);
+        EXPECT_TRUE(job->resumed);
+    }
+    // The absent terminal record IS the durable resumable marker:
+    // requeue must not grow the log, and a reopen reconstructs the
+    // same pending+resumed state from started-without-terminal.
+    EXPECT_EQ(fs::file_size(path_), after_start);
+    JobStore store(path_);
+    ASSERT_TRUE(store.ok()) << store.error();
+    EXPECT_EQ(store.resumedJobs(), 1u);
+    EXPECT_EQ(*store.nextPending(), 1u);
+}
+
+TEST_F(ServeJobStore, TornTailIsRepairedAndSkipped)
+{
+    {
+        JobStore store(path_);
+        ASSERT_TRUE(store.ok()) << store.error();
+        store.submit("smoke", std::nullopt, 1);
+        store.submit("smoke_grid", std::nullopt, 2);
+    }
+    // A daemon killed mid-append leaves a partial line with no newline.
+    appendRaw(R"({"padc":"padc-serve-job-v1","ev":"submitted","job":"3)");
+    {
+        JobStore store(path_);
+        ASSERT_TRUE(store.ok()) << store.error();
+        EXPECT_EQ(store.loadedJobs(), 2u); // torn job 3 never existed
+        // Repair terminated the torn line, so the next append starts
+        // on a fresh line and reuses the torn-away id.
+        EXPECT_EQ(store.submit("fig09", std::nullopt, 3), 3u);
+    }
+    JobStore store(path_);
+    ASSERT_TRUE(store.ok()) << store.error();
+    EXPECT_EQ(store.loadedJobs(), 3u);
+    const auto job = store.job(3);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->experiment, "fig09");
+}
+
+TEST_F(ServeJobStore, ForeignAndMalformedLinesAreSkipped)
+{
+    {
+        JobStore store(path_);
+        ASSERT_TRUE(store.ok()) << store.error();
+        store.submit("smoke", std::nullopt, 1);
+    }
+    appendRaw("not json at all\n");
+    appendRaw(R"({"padc":"padc-obs-event-v1","ev":"point_done"})"
+              "\n");
+    appendRaw(R"({"padc":"padc-serve-job-v1","ev":"warp","job":"9"})"
+              "\n");
+    {
+        JobStore store(path_);
+        ASSERT_TRUE(store.ok()) << store.error();
+        EXPECT_EQ(store.loadedJobs(), 1u);
+        store.submit("smoke_grid", std::nullopt, 2);
+    }
+    JobStore store(path_);
+    ASSERT_TRUE(store.ok()) << store.error();
+    EXPECT_EQ(store.loadedJobs(), 2u);
+}
+
+TEST_F(ServeJobStore, JobIdsAreRestartStable)
+{
+    {
+        JobStore store(path_);
+        ASSERT_TRUE(store.ok()) << store.error();
+        EXPECT_EQ(store.submit("smoke", std::nullopt, 1), 1u);
+        EXPECT_EQ(store.submit("smoke", std::nullopt, 2), 2u);
+        ASSERT_TRUE(store.start(1, 3));
+        ASSERT_TRUE(store.finish(1, "ok", "", 4));
+    }
+    JobStore store(path_);
+    ASSERT_TRUE(store.ok()) << store.error();
+    // next id = max seen + 1, even though job 1 is terminal.
+    EXPECT_EQ(store.submit("smoke", std::nullopt, 5), 3u);
+}
+
+TEST_F(ServeJobStore, UnwritableLogLatchesErrorInsteadOfThrowing)
+{
+    JobStore store("/nonexistent-dir/padc/jobs.jsonl");
+    EXPECT_FALSE(store.ok());
+    EXPECT_FALSE(store.error().empty());
+}
+
+} // namespace
+} // namespace padc::serve

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Codec tests of the `padc serve` client/daemon protocol: request and
+ * response round-trips (including the u64-as-decimal-string precision
+ * convention), strict rejection of malformed payloads, and the
+ * state-directory layout helpers daemon/client/tests all share.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.hh"
+
+namespace padc::serve
+{
+namespace
+{
+
+TEST(ServeProtocol, StateDirLayoutHelpers)
+{
+    EXPECT_EQ(socketPath("/tmp/state"), "/tmp/state/serve.sock");
+    EXPECT_EQ(lockPath("/tmp/state"), "/tmp/state/serve.lock");
+    EXPECT_EQ(jobsLogPath("/tmp/state"), "/tmp/state/jobs.jsonl");
+    EXPECT_EQ(jobDir("/tmp/state", 7), "/tmp/state/jobs/7");
+    // A trailing slash must not produce a double slash.
+    EXPECT_EQ(socketPath("/tmp/state/"), "/tmp/state/serve.sock");
+}
+
+TEST(ServeProtocol, RequestRoundTripsEveryOp)
+{
+    for (const ServeRequest::Op op :
+         {ServeRequest::Op::Ping, ServeRequest::Op::Submit,
+          ServeRequest::Op::Jobs, ServeRequest::Op::Cancel,
+          ServeRequest::Op::Metrics, ServeRequest::Op::Status,
+          ServeRequest::Op::Shutdown}) {
+        ServeRequest request;
+        request.op = op;
+        ServeRequest decoded;
+        std::string error;
+        ASSERT_TRUE(decodeRequest(encodeRequest(request), &decoded,
+                                  &error))
+            << error;
+        EXPECT_EQ(decoded.op, op);
+    }
+}
+
+TEST(ServeProtocol, SubmitRequestRoundTripsSelectorsAndSeed)
+{
+    ServeRequest request;
+    request.op = ServeRequest::Op::Submit;
+    request.selectors = {"smoke", "fig1*", "overall"};
+    // Past 2^53: a JSON-number encoding would silently round this.
+    request.seed = (std::uint64_t{1} << 63) + 12345;
+    ServeRequest decoded;
+    std::string error;
+    ASSERT_TRUE(decodeRequest(encodeRequest(request), &decoded, &error))
+        << error;
+    EXPECT_EQ(decoded.selectors, request.selectors);
+    ASSERT_TRUE(decoded.seed.has_value());
+    EXPECT_EQ(*decoded.seed, *request.seed);
+}
+
+TEST(ServeProtocol, CancelRequestCarriesJobId)
+{
+    ServeRequest request;
+    request.op = ServeRequest::Op::Cancel;
+    request.job_id = 42;
+    ServeRequest decoded;
+    std::string error;
+    ASSERT_TRUE(decodeRequest(encodeRequest(request), &decoded, &error))
+        << error;
+    EXPECT_EQ(decoded.job_id, 42u);
+}
+
+TEST(ServeProtocol, MetricsJsonFlagRoundTrips)
+{
+    ServeRequest request;
+    request.op = ServeRequest::Op::Metrics;
+    request.metrics_json = true;
+    ServeRequest decoded;
+    std::string error;
+    ASSERT_TRUE(decodeRequest(encodeRequest(request), &decoded, &error))
+        << error;
+    EXPECT_TRUE(decoded.metrics_json);
+}
+
+TEST(ServeProtocol, ResponseRoundTripsJobsErrorsIdsAndText)
+{
+    ServeResponse response;
+    response.ok = false;
+    response.errors = {"unknown experiment 'x'", "queue is full"};
+    response.job_ids = {1, 2, (std::uint64_t{1} << 60) + 9};
+    JobView job;
+    job.id = 2;
+    job.experiment = "smoke_grid";
+    job.state = kJobRunning;
+    job.status = "ok";
+    job.detail = "d";
+    job.attempts = 3;
+    job.seed = 7;
+    job.submitted_t_ms = 1234567890123;
+    job.dir = "jobs/2";
+    response.jobs.push_back(job);
+    response.text = "# HELP something\n";
+
+    ServeResponse decoded;
+    std::string error;
+    ASSERT_TRUE(
+        decodeResponse(encodeResponse(response), &decoded, &error))
+        << error;
+    EXPECT_FALSE(decoded.ok);
+    EXPECT_EQ(decoded.errors, response.errors);
+    EXPECT_EQ(decoded.job_ids, response.job_ids);
+    ASSERT_EQ(decoded.jobs.size(), 1u);
+    EXPECT_EQ(decoded.jobs[0].id, 2u);
+    EXPECT_EQ(decoded.jobs[0].experiment, "smoke_grid");
+    EXPECT_EQ(decoded.jobs[0].state, kJobRunning);
+    EXPECT_EQ(decoded.jobs[0].status, "ok");
+    EXPECT_EQ(decoded.jobs[0].detail, "d");
+    EXPECT_EQ(decoded.jobs[0].attempts, 3u);
+    ASSERT_TRUE(decoded.jobs[0].seed.has_value());
+    EXPECT_EQ(*decoded.jobs[0].seed, 7u);
+    EXPECT_EQ(decoded.jobs[0].submitted_t_ms, 1234567890123u);
+    EXPECT_EQ(decoded.jobs[0].dir, "jobs/2");
+    EXPECT_EQ(decoded.text, response.text);
+}
+
+TEST(ServeProtocol, MalformedRequestsAreRejectedWithDiagnostics)
+{
+    ServeRequest request;
+    std::string error;
+
+    EXPECT_FALSE(decodeRequest("not json", &request, &error));
+    EXPECT_FALSE(error.empty());
+
+    EXPECT_FALSE(decodeRequest("[1, 2]", &request, &error));
+
+    // Wrong schema tag: a result frame must not pass as a request.
+    EXPECT_FALSE(decodeRequest(
+        R"({"padc": "padc-bench-result-v1", "op": "ping"})", &request,
+        &error));
+    EXPECT_NE(error.find("padc-serve-request-v1"), std::string::npos);
+
+    EXPECT_FALSE(decodeRequest(
+        R"({"padc": "padc-serve-request-v1", "op": "reboot"})", &request,
+        &error));
+    EXPECT_NE(error.find("unknown op"), std::string::npos);
+
+    // Signed / non-decimal u64 strings are rejected, never wrapped.
+    EXPECT_FALSE(decodeRequest(
+        R"({"padc": "padc-serve-request-v1", "op": "submit", )"
+        R"("seed": "-1"})",
+        &request, &error));
+    EXPECT_FALSE(decodeRequest(
+        R"({"padc": "padc-serve-request-v1", "op": "cancel", )"
+        R"("job": "12x"})",
+        &request, &error));
+}
+
+TEST(ServeProtocol, MalformedResponsesAreRejected)
+{
+    ServeResponse response;
+    std::string error;
+    EXPECT_FALSE(decodeResponse("{}", &response, &error));
+    EXPECT_FALSE(decodeResponse(
+        R"({"padc": "padc-serve-response-v1"})", &response, &error));
+    EXPECT_NE(error.find("ok"), std::string::npos);
+    EXPECT_FALSE(decodeResponse(
+        R"({"padc": "padc-serve-response-v1", "ok": true, )"
+        R"("job_ids": ["nope"]})",
+        &response, &error));
+}
+
+} // namespace
+} // namespace padc::serve
